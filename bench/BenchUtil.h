@@ -1,0 +1,59 @@
+//===- bench/BenchUtil.h - Benchmark harness helpers ----------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the table-regeneration benchmarks: environment
+/// overrides and cell formatting. Every bench binary prints one paper
+/// table (or ablation) and exits; see EXPERIMENTS.md for the mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_BENCH_BENCHUTIL_H
+#define FLIX_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace flix::bench {
+
+/// Reads a double from the environment, with a default.
+inline double envDouble(const char *Name, double Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::atof(V) : Default;
+}
+
+/// Reads an integer from the environment, with a default.
+inline long envInt(const char *Name, long Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::atol(V) : Default;
+}
+
+/// Formats a time cell: seconds with sensible precision, "timeout", or
+/// "-" (not run).
+inline std::string timeCell(double Seconds, bool TimedOut, bool Skipped) {
+  if (Skipped)
+    return "-";
+  if (TimedOut)
+    return "timeout";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), Seconds < 10 ? "%.2f" : "%.1f", Seconds);
+  return Buf;
+}
+
+/// Formats a memory cell in MB.
+inline std::string memCell(size_t Bytes, bool Valid) {
+  if (!Valid)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.0f",
+                static_cast<double>(Bytes) / (1024.0 * 1024.0));
+  return Buf;
+}
+
+} // namespace flix::bench
+
+#endif // FLIX_BENCH_BENCHUTIL_H

@@ -1,0 +1,49 @@
+//===- examples/shortest_paths.cpp - §4.4 beyond static analysis -----------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+//
+// §4.4: FLIX is applicable to fixed-point problems beyond static
+// analysis. Single-source shortest paths over the lattice
+// (N, ∞, 0, ≥, min, max) with the one rule
+//
+//   Dist(y, d + c) :- Dist(x, d), Edge(x, y, c).
+//
+// validated against Dijkstra on a random graph.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyses/ShortestPaths.h"
+#include "workload/GraphWorkload.h"
+
+#include <cstdio>
+
+using namespace flix;
+
+int main() {
+  WeightedGraph G = generateGraph(/*Seed=*/2016, /*NumNodes=*/500,
+                                  /*AvgDegree=*/3.0, /*MaxWeight=*/50);
+  std::printf("random graph: %d nodes, %zu edges\n", G.NumNodes,
+              G.Edges.size());
+
+  SsspResult Flix = runShortestPathsFlix(G, /*Source=*/0);
+  SsspResult Dij = runDijkstra(G, 0);
+  SsspResult BF = runBellmanFord(G, 0);
+  if (!Flix.Ok) {
+    std::printf("solver failed\n");
+    return 1;
+  }
+
+  std::printf("%-14s %10s\n", "method", "time (ms)");
+  std::printf("%-14s %10.3f\n", "FLIX rule", Flix.Seconds * 1e3);
+  std::printf("%-14s %10.3f\n", "Dijkstra", Dij.Seconds * 1e3);
+  std::printf("%-14s %10.3f\n", "Bellman-Ford", BF.Seconds * 1e3);
+
+  bool Match = Flix.sameDistances(Dij) && Dij.sameDistances(BF);
+  std::printf("all three agree on all %d distances: %s\n", G.NumNodes,
+              Match ? "yes" : "NO (bug!)");
+  std::printf("sample: dist(0 -> %d) = %lld\n", G.NumNodes - 1,
+              static_cast<long long>(Flix.Dist[G.NumNodes - 1]));
+  return Match ? 0 : 1;
+}

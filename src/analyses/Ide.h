@@ -1,0 +1,91 @@
+//===- analyses/Ide.h - IDE framework (§4.3, Figure 6) --------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IDE framework of Sagiv, Reps & Horwitz (TCS'96), in the
+/// declarative formulation of Figure 6. IDE computes the same edges as
+/// IFDS, but each edge carries a micro-function from the Transformer
+/// lattice (Figure 7); the environment values are elements of the
+/// Constant lattice, as in the linear-constant-propagation instance both
+/// papers use.
+///
+/// The structural inputs are shared with IfdsProblem; the flow functions
+/// additionally return the micro-function decorating each exploded edge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_ANALYSES_IDE_H
+#define FLIX_ANALYSES_IDE_H
+
+#include "analyses/Ifds.h"
+#include "runtime/Lattices.h"
+
+#include <map>
+
+namespace flix {
+
+/// An IDE problem: the supergraph plus micro-function-decorated flow
+/// functions. Micro functions are TransformerLattice values built with
+/// the lattice passed to the flow callbacks.
+struct IdeProblem {
+  int NumNodes = 0;
+  int NumProcs = 0;
+  int NumFacts = 0;
+
+  std::vector<std::pair<int, int>> CfgEdges;
+  std::vector<std::pair<int, int>> CallEdges;
+  std::vector<int> StartNodes;
+  std::vector<int> EndNodes;
+
+  /// Initial environment entries: ResultProc(proc, fact, value) seeds.
+  /// Values are specified abstractly (the solver owns the ValueFactory).
+  struct Seed {
+    int Proc;
+    int Fact;
+    enum class Kind { Bot, Cst, Top } K = Kind::Top;
+    int64_t Cst = 0;
+  };
+  std::vector<Seed> Seeds;
+  /// The procedure whose start node receives the initial JumpFn identity
+  /// edges (typically main).
+  int MainProc = 0;
+  std::vector<int> MainFacts; ///< facts seeded at main's start
+
+  /// Flow functions: append (fact, micro-function) pairs.
+  using Out = std::vector<std::pair<int, Value>>;
+  std::function<void(int N, int D, const TransformerLattice &T, Out &)>
+      EshIntra;
+  std::function<void(int Call, int D, int Target,
+                     const TransformerLattice &T, Out &)>
+      EshCallStart;
+  std::function<void(int Target, int D, int Call,
+                     const TransformerLattice &T, Out &)>
+      EshEndReturn;
+};
+
+struct IdeResult {
+  bool Ok = false;
+  std::string Error;
+  /// Result(n, d) -> Constant-lattice value, rendered as strings
+  /// ("Bot"/"Top"/decimal) so results are factory independent.
+  std::map<std::pair<int, int>, std::string> Values;
+  size_t NumJumpFns = 0;
+  size_t NumSummaries = 0;
+  double Seconds = 0;
+
+  /// Reachable (node, fact) pairs — JumpFn edges with non-⊥ functions,
+  /// for comparison against an IFDS run (§4.3: IDE computes the same
+  /// edges as IFDS).
+  std::set<std::pair<int, int>> Reachable;
+};
+
+/// Runs the declarative Figure 6 program.
+IdeResult runIdeFlix(const IdeProblem &P,
+                     SolverOptions Opts = SolverOptions());
+
+} // namespace flix
+
+#endif // FLIX_ANALYSES_IDE_H

@@ -1,0 +1,71 @@
+//===- analyses/PointsTo.h - Andersen points-to (Figure 1) ----*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The field-sensitive subset-based points-to analysis of Figure 1, built
+/// through the fixpoint C++ API. Inputs are the four base relations (New,
+/// Assign, Load, Store); outputs are VarPointsTo and HeapPointsTo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_ANALYSES_POINTSTO_H
+#define FLIX_ANALYSES_POINTSTO_H
+
+#include "fixpoint/Solver.h"
+
+#include <string>
+#include <vector>
+
+namespace flix {
+
+/// Input facts for the points-to analysis: a minimal object-oriented
+/// program in the style of §2.1.
+struct PointsToInput {
+  struct NewFact {
+    std::string Var, Obj;
+  };
+  struct AssignFact {
+    std::string To, From;
+  };
+  struct LoadFact {
+    std::string To, Base, Field;
+  };
+  struct StoreFact {
+    std::string Base, Field, From;
+  };
+
+  std::vector<NewFact> News;
+  std::vector<AssignFact> Assigns;
+  std::vector<LoadFact> Loads;
+  std::vector<StoreFact> Stores;
+};
+
+/// Results: the two derived relations.
+struct PointsToResult {
+  /// (var, obj) pairs.
+  std::vector<std::pair<std::string, std::string>> VarPointsTo;
+  /// (obj, field, obj) triples.
+  std::vector<std::array<std::string, 3>> HeapPointsTo;
+  SolveStats Stats;
+
+  bool varPointsTo(const std::string &Var, const std::string &Obj) const;
+};
+
+/// Builds the Figure 1 program on \p P (with a fresh set of predicates)
+/// and returns the predicate ids, so clients can compose it with other
+/// analyses (§3.4 compositionality).
+struct PointsToPredicates {
+  PredId New, Assign, Load, Store, VarPointsTo, HeapPointsTo;
+};
+PointsToPredicates addPointsToRules(Program &P);
+
+/// Runs the analysis end to end with the given solver options.
+PointsToResult runPointsTo(const PointsToInput &In,
+                           SolverOptions Opts = SolverOptions());
+
+} // namespace flix
+
+#endif // FLIX_ANALYSES_POINTSTO_H

@@ -1,0 +1,174 @@
+//===- analyses/StrongUpdateDatalog.cpp - §1 powerset embedding ------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The pure-Datalog embedding of the SULattice described in the paper's
+/// introduction (the "DLV" column of Table 1): ⊥ is the empty set, each
+/// Single(p) is the singleton element fact, and ⊤ is a designated marker
+/// added to every set with two or more elements. Crucially — and this is
+/// the inefficiency the paper calls out — nothing stops the element facts
+/// from continuing to flow once a cell is ⊤, so the engine does the work
+/// of the arbitrary-sets-of-objects lattice while delivering only
+/// SULattice precision.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyses/StrongUpdate.h"
+
+using namespace flix;
+
+StrongUpdateResult flix::runStrongUpdateDatalog(const PointerProgram &In,
+                                                double TimeLimitSeconds) {
+  ValueFactory F;
+  Program P(F);
+
+  PredId AddrOf = P.relation("AddrOf", 2);
+  PredId Copy = P.relation("Copy", 2);
+  PredId Load = P.relation("Load", 3);
+  PredId Store = P.relation("Store", 3);
+  PredId Cfg = P.relation("CFG", 2);
+  PredId Kill = P.relation("Kill", 2);
+  PredId Pt = P.relation("Pt", 2);
+  PredId PtH = P.relation("PtH", 2);
+  PredId PtSU = P.relation("PtSU", 3);
+  // The embedding: SU{Before,After}E(l, a, p) is "p ∈ su[l](a)";
+  // SU{Before,After}Top(l, a) is "⊤ ∈ su[l](a)".
+  PredId SUBeforeE = P.relation("SUBeforeE", 3);
+  PredId SUBeforeTop = P.relation("SUBeforeTop", 2);
+  PredId SUAfterE = P.relation("SUAfterE", 3);
+  PredId SUAfterTop = P.relation("SUAfterTop", 2);
+
+  FnId Neq = P.function("neq", 2, FnRole::Filter,
+                        [&F](std::span<const Value> A) {
+                          return F.boolean(A[0] != A[1]);
+                        });
+
+  // Base points-to rules, as in Figure 4.
+  RuleBuilder().head(Pt, {"p", "a"}).atom(AddrOf, {"p", "a"}).addTo(P);
+  RuleBuilder()
+      .head(Pt, {"p", "a"})
+      .atom(Copy, {"p", "q"})
+      .atom(Pt, {"q", "a"})
+      .addTo(P);
+  RuleBuilder()
+      .head(Pt, {"p", "b"})
+      .atom(Load, {"l", "p", "q"})
+      .atom(Pt, {"q", "a"})
+      .atom(PtSU, {"l", "a", "b"})
+      .addTo(P);
+  RuleBuilder()
+      .head(PtH, {"a", "b"})
+      .atom(Store, {"l", "p", "q"})
+      .atom(Pt, {"p", "a"})
+      .atom(Pt, {"q", "b"})
+      .addTo(P);
+
+  // CFG propagation, element-wise and for the ⊤ marker.
+  RuleBuilder()
+      .head(SUBeforeE, {"l2", "a", "p"})
+      .atom(Cfg, {"l1", "l2"})
+      .atom(SUAfterE, {"l1", "a", "p"})
+      .addTo(P);
+  RuleBuilder()
+      .head(SUBeforeTop, {"l2", "a"})
+      .atom(Cfg, {"l1", "l2"})
+      .atom(SUAfterTop, {"l1", "a"})
+      .addTo(P);
+
+  // Preserve (complement of Kill).
+  RuleBuilder()
+      .head(SUAfterE, {"l", "a", "p"})
+      .atom(SUBeforeE, {"l", "a", "p"})
+      .negated(Kill, {"l", "a"})
+      .addTo(P);
+  RuleBuilder()
+      .head(SUAfterTop, {"l", "a"})
+      .atom(SUBeforeTop, {"l", "a"})
+      .negated(Kill, {"l", "a"})
+      .addTo(P);
+
+  // Store generation: su[l](a) gains the element b.
+  RuleBuilder()
+      .head(SUAfterE, {"l", "a", "b"})
+      .atom(Store, {"l", "p", "q"})
+      .atom(Pt, {"p", "a"})
+      .atom(Pt, {"q", "b"})
+      .addTo(P);
+
+  // The ⊤ rule of the embedding: any set with two distinct elements gains
+  // the designated ⊤ marker. Needed on both Before and After so that the
+  // filter sees ⊤ exactly when the true lattice would be ⊤.
+  RuleBuilder()
+      .head(SUAfterTop, {"l", "a"})
+      .atom(SUAfterE, {"l", "a", "p1"})
+      .atom(SUAfterE, {"l", "a", "p2"})
+      .filter(Neq, {"p1", "p2"})
+      .addTo(P);
+  RuleBuilder()
+      .head(SUBeforeTop, {"l", "a"})
+      .atom(SUBeforeE, {"l", "a", "p1"})
+      .atom(SUBeforeE, {"l", "a", "p2"})
+      .filter(Neq, {"p1", "p2"})
+      .addTo(P);
+
+  // The filter of Figure 4, unfolded over the embedding:
+  //   ⊤ ∈ su[l](a)          => every b ∈ PtH(a) passes;
+  //   b ∈ su[l](a) (element) => b passes.
+  RuleBuilder()
+      .head(PtSU, {"l", "a", "b"})
+      .atom(PtH, {"a", "b"})
+      .atom(SUBeforeTop, {"l", "a"})
+      .addTo(P);
+  RuleBuilder()
+      .head(PtSU, {"l", "a", "b"})
+      .atom(PtH, {"a", "b"})
+      .atom(SUBeforeE, {"l", "a", "b"})
+      .addTo(P);
+
+  auto N = [&](int I) { return F.integer(I); };
+  for (auto [A, B] : In.AddrOf)
+    P.addFact(AddrOf, {N(A), N(B)});
+  for (auto [A, B] : In.Copy)
+    P.addFact(Copy, {N(A), N(B)});
+  for (const auto &T : In.Load)
+    P.addFact(Load, {N(T[0]), N(T[1]), N(T[2])});
+  for (const auto &T : In.Store)
+    P.addFact(Store, {N(T[0]), N(T[1]), N(T[2])});
+  for (auto [A, B] : In.Cfg)
+    P.addFact(Cfg, {N(A), N(B)});
+  for (auto [A, B] : In.Kill)
+    P.addFact(Kill, {N(A), N(B)});
+  for (auto [L, A] : In.InitTop)
+    P.addFact(SUAfterTop, {N(L), N(A)});
+
+  SolverOptions Opts;
+  Opts.TimeLimitSeconds = TimeLimitSeconds;
+  Solver S(P, Opts);
+  SolveStats St = S.solve();
+
+  StrongUpdateResult R;
+  R.Seconds = St.Seconds;
+  R.MemoryBytes = St.MemoryBytes;
+  R.FactsDerived = St.FactsDerived;
+  switch (St.St) {
+  case SolveStats::Status::Fixpoint:
+    break;
+  case SolveStats::Status::Timeout:
+    R.St = StrongUpdateResult::Status::Timeout;
+    return R;
+  default:
+    R.St = StrongUpdateResult::Status::Error;
+    R.Error = St.Error;
+    return R;
+  }
+
+  R.Pt.assign(In.NumVars, {});
+  R.PtH.assign(In.NumObjs, {});
+  for (const auto &Row : S.tuples(Pt))
+    R.Pt[Row[0].asInt()].insert(static_cast<int>(Row[1].asInt()));
+  for (const auto &Row : S.tuples(PtH))
+    R.PtH[Row[0].asInt()].insert(static_cast<int>(Row[1].asInt()));
+  return R;
+}

@@ -1,0 +1,289 @@
+//===- fixpoint/ModelTheory.cpp - §3.2 semantics, executable --------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/ModelTheory.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flix;
+
+/// True if the two ground atoms are in the same cell (§3.2 step 3): same
+/// predicate and equal key columns.
+static bool sameCell(const Program &P, const GroundAtom &A,
+                     const GroundAtom &B) {
+  if (A.Pred != B.Pred)
+    return false;
+  unsigned KA = P.predicate(A.Pred).keyArity();
+  for (unsigned I = 0; I < KA; ++I)
+    if (A.Args[I] != B.Args[I])
+      return false;
+  return true;
+}
+
+/// A ⊑S B for two atoms of the same cell.
+static bool atomLeq(const Program &P, const GroundAtom &A,
+                    const GroundAtom &B) {
+  const PredicateDecl &D = P.predicate(A.Pred);
+  if (D.isRelational())
+    return true; // same cell == same tuple for relations
+  return D.Lat->leq(A.Args[D.keyArity()], B.Args[D.keyArity()]);
+}
+
+bool flix::isAtomTrue(const Program &P, const Interpretation &I,
+                      const GroundAtom &A) {
+  for (const GroundAtom &B : I)
+    if (sameCell(P, A, B) && atomLeq(P, A, B))
+      return true;
+  return false;
+}
+
+bool flix::isCompact(const Program &P, const Interpretation &I) {
+  for (size_t X = 0; X < I.size(); ++X)
+    for (size_t Y = X + 1; Y < I.size(); ++Y)
+      if (sameCell(P, I[X], I[Y]) && !(I[X] == I[Y]))
+        return false;
+  return true;
+}
+
+bool flix::modelLeq(const Program &P, const Interpretation &M1,
+                    const Interpretation &M2) {
+  for (const GroundAtom &A1 : M1) {
+    bool Found = false;
+    for (const GroundAtom &A2 : M2)
+      if (sameCell(P, A1, A2) && atomLeq(P, A1, A2)) {
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Enumerates all substitutions of a rule's variables over the universe
+/// and checks rule truth.
+class GroundRuleChecker {
+public:
+  GroundRuleChecker(const Program &P, const HerbrandSpec &H,
+                    const Interpretation &I)
+      : P(P), I(I) {
+    Universe = H.Terms;
+    for (const auto &[L, Elems] : H.LatticeElems)
+      Universe.insert(Universe.end(), Elems.begin(), Elems.end());
+    std::sort(Universe.begin(), Universe.end());
+    Universe.erase(std::unique(Universe.begin(), Universe.end()),
+                   Universe.end());
+  }
+
+  /// True iff every ground instance of \p R is true in I.
+  bool allInstancesTrue(const Rule &R) {
+    std::vector<Value> Subst(R.NumVars);
+    return enumerate(R, Subst, 0);
+  }
+
+private:
+  bool enumerate(const Rule &R, std::vector<Value> &Subst, uint32_t Var) {
+    if (Var == R.NumVars)
+      return instanceTrue(R, Subst);
+    for (const Value &V : Universe) {
+      Subst[Var] = V;
+      if (!enumerate(R, Subst, Var + 1))
+        return false;
+    }
+    return true;
+  }
+
+  Value apply(const Term &T, const std::vector<Value> &Subst) const {
+    return T.isVar() ? Subst[T.Variable] : T.Constant;
+  }
+
+  bool instanceTrue(const Rule &R, const std::vector<Value> &Subst) {
+    // Body conjunction.
+    for (const BodyElem &E : R.Body) {
+      const auto *A = std::get_if<BodyAtom>(&E);
+      assert(A && !A->Negated &&
+             "ModelTheory covers the §3.2 core fragment only");
+      GroundAtom GA;
+      GA.Pred = A->Pred;
+      for (const Term &T : A->Terms)
+        GA.Args.push_back(apply(T, Subst));
+      if (!isAtomTrue(P, I, GA))
+        return true; // body false => rule instance true
+    }
+    // Head.
+    assert(!R.Head.LastFn &&
+           "ModelTheory covers the §3.2 core fragment only");
+    GroundAtom GH;
+    GH.Pred = R.Head.Pred;
+    for (const Term &T : R.Head.KeyTerms)
+      GH.Args.push_back(apply(T, Subst));
+    GH.Args.push_back(apply(R.Head.LastTerm, Subst));
+    // ⊥-free reading: a ⊥-valued head imposes no obligation (the ⊥ cell
+    // is identified with an absent cell).
+    const PredicateDecl &HD = P.predicate(R.Head.Pred);
+    if (!HD.isRelational() && GH.Args.back() == HD.Lat->bot())
+      return true;
+    return isAtomTrue(P, I, GH);
+  }
+
+  const Program &P;
+  const Interpretation &I;
+  std::vector<Value> Universe;
+};
+
+} // namespace
+
+bool flix::isModel(const Program &P, const HerbrandSpec &H,
+                   const Interpretation &I) {
+  // Facts are rules with empty bodies. ⊥-valued lattice facts are
+  // trivially satisfied (⊥-free reading).
+  for (const Fact &Fa : P.facts()) {
+    const PredicateDecl &D = P.predicate(Fa.Pred);
+    if (!D.isRelational() && Fa.LatValue == D.Lat->bot())
+      continue;
+    GroundAtom GA;
+    GA.Pred = Fa.Pred;
+    GA.Args.assign(Fa.Key.begin(), Fa.Key.end());
+    if (!D.isRelational())
+      GA.Args.push_back(Fa.LatValue);
+    if (!isAtomTrue(P, I, GA))
+      return false;
+  }
+  GroundRuleChecker C(P, H, I);
+  for (const Rule &R : P.rules())
+    if (!C.allInstancesTrue(R))
+      return false;
+  return true;
+}
+
+std::optional<Interpretation>
+flix::bruteForceMinimalModel(const Program &P, const HerbrandSpec &H) {
+  // Enumerate the cells: every predicate with every key tuple over T.
+  struct Cell {
+    PredId Pred;
+    std::vector<Value> Key;
+    std::vector<Value> Choices; ///< possible atoms' last value; index 0 is
+                                ///< the synthetic "absent" marker
+  };
+  std::vector<Cell> Cells;
+  for (PredId Pred = 0; Pred < P.predicates().size(); ++Pred) {
+    const PredicateDecl &D = P.predicate(Pred);
+    unsigned KA = D.keyArity();
+    // Enumerate T^KA.
+    std::vector<std::vector<Value>> Keys;
+    Keys.emplace_back();
+    for (unsigned I = 0; I < KA; ++I) {
+      std::vector<std::vector<Value>> Next;
+      for (const auto &K : Keys)
+        for (const Value &T : H.Terms) {
+          std::vector<Value> K2 = K;
+          K2.push_back(T);
+          Next.push_back(std::move(K2));
+        }
+      Keys = std::move(Next);
+    }
+    for (auto &K : Keys) {
+      Cell C;
+      C.Pred = Pred;
+      C.Key = std::move(K);
+      if (D.isRelational()) {
+        C.Choices = {Value()}; // present, with no extra column
+      } else {
+        auto It = H.LatticeElems.find(D.Lat);
+        assert(It != H.LatticeElems.end() &&
+               "HerbrandSpec missing lattice element enumeration");
+        // ⊥ is identified with absence (⊥-free reading); enumerating it
+        // separately would only duplicate interpretations.
+        for (const Value &E : It->second)
+          if (E != D.Lat->bot())
+            C.Choices.push_back(E);
+      }
+      Cells.push_back(std::move(C));
+    }
+  }
+
+  // Odometer over (absent + choices) per cell.
+  std::vector<size_t> Pick(Cells.size(), 0); // 0 = absent, i+1 = Choices[i]
+  std::vector<Interpretation> Models;
+  for (;;) {
+    Interpretation I;
+    for (size_t CI = 0; CI < Cells.size(); ++CI) {
+      if (Pick[CI] == 0)
+        continue;
+      GroundAtom GA;
+      GA.Pred = Cells[CI].Pred;
+      GA.Args = Cells[CI].Key;
+      Value Choice = Cells[CI].Choices[Pick[CI] - 1];
+      if (!P.predicate(GA.Pred).isRelational())
+        GA.Args.push_back(Choice);
+      I.push_back(std::move(GA));
+    }
+    if (isModel(P, H, I))
+      Models.push_back(std::move(I));
+
+    // Advance the odometer.
+    size_t CI = 0;
+    while (CI < Cells.size()) {
+      if (++Pick[CI] <= Cells[CI].Choices.size())
+        break;
+      Pick[CI] = 0;
+      ++CI;
+    }
+    if (CI == Cells.size())
+      break;
+  }
+
+  // All enumerated interpretations are compact by construction. Find the
+  // minimal one(s).
+  std::vector<Interpretation> Minimal;
+  for (size_t X = 0; X < Models.size(); ++X) {
+    bool IsMin = true;
+    for (size_t Y = 0; Y < Models.size() && IsMin; ++Y) {
+      if (X == Y)
+        continue;
+      if (modelLeq(P, Models[Y], Models[X]) &&
+          !modelLeq(P, Models[X], Models[Y]))
+        IsMin = false;
+    }
+    if (IsMin)
+      Minimal.push_back(Models[X]);
+  }
+  if (Minimal.empty())
+    return std::nullopt;
+  assert(Minimal.size() == 1 && "minimal compact model not unique");
+  Interpretation Out = Minimal.front();
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+Interpretation flix::solverModel(const Program &P, const Solver &S) {
+  Interpretation I;
+  for (PredId Pred = 0; Pred < P.predicates().size(); ++Pred) {
+    for (const std::vector<Value> &Tup : S.tuples(Pred)) {
+      GroundAtom GA;
+      GA.Pred = Pred;
+      GA.Args = Tup;
+      I.push_back(std::move(GA));
+    }
+  }
+  std::sort(I.begin(), I.end());
+  return I;
+}
+
+Interpretation flix::dropBottomAtoms(const Program &P, Interpretation I) {
+  I.erase(std::remove_if(I.begin(), I.end(),
+                         [&](const GroundAtom &A) {
+                           const PredicateDecl &D = P.predicate(A.Pred);
+                           if (D.isRelational())
+                             return false;
+                           return A.Args[D.keyArity()] == D.Lat->bot();
+                         }),
+          I.end());
+  return I;
+}

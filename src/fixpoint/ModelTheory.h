@@ -1,0 +1,104 @@
+//===- fixpoint/ModelTheory.h - §3.2 semantics, executable ----*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable version of the paper's model-theoretic semantics (§3.2),
+/// by brute-force enumeration over an explicit Herbrand universe. This is
+/// deliberately exponential: it exists to *define* the right answer on
+/// small programs so the production solvers can be property-tested against
+/// it (tests/ModelTheoryTest.cpp, tests/DifferentialTest.cpp).
+///
+/// Scope: programs whose rules contain only positive atoms (no functions,
+/// binders or negation) — exactly the §3.2 core calculus.
+///
+/// Two readings from the paper are made explicit here:
+///  * Minimality quantifies over *compact* models (the paper's worked
+///    example declares I6 minimal even though the non-compact model I4
+///    lies strictly below it).
+///  * We adopt the ⊥-free reading that the engine (and the real Flix
+///    implementation) computes: a ⊥-valued cell is identified with an
+///    absent cell. Concretely, a ground rule instance whose head carries
+///    the lattice value ⊥ imposes no obligation, and interpretations never
+///    contain ⊥ atoms. The paper's literal §3.2 definition instead makes a
+///    ⊥-valued head force its cell to be present (some atom must witness
+///    it), which in turn can make body atoms of other rules true; on
+///    programs with ⊥-valued facts the two readings produce different
+///    minimal models. On ⊥-free programs — including all of the paper's
+///    worked examples — they coincide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_FIXPOINT_MODELTHEORY_H
+#define FLIX_FIXPOINT_MODELTHEORY_H
+
+#include "fixpoint/Program.h"
+#include "fixpoint/Solver.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace flix {
+
+/// A ground atom p(v1, ..., vn); for lattice predicates the last value is
+/// the lattice element.
+struct GroundAtom {
+  PredId Pred = 0;
+  std::vector<Value> Args;
+
+  bool operator==(const GroundAtom &O) const {
+    return Pred == O.Pred && Args == O.Args;
+  }
+  bool operator<(const GroundAtom &O) const {
+    if (Pred != O.Pred)
+      return Pred < O.Pred;
+    return Args < O.Args;
+  }
+};
+
+/// An interpretation: a finite subset of the Herbrand base.
+using Interpretation = std::vector<GroundAtom>;
+
+/// The explicit Herbrand universe: the ground terms T (key positions) and
+/// the element enumeration of every lattice used by the program.
+struct HerbrandSpec {
+  std::vector<Value> Terms;
+  std::map<const Lattice *, std::vector<Value>> LatticeElems;
+};
+
+/// Truth of a ground atom (§3.2 step 5): true iff some atom of the same
+/// cell in \p I lies above \p A.
+bool isAtomTrue(const Program &P, const Interpretation &I,
+                const GroundAtom &A);
+
+/// True iff \p I makes every ground instance of every rule (and fact) of
+/// \p P true. Requires the §3.2 core fragment (asserts otherwise).
+bool isModel(const Program &P, const HerbrandSpec &H,
+             const Interpretation &I);
+
+/// Compactness (§3.2 step 4): no two atoms of \p I share a cell.
+bool isCompact(const Program &P, const Interpretation &I);
+
+/// The partial order on models (§3.2 step 6).
+bool modelLeq(const Program &P, const Interpretation &M1,
+              const Interpretation &M2);
+
+/// Enumerates all compact interpretations and returns the minimal model,
+/// or nullopt if no compact model exists in the enumerated space. Checks
+/// uniqueness: asserts exactly one minimal compact model.
+std::optional<Interpretation>
+bruteForceMinimalModel(const Program &P, const HerbrandSpec &H);
+
+/// Extracts the solver's computed model as an Interpretation (sorted).
+Interpretation solverModel(const Program &P, const Solver &S);
+
+/// Drops ⊥-valued lattice atoms, for comparisons against the engine,
+/// which never materializes ⊥ cells.
+Interpretation dropBottomAtoms(const Program &P, Interpretation I);
+
+} // namespace flix
+
+#endif // FLIX_FIXPOINT_MODELTHEORY_H

@@ -1,0 +1,379 @@
+//===- fixpoint/Program.cpp - FLIX fixpoint program IR --------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Program.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+using namespace flix;
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+PredId Program::relation(std::string Name, unsigned Arity) {
+  assert(Arity >= 1 && "relations need at least one column");
+  Preds.push_back({std::move(Name), Arity, nullptr});
+  return static_cast<PredId>(Preds.size() - 1);
+}
+
+PredId Program::lattice(std::string Name, unsigned Arity, const Lattice *L) {
+  assert(Arity >= 1 && "lattice predicates need at least one column");
+  assert(L && "lattice predicate without a lattice");
+  Preds.push_back({std::move(Name), Arity, L});
+  return static_cast<PredId>(Preds.size() - 1);
+}
+
+FnId Program::function(std::string Name, unsigned Arity, FnRole Role,
+                       ExternImpl Impl) {
+  Fns.push_back({std::move(Name), Arity, Role, std::move(Impl)});
+  return static_cast<FnId>(Fns.size() - 1);
+}
+
+void Program::addRule(Rule R) {
+  assert(R.Head.Pred < Preds.size() && "head predicate out of range");
+  assert(R.Head.KeyTerms.size() + 1 == Preds[R.Head.Pred].Arity &&
+         "head arity mismatch");
+  Rules.push_back(std::move(R));
+}
+
+void Program::addFact(PredId P, std::span<const Value> Tuple) {
+  const PredicateDecl &D = Preds[P];
+  assert(D.isRelational() && "use addLatFact for lattice predicates");
+  assert(Tuple.size() == D.Arity && "fact arity mismatch");
+  (void)D;
+  Fact F;
+  F.Pred = P;
+  F.Key.append(Tuple.begin(), Tuple.end());
+  F.LatValue = Factory.boolean(true);
+  Facts.push_back(std::move(F));
+}
+
+void Program::addLatFact(PredId P, std::span<const Value> Key, Value LatVal) {
+  const PredicateDecl &D = Preds[P];
+  assert(!D.isRelational() && "use addFact for relational predicates");
+  assert(Key.size() + 1 == D.Arity && "fact arity mismatch");
+  (void)D;
+  Fact F;
+  F.Pred = P;
+  F.Key.append(Key.begin(), Key.end());
+  F.LatValue = LatVal;
+  Facts.push_back(std::move(F));
+}
+
+void Program::addIndexHint(PredId P, uint64_t Mask) {
+  assert(P < Preds.size() && "index hint on unknown predicate");
+  assert(Mask != 0 && "index hint needs at least one column");
+  IndexHints.push_back({P, Mask});
+}
+
+std::optional<PredId> Program::findPredicate(std::string_view Name) const {
+  for (PredId P = 0; P < Preds.size(); ++P)
+    if (Preds[P].Name == Name)
+      return P;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Tracks which rule variables are bound while walking a body
+/// left-to-right.
+class BoundSet {
+public:
+  explicit BoundSet(uint32_t NumVars) : Bound(NumVars, false) {}
+
+  void bind(const Term &T) {
+    if (T.isVar())
+      Bound[T.Variable] = true;
+  }
+  void bind(VarId V) { Bound[V] = true; }
+
+  bool isBound(const Term &T) const {
+    return !T.isVar() || Bound[T.Variable];
+  }
+
+private:
+  std::vector<bool> Bound;
+};
+
+} // namespace
+
+std::optional<std::string> Program::validate() const {
+  for (size_t RI = 0; RI < Rules.size(); ++RI) {
+    const Rule &R = Rules[RI];
+    auto err = [&](const std::string &Msg) {
+      return "rule #" + std::to_string(RI) + " (head " +
+             Preds[R.Head.Pred].Name + "): " + Msg;
+    };
+
+    BoundSet Bound(R.NumVars);
+
+    for (const BodyElem &E : R.Body) {
+      if (const auto *A = std::get_if<BodyAtom>(&E)) {
+        const PredicateDecl &D = Preds[A->Pred];
+        if (A->Terms.size() != D.Arity)
+          return err("atom " + D.Name + " has " +
+                     std::to_string(A->Terms.size()) + " terms, expected " +
+                     std::to_string(D.Arity));
+        if (A->Negated) {
+          if (!D.isRelational())
+            return err("negated atom on lattice predicate " + D.Name);
+          // Negated atoms must be fully bound by earlier elements.
+          for (const Term &T : A->Terms)
+            if (!Bound.isBound(T))
+              return err("unbound variable in negated atom " + D.Name);
+        } else {
+          for (const Term &T : A->Terms)
+            Bound.bind(T);
+        }
+        continue;
+      }
+      if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
+        const ExternFn &Fn = Fns[Fl->Fn];
+        if (Fn.Role != FnRole::Filter)
+          return err("function " + Fn.Name + " used as a filter but not "
+                     "declared Filter");
+        if (Fl->Args.size() != Fn.Arity)
+          return err("filter " + Fn.Name + " arity mismatch");
+        for (const Term &T : Fl->Args)
+          if (!Bound.isBound(T))
+            return err("unbound variable in filter " + Fn.Name);
+        continue;
+      }
+      const auto &B = std::get<BodyBinder>(E);
+      const ExternFn &Fn = Fns[B.Fn];
+      if (Fn.Role != FnRole::Binder)
+        return err("function " + Fn.Name + " used as a binder but not "
+                   "declared Binder");
+      if (B.Args.size() != Fn.Arity)
+        return err("binder " + Fn.Name + " arity mismatch");
+      for (const Term &T : B.Args)
+        if (!Bound.isBound(T))
+          return err("unbound variable in binder argument of " + Fn.Name);
+      for (VarId V : B.Pattern)
+        Bound.bind(V);
+    }
+
+    // Head: all variables must be bound by the body.
+    const PredicateDecl &HD = Preds[R.Head.Pred];
+    for (const Term &T : R.Head.KeyTerms)
+      if (!Bound.isBound(T))
+        return err("unbound variable in head key of " + HD.Name);
+    if (R.Head.LastFn) {
+      const ExternFn &Fn = Fns[*R.Head.LastFn];
+      if (Fn.Role != FnRole::Transfer)
+        return err("function " + Fn.Name + " used in head but not declared "
+                   "Transfer");
+      if (R.Head.FnArgs.size() != Fn.Arity)
+        return err("head transfer " + Fn.Name + " arity mismatch");
+      for (const Term &T : R.Head.FnArgs)
+        if (!Bound.isBound(T))
+          return err("unbound variable in head transfer args of " + HD.Name);
+    } else if (!Bound.isBound(R.Head.LastTerm)) {
+      return err("unbound variable in head last term of " + HD.Name);
+    }
+  }
+  return std::nullopt;
+}
+
+static void dumpTerm(std::ostringstream &OS, const Rule &R, const Term &T,
+                     const ValueFactory &F) {
+  if (T.isVar()) {
+    if (T.Variable < R.VarNames.size() && !R.VarNames[T.Variable].empty())
+      OS << R.VarNames[T.Variable];
+    else
+      OS << "_v" << T.Variable;
+    return;
+  }
+  OS << F.toString(T.Constant);
+}
+
+std::string Program::dump() const {
+  std::ostringstream OS;
+  for (const PredicateDecl &D : Preds) {
+    OS << (D.isRelational() ? "rel " : "lat ") << D.Name << "/" << D.Arity;
+    if (D.Lat)
+      OS << " <" << D.Lat->name() << ">";
+    OS << ";\n";
+  }
+  for (const Fact &Fa : Facts) {
+    OS << Preds[Fa.Pred].Name << "(";
+    for (size_t I = 0; I < Fa.Key.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Factory.toString(Fa.Key[I]);
+    }
+    if (!Preds[Fa.Pred].isRelational()) {
+      if (!Fa.Key.empty())
+        OS << "; ";
+      OS << Factory.toString(Fa.LatValue);
+    }
+    OS << ").\n";
+  }
+  for (const Rule &R : Rules) {
+    OS << Preds[R.Head.Pred].Name << "(";
+    for (size_t I = 0; I < R.Head.KeyTerms.size(); ++I) {
+      if (I)
+        OS << ", ";
+      dumpTerm(OS, R, R.Head.KeyTerms[I], Factory);
+    }
+    if (!R.Head.KeyTerms.empty())
+      OS << ", ";
+    if (R.Head.LastFn) {
+      OS << Fns[*R.Head.LastFn].Name << "(";
+      for (size_t I = 0; I < R.Head.FnArgs.size(); ++I) {
+        if (I)
+          OS << ", ";
+        dumpTerm(OS, R, R.Head.FnArgs[I], Factory);
+      }
+      OS << ")";
+    } else {
+      dumpTerm(OS, R, R.Head.LastTerm, Factory);
+    }
+    OS << ") :- ";
+    bool First = true;
+    for (const BodyElem &E : R.Body) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      if (const auto *A = std::get_if<BodyAtom>(&E)) {
+        if (A->Negated)
+          OS << "!";
+        OS << Preds[A->Pred].Name << "(";
+        for (size_t I = 0; I < A->Terms.size(); ++I) {
+          if (I)
+            OS << ", ";
+          dumpTerm(OS, R, A->Terms[I], Factory);
+        }
+        OS << ")";
+      } else if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
+        OS << Fns[Fl->Fn].Name << "(";
+        for (size_t I = 0; I < Fl->Args.size(); ++I) {
+          if (I)
+            OS << ", ";
+          dumpTerm(OS, R, Fl->Args[I], Factory);
+        }
+        OS << ")";
+      } else {
+        const auto &B = std::get<BodyBinder>(E);
+        if (B.Pattern.size() > 1)
+          OS << "(";
+        for (size_t I = 0; I < B.Pattern.size(); ++I) {
+          if (I)
+            OS << ", ";
+          OS << (B.Pattern[I] < R.VarNames.size()
+                     ? R.VarNames[B.Pattern[I]]
+                     : "_v" + std::to_string(B.Pattern[I]));
+        }
+        if (B.Pattern.size() > 1)
+          OS << ")";
+        OS << " <- " << Fns[B.Fn].Name << "(";
+        for (size_t I = 0; I < B.Args.size(); ++I) {
+          if (I)
+            OS << ", ";
+          dumpTerm(OS, R, B.Args[I], Factory);
+        }
+        OS << ")";
+      }
+    }
+    OS << ".\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// RuleBuilder
+//===----------------------------------------------------------------------===//
+
+VarId RuleBuilder::resolveVar(const std::string &Name) {
+  for (size_t I = 0; I < VarNames.size(); ++I)
+    if (VarNames[I] == Name)
+      return static_cast<VarId>(I);
+  VarNames.push_back(Name);
+  return static_cast<VarId>(VarNames.size() - 1);
+}
+
+Term RuleBuilder::resolve(const Spec &S) {
+  if (!S.IsVar)
+    return Term::constant(S.Constant);
+  // "_" is an anonymous variable: each occurrence is fresh.
+  if (S.Name == "_") {
+    VarNames.push_back("_");
+    return Term::var(static_cast<VarId>(VarNames.size() - 1));
+  }
+  return Term::var(resolveVar(S.Name));
+}
+
+RuleBuilder &RuleBuilder::head(PredId P, std::vector<Spec> Terms) {
+  assert(!Terms.empty() && "head needs at least one term");
+  R.Head.Pred = P;
+  for (size_t I = 0; I + 1 < Terms.size(); ++I)
+    R.Head.KeyTerms.push_back(resolve(Terms[I]));
+  R.Head.LastTerm = resolve(Terms.back());
+  R.Head.LastFn.reset();
+  return *this;
+}
+
+RuleBuilder &RuleBuilder::headFn(PredId P, std::vector<Spec> KeyTerms, FnId Fn,
+                                 std::vector<Spec> FnArgs) {
+  R.Head.Pred = P;
+  for (const Spec &S : KeyTerms)
+    R.Head.KeyTerms.push_back(resolve(S));
+  R.Head.LastFn = Fn;
+  for (const Spec &S : FnArgs)
+    R.Head.FnArgs.push_back(resolve(S));
+  return *this;
+}
+
+RuleBuilder &RuleBuilder::atom(PredId P, std::vector<Spec> Terms) {
+  BodyAtom A;
+  A.Pred = P;
+  for (const Spec &S : Terms)
+    A.Terms.push_back(resolve(S));
+  R.Body.emplace_back(std::move(A));
+  return *this;
+}
+
+RuleBuilder &RuleBuilder::negated(PredId P, std::vector<Spec> Terms) {
+  BodyAtom A;
+  A.Pred = P;
+  A.Negated = true;
+  for (const Spec &S : Terms)
+    A.Terms.push_back(resolve(S));
+  R.Body.emplace_back(std::move(A));
+  return *this;
+}
+
+RuleBuilder &RuleBuilder::filter(FnId Fn, std::vector<Spec> Args) {
+  BodyFilter Fl;
+  Fl.Fn = Fn;
+  for (const Spec &S : Args)
+    Fl.Args.push_back(resolve(S));
+  R.Body.emplace_back(std::move(Fl));
+  return *this;
+}
+
+RuleBuilder &RuleBuilder::bind(std::vector<std::string> Pattern, FnId Fn,
+                               std::vector<Spec> Args) {
+  BodyBinder B;
+  for (const std::string &Name : Pattern)
+    B.Pattern.push_back(resolveVar(Name));
+  B.Fn = Fn;
+  for (const Spec &S : Args)
+    B.Args.push_back(resolve(S));
+  R.Body.emplace_back(std::move(B));
+  return *this;
+}
+
+Rule RuleBuilder::build() {
+  R.NumVars = static_cast<uint32_t>(VarNames.size());
+  R.VarNames = VarNames;
+  return std::move(R);
+}
+
+void RuleBuilder::addTo(Program &P) { P.addRule(build()); }

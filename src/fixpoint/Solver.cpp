@@ -1,0 +1,673 @@
+//===- fixpoint/Solver.cpp - Naive and semi-naive solvers -----------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flix;
+
+Solver::Solver(const Program &P, SolverOptions Opts)
+    : P(P), Opts(Opts), F(P.factory()),
+      RelLattice(std::make_unique<BoolLattice>(F)) {
+  Tables.reserve(P.predicates().size());
+  for (const PredicateDecl &D : P.predicates()) {
+    assert(D.keyArity() < 64 && "key arity limited to 63 columns");
+    const Lattice &L = D.isRelational() ? *RelLattice : *D.Lat;
+    Tables.push_back(std::make_unique<Table>(D.keyArity(), L, F));
+  }
+  Prepared.reserve(P.rules().size());
+  for (const Rule &R : P.rules())
+    Prepared.push_back(Opts.ReorderBody ? reorderRule(R) : R);
+  Delta.resize(P.predicates().size());
+  NextDelta.resize(P.predicates().size());
+  if (Opts.TrackProvenance)
+    Provenance.resize(P.predicates().size());
+  for (auto [Pred, Mask] : P.indexHints())
+    if (Opts.UseIndexes)
+      Tables[Pred]->prepareIndex(Mask);
+}
+
+Solver::~Solver() = default;
+
+//===----------------------------------------------------------------------===//
+// Body reordering (ablation of the paper's left-to-right strategy, §4.5)
+//===----------------------------------------------------------------------===//
+
+Rule Solver::reorderRule(const Rule &R) const {
+  Rule Out = R;
+  std::vector<bool> BoundVar(R.NumVars, false);
+  std::vector<bool> Used(R.Body.size(), false);
+  std::vector<BodyElem> NewBody;
+
+  auto isTermBound = [&](const Term &T) {
+    return !T.isVar() || BoundVar[T.Variable];
+  };
+  auto argsBound = [&](std::span<const Term> Args) {
+    for (const Term &T : Args)
+      if (!isTermBound(T))
+        return false;
+    return true;
+  };
+
+  while (NewBody.size() < R.Body.size()) {
+    int Best = -1;
+    double BestScore = -1;
+    for (size_t I = 0; I < R.Body.size(); ++I) {
+      if (Used[I])
+        continue;
+      const BodyElem &E = R.Body[I];
+      double Score;
+      if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
+        if (!argsBound(std::span<const Term>(Fl->Args.data(),
+                                             Fl->Args.size())))
+          continue;
+        Score = 10; // run filters as early as possible
+      } else if (const auto *B = std::get_if<BodyBinder>(&E)) {
+        if (!argsBound(std::span<const Term>(B->Args.data(),
+                                             B->Args.size())))
+          continue;
+        Score = 5;
+      } else {
+        const auto &A = std::get<BodyAtom>(E);
+        if (A.Negated) {
+          if (!argsBound(std::span<const Term>(A.Terms.data(),
+                                               A.Terms.size())))
+            continue;
+          Score = 9;
+        } else {
+          unsigned NumBound = 0;
+          for (const Term &T : A.Terms)
+            NumBound += isTermBound(T);
+          Score = static_cast<double>(NumBound) / A.Terms.size();
+        }
+      }
+      if (Score > BestScore) {
+        BestScore = Score;
+        Best = static_cast<int>(I);
+      }
+    }
+    assert(Best >= 0 && "reordering stuck; rule should have failed "
+                        "validation");
+    Used[Best] = true;
+    const BodyElem &E = R.Body[Best];
+    if (const auto *A = std::get_if<BodyAtom>(&E)) {
+      if (!A->Negated)
+        for (const Term &T : A->Terms)
+          if (T.isVar())
+            BoundVar[T.Variable] = true;
+    } else if (const auto *B = std::get_if<BodyBinder>(&E)) {
+      for (VarId V : B->Pattern)
+        BoundVar[V] = true;
+    }
+    NewBody.push_back(E);
+  }
+  Out.Body = std::move(NewBody);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Rule evaluation
+//===----------------------------------------------------------------------===//
+
+bool Solver::checkDeadline() {
+  if (!HasDeadline || Aborted)
+    return Aborted;
+  if ((++OpCounter & 0xFFF) != 0)
+    return false;
+  if (std::chrono::steady_clock::now() >= Deadline) {
+    Aborted = true;
+    Stats.St = SolveStats::Status::Timeout;
+  }
+  return Aborted;
+}
+
+namespace {
+
+/// Undo log for variable bindings within one body-element match.
+struct BindTrail {
+  SmallVector<std::pair<VarId, std::pair<bool, Value>>, 4> Saved;
+
+  void save(VarId V, bool WasBound, Value Old) {
+    Saved.push_back({V, {WasBound, Old}});
+  }
+  void undo(std::vector<Value> &Env, std::vector<uint8_t> &Bound) {
+    for (size_t I = Saved.size(); I-- > 0;) {
+      Env[Saved[I].first] = Saved[I].second.second;
+      Bound[Saved[I].first] = Saved[I].second.first;
+    }
+    Saved.clear();
+  }
+};
+
+} // namespace
+
+void Solver::evalRule(const Rule &R, int Driver,
+                      const std::vector<uint32_t> &DriverRows) {
+  Env.assign(R.NumVars, Value());
+  Bound.assign(R.NumVars, 0);
+
+  SmallVector<const BodyElem *, 8> Order;
+  if (Driver >= 0)
+    Order.push_back(&R.Body[Driver]);
+  for (size_t I = 0; I < R.Body.size(); ++I)
+    if (static_cast<int>(I) != Driver)
+      Order.push_back(&R.Body[I]);
+
+  CurDriverRows = Driver >= 0 ? &DriverRows : nullptr;
+  evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
+            0);
+  CurDriverRows = nullptr;
+}
+
+void Solver::evalElems(const Rule &R,
+                       std::span<const BodyElem *const> Order, size_t Pos) {
+  if (Aborted)
+    return;
+  if (Pos == Order.size()) {
+    deriveHead(R);
+    return;
+  }
+  const BodyElem &E = *Order[Pos];
+
+  auto termValue = [&](const Term &T) -> Value {
+    if (!T.isVar())
+      return T.Constant;
+    assert(Bound[T.Variable] && "unbound variable; validation missed it");
+    return Env[T.Variable];
+  };
+
+  if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
+    SmallVector<Value, 4> Args;
+    for (const Term &T : Fl->Args)
+      Args.push_back(termValue(T));
+    Value Res = P.functionDecl(Fl->Fn).Impl(
+        std::span<const Value>(Args.data(), Args.size()));
+    assert(Res.isBool() && "filter function must return Bool");
+    if (Res.asBool())
+      evalElems(R, Order, Pos + 1);
+    return;
+  }
+
+  if (const auto *B = std::get_if<BodyBinder>(&E)) {
+    SmallVector<Value, 4> Args;
+    for (const Term &T : B->Args)
+      Args.push_back(termValue(T));
+    Value Res = P.functionDecl(B->Fn).Impl(
+        std::span<const Value>(Args.data(), Args.size()));
+    assert(Res.isSet() && "binder function must return a Set");
+    for (Value Elem : F.setElems(Res)) {
+      if (checkDeadline())
+        return;
+      BindTrail Trail;
+      bool Ok = true;
+      auto bindOne = [&](VarId V, Value Val) {
+        if (Bound[V]) {
+          Ok = Env[V] == Val;
+          return;
+        }
+        Trail.save(V, false, Env[V]);
+        Env[V] = Val;
+        Bound[V] = 1;
+      };
+      if (B->Pattern.size() == 1) {
+        bindOne(B->Pattern[0], Elem);
+      } else {
+        if (!Elem.isTuple() ||
+            F.tupleElems(Elem).size() != B->Pattern.size()) {
+          Ok = false;
+        } else {
+          std::span<const Value> Elems = F.tupleElems(Elem);
+          for (size_t I = 0; I < B->Pattern.size() && Ok; ++I)
+            bindOne(B->Pattern[I], Elems[I]);
+        }
+      }
+      if (Ok)
+        evalElems(R, Order, Pos + 1);
+      Trail.undo(Env, Bound);
+    }
+    return;
+  }
+
+  evalAtom(R, std::get<BodyAtom>(E), Order, Pos);
+}
+
+void Solver::evalAtom(const Rule &R, const BodyAtom &A,
+                      std::span<const BodyElem *const> Order, size_t Pos) {
+  const PredicateDecl &D = P.predicate(A.Pred);
+  Table &T = *Tables[A.Pred];
+  unsigned KA = D.keyArity();
+
+  auto termValue = [&](const Term &Tm) -> Value {
+    if (!Tm.isVar())
+      return Tm.Constant;
+    assert(Bound[Tm.Variable] && "unbound variable in ground context");
+    return Env[Tm.Variable];
+  };
+
+  if (A.Negated) {
+    SmallVector<Value, 4> Key;
+    for (unsigned I = 0; I < KA; ++I)
+      Key.push_back(termValue(A.Terms[I]));
+    Value KeyT = F.tuple(std::span<const Value>(Key.data(), Key.size()));
+    if (!T.lookup(KeyT))
+      evalElems(R, Order, Pos + 1);
+    return;
+  }
+
+  // Delta-driven atom: scan the incremental relation ΔP (§3.7).
+  if (Pos == 0 && CurDriverRows) {
+    for (uint32_t Id : *CurDriverRows) {
+      if (checkDeadline())
+        return;
+      matchAtomRow(R, A, Id, Order, Pos);
+    }
+    return;
+  }
+
+  // Compute the bound-column pattern to pick an access path.
+  uint64_t Mask = 0;
+  SmallVector<Value, 4> Proj;
+  for (unsigned I = 0; I < KA; ++I) {
+    const Term &Tm = A.Terms[I];
+    if (!Tm.isVar()) {
+      Mask |= uint64_t(1) << I;
+      Proj.push_back(Tm.Constant);
+    } else if (Bound[Tm.Variable]) {
+      Mask |= uint64_t(1) << I;
+      Proj.push_back(Env[Tm.Variable]);
+    }
+  }
+  uint64_t Full = KA == 0 ? 0 : (uint64_t(1) << KA) - 1;
+
+  if (Mask == Full) {
+    // All key columns bound: single primary lookup.
+    Value KeyT = F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
+    uint32_t Id = T.lookupRow(KeyT);
+    if (Id != Table::NoRow)
+      matchAtomRow(R, A, Id, Order, Pos);
+    return;
+  }
+
+  if (Mask != 0 && Opts.UseIndexes) {
+    Value ProjT = F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
+    // Copy the bucket: recursive derivations may join new rows into this
+    // table and grow the bucket we would otherwise be iterating.
+    const std::vector<uint32_t> &Bucket = T.probe(Mask, ProjT);
+    SmallVector<uint32_t, 16> Ids(Bucket.begin(), Bucket.end());
+    for (uint32_t Id : Ids) {
+      if (checkDeadline())
+        return;
+      matchAtomRow(R, A, Id, Order, Pos);
+    }
+    return;
+  }
+
+  // Full scan. Note: iterate by index, not iterator — recursive calls can
+  // grow the table (in-place immediate update), which may reallocate.
+  for (uint32_t Id = 0, E = static_cast<uint32_t>(T.size()); Id != E; ++Id) {
+    if (checkDeadline())
+      return;
+    matchAtomRow(R, A, Id, Order, Pos);
+  }
+}
+
+void Solver::matchAtomRow(const Rule &R, const BodyAtom &A, uint32_t RowId,
+                          std::span<const BodyElem *const> Order,
+                          size_t Pos) {
+  const PredicateDecl &D = P.predicate(A.Pred);
+  Table &T = *Tables[A.Pred];
+  unsigned KA = D.keyArity();
+
+  BindTrail Trail;
+  bool Ok = true;
+  {
+    std::span<const Value> KeyElems = T.rowKey(RowId);
+    for (unsigned I = 0; I < KA && Ok; ++I) {
+      const Term &Tm = A.Terms[I];
+      if (!Tm.isVar()) {
+        Ok = Tm.Constant == KeyElems[I];
+        continue;
+      }
+      if (Bound[Tm.Variable]) {
+        Ok = Env[Tm.Variable] == KeyElems[I];
+        continue;
+      }
+      Trail.save(Tm.Variable, false, Env[Tm.Variable]);
+      Env[Tm.Variable] = KeyElems[I];
+      Bound[Tm.Variable] = 1;
+    }
+  }
+
+  if (Ok && !D.isRelational()) {
+    const Term &Lt = A.Terms[KA];
+    Value RowVal = T.row(RowId).Lat;
+    if (!Lt.isVar()) {
+      // Ground lattice term: true iff c ⊑ cell value (§3.2 truth).
+      Ok = D.Lat->leq(Lt.Constant, RowVal);
+    } else if (!Bound[Lt.Variable]) {
+      Trail.save(Lt.Variable, false, Env[Lt.Variable]);
+      Env[Lt.Variable] = RowVal;
+      Bound[Lt.Variable] = 1;
+    } else {
+      // The variable already carries a lattice element from an earlier
+      // atom; the strongest consistent instantiation is the greatest
+      // lower bound (the paper's "Least Upper and Greatest Lower Bounds"
+      // example: R(x) :- A(x), B(x) derives R(Odd ⊓ Even) = R(⊥)).
+      Value G = D.Lat->glb(Env[Lt.Variable], RowVal);
+      Trail.save(Lt.Variable, true, Env[Lt.Variable]);
+      Env[Lt.Variable] = G;
+    }
+  }
+
+  if (Ok)
+    evalElems(R, Order, Pos + 1);
+  Trail.undo(Env, Bound);
+}
+
+void Solver::deriveHead(const Rule &R) {
+  const HeadAtom &H = R.Head;
+  const PredicateDecl &D = P.predicate(H.Pred);
+  Table &T = *Tables[H.Pred];
+
+  auto termValue = [&](const Term &Tm) -> Value {
+    if (!Tm.isVar())
+      return Tm.Constant;
+    assert(Bound[Tm.Variable] && "unbound head variable");
+    return Env[Tm.Variable];
+  };
+
+  SmallVector<Value, 4> Key;
+  for (const Term &Tm : H.KeyTerms)
+    Key.push_back(termValue(Tm));
+
+  Value LatVal;
+  if (H.LastFn) {
+    SmallVector<Value, 4> Args;
+    for (const Term &Tm : H.FnArgs)
+      Args.push_back(termValue(Tm));
+    LatVal = P.functionDecl(*H.LastFn)
+                 .Impl(std::span<const Value>(Args.data(), Args.size()));
+  } else {
+    LatVal = termValue(H.LastTerm);
+  }
+
+  if (D.isRelational()) {
+    Key.push_back(LatVal);
+    LatVal = F.boolean(true);
+  }
+
+  ++Stats.RuleFirings;
+  Value KeyT = F.tuple(std::span<const Value>(Key.data(), Key.size()));
+  Table::JoinResult JR = T.join(KeyT, LatVal);
+  if (JR.Changed) {
+    ++Stats.FactsDerived;
+    NextDelta[H.Pred].insert(JR.RowId);
+    if (Opts.TrackProvenance)
+      recordProvenance(R, H.Pred, JR.RowId);
+  }
+}
+
+void Solver::recordProvenance(const Rule &R, PredId HeadPred,
+                              uint32_t RowId) {
+  std::vector<Derivation> &Rows = Provenance[HeadPred];
+  if (Rows.size() <= RowId)
+    Rows.resize(RowId + 1);
+  Derivation D;
+  D.RuleIndex = CurRuleIndex;
+  for (const BodyElem &E : R.Body) {
+    const auto *A = std::get_if<BodyAtom>(&E);
+    if (!A || A->Negated)
+      continue;
+    const PredicateDecl &AD = P.predicate(A->Pred);
+    unsigned KA = AD.keyArity();
+    SmallVector<Value, 4> Key;
+    for (unsigned I = 0; I < KA; ++I) {
+      const Term &Tm = A->Terms[I];
+      Key.push_back(Tm.isVar() ? Env[Tm.Variable] : Tm.Constant);
+    }
+    Derivation::Premise Pr;
+    Pr.Pred = A->Pred;
+    Pr.Key = F.tuple(std::span<const Value>(Key.data(), Key.size()));
+    if (AD.isRelational()) {
+      Pr.LatValue = F.boolean(true);
+    } else {
+      const Term &Lt = A->Terms[KA];
+      Pr.LatValue = Lt.isVar() ? Env[Lt.Variable] : Lt.Constant;
+    }
+    D.Premises.push_back(std::move(Pr));
+  }
+  Rows[RowId] = std::move(D);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver loops
+//===----------------------------------------------------------------------===//
+
+void Solver::loadFacts() {
+  for (const Fact &Fa : P.facts()) {
+    Value KeyT = F.tuple(std::span<const Value>(Fa.Key.data(),
+                                                Fa.Key.size()));
+    Tables[Fa.Pred]->join(KeyT, Fa.LatValue);
+  }
+}
+
+SolveStats Solver::solve() {
+  assert(!Solved && "solve() may be called once");
+  Solved = true;
+
+  auto Start = std::chrono::steady_clock::now();
+  if (Opts.TimeLimitSeconds > 0) {
+    HasDeadline = true;
+    Deadline = Start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               Opts.TimeLimitSeconds));
+  }
+
+  auto finish = [&]() {
+    Stats.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    Stats.MemoryBytes = F.memoryBytes();
+    for (const auto &T : Tables)
+      Stats.MemoryBytes += T->memoryBytes();
+    return Stats;
+  };
+
+  if (std::optional<std::string> Err = P.validate()) {
+    Stats.St = SolveStats::Status::Error;
+    Stats.Error = *Err;
+    return finish();
+  }
+
+  StratifyResult SR = stratify(P);
+  if (!SR.ok()) {
+    Stats.St = SolveStats::Status::Error;
+    Stats.Error = SR.Error;
+    return finish();
+  }
+  const Stratification &St = *SR.Strat;
+
+  loadFacts();
+
+  for (uint32_t S = 0; S < St.numStrata() && !Aborted; ++S) {
+    const std::vector<uint32_t> &RuleIds = St.RulesByStratum[S];
+    if (RuleIds.empty())
+      continue;
+
+    if (Opts.Strat == Strategy::Naive) {
+      // Re-evaluate every rule until a full pass derives nothing new.
+      uint64_t Before;
+      do {
+        Before = Stats.FactsDerived;
+        for (uint32_t RI : RuleIds) {
+          if (Aborted)
+            break;
+          CurRuleIndex = RI;
+          evalRule(Prepared[RI], -1, {});
+        }
+        ++Stats.Iterations;
+        if (Opts.MaxIterations && Stats.Iterations >= Opts.MaxIterations) {
+          if (Before != Stats.FactsDerived) {
+            Stats.St = SolveStats::Status::IterationLimit;
+            return finish();
+          }
+          break;
+        }
+      } while (Before != Stats.FactsDerived && !Aborted);
+      for (auto &ND : NextDelta)
+        ND.clear();
+      continue;
+    }
+
+    // Semi-naive. Round 0 is a full evaluation of the stratum's rules;
+    // subsequent rounds instantiate one body atom at a time from ΔP.
+    for (auto &ND : NextDelta)
+      ND.clear();
+    for (uint32_t RI : RuleIds) {
+      if (Aborted)
+        break;
+      CurRuleIndex = RI;
+      evalRule(Prepared[RI], -1, {});
+    }
+    ++Stats.Iterations;
+
+    while (!Aborted) {
+      bool AnyDelta = false;
+      for (size_t PI = 0; PI < NextDelta.size(); ++PI) {
+        Delta[PI].assign(NextDelta[PI].begin(), NextDelta[PI].end());
+        // Deterministic iteration order for reproducible runs.
+        std::sort(Delta[PI].begin(), Delta[PI].end());
+        NextDelta[PI].clear();
+        AnyDelta |= !Delta[PI].empty();
+      }
+      if (!AnyDelta)
+        break;
+      if (Opts.MaxIterations && Stats.Iterations >= Opts.MaxIterations) {
+        Stats.St = SolveStats::Status::IterationLimit;
+        return finish();
+      }
+      for (uint32_t RI : RuleIds) {
+        const Rule &R = Prepared[RI];
+        CurRuleIndex = RI;
+        for (size_t BI = 0; BI < R.Body.size() && !Aborted; ++BI) {
+          const auto *A = std::get_if<BodyAtom>(&R.Body[BI]);
+          if (!A || A->Negated)
+            continue;
+          if (Delta[A->Pred].empty())
+            continue;
+          evalRule(R, static_cast<int>(BI), Delta[A->Pred]);
+        }
+      }
+      ++Stats.Iterations;
+    }
+  }
+
+  return finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Query API
+//===----------------------------------------------------------------------===//
+
+bool Solver::contains(PredId Pred, std::span<const Value> Tuple) const {
+  assert(P.predicate(Pred).isRelational() && "contains() is for relations");
+  Value KeyT = F.tuple(Tuple);
+  return Tables[Pred]->lookup(KeyT) != nullptr;
+}
+
+Value Solver::latValue(PredId Pred, std::span<const Value> Key) const {
+  const PredicateDecl &D = P.predicate(Pred);
+  assert(!D.isRelational() && "latValue() is for lattice predicates");
+  Value KeyT = F.tuple(Key);
+  const Value *V = Tables[Pred]->lookup(KeyT);
+  return V ? *V : D.Lat->bot();
+}
+
+const Derivation *Solver::explain(PredId Pred,
+                                  std::span<const Value> Key) const {
+  if (!Opts.TrackProvenance)
+    return nullptr;
+  Value KeyT = F.tuple(Key);
+  uint32_t Row = Tables[Pred]->lookupRow(KeyT);
+  if (Row == Table::NoRow)
+    return nullptr;
+  // Rows no rule ever increased came straight from the input facts.
+  static const Derivation FactDerivation;
+  if (Row >= Provenance[Pred].size())
+    return &FactDerivation;
+  return &Provenance[Pred][Row];
+}
+
+void Solver::renderExplanation(std::string &Out, PredId Pred,
+                               Value KeyTuple, unsigned Depth,
+                               unsigned Indent) const {
+  const PredicateDecl &D = P.predicate(Pred);
+  Out.append(Indent, ' ');
+  Out += D.Name;
+  Out += '(';
+  std::span<const Value> Key = F.tupleElems(KeyTuple);
+  for (size_t I = 0; I < Key.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += F.toString(Key[I]);
+  }
+  Out += ')';
+  uint32_t Row = Tables[Pred]->lookupRow(KeyTuple);
+  if (Row == Table::NoRow) {
+    Out += " [absent]\n";
+    return;
+  }
+  if (!D.isRelational()) {
+    Out += " = ";
+    Out += F.toString(Tables[Pred]->row(Row).Lat);
+  }
+  const Derivation *Der = Row < Provenance[Pred].size()
+                              ? &Provenance[Pred][Row]
+                              : nullptr;
+  if (!Der || Der->RuleIndex == Derivation::FromFact) {
+    Out += "   <- fact\n";
+    return;
+  }
+  Out += "   <- rule #" + std::to_string(Der->RuleIndex) + "\n";
+  if (Depth == 0) {
+    if (!Der->Premises.empty()) {
+      Out.append(Indent + 2, ' ');
+      Out += "...\n";
+    }
+    return;
+  }
+  for (const Derivation::Premise &Pr : Der->Premises)
+    renderExplanation(Out, Pr.Pred, Pr.Key, Depth - 1, Indent + 2);
+}
+
+std::string Solver::explainString(PredId Pred, std::span<const Value> Key,
+                                  unsigned Depth) const {
+  if (!Opts.TrackProvenance)
+    return "(provenance not tracked; set "
+           "SolverOptions::TrackProvenance)\n";
+  std::string Out;
+  renderExplanation(Out, Pred, F.tuple(Key), Depth, 0);
+  return Out;
+}
+
+std::vector<std::vector<Value>> Solver::tuples(PredId Pred) const {
+  const PredicateDecl &D = P.predicate(Pred);
+  std::vector<std::vector<Value>> Out;
+  const Table &T = *Tables[Pred];
+  Out.reserve(T.size());
+  for (const Table::Row &R : T.rows()) {
+    std::span<const Value> Key = F.tupleElems(R.Key);
+    std::vector<Value> Tup(Key.begin(), Key.end());
+    if (!D.isRelational())
+      Tup.push_back(R.Lat);
+    Out.push_back(std::move(Tup));
+  }
+  return Out;
+}

@@ -1,0 +1,180 @@
+//===- fixpoint/Solver.h - Naive and semi-naive solvers -------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed-point solver: computes the minimal model of a fixpoint
+/// Program by bottom-up evaluation. Two strategies are provided:
+///
+///   * Naive — repeatedly re-evaluates every rule until nothing changes;
+///     the direct reading of the immediate-consequence operator (§3.1).
+///   * SemiNaive — the paper's adaptation of semi-naive evaluation to
+///     lattices (§3.7): the incremental relation ΔP contains every cell
+///     whose lattice value *strictly increased*, and each rule is
+///     re-evaluated once per body atom with that atom instantiated from
+///     ΔP and the rest from the full tables.
+///
+/// Both strategies evaluate rule bodies left-to-right with automatic hash
+/// indexes on the bound-column patterns (§4.5); an optional greedy
+/// reordering of body atoms is available as an ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_FIXPOINT_SOLVER_H
+#define FLIX_FIXPOINT_SOLVER_H
+
+#include "fixpoint/Program.h"
+#include "fixpoint/Stratify.h"
+#include "fixpoint/Table.h"
+
+#include <chrono>
+#include <memory>
+#include <unordered_set>
+
+namespace flix {
+
+/// Evaluation strategy (see file comment).
+enum class Strategy { Naive, SemiNaive };
+
+/// Tunables for one solver run.
+struct SolverOptions {
+  Strategy Strat = Strategy::SemiNaive;
+  /// Use lazily created secondary hash indexes for partially bound atoms;
+  /// when false, every partially bound atom falls back to a full scan.
+  bool UseIndexes = true;
+  /// Greedily reorder body elements to maximize bound columns (ablation
+  /// for the paper's left-to-right evaluation, §4.5).
+  bool ReorderBody = false;
+  /// Abort with Status::Timeout after this many seconds (0 = unlimited).
+  double TimeLimitSeconds = 0;
+  /// Abort after this many delta iterations (0 = unlimited).
+  uint64_t MaxIterations = 0;
+  /// Record, for every cell, the rule instantiation that last increased
+  /// it, enabling explain() after solving. Costs time and memory; off by
+  /// default.
+  bool TrackProvenance = false;
+};
+
+/// Why a cell holds its value: the rule that last increased it and the
+/// ground body atoms of that rule instance (facts have no premises).
+struct Derivation {
+  static constexpr uint32_t FromFact = UINT32_MAX;
+  uint32_t RuleIndex = FromFact;
+  struct Premise {
+    PredId Pred;
+    Value Key;      ///< interned key tuple of the matched row
+    Value LatValue; ///< the lattice value observed at match time
+  };
+  SmallVector<Premise, 4> Premises;
+};
+
+/// Outcome and counters of a solver run.
+struct SolveStats {
+  enum class Status { Fixpoint, Timeout, IterationLimit, Error };
+  Status St = Status::Fixpoint;
+  std::string Error;
+
+  uint64_t Iterations = 0;   ///< delta rounds (or naive passes)
+  uint64_t RuleFirings = 0;  ///< successful full body matches
+  uint64_t FactsDerived = 0; ///< joins that strictly increased a cell
+  double Seconds = 0;
+  size_t MemoryBytes = 0; ///< tables + indexes + value arena
+
+  bool ok() const { return St == Status::Fixpoint; }
+};
+
+/// Solves one Program. The solver owns the predicate tables; query them
+/// through the accessors after solve() returns.
+class Solver {
+public:
+  explicit Solver(const Program &P, SolverOptions Opts = SolverOptions());
+  Solver(const Solver &) = delete;
+  Solver &operator=(const Solver &) = delete;
+  ~Solver();
+
+  /// Runs to fixpoint (or to a limit). May be called once.
+  SolveStats solve();
+
+  /// The table of predicate \p P (valid after solve()).
+  const Table &table(PredId P) const { return *Tables[P]; }
+
+  /// True if the relational tuple is in the minimal model.
+  bool contains(PredId P, std::span<const Value> Tuple) const;
+  bool contains(PredId P, std::initializer_list<Value> Tuple) const {
+    return contains(P, std::span<const Value>(Tuple.begin(), Tuple.size()));
+  }
+
+  /// The lattice element of cell (P, Key); ⊥ if the cell is absent.
+  Value latValue(PredId P, std::span<const Value> Key) const;
+  Value latValue(PredId P, std::initializer_list<Value> Key) const {
+    return latValue(P, std::span<const Value>(Key.begin(), Key.size()));
+  }
+
+  /// Materializes all rows of \p P as (key..., latValue) tuples, in
+  /// insertion order. For relational predicates the Bool value is omitted.
+  std::vector<std::vector<Value>> tuples(PredId P) const;
+
+  /// The derivation that last increased cell (P, Key), or nullptr if the
+  /// cell is absent or provenance was not tracked. For relational
+  /// predicates the key is the full tuple.
+  const Derivation *explain(PredId P, std::span<const Value> Key) const;
+
+  /// Renders a human-readable derivation tree for cell (P, Key) down to
+  /// \p Depth levels of premises.
+  std::string explainString(PredId P, std::span<const Value> Key,
+                            unsigned Depth = 3) const;
+
+private:
+  struct Frame;
+
+  void loadFacts();
+  void evalRule(const Rule &R, int Driver,
+                const std::vector<uint32_t> &DriverRows);
+  void evalElems(const Rule &R,
+                 std::span<const BodyElem *const> Order, size_t Pos);
+  void matchAtomRow(const Rule &R, const BodyAtom &A, uint32_t RowId,
+                    std::span<const BodyElem *const> Order, size_t Pos);
+  void evalAtom(const Rule &R, const BodyAtom &A,
+                std::span<const BodyElem *const> Order, size_t Pos);
+  void deriveHead(const Rule &R);
+  bool checkDeadline();
+  Rule reorderRule(const Rule &R) const;
+  void recordProvenance(const Rule &R, PredId HeadPred, uint32_t RowId);
+  void renderExplanation(std::string &Out, PredId P, Value KeyTuple,
+                         unsigned Depth, unsigned Indent) const;
+
+  const Program &P;
+  SolverOptions Opts;
+  ValueFactory &F;
+  std::unique_ptr<BoolLattice> RelLattice;
+  std::vector<std::unique_ptr<Table>> Tables;
+  std::vector<Rule> Prepared; ///< rules, possibly reordered
+
+  // Per-rule-evaluation state.
+  std::vector<Value> Env;
+  std::vector<uint8_t> Bound;
+  const std::vector<uint32_t> *CurDriverRows = nullptr;
+  uint32_t CurRuleIndex = 0; ///< index into Prepared, for provenance
+
+  /// Provenance (when tracked): per predicate, per row id, the last
+  /// increasing derivation.
+  std::vector<std::vector<Derivation>> Provenance;
+
+  // Delta bookkeeping (SemiNaive).
+  std::vector<std::vector<uint32_t>> Delta;
+  std::vector<std::unordered_set<uint32_t>> NextDelta;
+
+  // Run state.
+  SolveStats Stats;
+  bool Solved = false;
+  bool Aborted = false;
+  uint64_t OpCounter = 0;
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
+};
+
+} // namespace flix
+
+#endif // FLIX_FIXPOINT_SOLVER_H

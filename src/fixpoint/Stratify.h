@@ -1,0 +1,50 @@
+//===- fixpoint/Stratify.h - Stratified negation --------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stratification for programs with negated body atoms. The paper lists
+/// negation as future work (§7); we implement the classic stratified
+/// semantics (Apt, Blair & Walker): a predicate may only be negated if it
+/// is fully computed in a strictly lower stratum, which rules out negative
+/// cycles like `A(x) :- !B(x). B(x) :- !A(x).`
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_FIXPOINT_STRATIFY_H
+#define FLIX_FIXPOINT_STRATIFY_H
+
+#include "fixpoint/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flix {
+
+/// Assignment of predicates and rules to evaluation strata. Strata are
+/// evaluated in increasing order; each stratum is solved to fixpoint
+/// before the next begins.
+struct Stratification {
+  std::vector<uint32_t> PredStratum;               ///< per PredId
+  std::vector<std::vector<uint32_t>> RulesByStratum; ///< rule indices
+  uint32_t numStrata() const {
+    return static_cast<uint32_t>(RulesByStratum.size());
+  }
+};
+
+/// Computes a stratification of \p P. Returns an error message if the
+/// program has a cycle through negation (and is thus not stratifiable).
+struct StratifyResult {
+  std::optional<Stratification> Strat;
+  std::string Error;
+  bool ok() const { return Strat.has_value(); }
+};
+
+StratifyResult stratify(const Program &P);
+
+} // namespace flix
+
+#endif // FLIX_FIXPOINT_STRATIFY_H

@@ -1,0 +1,94 @@
+//===- fixpoint/Table.cpp - Lattice-aware indexed tables ------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Table.h"
+
+#include "support/SmallVector.h"
+
+#include <cassert>
+
+using namespace flix;
+
+const std::vector<uint32_t> Table::EmptyBucket;
+
+Table::JoinResult Table::join(Value KeyTuple, Value LatVal) {
+  auto It = Primary.find(KeyTuple);
+  if (It != Primary.end()) {
+    Row &R = Rows[It->second];
+    Value Joined = Lat.lub(R.Lat, LatVal);
+    assert(Lat.leq(R.Lat, Joined) && Lat.leq(LatVal, Joined) &&
+           "lub not an upper bound; malformed lattice");
+    if (Joined == R.Lat)
+      return {It->second, false};
+    R.Lat = Joined;
+    return {It->second, true};
+  }
+  // New cell. ⊥ cells are not materialized.
+  if (LatVal == Lat.bot())
+    return {NoRow, false};
+  uint32_t Id = static_cast<uint32_t>(Rows.size());
+  Rows.push_back({KeyTuple, LatVal});
+  Primary.emplace(KeyTuple, Id);
+  // Keep existing secondary indexes in sync.
+  std::span<const Value> KeyElems = F.tupleElems(KeyTuple);
+  for (Index &Ix : Indexes) {
+    Ix.Buckets[projectKey(KeyElems, Ix.Mask)].push_back(Id);
+    IndexBytes += sizeof(uint32_t) + 8;
+  }
+  return {Id, true};
+}
+
+const Value *Table::lookup(Value KeyTuple) const {
+  auto It = Primary.find(KeyTuple);
+  return It == Primary.end() ? nullptr : &Rows[It->second].Lat;
+}
+
+uint32_t Table::lookupRow(Value KeyTuple) const {
+  auto It = Primary.find(KeyTuple);
+  return It == Primary.end() ? NoRow : It->second;
+}
+
+Value Table::projectKey(std::span<const Value> KeyElems,
+                        uint64_t Mask) const {
+  SmallVector<Value, 4> Proj;
+  for (unsigned I = 0; I < KeyArity; ++I)
+    if (Mask & (uint64_t(1) << I))
+      Proj.push_back(KeyElems[I]);
+  return F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
+}
+
+Table::Index &Table::ensureIndex(uint64_t Mask) {
+  for (Index &Ix : Indexes)
+    if (Ix.Mask == Mask)
+      return Ix;
+  Indexes.push_back(Index{Mask, {}});
+  Index &Ix = Indexes.back();
+  for (uint32_t Id = 0; Id < Rows.size(); ++Id) {
+    Ix.Buckets[projectKey(F.tupleElems(Rows[Id].Key), Mask)].push_back(Id);
+    IndexBytes += sizeof(uint32_t) + 8;
+  }
+  return Ix;
+}
+
+const std::vector<uint32_t> &Table::probe(uint64_t BoundMask,
+                                          Value ProjTuple) {
+  assert(BoundMask != 0 && "use a full scan for unbound probes");
+  assert(BoundMask != (KeyArity >= 64 ? ~uint64_t(0)
+                                      : (uint64_t(1) << KeyArity) - 1) &&
+         "use the primary map for fully bound probes");
+  Index &Ix = ensureIndex(BoundMask);
+  auto It = Ix.Buckets.find(ProjTuple);
+  return It == Ix.Buckets.end() ? EmptyBucket : It->second;
+}
+
+size_t Table::memoryBytes() const {
+  size_t Bytes = Rows.capacity() * sizeof(Row);
+  Bytes += Primary.size() * (sizeof(Value) + sizeof(uint32_t) + 16);
+  Bytes += IndexBytes;
+  for (const Index &Ix : Indexes)
+    Bytes += Ix.Buckets.size() * (sizeof(Value) + 16);
+  return Bytes;
+}

@@ -1,0 +1,118 @@
+//===- fixpoint/Table.h - Lattice-aware indexed tables --------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The indexed database backing the solver. A Table stores the compact
+/// interpretation of one predicate: one row per §3.2 *cell* (key tuple),
+/// carrying the cell's current lattice element. Joining a derived fact
+/// into the table computes the per-cell least upper bound, maintaining
+/// compactness; ⊥-valued cells are never materialized (see DESIGN.md).
+///
+/// Key tuples are interned in the ValueFactory, so the primary map and all
+/// secondary indexes are Value → row maps with O(1) handle hashing.
+/// Secondary indexes over subsets of the key columns are created lazily
+/// from the bound-variable patterns the solver encounters — the paper's
+/// automatic index selection (§4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_FIXPOINT_TABLE_H
+#define FLIX_FIXPOINT_TABLE_H
+
+#include "runtime/Lattice.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace flix {
+
+/// One predicate's rows: compact map from key tuple to lattice element.
+class Table {
+public:
+  struct Row {
+    Value Key; ///< interned Tuple of the key columns
+    Value Lat; ///< current lattice element of this cell
+  };
+
+  /// \p KeyArity key columns; \p Lat is the lattice of the value column
+  /// (the BoolLattice for relational predicates).
+  Table(unsigned KeyArity, const Lattice &Lat, ValueFactory &F)
+      : KeyArity(KeyArity), Lat(Lat), F(F) {}
+
+  unsigned keyArity() const { return KeyArity; }
+  const Lattice &lattice() const { return Lat; }
+
+  size_t size() const { return Rows.size(); }
+  const Row &row(uint32_t Id) const { return Rows[Id]; }
+  const std::vector<Row> &rows() const { return Rows; }
+
+  /// Key columns of row \p Id.
+  std::span<const Value> rowKey(uint32_t Id) const {
+    return F.tupleElems(Rows[Id].Key);
+  }
+
+  /// Result of a join: the row id and whether the cell's value strictly
+  /// increased (i.e. the row belongs in the next delta, §3.7).
+  struct JoinResult {
+    uint32_t RowId;
+    bool Changed;
+  };
+  static constexpr uint32_t NoRow = UINT32_MAX;
+
+  /// Joins (\p KeyTuple, \p LatVal) into the table: new cells are inserted,
+  /// existing cells are updated to old ⊔ new. ⊥ values into absent cells
+  /// are dropped (RowId == NoRow, Changed == false).
+  JoinResult join(Value KeyTuple, Value LatVal);
+
+  /// Returns the lattice value of the cell \p KeyTuple, or nullptr if the
+  /// cell is absent (i.e. implicitly ⊥).
+  const Value *lookup(Value KeyTuple) const;
+
+  /// Returns the row id of cell \p KeyTuple, or NoRow if absent.
+  uint32_t lookupRow(Value KeyTuple) const;
+
+  /// Probes the secondary index for \p BoundMask (bit i set = key column i
+  /// bound), returning ids of rows whose bound columns equal \p ProjTuple
+  /// (the interned tuple of the bound columns, in column order). Builds the
+  /// index on first use. \p BoundMask must be neither empty nor full.
+  const std::vector<uint32_t> &probe(uint64_t BoundMask, Value ProjTuple);
+
+  /// Eagerly creates the secondary index for \p BoundMask (a no-op if it
+  /// already exists); used by index hints.
+  void prepareIndex(uint64_t BoundMask) { ensureIndex(BoundMask); }
+
+  /// Number of secondary indexes created so far (for stats/tests).
+  size_t numIndexes() const { return Indexes.size(); }
+
+  /// Approximate heap bytes used by rows and indexes.
+  size_t memoryBytes() const;
+
+private:
+  struct Index {
+    uint64_t Mask;
+    std::unordered_map<Value, std::vector<uint32_t>> Buckets;
+  };
+
+  Value projectKey(std::span<const Value> KeyElems, uint64_t Mask) const;
+  Index &ensureIndex(uint64_t Mask);
+
+  /// Incrementally maintained index-entry byte estimate, so memoryBytes()
+  /// is O(1) instead of walking every bucket.
+  size_t IndexBytes = 0;
+
+  unsigned KeyArity;
+  const Lattice &Lat;
+  ValueFactory &F;
+
+  std::vector<Row> Rows;
+  std::unordered_map<Value, uint32_t> Primary;
+  std::vector<Index> Indexes;
+  static const std::vector<uint32_t> EmptyBucket;
+};
+
+} // namespace flix
+
+#endif // FLIX_FIXPOINT_TABLE_H

@@ -1,0 +1,253 @@
+//===- lang/AST.h - FLIX abstract syntax -----------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax of FLIX source programs (Figure 2): a pure
+/// functional sub-language (enums, defs, expressions, patterns) plus the
+/// logic sub-language (rel/lat declarations, lattice bindings, rules and
+/// facts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_LANG_AST_H
+#define FLIX_LANG_AST_H
+
+#include "support/SourceManager.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace flix::ast {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// A syntactic type: Bool, Int, Str, Unit, an enum name, a tuple
+/// `(T1, ..., Tn)`, a set `Set[T]`, or a lattice reference `Name<>`.
+struct TypeExpr {
+  enum class Kind {
+    Named,   ///< Bool / Int / Str / Unit / enum name
+    Tuple,   ///< (T1, ..., Tn)
+    Set,     ///< Set[T]
+    Lattice, ///< Name<> — the lattice instance associated with Name
+  };
+  Kind K = Kind::Named;
+  std::string Name;             ///< Named / Lattice
+  std::vector<TypeExpr> Elems;  ///< Tuple elements or Set element
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions and patterns
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+enum class UnOp { Not, Neg };
+
+/// A pattern in a match case.
+struct Pattern {
+  enum class Kind {
+    Wildcard,
+    Var,
+    IntLit,
+    BoolLit,
+    StrLit,
+    UnitLit,
+    Tag,   ///< Enum.Case or Enum.Case(pat)
+    Tuple, ///< (p1, ..., pn)
+  };
+  Kind K = Kind::Wildcard;
+  SourceLoc Loc;
+  std::string Name;             ///< variable name
+  std::string EnumName, CaseName;
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::string StrVal;
+  std::vector<Pattern> Elems; ///< tuple elements; tag payload (0 or 1)
+};
+
+struct MatchCase {
+  Pattern Pat;
+  ExprPtr Body;
+};
+
+/// Expression node. One struct with a kind discriminator keeps the tree
+/// walkers compact; only the fields relevant to the kind are populated.
+struct Expr {
+  enum class Kind {
+    IntLit,
+    BoolLit,
+    StrLit,
+    UnitLit,
+    Var,
+    Tag,    ///< Enum.Case or Enum.Case(e)
+    Tuple,  ///< (e1, ..., en), n >= 2
+    SetLit, ///< #{e1, ..., en}
+    Call,   ///< f(e1, ..., en)
+    If,     ///< if (c) t else e
+    Match,  ///< match e with { case p => e ... }
+    Let,    ///< let x = e1; e2
+    Binary,
+    Unary,
+  };
+  Kind K;
+  SourceLoc Loc;
+
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  std::string StrVal;
+  std::string Name; ///< Var name, Call callee, Let binder
+  std::string EnumName, CaseName;
+
+  std::vector<ExprPtr> Args; ///< children; meaning depends on K:
+                             ///<   Tag: payload (0 or 1)
+                             ///<   Tuple/SetLit/Call: elements/arguments
+                             ///<   If: cond, then, else
+                             ///<   Match: scrutinee
+                             ///<   Let: init, body
+                             ///<   Binary: lhs, rhs; Unary: operand
+  std::vector<MatchCase> Cases;
+  BinOp BOp = BinOp::Add;
+  UnOp UOp = UnOp::Not;
+
+  explicit Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct EnumCaseDecl {
+  std::string Name;
+  std::optional<TypeExpr> Payload;
+  SourceLoc Loc;
+};
+
+struct EnumDecl {
+  std::string Name;
+  std::vector<EnumCaseDecl> Cases;
+  SourceLoc Loc;
+};
+
+struct Param {
+  std::string Name;
+  TypeExpr Type;
+  SourceLoc Loc;
+};
+
+/// `def f(x: T, ...): R = e` or `ext def f(x: T, ...): R;` (native).
+struct DefDecl {
+  std::string Name;
+  std::vector<Param> Params;
+  TypeExpr RetType;
+  ExprPtr Body; ///< null for ext defs
+  bool IsExt = false;
+  SourceLoc Loc;
+};
+
+/// `let Name<> = (bot, top, leq, lub, glb);` — associates the five lattice
+/// components with a type (Figure 2, lines 28-29).
+struct LatticeBindDecl {
+  std::string TypeName;
+  ExprPtr Bot, Top;
+  std::string LeqFn, LubFn, GlbFn;
+  SourceLoc Loc;
+};
+
+struct Attribute {
+  std::string Name; ///< may be empty for the `Type<>` shorthand
+  TypeExpr Type;
+  SourceLoc Loc;
+};
+
+/// `rel Name(a: T, ...)` or `lat Name(a: T, ..., L<>)`.
+struct PredDecl {
+  bool IsLat = false;
+  std::string Name;
+  std::vector<Attribute> Attrs;
+  SourceLoc Loc;
+};
+
+//===----------------------------------------------------------------------===//
+// Rules
+//===----------------------------------------------------------------------===//
+
+/// An atom in a head or body: `Pred(t1, ..., tn)`. Terms are expressions;
+/// Sema classifies variables vs constants vs function applications.
+struct AtomAST {
+  bool Negated = false;
+  std::string Pred;
+  std::vector<ExprPtr> Terms;
+  SourceLoc Loc;
+};
+
+/// A filter application `f(args...)` in a body.
+struct FilterAST {
+  std::string Fn;
+  std::vector<ExprPtr> Args;
+  SourceLoc Loc;
+};
+
+/// A binder `x <- f(args...)` or `(x, y) <- f(args...)` in a body.
+struct BinderAST {
+  std::vector<std::string> Pattern;
+  std::string Fn;
+  std::vector<ExprPtr> Args;
+  SourceLoc Loc;
+};
+
+using BodyElemAST = std::variant<AtomAST, FilterAST, BinderAST>;
+
+/// `Head :- Body.` — a fact when the body is empty.
+struct RuleAST {
+  AtomAST Head;
+  std::vector<BodyElemAST> Body;
+  SourceLoc Loc;
+};
+
+/// `index Pred(attr1, attr2, ...)` — a hint to build the secondary hash
+/// index on the named key columns eagerly (§4.5 index selection).
+struct IndexHintDecl {
+  std::string Pred;
+  std::vector<std::string> Attrs;
+  SourceLoc Loc;
+};
+
+/// A parsed compilation unit, declarations in source order.
+struct Module {
+  std::vector<EnumDecl> Enums;
+  std::vector<DefDecl> Defs;
+  std::vector<LatticeBindDecl> LatticeBinds;
+  std::vector<PredDecl> Preds;
+  std::vector<RuleAST> Rules;
+  std::vector<IndexHintDecl> IndexHints;
+};
+
+} // namespace flix::ast
+
+#endif // FLIX_LANG_AST_H

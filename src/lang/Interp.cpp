@@ -1,0 +1,238 @@
+//===- lang/Interp.cpp - FLIX expression interpreter ------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Interp.h"
+
+#include "support/SmallVector.h"
+
+using namespace flix;
+using namespace flix::ast;
+
+Value Interp::fail(SourceLoc Loc, const std::string &Msg) {
+  (void)Loc;
+  if (ErrorMsg.empty())
+    ErrorMsg = Msg;
+  return F.unit();
+}
+
+Value Interp::makeTag(const std::string &EnumName,
+                      const std::string &CaseName, Value Payload) {
+  return F.tag(EnumName + "." + CaseName, Payload);
+}
+
+Value Interp::call(const std::string &Fn, std::span<const Value> Args) {
+  auto It = CM.Defs.find(Fn);
+  if (It == CM.Defs.end())
+    return fail(SourceLoc::invalid(), "call to unknown function '" + Fn +
+                                          "'");
+  const DefInfo &D = It->second;
+  if (Args.size() != D.ParamTypes.size())
+    return fail(D.Decl->Loc, "arity mismatch calling '" + Fn + "'");
+
+  if (D.Decl->IsExt) {
+    auto NIt = Natives.find(Fn);
+    if (NIt == Natives.end())
+      return fail(D.Decl->Loc,
+                  "no native registered for 'ext def " + Fn + "'");
+    return NIt->second(F, Args);
+  }
+
+  if (CallDepth >= MaxCallDepth)
+    return fail(D.Decl->Loc, "call depth exceeded in '" + Fn +
+                                 "' (runaway recursion?)");
+  ++CallDepth;
+  std::map<std::string, Value> Env;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Env[D.Decl->Params[I].Name] = Args[I];
+  Value Out = eval(*D.Decl->Body, Env);
+  --CallDepth;
+  return Out;
+}
+
+bool Interp::matchPattern(const Pattern &P, Value V,
+                          std::map<std::string, Value> &Env) {
+  switch (P.K) {
+  case Pattern::Kind::Wildcard:
+    return true;
+  case Pattern::Kind::Var:
+    Env[P.Name] = V;
+    return true;
+  case Pattern::Kind::IntLit:
+    return V.isInt() && V.asInt() == P.IntVal;
+  case Pattern::Kind::BoolLit:
+    return V.isBool() && V.asBool() == P.BoolVal;
+  case Pattern::Kind::StrLit:
+    return V.isStr() && F.strings().text(V.asStr()) == P.StrVal;
+  case Pattern::Kind::UnitLit:
+    return V.isUnit();
+  case Pattern::Kind::Tag: {
+    if (!V.isTag())
+      return false;
+    if (F.strings().text(F.tagName(V)) != P.EnumName + "." + P.CaseName)
+      return false;
+    if (P.Elems.empty())
+      return true;
+    return matchPattern(P.Elems[0], F.tagPayload(V), Env);
+  }
+  case Pattern::Kind::Tuple: {
+    if (!V.isTuple())
+      return false;
+    std::span<const Value> Elems = F.tupleElems(V);
+    if (Elems.size() != P.Elems.size())
+      return false;
+    for (size_t I = 0; I < P.Elems.size(); ++I)
+      if (!matchPattern(P.Elems[I], Elems[I], Env))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+Value Interp::eval(const Expr &E, const std::map<std::string, Value> &Env) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return F.integer(E.IntVal);
+  case Expr::Kind::BoolLit:
+    return F.boolean(E.BoolVal);
+  case Expr::Kind::StrLit:
+    return F.string(E.StrVal);
+  case Expr::Kind::UnitLit:
+    return F.unit();
+  case Expr::Kind::Var: {
+    auto It = Env.find(E.Name);
+    if (It == Env.end())
+      return fail(E.Loc, "unbound variable '" + E.Name + "' at runtime");
+    return It->second;
+  }
+  case Expr::Kind::Tag: {
+    Value Payload = E.Args.empty() ? F.unit() : eval(*E.Args[0], Env);
+    return makeTag(E.EnumName, E.CaseName, Payload);
+  }
+  case Expr::Kind::Tuple: {
+    SmallVector<Value, 4> Elems;
+    for (const ExprPtr &A : E.Args)
+      Elems.push_back(eval(*A, Env));
+    return F.tuple(std::span<const Value>(Elems.data(), Elems.size()));
+  }
+  case Expr::Kind::SetLit: {
+    std::vector<Value> Elems;
+    for (const ExprPtr &A : E.Args)
+      Elems.push_back(eval(*A, Env));
+    return F.set(std::move(Elems));
+  }
+  case Expr::Kind::Call: {
+    SmallVector<Value, 4> Args;
+    for (const ExprPtr &A : E.Args)
+      Args.push_back(eval(*A, Env));
+    return call(E.Name, std::span<const Value>(Args.data(), Args.size()));
+  }
+  case Expr::Kind::If: {
+    Value C = eval(*E.Args[0], Env);
+    if (!C.isBool())
+      return fail(E.Loc, "if condition did not evaluate to Bool");
+    if (E.Args.size() < 3)
+      return fail(E.Loc, "malformed if expression");
+    return eval(C.asBool() ? *E.Args[1] : *E.Args[2], Env);
+  }
+  case Expr::Kind::Match: {
+    Value Scrut = eval(*E.Args[0], Env);
+    for (const MatchCase &C : E.Cases) {
+      std::map<std::string, Value> CaseEnv = Env;
+      if (matchPattern(C.Pat, Scrut, CaseEnv))
+        return eval(*C.Body, CaseEnv);
+    }
+    return fail(E.Loc, "no case matched value " + F.toString(Scrut));
+  }
+  case Expr::Kind::Let: {
+    Value Init = eval(*E.Args[0], Env);
+    std::map<std::string, Value> Inner = Env;
+    Inner[E.Name] = Init;
+    return eval(*E.Args[1], Inner);
+  }
+  case Expr::Kind::Binary: {
+    Value L = eval(*E.Args[0], Env);
+    // Short-circuit && and ||.
+    if (E.BOp == BinOp::And) {
+      if (!L.isBool())
+        return fail(E.Loc, "'&&' on non-Bool value");
+      if (!L.asBool())
+        return F.boolean(false);
+      return eval(*E.Args[1], Env);
+    }
+    if (E.BOp == BinOp::Or) {
+      if (!L.isBool())
+        return fail(E.Loc, "'||' on non-Bool value");
+      if (L.asBool())
+        return F.boolean(true);
+      return eval(*E.Args[1], Env);
+    }
+    Value R = eval(*E.Args[1], Env);
+    switch (E.BOp) {
+    case BinOp::Eq:
+      return F.boolean(L == R);
+    case BinOp::Ne:
+      return F.boolean(L != R);
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Rem:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      if (!L.isInt() || !R.isInt())
+        return fail(E.Loc, "arithmetic on non-Int values");
+      int64_t A = L.asInt(), B = R.asInt();
+      switch (E.BOp) {
+      case BinOp::Add:
+        return F.integer(A + B);
+      case BinOp::Sub:
+        return F.integer(A - B);
+      case BinOp::Mul:
+        return F.integer(A * B);
+      case BinOp::Div:
+        if (B == 0)
+          return fail(E.Loc, "division by zero");
+        return F.integer(A / B);
+      case BinOp::Rem:
+        if (B == 0)
+          return fail(E.Loc, "remainder by zero");
+        return F.integer(A % B);
+      case BinOp::Lt:
+        return F.boolean(A < B);
+      case BinOp::Le:
+        return F.boolean(A <= B);
+      case BinOp::Gt:
+        return F.boolean(A > B);
+      case BinOp::Ge:
+        return F.boolean(A >= B);
+      default:
+        break;
+      }
+      return F.unit();
+    }
+    case BinOp::And:
+    case BinOp::Or:
+      break; // handled above
+    }
+    return F.unit();
+  }
+  case Expr::Kind::Unary: {
+    Value V = eval(*E.Args[0], Env);
+    if (E.UOp == UnOp::Not) {
+      if (!V.isBool())
+        return fail(E.Loc, "'!' on non-Bool value");
+      return F.boolean(!V.asBool());
+    }
+    if (!V.isInt())
+      return fail(E.Loc, "unary '-' on non-Int value");
+    return F.integer(-V.asInt());
+  }
+  }
+  return F.unit();
+}

@@ -1,0 +1,75 @@
+//===- lang/Interp.h - FLIX expression interpreter -------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A call-by-value AST interpreter for the pure functional sub-language of
+/// FLIX, mirroring the paper's implementation ("functions ... are
+/// evaluated using an AST-based interpreter", §4.5). External (`ext def`)
+/// functions dispatch to natives registered from C++, the analog of the
+/// paper's JVM interop (§2.3).
+///
+/// The interpreter does not throw: runtime faults (no matching case,
+/// division by zero, missing native, call-depth overflow) record an error
+/// message and return Unit; the compiler surfaces the first error after
+/// solving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_LANG_INTERP_H
+#define FLIX_LANG_INTERP_H
+
+#include "lang/Sema.h"
+#include "runtime/Value.h"
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+
+namespace flix {
+
+/// A native (C++) implementation for an `ext def`.
+using NativeFn = std::function<Value(ValueFactory &, std::span<const Value>)>;
+
+class Interp {
+public:
+  Interp(const CheckedModule &CM, ValueFactory &F) : CM(CM), F(F) {}
+
+  /// Registers the native implementation of `ext def Name`.
+  void registerNative(const std::string &Name, NativeFn Fn) {
+    Natives[Name] = std::move(Fn);
+  }
+
+  /// Calls a top-level function by name.
+  Value call(const std::string &Fn, std::span<const Value> Args);
+
+  /// Evaluates an expression under the given variable bindings.
+  Value eval(const ast::Expr &E, const std::map<std::string, Value> &Env);
+
+  /// Builds the runtime tag value for "Enum.Case" with a payload.
+  Value makeTag(const std::string &EnumName, const std::string &CaseName,
+                Value Payload);
+
+  bool hasError() const { return !ErrorMsg.empty(); }
+  const std::string &error() const { return ErrorMsg; }
+  void clearError() { ErrorMsg.clear(); }
+
+private:
+  Value fail(SourceLoc Loc, const std::string &Msg);
+  bool matchPattern(const ast::Pattern &P, Value V,
+                    std::map<std::string, Value> &Env);
+
+  const CheckedModule &CM;
+  ValueFactory &F;
+  std::map<std::string, NativeFn> Natives;
+  std::string ErrorMsg;
+  unsigned CallDepth = 0;
+  static constexpr unsigned MaxCallDepth = 512;
+};
+
+} // namespace flix
+
+#endif // FLIX_LANG_INTERP_H

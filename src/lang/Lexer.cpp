@@ -1,0 +1,369 @@
+//===- lang/Lexer.cpp - FLIX lexer -----------------------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace flix;
+
+const char *flix::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::UpperIdent:
+    return "capitalized identifier";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::StrLit:
+    return "string literal";
+  case TokenKind::KwEnum:
+    return "'enum'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDef:
+    return "'def'";
+  case TokenKind::KwExt:
+    return "'ext'";
+  case TokenKind::KwMatch:
+    return "'match'";
+  case TokenKind::KwWith:
+    return "'with'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwRel:
+    return "'rel'";
+  case TokenKind::KwLat:
+    return "'lat'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIndex:
+    return "'index'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::ColonMinus:
+    return "':-'";
+  case TokenKind::Underscore:
+    return "'_'";
+  case TokenKind::Eq:
+    return "'='";
+  case TokenKind::FatArrow:
+    return "'=>'";
+  case TokenKind::LeftArrow:
+    return "'<-'";
+  case TokenKind::HashBrace:
+    return "'#{'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(const SourceManager &SM, uint32_t BufferId,
+             DiagnosticEngine &Diags)
+    : SM(SM), BufferId(BufferId), Diags(Diags),
+      Text(SM.bufferText(BufferId)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() { return Text[Pos++]; }
+
+bool Lexer::match(char C) {
+  if (atEnd() || Text[Pos] != C)
+    return false;
+  ++Pos;
+  return true;
+}
+
+Token Lexer::make(TokenKind K, uint32_t Begin) {
+  Token T;
+  T.Kind = K;
+  T.Loc = loc(Begin);
+  T.Text = Text.substr(Begin, Pos - Begin);
+  return T;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Begin = Pos;
+      Pos += 2;
+      unsigned Depth = 1;
+      while (!atEnd() && Depth > 0) {
+        if (peek() == '/' && peek(1) == '*') {
+          Depth++;
+          Pos += 2;
+        } else if (peek() == '*' && peek(1) == '/') {
+          Depth--;
+          Pos += 2;
+        } else {
+          ++Pos;
+        }
+      }
+      if (Depth > 0)
+        Diags.error(loc(Begin), "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lexNumber(uint32_t Begin) {
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    ++Pos;
+  Token T = make(TokenKind::IntLit, Begin);
+  int64_t V = 0;
+  bool Overflow = false;
+  for (char C : T.Text) {
+    if (V > (INT64_MAX - (C - '0')) / 10) {
+      Overflow = true;
+      break;
+    }
+    V = V * 10 + (C - '0');
+  }
+  if (Overflow) {
+    Diags.error(T.Loc, "integer literal too large");
+    T.Kind = TokenKind::Error;
+  }
+  T.IntValue = V;
+  return T;
+}
+
+Token Lexer::lexString(uint32_t Begin) {
+  std::string Out;
+  while (!atEnd() && peek() != '"') {
+    char C = advance();
+    if (C == '\n') {
+      Diags.error(loc(Begin), "unterminated string literal");
+      Token T = make(TokenKind::Error, Begin);
+      return T;
+    }
+    if (C == '\\') {
+      if (atEnd())
+        break;
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '"':
+        Out.push_back('"');
+        break;
+      default:
+        Diags.error(loc(Pos - 1), "unknown escape sequence");
+        break;
+      }
+      continue;
+    }
+    Out.push_back(C);
+  }
+  if (atEnd()) {
+    Diags.error(loc(Begin), "unterminated string literal");
+    return make(TokenKind::Error, Begin);
+  }
+  ++Pos; // consume closing quote
+  Token T = make(TokenKind::StrLit, Begin);
+  T.StrValue = std::move(Out);
+  return T;
+}
+
+Token Lexer::lexIdent(uint32_t Begin) {
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    ++Pos;
+  Token T = make(TokenKind::Ident, Begin);
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"enum", TokenKind::KwEnum},   {"case", TokenKind::KwCase},
+      {"def", TokenKind::KwDef},     {"ext", TokenKind::KwExt},
+      {"match", TokenKind::KwMatch}, {"with", TokenKind::KwWith},
+      {"let", TokenKind::KwLet},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},   {"rel", TokenKind::KwRel},
+      {"lat", TokenKind::KwLat},     {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse}, {"index", TokenKind::KwIndex},
+  };
+  auto It = Keywords.find(T.Text);
+  if (It != Keywords.end()) {
+    T.Kind = It->second;
+    return T;
+  }
+  if (T.Text == "_") {
+    T.Kind = TokenKind::Underscore;
+    return T;
+  }
+  T.Kind = std::isupper(static_cast<unsigned char>(T.Text[0]))
+               ? TokenKind::UpperIdent
+               : TokenKind::Ident;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  uint32_t Begin = Pos;
+  if (atEnd())
+    return make(TokenKind::Eof, Begin);
+
+  char C = advance();
+  switch (C) {
+  case '(':
+    return make(TokenKind::LParen, Begin);
+  case ')':
+    return make(TokenKind::RParen, Begin);
+  case '{':
+    return make(TokenKind::LBrace, Begin);
+  case '}':
+    return make(TokenKind::RBrace, Begin);
+  case '[':
+    return make(TokenKind::LBracket, Begin);
+  case ']':
+    return make(TokenKind::RBracket, Begin);
+  case ',':
+    return make(TokenKind::Comma, Begin);
+  case ';':
+    return make(TokenKind::Semi, Begin);
+  case '.':
+    return make(TokenKind::Dot, Begin);
+  case ':':
+    if (match('-'))
+      return make(TokenKind::ColonMinus, Begin);
+    return make(TokenKind::Colon, Begin);
+  case '=':
+    if (match('='))
+      return make(TokenKind::EqEq, Begin);
+    if (match('>'))
+      return make(TokenKind::FatArrow, Begin);
+    return make(TokenKind::Eq, Begin);
+  case '<':
+    if (match('-'))
+      return make(TokenKind::LeftArrow, Begin);
+    if (match('='))
+      return make(TokenKind::Le, Begin);
+    return make(TokenKind::Lt, Begin);
+  case '>':
+    if (match('='))
+      return make(TokenKind::Ge, Begin);
+    return make(TokenKind::Gt, Begin);
+  case '!':
+    if (match('='))
+      return make(TokenKind::NotEq, Begin);
+    return make(TokenKind::Bang, Begin);
+  case '+':
+    return make(TokenKind::Plus, Begin);
+  case '-':
+    return make(TokenKind::Minus, Begin);
+  case '*':
+    return make(TokenKind::Star, Begin);
+  case '/':
+    return make(TokenKind::Slash, Begin);
+  case '%':
+    return make(TokenKind::Percent, Begin);
+  case '&':
+    if (match('&'))
+      return make(TokenKind::AmpAmp, Begin);
+    break;
+  case '|':
+    if (match('|'))
+      return make(TokenKind::PipePipe, Begin);
+    break;
+  case '#':
+    if (match('{'))
+      return make(TokenKind::HashBrace, Begin);
+    break;
+  case '"':
+    return lexString(Begin);
+  default:
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(Begin);
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdent(Begin);
+    break;
+  }
+  Diags.error(loc(Begin), std::string("unexpected character '") + C + "'");
+  return make(TokenKind::Error, Begin);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = next();
+    bool Done = T.is(TokenKind::Eof);
+    Out.push_back(std::move(T));
+    if (Done)
+      return Out;
+  }
+}

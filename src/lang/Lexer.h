@@ -1,0 +1,56 @@
+//===- lang/Lexer.h - FLIX lexer -------------------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for FLIX source. Identifier case is significant, as
+/// in the real Flix language: uppercase-initial identifiers name
+/// predicates, enums and tags; lowercase-initial identifiers name
+/// variables, attributes and functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_LANG_LEXER_H
+#define FLIX_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace flix {
+
+/// Lexes one buffer into a token vector (ending with an Eof token).
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, uint32_t BufferId, DiagnosticEngine &Diags);
+
+  /// Lexes the whole buffer. Errors are reported to the DiagnosticEngine;
+  /// the token stream always ends with Eof.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  bool atEnd() const { return Pos >= Text.size(); }
+  SourceLoc loc(uint32_t Offset) const { return SourceLoc{BufferId, Offset}; }
+  Token make(TokenKind K, uint32_t Begin);
+  Token lexNumber(uint32_t Begin);
+  Token lexString(uint32_t Begin);
+  Token lexIdent(uint32_t Begin);
+  void skipTrivia();
+
+  const SourceManager &SM;
+  uint32_t BufferId;
+  DiagnosticEngine &Diags;
+  std::string_view Text;
+  uint32_t Pos = 0;
+};
+
+} // namespace flix
+
+#endif // FLIX_LANG_LEXER_H

@@ -1,0 +1,829 @@
+//===- lang/Parser.cpp - FLIX parser ---------------------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+using namespace flix;
+using namespace flix::ast;
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = std::min(Pos + Ahead, Tokens.size() - 1);
+  return Tokens[I];
+}
+
+Token Parser::advance() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(std::string("expected ") + tokenKindName(K) + " " + Context +
+        ", found " + tokenKindName(cur().Kind));
+  return false;
+}
+
+void Parser::error(const std::string &Msg) { Diags.error(cur().Loc, Msg); }
+
+/// Skips to the start of the next plausible declaration.
+void Parser::syncToDecl() {
+  while (!check(TokenKind::Eof)) {
+    switch (cur().Kind) {
+    case TokenKind::KwEnum:
+    case TokenKind::KwDef:
+    case TokenKind::KwExt:
+    case TokenKind::KwLet:
+    case TokenKind::KwRel:
+    case TokenKind::KwLat:
+    case TokenKind::KwIndex:
+      return;
+    case TokenKind::Dot:
+    case TokenKind::Semi:
+      advance();
+      return;
+    default:
+      advance();
+    }
+  }
+}
+
+Module Parser::parseModule() {
+  Module M;
+  while (!check(TokenKind::Eof)) {
+    size_t Before = Pos;
+    switch (cur().Kind) {
+    case TokenKind::KwEnum:
+      parseEnum(M);
+      break;
+    case TokenKind::KwDef:
+      parseDef(M, /*IsExt=*/false);
+      break;
+    case TokenKind::KwExt:
+      advance();
+      if (check(TokenKind::KwDef)) {
+        parseDef(M, /*IsExt=*/true);
+      } else {
+        error("expected 'def' after 'ext'");
+        syncToDecl();
+      }
+      break;
+    case TokenKind::KwLet:
+      parseLetLattice(M);
+      break;
+    case TokenKind::KwRel:
+      parsePred(M, /*IsLat=*/false);
+      break;
+    case TokenKind::KwLat:
+      parsePred(M, /*IsLat=*/true);
+      break;
+    case TokenKind::KwIndex:
+      parseIndexHint(M);
+      break;
+    case TokenKind::UpperIdent:
+      parseRuleOrFact(M);
+      break;
+    default:
+      error(std::string("expected a declaration, found ") +
+            tokenKindName(cur().Kind));
+      syncToDecl();
+      break;
+    }
+    if (Pos == Before) {
+      // Defensive: guarantee forward progress on malformed input.
+      advance();
+    }
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void Parser::parseEnum(Module &M) {
+  EnumDecl E;
+  E.Loc = cur().Loc;
+  advance(); // enum
+  if (!check(TokenKind::UpperIdent)) {
+    error("expected enum name (capitalized)");
+    syncToDecl();
+    return;
+  }
+  E.Name = std::string(advance().Text);
+  if (!expect(TokenKind::LBrace, "to open enum body")) {
+    syncToDecl();
+    return;
+  }
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (!check(TokenKind::KwCase)) {
+      error("expected 'case' in enum body");
+      syncToDecl();
+      return;
+    }
+    EnumCaseDecl C;
+    C.Loc = advance().Loc; // case
+    if (!check(TokenKind::UpperIdent)) {
+      error("expected case name (capitalized)");
+      syncToDecl();
+      return;
+    }
+    C.Name = std::string(advance().Text);
+    if (accept(TokenKind::LParen)) {
+      std::vector<TypeExpr> Payloads;
+      Payloads.push_back(parseType());
+      while (accept(TokenKind::Comma))
+        Payloads.push_back(parseType());
+      expect(TokenKind::RParen, "to close case payload");
+      if (Payloads.size() == 1) {
+        C.Payload = std::move(Payloads[0]);
+      } else {
+        TypeExpr Tup;
+        Tup.K = TypeExpr::Kind::Tuple;
+        Tup.Elems = std::move(Payloads);
+        Tup.Loc = C.Loc;
+        C.Payload = std::move(Tup);
+      }
+    }
+    E.Cases.push_back(std::move(C));
+    accept(TokenKind::Comma);
+  }
+  expect(TokenKind::RBrace, "to close enum body");
+  M.Enums.push_back(std::move(E));
+}
+
+void Parser::parseDef(Module &M, bool IsExt) {
+  DefDecl D;
+  D.IsExt = IsExt;
+  D.Loc = cur().Loc;
+  advance(); // def
+  if (!check(TokenKind::Ident)) {
+    error("expected function name (lowercase)");
+    syncToDecl();
+    return;
+  }
+  D.Name = std::string(advance().Text);
+  if (!expect(TokenKind::LParen, "to open parameter list")) {
+    syncToDecl();
+    return;
+  }
+  if (!check(TokenKind::RParen)) {
+    do {
+      Param Pm;
+      Pm.Loc = cur().Loc;
+      if (!check(TokenKind::Ident)) {
+        error("expected parameter name");
+        syncToDecl();
+        return;
+      }
+      Pm.Name = std::string(advance().Text);
+      if (!expect(TokenKind::Colon, "after parameter name")) {
+        syncToDecl();
+        return;
+      }
+      Pm.Type = parseType();
+      D.Params.push_back(std::move(Pm));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  if (!expect(TokenKind::Colon, "before return type")) {
+    syncToDecl();
+    return;
+  }
+  D.RetType = parseType();
+  if (IsExt) {
+    accept(TokenKind::Semi);
+    M.Defs.push_back(std::move(D));
+    return;
+  }
+  if (!expect(TokenKind::Eq, "before function body")) {
+    syncToDecl();
+    return;
+  }
+  D.Body = parseExpr();
+  accept(TokenKind::Semi);
+  M.Defs.push_back(std::move(D));
+}
+
+void Parser::parseLetLattice(Module &M) {
+  LatticeBindDecl L;
+  L.Loc = cur().Loc;
+  advance(); // let
+  if (!check(TokenKind::UpperIdent)) {
+    error("expected a type name after 'let' (lattice binding)");
+    syncToDecl();
+    return;
+  }
+  L.TypeName = std::string(advance().Text);
+  if (!expect(TokenKind::Lt, "in lattice binding (Name<>)") ||
+      !expect(TokenKind::Gt, "in lattice binding (Name<>)") ||
+      !expect(TokenKind::Eq, "in lattice binding") ||
+      !expect(TokenKind::LParen, "to open the lattice 5-tuple")) {
+    syncToDecl();
+    return;
+  }
+  L.Bot = parseExpr();
+  expect(TokenKind::Comma, "after bottom element");
+  L.Top = parseExpr();
+  expect(TokenKind::Comma, "after top element");
+  auto parseFnName = [&](std::string &Out, const char *What) {
+    if (check(TokenKind::Ident)) {
+      Out = std::string(advance().Text);
+      return true;
+    }
+    error(std::string("expected ") + What + " function name");
+    return false;
+  };
+  if (!parseFnName(L.LeqFn, "partial order") ||
+      !expect(TokenKind::Comma, "after partial order") ||
+      !parseFnName(L.LubFn, "least upper bound") ||
+      !expect(TokenKind::Comma, "after least upper bound") ||
+      !parseFnName(L.GlbFn, "greatest lower bound")) {
+    syncToDecl();
+    return;
+  }
+  expect(TokenKind::RParen, "to close the lattice 5-tuple");
+  accept(TokenKind::Semi);
+  M.LatticeBinds.push_back(std::move(L));
+}
+
+void Parser::parsePred(Module &M, bool IsLat) {
+  PredDecl P;
+  P.IsLat = IsLat;
+  P.Loc = cur().Loc;
+  advance(); // rel / lat
+  if (!check(TokenKind::UpperIdent)) {
+    error("expected predicate name (capitalized)");
+    syncToDecl();
+    return;
+  }
+  P.Name = std::string(advance().Text);
+  if (!expect(TokenKind::LParen, "to open attribute list")) {
+    syncToDecl();
+    return;
+  }
+  do {
+    Attribute A;
+    A.Loc = cur().Loc;
+    if (check(TokenKind::Ident) && peek(1).is(TokenKind::Colon)) {
+      A.Name = std::string(advance().Text);
+      advance(); // :
+      A.Type = parseType();
+    } else {
+      // `Type<>` shorthand for an unnamed lattice attribute (Figure 2,
+      // line 41: lat IntVar(var: Str, Parity<>)).
+      A.Type = parseType();
+    }
+    P.Attrs.push_back(std::move(A));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::RParen, "to close attribute list");
+  accept(TokenKind::Semi);
+  M.Preds.push_back(std::move(P));
+}
+
+void Parser::parseIndexHint(Module &M) {
+  IndexHintDecl D;
+  D.Loc = cur().Loc;
+  advance(); // index
+  if (!check(TokenKind::UpperIdent)) {
+    error("expected predicate name after 'index'");
+    syncToDecl();
+    return;
+  }
+  D.Pred = std::string(advance().Text);
+  if (!expect(TokenKind::LParen, "to open index attribute list")) {
+    syncToDecl();
+    return;
+  }
+  do {
+    if (!check(TokenKind::Ident)) {
+      error("expected attribute name in index hint");
+      syncToDecl();
+      return;
+    }
+    D.Attrs.push_back(std::string(advance().Text));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::RParen, "to close index attribute list");
+  accept(TokenKind::Semi);
+  M.IndexHints.push_back(std::move(D));
+}
+
+AtomAST Parser::parseAtom() {
+  AtomAST A;
+  A.Loc = cur().Loc;
+  A.Pred = std::string(advance().Text); // UpperIdent, checked by caller
+  if (!expect(TokenKind::LParen, "to open atom arguments"))
+    return A;
+  if (!check(TokenKind::RParen)) {
+    do {
+      A.Terms.push_back(parseExpr());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close atom arguments");
+  return A;
+}
+
+void Parser::parseRuleOrFact(Module &M) {
+  RuleAST R;
+  R.Loc = cur().Loc;
+  R.Head = parseAtom();
+  if (accept(TokenKind::ColonMinus)) {
+    do {
+      if (accept(TokenKind::Bang)) {
+        if (!check(TokenKind::UpperIdent)) {
+          error("expected atom after '!'");
+          syncToDecl();
+          return;
+        }
+        AtomAST A = parseAtom();
+        A.Negated = true;
+        R.Body.emplace_back(std::move(A));
+        continue;
+      }
+      if (check(TokenKind::UpperIdent)) {
+        R.Body.emplace_back(parseAtom());
+        continue;
+      }
+      // Binder with a tuple pattern: (x, y) <- f(...).
+      if (check(TokenKind::LParen)) {
+        BinderAST B;
+        B.Loc = advance().Loc;
+        do {
+          if (!check(TokenKind::Ident)) {
+            error("expected variable in binder pattern");
+            syncToDecl();
+            return;
+          }
+          B.Pattern.push_back(std::string(advance().Text));
+        } while (accept(TokenKind::Comma));
+        expect(TokenKind::RParen, "to close binder pattern");
+        if (!expect(TokenKind::LeftArrow, "in binder")) {
+          syncToDecl();
+          return;
+        }
+        if (!check(TokenKind::Ident)) {
+          error("expected function name after '<-'");
+          syncToDecl();
+          return;
+        }
+        B.Fn = std::string(advance().Text);
+        expect(TokenKind::LParen, "to open binder arguments");
+        B.Args = parseArgList();
+        R.Body.emplace_back(std::move(B));
+        continue;
+      }
+      if (check(TokenKind::Ident)) {
+        // Either `x <- f(...)` (binder) or `f(...)` (filter).
+        if (peek(1).is(TokenKind::LeftArrow)) {
+          BinderAST B;
+          B.Loc = cur().Loc;
+          B.Pattern.push_back(std::string(advance().Text));
+          advance(); // <-
+          if (!check(TokenKind::Ident)) {
+            error("expected function name after '<-'");
+            syncToDecl();
+            return;
+          }
+          B.Fn = std::string(advance().Text);
+          expect(TokenKind::LParen, "to open binder arguments");
+          B.Args = parseArgList();
+          R.Body.emplace_back(std::move(B));
+          continue;
+        }
+        FilterAST Fl;
+        Fl.Loc = cur().Loc;
+        Fl.Fn = std::string(advance().Text);
+        expect(TokenKind::LParen, "to open filter arguments");
+        Fl.Args = parseArgList();
+        R.Body.emplace_back(std::move(Fl));
+        continue;
+      }
+      error(std::string("expected a body element, found ") +
+            tokenKindName(cur().Kind));
+      syncToDecl();
+      return;
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::Dot, "to end the rule");
+  M.Rules.push_back(std::move(R));
+}
+
+std::vector<ExprPtr> Parser::parseArgList() {
+  std::vector<ExprPtr> Args;
+  if (!check(TokenKind::RParen)) {
+    do {
+      Args.push_back(parseExpr());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return Args;
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TypeExpr Parser::parseType() {
+  TypeExpr T;
+  T.Loc = cur().Loc;
+  if (check(TokenKind::UpperIdent)) {
+    std::string Name(advance().Text);
+    // Set[T]
+    if (Name == "Set" && accept(TokenKind::LBracket)) {
+      T.K = TypeExpr::Kind::Set;
+      T.Elems.push_back(parseType());
+      expect(TokenKind::RBracket, "to close Set[...]");
+      return T;
+    }
+    // Name<> — lattice reference.
+    if (check(TokenKind::Lt) && peek(1).is(TokenKind::Gt)) {
+      advance();
+      advance();
+      T.K = TypeExpr::Kind::Lattice;
+      T.Name = std::move(Name);
+      return T;
+    }
+    T.K = TypeExpr::Kind::Named;
+    T.Name = std::move(Name);
+    return T;
+  }
+  if (accept(TokenKind::LParen)) {
+    T.K = TypeExpr::Kind::Tuple;
+    T.Elems.push_back(parseType());
+    while (accept(TokenKind::Comma))
+      T.Elems.push_back(parseType());
+    expect(TokenKind::RParen, "to close tuple type");
+    if (T.Elems.size() == 1)
+      return std::move(T.Elems[0]); // parenthesized type
+    return T;
+  }
+  error(std::string("expected a type, found ") + tokenKindName(cur().Kind));
+  T.K = TypeExpr::Kind::Named;
+  T.Name = "Bool"; // error recovery placeholder
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (check(TokenKind::PipePipe)) {
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+    E->BOp = BinOp::Or;
+    E->Args.push_back(std::move(L));
+    E->Args.push_back(parseAnd());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr L = parseCmp();
+  while (check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+    E->BOp = BinOp::And;
+    E->Args.push_back(std::move(L));
+    E->Args.push_back(parseCmp());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseCmp() {
+  ExprPtr L = parseAdd();
+  BinOp Op;
+  switch (cur().Kind) {
+  case TokenKind::EqEq:
+    Op = BinOp::Eq;
+    break;
+  case TokenKind::NotEq:
+    Op = BinOp::Ne;
+    break;
+  case TokenKind::Lt:
+    Op = BinOp::Lt;
+    break;
+  case TokenKind::Le:
+    Op = BinOp::Le;
+    break;
+  case TokenKind::Gt:
+    Op = BinOp::Gt;
+    break;
+  case TokenKind::Ge:
+    Op = BinOp::Ge;
+    break;
+  default:
+    return L;
+  }
+  SourceLoc Loc = advance().Loc;
+  auto E = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+  E->BOp = Op;
+  E->Args.push_back(std::move(L));
+  E->Args.push_back(parseAdd());
+  return E;
+}
+
+ExprPtr Parser::parseAdd() {
+  ExprPtr L = parseMul();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinOp Op = check(TokenKind::Plus) ? BinOp::Add : BinOp::Sub;
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+    E->BOp = Op;
+    E->Args.push_back(std::move(L));
+    E->Args.push_back(parseMul());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseMul() {
+  ExprPtr L = parseUnary();
+  while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+         check(TokenKind::Percent)) {
+    BinOp Op = check(TokenKind::Star)
+                   ? BinOp::Mul
+                   : (check(TokenKind::Slash) ? BinOp::Div : BinOp::Rem);
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(Expr::Kind::Binary, Loc);
+    E->BOp = Op;
+    E->Args.push_back(std::move(L));
+    E->Args.push_back(parseUnary());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Bang)) {
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(Expr::Kind::Unary, Loc);
+    E->UOp = UnOp::Not;
+    E->Args.push_back(parseUnary());
+    return E;
+  }
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    auto E = std::make_unique<Expr>(Expr::Kind::Unary, Loc);
+    E->UOp = UnOp::Neg;
+    E->Args.push_back(parseUnary());
+    return E;
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntLit: {
+    auto E = std::make_unique<Expr>(Expr::Kind::IntLit, Loc);
+    E->IntVal = advance().IntValue;
+    return E;
+  }
+  case TokenKind::StrLit: {
+    auto E = std::make_unique<Expr>(Expr::Kind::StrLit, Loc);
+    E->StrVal = advance().StrValue;
+    return E;
+  }
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse: {
+    auto E = std::make_unique<Expr>(Expr::Kind::BoolLit, Loc);
+    E->BoolVal = advance().Kind == TokenKind::KwTrue;
+    return E;
+  }
+  case TokenKind::Underscore: {
+    // Underscore in rule-term position stands for an anonymous variable;
+    // Sema rejects it inside function bodies.
+    advance();
+    auto E = std::make_unique<Expr>(Expr::Kind::Var, Loc);
+    E->Name = "_";
+    return E;
+  }
+  case TokenKind::LParen: {
+    advance();
+    if (accept(TokenKind::RParen))
+      return std::make_unique<Expr>(Expr::Kind::UnitLit, Loc);
+    ExprPtr First = parseExpr();
+    if (!check(TokenKind::Comma)) {
+      expect(TokenKind::RParen, "to close parenthesized expression");
+      return First;
+    }
+    auto E = std::make_unique<Expr>(Expr::Kind::Tuple, Loc);
+    E->Args.push_back(std::move(First));
+    while (accept(TokenKind::Comma))
+      E->Args.push_back(parseExpr());
+    expect(TokenKind::RParen, "to close tuple");
+    return E;
+  }
+  case TokenKind::HashBrace: {
+    advance();
+    auto E = std::make_unique<Expr>(Expr::Kind::SetLit, Loc);
+    if (!check(TokenKind::RBrace)) {
+      do {
+        E->Args.push_back(parseExpr());
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RBrace, "to close set literal");
+    return E;
+  }
+  case TokenKind::KwLet: {
+    advance();
+    auto E = std::make_unique<Expr>(Expr::Kind::Let, Loc);
+    if (!check(TokenKind::Ident)) {
+      error("expected binder name after 'let'");
+      return std::make_unique<Expr>(Expr::Kind::UnitLit, Loc);
+    }
+    E->Name = std::string(advance().Text);
+    expect(TokenKind::Eq, "in let binding");
+    E->Args.push_back(parseExpr());
+    expect(TokenKind::Semi, "after let initializer");
+    E->Args.push_back(parseExpr());
+    return E;
+  }
+  case TokenKind::KwIf: {
+    advance();
+    auto E = std::make_unique<Expr>(Expr::Kind::If, Loc);
+    expect(TokenKind::LParen, "after 'if'");
+    E->Args.push_back(parseExpr());
+    expect(TokenKind::RParen, "to close condition");
+    E->Args.push_back(parseExpr());
+    if (!expect(TokenKind::KwElse, "in if expression"))
+      return E;
+    E->Args.push_back(parseExpr());
+    return E;
+  }
+  case TokenKind::KwMatch: {
+    advance();
+    auto E = std::make_unique<Expr>(Expr::Kind::Match, Loc);
+    E->Args.push_back(parseExpr());
+    expect(TokenKind::KwWith, "in match expression");
+    expect(TokenKind::LBrace, "to open match cases");
+    while (check(TokenKind::KwCase)) {
+      advance();
+      MatchCase C;
+      C.Pat = parsePattern();
+      expect(TokenKind::FatArrow, "after pattern");
+      C.Body = parseExpr();
+      E->Cases.push_back(std::move(C));
+      accept(TokenKind::Comma);
+      accept(TokenKind::Semi);
+    }
+    expect(TokenKind::RBrace, "to close match cases");
+    if (E->Cases.empty())
+      error("match expression has no cases");
+    return E;
+  }
+  case TokenKind::Ident: {
+    std::string Name(advance().Text);
+    if (accept(TokenKind::LParen)) {
+      auto E = std::make_unique<Expr>(Expr::Kind::Call, Loc);
+      E->Name = std::move(Name);
+      E->Args = parseArgList();
+      return E;
+    }
+    auto E = std::make_unique<Expr>(Expr::Kind::Var, Loc);
+    E->Name = std::move(Name);
+    return E;
+  }
+  case TokenKind::UpperIdent: {
+    std::string EnumName(advance().Text);
+    if (!expect(TokenKind::Dot, "after enum name (tags are written "
+                                "Enum.Case)"))
+      return std::make_unique<Expr>(Expr::Kind::UnitLit, Loc);
+    if (!check(TokenKind::UpperIdent)) {
+      error("expected case name after '.'");
+      return std::make_unique<Expr>(Expr::Kind::UnitLit, Loc);
+    }
+    auto E = std::make_unique<Expr>(Expr::Kind::Tag, Loc);
+    E->EnumName = std::move(EnumName);
+    E->CaseName = std::string(advance().Text);
+    if (accept(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args = parseArgList();
+      if (Args.size() == 1) {
+        E->Args.push_back(std::move(Args[0]));
+      } else if (!Args.empty()) {
+        auto Tup = std::make_unique<Expr>(Expr::Kind::Tuple, Loc);
+        Tup->Args = std::move(Args);
+        E->Args.push_back(std::move(Tup));
+      }
+    }
+    return E;
+  }
+  default:
+    error(std::string("expected an expression, found ") +
+          tokenKindName(cur().Kind));
+    advance();
+    return std::make_unique<Expr>(Expr::Kind::UnitLit, Loc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+Pattern Parser::parsePattern() {
+  Pattern P;
+  P.Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::Underscore:
+    advance();
+    P.K = Pattern::Kind::Wildcard;
+    return P;
+  case TokenKind::Ident:
+    P.K = Pattern::Kind::Var;
+    P.Name = std::string(advance().Text);
+    return P;
+  case TokenKind::IntLit:
+    P.K = Pattern::Kind::IntLit;
+    P.IntVal = advance().IntValue;
+    return P;
+  case TokenKind::Minus:
+    advance();
+    if (!check(TokenKind::IntLit)) {
+      error("expected integer literal after '-' in pattern");
+      P.K = Pattern::Kind::Wildcard;
+      return P;
+    }
+    P.K = Pattern::Kind::IntLit;
+    P.IntVal = -advance().IntValue;
+    return P;
+  case TokenKind::StrLit:
+    P.K = Pattern::Kind::StrLit;
+    P.StrVal = advance().StrValue;
+    return P;
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse:
+    P.K = Pattern::Kind::BoolLit;
+    P.BoolVal = advance().Kind == TokenKind::KwTrue;
+    return P;
+  case TokenKind::LParen: {
+    advance();
+    if (accept(TokenKind::RParen)) {
+      P.K = Pattern::Kind::UnitLit;
+      return P;
+    }
+    P.Elems.push_back(parsePattern());
+    while (accept(TokenKind::Comma))
+      P.Elems.push_back(parsePattern());
+    expect(TokenKind::RParen, "to close tuple pattern");
+    if (P.Elems.size() == 1)
+      return std::move(P.Elems[0]);
+    P.K = Pattern::Kind::Tuple;
+    return P;
+  }
+  case TokenKind::UpperIdent: {
+    P.EnumName = std::string(advance().Text);
+    if (!expect(TokenKind::Dot, "in tag pattern (Enum.Case)")) {
+      P.K = Pattern::Kind::Wildcard;
+      return P;
+    }
+    if (!check(TokenKind::UpperIdent)) {
+      error("expected case name after '.' in pattern");
+      P.K = Pattern::Kind::Wildcard;
+      return P;
+    }
+    P.K = Pattern::Kind::Tag;
+    P.CaseName = std::string(advance().Text);
+    if (accept(TokenKind::LParen)) {
+      std::vector<Pattern> Sub;
+      Sub.push_back(parsePattern());
+      while (accept(TokenKind::Comma))
+        Sub.push_back(parsePattern());
+      expect(TokenKind::RParen, "to close tag pattern payload");
+      if (Sub.size() == 1) {
+        P.Elems.push_back(std::move(Sub[0]));
+      } else {
+        Pattern Tup;
+        Tup.K = Pattern::Kind::Tuple;
+        Tup.Loc = P.Loc;
+        Tup.Elems = std::move(Sub);
+        P.Elems.push_back(std::move(Tup));
+      }
+    }
+    return P;
+  }
+  default:
+    error(std::string("expected a pattern, found ") +
+          tokenKindName(cur().Kind));
+    advance();
+    P.K = Pattern::Kind::Wildcard;
+    return P;
+  }
+}

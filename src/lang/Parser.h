@@ -1,0 +1,75 @@
+//===- lang/Parser.h - FLIX parser -----------------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the FLIX surface language. Produces an
+/// ast::Module; errors are reported with source locations and recovered
+/// at declaration boundaries so multiple errors surface in one pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_LANG_PARSER_H
+#define FLIX_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace flix {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// Parses the whole token stream. Check Diags for errors afterwards; the
+  /// returned module contains whatever parsed successfully.
+  ast::Module parseModule();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &cur() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind K) const { return cur().Kind == K; }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void error(const std::string &Msg);
+  void syncToDecl();
+
+  // Declarations.
+  void parseEnum(ast::Module &M);
+  void parseDef(ast::Module &M, bool IsExt);
+  void parseLetLattice(ast::Module &M);
+  void parsePred(ast::Module &M, bool IsLat);
+  void parseRuleOrFact(ast::Module &M);
+  void parseIndexHint(ast::Module &M);
+
+  // Types, expressions, patterns.
+  ast::TypeExpr parseType();
+  ast::ExprPtr parseExpr();
+  ast::ExprPtr parseOr();
+  ast::ExprPtr parseAnd();
+  ast::ExprPtr parseCmp();
+  ast::ExprPtr parseAdd();
+  ast::ExprPtr parseMul();
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePrimary();
+  ast::Pattern parsePattern();
+  std::vector<ast::ExprPtr> parseArgList();
+
+  // Rules.
+  ast::AtomAST parseAtom();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace flix
+
+#endif // FLIX_LANG_PARSER_H

@@ -1,0 +1,769 @@
+//===- lang/Sema.cpp - FLIX semantic analysis -------------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+using namespace flix;
+using namespace flix::ast;
+
+namespace {
+
+class Sema {
+public:
+  Sema(const Module &M, DiagnosticEngine &Diags) : M(M), Diags(Diags) {
+    CM.Ast = &M;
+  }
+
+  CheckedModule run() {
+    collectEnums();
+    collectDefs();
+    checkLatticeBinds();
+    collectPreds();
+    checkDefBodies();
+    checkRules();
+    checkIndexHints();
+    return std::move(CM);
+  }
+
+private:
+  using Env = std::map<std::string, Type>;
+
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  Type resolveNamedType(const std::string &Name, SourceLoc Loc) {
+    if (Name == "Bool")
+      return Type::boolean();
+    if (Name == "Int")
+      return Type::integer();
+    if (Name == "Str")
+      return Type::string();
+    if (Name == "Unit")
+      return Type::unit();
+    if (CM.Enums.count(Name))
+      return Type::enumeration(Name);
+    error(Loc, "unknown type '" + Name + "'");
+    return Type::invalid();
+  }
+
+  Type resolveType(const TypeExpr &T) {
+    switch (T.K) {
+    case TypeExpr::Kind::Named:
+      return resolveNamedType(T.Name, T.Loc);
+    case TypeExpr::Kind::Lattice:
+      // `Name<>` denotes the carrier type; the lattice structure is looked
+      // up separately where it matters.
+      return resolveNamedType(T.Name, T.Loc);
+    case TypeExpr::Kind::Tuple: {
+      std::vector<Type> Elems;
+      for (const TypeExpr &E : T.Elems)
+        Elems.push_back(resolveType(E));
+      return Type::tuple(std::move(Elems));
+    }
+    case TypeExpr::Kind::Set:
+      return Type::set(resolveType(T.Elems[0]));
+    }
+    return Type::invalid();
+  }
+
+  void collectEnums() {
+    for (const EnumDecl &E : M.Enums) {
+      if (CM.Enums.count(E.Name)) {
+        error(E.Loc, "duplicate enum '" + E.Name + "'");
+        continue;
+      }
+      CM.Enums[E.Name] = EnumInfo{E.Name, {}};
+    }
+    // Payload types may reference other enums, so resolve in a second pass.
+    for (const EnumDecl &E : M.Enums) {
+      EnumInfo &Info = CM.Enums[E.Name];
+      for (const EnumCaseDecl &C : E.Cases) {
+        if (Info.Cases.count(C.Name)) {
+          error(C.Loc, "duplicate case '" + C.Name + "' in enum '" + E.Name +
+                           "'");
+          continue;
+        }
+        EnumCaseInfo CI;
+        CI.QualifiedName = E.Name + "." + C.Name;
+        if (C.Payload)
+          CI.Payload = resolveType(*C.Payload);
+        Info.Cases[C.Name] = std::move(CI);
+      }
+    }
+  }
+
+  void collectDefs() {
+    for (const DefDecl &D : M.Defs) {
+      if (CM.Defs.count(D.Name)) {
+        error(D.Loc, "duplicate function '" + D.Name + "'");
+        continue;
+      }
+      DefInfo Info;
+      Info.Decl = &D;
+      for (const Param &P : D.Params)
+        Info.ParamTypes.push_back(resolveType(P.Type));
+      Info.RetType = resolveType(D.RetType);
+      CM.Defs[D.Name] = std::move(Info);
+    }
+  }
+
+  void checkLatticeBinds() {
+    for (const LatticeBindDecl &L : M.LatticeBinds) {
+      if (CM.LatticeBinds.count(L.TypeName)) {
+        error(L.Loc, "duplicate lattice binding for '" + L.TypeName + "'");
+        continue;
+      }
+      LatticeBindInfo Info;
+      Info.Decl = &L;
+      Info.ElemType = resolveNamedType(L.TypeName, L.Loc);
+      // ⊥/⊤ must be constant expressions of the carrier type.
+      Env Empty;
+      Type BotT = checkExpr(*L.Bot, Empty);
+      Type TopT = checkExpr(*L.Top, Empty);
+      if (!BotT.equals(Info.ElemType))
+        error(L.Bot->Loc, "bottom element has type " + BotT.str() +
+                              ", expected " + Info.ElemType.str());
+      if (!TopT.equals(Info.ElemType))
+        error(L.Top->Loc, "top element has type " + TopT.str() +
+                              ", expected " + Info.ElemType.str());
+      checkLatticeFn(L.LeqFn, Info.ElemType, Type::boolean(), L.Loc);
+      checkLatticeFn(L.LubFn, Info.ElemType, Info.ElemType, L.Loc);
+      checkLatticeFn(L.GlbFn, Info.ElemType, Info.ElemType, L.Loc);
+      CM.LatticeBinds[L.TypeName] = std::move(Info);
+    }
+  }
+
+  void checkLatticeFn(const std::string &Name, const Type &Elem,
+                      const Type &Ret, SourceLoc Loc) {
+    auto It = CM.Defs.find(Name);
+    if (It == CM.Defs.end()) {
+      error(Loc, "unknown function '" + Name + "' in lattice binding");
+      return;
+    }
+    const DefInfo &D = It->second;
+    if (D.ParamTypes.size() != 2 || !D.ParamTypes[0].equals(Elem) ||
+        !D.ParamTypes[1].equals(Elem) || !D.RetType.equals(Ret))
+      error(Loc, "lattice function '" + Name + "' must have type (" +
+                     Elem.str() + ", " + Elem.str() + ") -> " + Ret.str());
+  }
+
+  void collectPreds() {
+    for (const PredDecl &P : M.Preds) {
+      if (CM.Preds.count(P.Name)) {
+        error(P.Loc, "duplicate predicate '" + P.Name + "'");
+        continue;
+      }
+      if (P.Attrs.empty()) {
+        error(P.Loc, "predicate '" + P.Name + "' needs at least one "
+                     "attribute");
+        continue;
+      }
+      PredInfo Info;
+      Info.Decl = &P;
+      for (size_t I = 0; I < P.Attrs.size(); ++I) {
+        const Attribute &A = P.Attrs[I];
+        bool IsLatticeAttr = A.Type.K == TypeExpr::Kind::Lattice;
+        bool IsLast = I + 1 == P.Attrs.size();
+        if (IsLatticeAttr && (!P.IsLat || !IsLast))
+          error(A.Loc, "lattice attribute must be the last attribute of a "
+                       "'lat' declaration");
+        if (P.IsLat && IsLast) {
+          if (!IsLatticeAttr) {
+            error(A.Loc, "the last attribute of 'lat " + P.Name +
+                             "' must be a lattice type (Name<>)");
+          } else if (!CM.LatticeBinds.count(A.Type.Name)) {
+            error(A.Loc, "no lattice binding 'let " + A.Type.Name +
+                             "<> = ...' for this attribute");
+          } else {
+            Info.LatticeTypeName = A.Type.Name;
+          }
+        }
+        Info.AttrTypes.push_back(resolveType(A.Type));
+      }
+      CM.Preds[P.Name] = std::move(Info);
+    }
+  }
+
+  void checkIndexHints() {
+    for (const IndexHintDecl &H : M.IndexHints) {
+      auto PIt = CM.Preds.find(H.Pred);
+      if (PIt == CM.Preds.end()) {
+        error(H.Loc, "unknown predicate '" + H.Pred + "' in index hint");
+        continue;
+      }
+      const PredInfo &PI = PIt->second;
+      size_t KeyArity = PI.AttrTypes.size() - (PI.Decl->IsLat ? 1 : 0);
+      uint64_t Mask = 0;
+      bool Bad = false;
+      for (const std::string &Attr : H.Attrs) {
+        bool Found = false;
+        for (size_t I = 0; I < KeyArity; ++I) {
+          if (PI.Decl->Attrs[I].Name == Attr) {
+            Mask |= uint64_t(1) << I;
+            Found = true;
+            break;
+          }
+        }
+        if (!Found) {
+          error(H.Loc, "predicate '" + H.Pred + "' has no key attribute "
+                       "'" + Attr + "'");
+          Bad = true;
+        }
+      }
+      if (Bad || Mask == 0)
+        continue;
+      if (Mask == (KeyArity >= 64 ? ~uint64_t(0)
+                                  : (uint64_t(1) << KeyArity) - 1)) {
+        error(H.Loc, "index over all key columns duplicates the primary "
+                     "index");
+        continue;
+      }
+      CM.IndexHints.push_back({H.Pred, Mask});
+    }
+  }
+
+  void checkDefBodies() {
+    for (const DefDecl &D : M.Defs) {
+      if (D.IsExt || !D.Body)
+        continue;
+      const DefInfo &Info = CM.Defs[D.Name];
+      Env E;
+      for (size_t I = 0; I < D.Params.size(); ++I)
+        E[D.Params[I].Name] = Info.ParamTypes[I];
+      Type BodyT = checkExpr(*D.Body, E);
+      if (!BodyT.equals(Info.RetType))
+        error(D.Body->Loc, "function '" + D.Name + "' returns " +
+                               BodyT.str() + ", declared " +
+                               Info.RetType.str());
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Type checkExpr(const Expr &E, Env &Vars) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return Type::integer();
+    case Expr::Kind::BoolLit:
+      return Type::boolean();
+    case Expr::Kind::StrLit:
+      return Type::string();
+    case Expr::Kind::UnitLit:
+      return Type::unit();
+    case Expr::Kind::Var: {
+      if (E.Name == "_") {
+        error(E.Loc, "'_' is not allowed in expressions");
+        return Type::invalid();
+      }
+      auto It = Vars.find(E.Name);
+      if (It == Vars.end()) {
+        error(E.Loc, "unknown variable '" + E.Name + "'");
+        return Type::invalid();
+      }
+      return It->second;
+    }
+    case Expr::Kind::Tag: {
+      auto EIt = CM.Enums.find(E.EnumName);
+      if (EIt == CM.Enums.end()) {
+        error(E.Loc, "unknown enum '" + E.EnumName + "'");
+        return Type::invalid();
+      }
+      auto CIt = EIt->second.Cases.find(E.CaseName);
+      if (CIt == EIt->second.Cases.end()) {
+        error(E.Loc, "enum '" + E.EnumName + "' has no case '" + E.CaseName +
+                         "'");
+        return Type::invalid();
+      }
+      const EnumCaseInfo &CI = CIt->second;
+      if (CI.Payload && E.Args.empty()) {
+        error(E.Loc, "case '" + CI.QualifiedName + "' requires a payload");
+      } else if (!CI.Payload && !E.Args.empty()) {
+        error(E.Loc, "case '" + CI.QualifiedName + "' takes no payload");
+      } else if (CI.Payload) {
+        Type PT = checkExpr(*E.Args[0], Vars);
+        if (!PT.equals(*CI.Payload))
+          error(E.Args[0]->Loc, "payload has type " + PT.str() +
+                                    ", expected " + CI.Payload->str());
+      }
+      return Type::enumeration(E.EnumName);
+    }
+    case Expr::Kind::Tuple: {
+      std::vector<Type> Elems;
+      for (const ExprPtr &A : E.Args)
+        Elems.push_back(checkExpr(*A, Vars));
+      return Type::tuple(std::move(Elems));
+    }
+    case Expr::Kind::SetLit: {
+      Type Elem = Type::invalid();
+      for (const ExprPtr &A : E.Args) {
+        Type T = checkExpr(*A, Vars);
+        if (Elem.isInvalid())
+          Elem = T;
+        else if (!Elem.equals(T))
+          error(A->Loc, "set element has type " + T.str() +
+                            ", expected " + Elem.str());
+      }
+      return Type::set(std::move(Elem));
+    }
+    case Expr::Kind::Call: {
+      auto It = CM.Defs.find(E.Name);
+      if (It == CM.Defs.end()) {
+        error(E.Loc, "unknown function '" + E.Name + "'");
+        for (const ExprPtr &A : E.Args)
+          checkExpr(*A, Vars);
+        return Type::invalid();
+      }
+      const DefInfo &D = It->second;
+      if (E.Args.size() != D.ParamTypes.size()) {
+        error(E.Loc, "function '" + E.Name + "' expects " +
+                         std::to_string(D.ParamTypes.size()) +
+                         " argument(s), got " +
+                         std::to_string(E.Args.size()));
+        return D.RetType;
+      }
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        Type AT = checkExpr(*E.Args[I], Vars);
+        if (!AT.equals(D.ParamTypes[I]))
+          error(E.Args[I]->Loc, "argument " + std::to_string(I + 1) +
+                                    " of '" + E.Name + "' has type " +
+                                    AT.str() + ", expected " +
+                                    D.ParamTypes[I].str());
+      }
+      return D.RetType;
+    }
+    case Expr::Kind::If: {
+      Type CT = checkExpr(*E.Args[0], Vars);
+      if (!CT.equals(Type::boolean()))
+        error(E.Args[0]->Loc, "if condition has type " + CT.str() +
+                                  ", expected Bool");
+      Type TT = checkExpr(*E.Args[1], Vars);
+      if (E.Args.size() < 3)
+        return TT; // parse error recovery
+      Type ET = checkExpr(*E.Args[2], Vars);
+      if (!TT.equals(ET))
+        error(E.Loc, "if branches have different types: " + TT.str() +
+                         " vs " + ET.str());
+      return TT;
+    }
+    case Expr::Kind::Match: {
+      Type ST = checkExpr(*E.Args[0], Vars);
+      Type Result = Type::invalid();
+      for (const MatchCase &C : E.Cases) {
+        Env CaseVars = Vars;
+        checkPattern(C.Pat, ST, CaseVars);
+        Type BT = checkExpr(*C.Body, CaseVars);
+        if (Result.isInvalid())
+          Result = BT;
+        else if (!Result.equals(BT))
+          error(C.Body->Loc, "match case has type " + BT.str() +
+                                 ", expected " + Result.str());
+      }
+      checkExhaustiveness(E, ST);
+      return Result;
+    }
+    case Expr::Kind::Let: {
+      Type InitT = checkExpr(*E.Args[0], Vars);
+      Env Inner = Vars;
+      Inner[E.Name] = InitT;
+      return checkExpr(*E.Args[1], Inner);
+    }
+    case Expr::Kind::Binary: {
+      Type LT = checkExpr(*E.Args[0], Vars);
+      Type RT = checkExpr(*E.Args[1], Vars);
+      switch (E.BOp) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::Div:
+      case BinOp::Rem:
+        if (!LT.equals(Type::integer()) || !RT.equals(Type::integer()))
+          error(E.Loc, "arithmetic requires Int operands, got " + LT.str() +
+                           " and " + RT.str());
+        return Type::integer();
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        if (!LT.equals(Type::integer()) || !RT.equals(Type::integer()))
+          error(E.Loc, "comparison requires Int operands, got " + LT.str() +
+                           " and " + RT.str());
+        return Type::boolean();
+      case BinOp::Eq:
+      case BinOp::Ne:
+        if (!LT.equals(RT))
+          error(E.Loc, "cannot compare " + LT.str() + " with " + RT.str());
+        return Type::boolean();
+      case BinOp::And:
+      case BinOp::Or:
+        if (!LT.equals(Type::boolean()) || !RT.equals(Type::boolean()))
+          error(E.Loc, "logical operator requires Bool operands");
+        return Type::boolean();
+      }
+      return Type::invalid();
+    }
+    case Expr::Kind::Unary: {
+      Type T = checkExpr(*E.Args[0], Vars);
+      if (E.UOp == UnOp::Not) {
+        if (!T.equals(Type::boolean()))
+          error(E.Loc, "'!' requires a Bool operand, got " + T.str());
+        return Type::boolean();
+      }
+      if (!T.equals(Type::integer()))
+        error(E.Loc, "unary '-' requires an Int operand, got " + T.str());
+      return Type::integer();
+    }
+    }
+    return Type::invalid();
+  }
+
+  /// True if the pattern matches every value of its type.
+  static bool isIrrefutable(const Pattern &P) {
+    switch (P.K) {
+    case Pattern::Kind::Wildcard:
+    case Pattern::Kind::Var:
+    case Pattern::Kind::UnitLit:
+      return true;
+    case Pattern::Kind::Tuple:
+      for (const Pattern &E : P.Elems)
+        if (!isIrrefutable(E))
+          return false;
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Warns when a match over an enum or Bool scrutinee can fall through:
+  /// no irrefutable case and not every constructor covered. (A miss is a
+  /// runtime error in the interpreter, so this is a warning, not an
+  /// error — like the paper's Scala implementation.)
+  void checkExhaustiveness(const ast::Expr &E, const Type &Scrut) {
+    for (const MatchCase &C : E.Cases)
+      if (isIrrefutable(C.Pat))
+        return;
+    if (Scrut.K == Type::Kind::Bool) {
+      bool SawTrue = false, SawFalse = false;
+      for (const MatchCase &C : E.Cases)
+        if (C.Pat.K == Pattern::Kind::BoolLit)
+          (C.Pat.BoolVal ? SawTrue : SawFalse) = true;
+      if (!SawTrue || !SawFalse)
+        Diags.warning(E.Loc, std::string("match may not be exhaustive: "
+                                         "missing case ") +
+                                 (SawTrue ? "'false'" : "'true'"));
+      return;
+    }
+    if (Scrut.K != Type::Kind::Enum)
+      return; // tuples/ints/strings: no finite constructor set to check
+    auto EIt = CM.Enums.find(Scrut.EnumName);
+    if (EIt == CM.Enums.end())
+      return;
+    std::string Missing;
+    unsigned NumMissing = 0;
+    for (const auto &[CaseName, CI] : EIt->second.Cases) {
+      bool Covered = false;
+      for (const MatchCase &C : E.Cases) {
+        if (C.Pat.K != Pattern::Kind::Tag || C.Pat.CaseName != CaseName)
+          continue;
+        if (C.Pat.Elems.empty() || isIrrefutable(C.Pat.Elems[0])) {
+          Covered = true;
+          break;
+        }
+      }
+      if (!Covered) {
+        if (++NumMissing <= 3) {
+          if (!Missing.empty())
+            Missing += ", ";
+          Missing += "'" + CI.QualifiedName + "'";
+        }
+      }
+    }
+    if (NumMissing > 0)
+      Diags.warning(E.Loc,
+                    "match may not be exhaustive: missing " +
+                        std::string(NumMissing == 1 ? "case " : "cases ") +
+                        Missing +
+                        (NumMissing > 3
+                             ? " and " + std::to_string(NumMissing - 3) +
+                                   " more"
+                             : ""));
+  }
+
+  void checkPattern(const Pattern &P, const Type &Scrut, Env &Vars) {
+    switch (P.K) {
+    case Pattern::Kind::Wildcard:
+      return;
+    case Pattern::Kind::Var:
+      if (Vars.count(P.Name))
+        error(P.Loc, "pattern variable '" + P.Name + "' shadows an "
+                     "existing binding");
+      Vars[P.Name] = Scrut;
+      return;
+    case Pattern::Kind::IntLit:
+      if (!Scrut.equals(Type::integer()))
+        error(P.Loc, "integer pattern against " + Scrut.str());
+      return;
+    case Pattern::Kind::BoolLit:
+      if (!Scrut.equals(Type::boolean()))
+        error(P.Loc, "boolean pattern against " + Scrut.str());
+      return;
+    case Pattern::Kind::StrLit:
+      if (!Scrut.equals(Type::string()))
+        error(P.Loc, "string pattern against " + Scrut.str());
+      return;
+    case Pattern::Kind::UnitLit:
+      if (!Scrut.equals(Type::unit()))
+        error(P.Loc, "unit pattern against " + Scrut.str());
+      return;
+    case Pattern::Kind::Tag: {
+      auto EIt = CM.Enums.find(P.EnumName);
+      if (EIt == CM.Enums.end()) {
+        error(P.Loc, "unknown enum '" + P.EnumName + "' in pattern");
+        return;
+      }
+      if (!Scrut.equals(Type::enumeration(P.EnumName))) {
+        error(P.Loc, "pattern of enum '" + P.EnumName + "' against " +
+                         Scrut.str());
+        return;
+      }
+      auto CIt = EIt->second.Cases.find(P.CaseName);
+      if (CIt == EIt->second.Cases.end()) {
+        error(P.Loc, "enum '" + P.EnumName + "' has no case '" + P.CaseName +
+                         "'");
+        return;
+      }
+      const EnumCaseInfo &CI = CIt->second;
+      if (CI.Payload && P.Elems.empty())
+        error(P.Loc, "case '" + CI.QualifiedName + "' pattern requires a "
+                     "payload");
+      else if (!CI.Payload && !P.Elems.empty())
+        error(P.Loc, "case '" + CI.QualifiedName + "' takes no payload");
+      else if (CI.Payload)
+        checkPattern(P.Elems[0], *CI.Payload, Vars);
+      return;
+    }
+    case Pattern::Kind::Tuple: {
+      if (Scrut.K != Type::Kind::Tuple ||
+          Scrut.Elems.size() != P.Elems.size()) {
+        if (!Scrut.isInvalid())
+          error(P.Loc, "tuple pattern of " + std::to_string(P.Elems.size()) +
+                           " elements against " + Scrut.str());
+        return;
+      }
+      for (size_t I = 0; I < P.Elems.size(); ++I)
+        checkPattern(P.Elems[I], Scrut.Elems[I], Vars);
+      return;
+    }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Rules
+  //===--------------------------------------------------------------------===//
+
+  /// Checks a rule term in a key position: a variable, "_" or a constant
+  /// expression of type \p Want.
+  void checkKeyTerm(const Expr &T, const Type &Want, Env &Vars,
+                    bool RequireBound, bool AllowAnonymous) {
+    if (T.K == Expr::Kind::Var) {
+      if (T.Name == "_") {
+        if (!AllowAnonymous)
+          error(T.Loc, "'_' is not allowed here");
+        return;
+      }
+      auto It = Vars.find(T.Name);
+      if (It != Vars.end()) {
+        if (!It->second.equals(Want))
+          error(T.Loc, "variable '" + T.Name + "' has type " +
+                           It->second.str() + ", expected " + Want.str());
+        return;
+      }
+      if (RequireBound) {
+        error(T.Loc, "variable '" + T.Name + "' is not bound by an earlier "
+                     "body atom");
+        return;
+      }
+      Vars[T.Name] = Want;
+      return;
+    }
+    // Constant expression: no rule variables may occur.
+    Env Empty;
+    Type Got = checkExpr(T, Empty);
+    if (!Got.equals(Want))
+      error(T.Loc, "term has type " + Got.str() + ", expected " +
+                       Want.str());
+  }
+
+  void checkRules() {
+    for (const RuleAST &R : M.Rules) {
+      RuleVarInfo VI;
+      Env Vars;
+      bool IsFact = R.Body.empty();
+
+      for (const BodyElemAST &BE : R.Body) {
+        if (const auto *A = std::get_if<AtomAST>(&BE)) {
+          auto PIt = CM.Preds.find(A->Pred);
+          if (PIt == CM.Preds.end()) {
+            error(A->Loc, "unknown predicate '" + A->Pred + "'");
+            continue;
+          }
+          const PredInfo &PI = PIt->second;
+          if (A->Terms.size() != PI.AttrTypes.size()) {
+            error(A->Loc, "predicate '" + A->Pred + "' has " +
+                              std::to_string(PI.AttrTypes.size()) +
+                              " attribute(s), atom supplies " +
+                              std::to_string(A->Terms.size()));
+            continue;
+          }
+          if (A->Negated && PI.Decl->IsLat)
+            error(A->Loc, "negation is only supported on relations");
+          for (size_t I = 0; I < A->Terms.size(); ++I)
+            checkKeyTerm(*A->Terms[I], PI.AttrTypes[I], Vars,
+                         /*RequireBound=*/A->Negated,
+                         /*AllowAnonymous=*/!A->Negated);
+          continue;
+        }
+        if (const auto *Fl = std::get_if<FilterAST>(&BE)) {
+          auto DIt = CM.Defs.find(Fl->Fn);
+          if (DIt == CM.Defs.end()) {
+            error(Fl->Loc, "unknown filter function '" + Fl->Fn + "'");
+            continue;
+          }
+          const DefInfo &D = DIt->second;
+          if (!D.RetType.equals(Type::boolean()))
+            error(Fl->Loc, "filter function '" + Fl->Fn +
+                               "' must return Bool, returns " +
+                               D.RetType.str());
+          if (Fl->Args.size() != D.ParamTypes.size()) {
+            error(Fl->Loc, "filter '" + Fl->Fn + "' arity mismatch");
+            continue;
+          }
+          for (size_t I = 0; I < Fl->Args.size(); ++I) {
+            Type AT = checkExpr(*Fl->Args[I], Vars);
+            if (!AT.equals(D.ParamTypes[I]))
+              error(Fl->Args[I]->Loc, "filter argument has type " +
+                                          AT.str() + ", expected " +
+                                          D.ParamTypes[I].str());
+          }
+          continue;
+        }
+        const auto &B = std::get<BinderAST>(BE);
+        auto DIt = CM.Defs.find(B.Fn);
+        if (DIt == CM.Defs.end()) {
+          error(B.Loc, "unknown binder function '" + B.Fn + "'");
+          continue;
+        }
+        const DefInfo &D = DIt->second;
+        if (D.RetType.K != Type::Kind::Set) {
+          error(B.Loc, "binder function '" + B.Fn +
+                           "' must return a Set, returns " +
+                           D.RetType.str());
+          continue;
+        }
+        if (B.Args.size() != D.ParamTypes.size()) {
+          error(B.Loc, "binder '" + B.Fn + "' arity mismatch");
+          continue;
+        }
+        for (size_t I = 0; I < B.Args.size(); ++I) {
+          Type AT = checkExpr(*B.Args[I], Vars);
+          if (!AT.equals(D.ParamTypes[I]))
+            error(B.Args[I]->Loc, "binder argument has type " + AT.str() +
+                                      ", expected " + D.ParamTypes[I].str());
+        }
+        const Type &Elem = D.RetType.Elems[0];
+        if (B.Pattern.size() == 1) {
+          bindPatternVar(B.Pattern[0], Elem, Vars, B.Loc);
+        } else if (Elem.K == Type::Kind::Tuple &&
+                   Elem.Elems.size() == B.Pattern.size()) {
+          for (size_t I = 0; I < B.Pattern.size(); ++I)
+            bindPatternVar(B.Pattern[I], Elem.Elems[I], Vars, B.Loc);
+        } else {
+          error(B.Loc, "binder pattern of " +
+                           std::to_string(B.Pattern.size()) +
+                           " variables against set elements of type " +
+                           Elem.str());
+        }
+      }
+
+      // Head.
+      auto PIt = CM.Preds.find(R.Head.Pred);
+      if (PIt == CM.Preds.end()) {
+        error(R.Head.Loc, "unknown predicate '" + R.Head.Pred + "'");
+        CM.RuleVars.push_back(std::move(VI));
+        continue;
+      }
+      const PredInfo &PI = PIt->second;
+      if (R.Head.Terms.size() != PI.AttrTypes.size()) {
+        error(R.Head.Loc, "predicate '" + R.Head.Pred + "' has " +
+                              std::to_string(PI.AttrTypes.size()) +
+                              " attribute(s), head supplies " +
+                              std::to_string(R.Head.Terms.size()));
+        CM.RuleVars.push_back(std::move(VI));
+        continue;
+      }
+      if (R.Head.Negated)
+        error(R.Head.Loc, "the head of a rule cannot be negated");
+      for (size_t I = 0; I < R.Head.Terms.size(); ++I) {
+        const Expr &T = *R.Head.Terms[I];
+        const Type &Want = PI.AttrTypes[I];
+        bool IsLast = I + 1 == R.Head.Terms.size();
+        if (IsFact) {
+          // Facts: every term must be a constant expression.
+          Env Empty;
+          Type Got = checkExpr(T, Empty);
+          if (!Got.equals(Want))
+            error(T.Loc, "fact term has type " + Got.str() + ", expected " +
+                             Want.str());
+          continue;
+        }
+        if (!IsLast) {
+          checkKeyTerm(T, Want, Vars, /*RequireBound=*/true,
+                       /*AllowAnonymous=*/false);
+          continue;
+        }
+        // The last head term may be an arbitrary expression over bound
+        // variables (§3.3 transfer functions; Figure 4 uses a constructor
+        // application, §4.4 uses `d + c`).
+        Type Got = checkExpr(T, Vars);
+        if (!Got.equals(Want))
+          error(T.Loc, "head term has type " + Got.str() + ", expected " +
+                           Want.str());
+      }
+
+      VI.VarTypes = std::move(Vars);
+      CM.RuleVars.push_back(std::move(VI));
+    }
+  }
+
+  void bindPatternVar(const std::string &Name, const Type &T, Env &Vars,
+                      SourceLoc Loc) {
+    auto It = Vars.find(Name);
+    if (It != Vars.end()) {
+      if (!It->second.equals(T))
+        error(Loc, "binder variable '" + Name + "' has type " +
+                       It->second.str() + ", expected " + T.str());
+      return;
+    }
+    Vars[Name] = T;
+  }
+
+  const Module &M;
+  DiagnosticEngine &Diags;
+  CheckedModule CM;
+};
+
+} // namespace
+
+CheckedModule flix::checkModule(const ast::Module &M,
+                                DiagnosticEngine &Diags) {
+  return Sema(M, Diags).run();
+}

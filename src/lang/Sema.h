@@ -1,0 +1,85 @@
+//===- lang/Sema.h - FLIX semantic analysis --------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking for FLIX modules. Produces a
+/// CheckedModule with resolved symbol tables that the interpreter and the
+/// lowering pass consume. Enforces the paper's syntactic restrictions:
+/// function applications only in the last term of a rule head (§3.3),
+/// filters returning Bool, binder functions returning sets, and lattice
+/// attributes only in the last column of `lat` declarations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_LANG_SEMA_H
+#define FLIX_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "lang/Types.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flix {
+
+/// Resolved information about one enum case.
+struct EnumCaseInfo {
+  std::string QualifiedName; ///< "Enum.Case"
+  std::optional<Type> Payload;
+};
+
+struct EnumInfo {
+  std::string Name;
+  std::map<std::string, EnumCaseInfo> Cases;
+};
+
+struct DefInfo {
+  const ast::DefDecl *Decl = nullptr;
+  std::vector<Type> ParamTypes;
+  Type RetType;
+};
+
+struct LatticeBindInfo {
+  const ast::LatticeBindDecl *Decl = nullptr;
+  Type ElemType; ///< the carrier type (e.g. the Parity enum)
+};
+
+struct PredInfo {
+  const ast::PredDecl *Decl = nullptr;
+  std::vector<Type> AttrTypes;
+  /// For `lat` predicates: the type name whose lattice binding supplies
+  /// the operations on the last column.
+  std::string LatticeTypeName;
+};
+
+/// Per-rule variable typing, computed by Sema and reused by lowering.
+struct RuleVarInfo {
+  std::map<std::string, Type> VarTypes;
+};
+
+/// The result of semantic analysis. All pointers reference the Module that
+/// was checked; keep it alive.
+struct CheckedModule {
+  const ast::Module *Ast = nullptr;
+  std::map<std::string, EnumInfo> Enums;
+  std::map<std::string, DefInfo> Defs;
+  std::map<std::string, LatticeBindInfo> LatticeBinds;
+  std::map<std::string, PredInfo> Preds;
+  std::vector<RuleVarInfo> RuleVars; ///< parallel to Ast->Rules
+  /// Validated index hints: predicate name and key-column bitmask.
+  std::vector<std::pair<std::string, uint64_t>> IndexHints;
+};
+
+/// Runs name resolution and type checking. Returns the checked module;
+/// inspect \p Diags for errors (the module is unusable if there are any).
+CheckedModule checkModule(const ast::Module &M, DiagnosticEngine &Diags);
+
+} // namespace flix
+
+#endif // FLIX_LANG_SEMA_H

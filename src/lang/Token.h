@@ -1,0 +1,97 @@
+//===- lang/Token.h - FLIX tokens ------------------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for the FLIX surface language (§2.2, Figure 2). The
+/// syntax is inspired by Scala (expressions) and Datalog (rules).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_LANG_TOKEN_H
+#define FLIX_LANG_TOKEN_H
+
+#include "support/SourceManager.h"
+
+#include <string>
+#include <string_view>
+
+namespace flix {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+
+  // Literals and identifiers.
+  Ident,      ///< lowercase-initial identifier (variables, functions)
+  UpperIdent, ///< uppercase-initial identifier (predicates, enums, tags)
+  IntLit,
+  StrLit,
+
+  // Keywords.
+  KwEnum,
+  KwCase,
+  KwDef,
+  KwExt,
+  KwMatch,
+  KwWith,
+  KwLet,
+  KwIf,
+  KwElse,
+  KwRel,
+  KwLat,
+  KwTrue,
+  KwFalse,
+  KwIndex, ///< reserved for index hints
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Dot,
+  Colon,
+  ColonMinus, ///< :-
+  Underscore,
+  Eq,        ///< =
+  FatArrow,  ///< =>
+  LeftArrow, ///< <-
+  HashBrace, ///< #{
+  Bang,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  AmpAmp,
+  PipePipe,
+};
+
+/// Returns a human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text; ///< slice of the source buffer
+  int64_t IntValue = 0;  ///< for IntLit
+  std::string StrValue;  ///< for StrLit (with escapes processed)
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace flix
+
+#endif // FLIX_LANG_TOKEN_H

@@ -1,0 +1,97 @@
+//===- lang/Types.h - FLIX semantic types ----------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The monomorphic semantic types of the FLIX functional sub-language:
+/// Bool, Int, Str, Unit, declared enums, tuples and sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_LANG_TYPES_H
+#define FLIX_LANG_TYPES_H
+
+#include <string>
+#include <vector>
+
+namespace flix {
+
+struct Type {
+  enum class Kind {
+    Invalid, ///< produced by error recovery; compares equal to anything
+    Bool,
+    Int,
+    Str,
+    Unit,
+    Enum,
+    Tuple,
+    Set,
+  };
+  Kind K = Kind::Invalid;
+  std::string EnumName;
+  std::vector<Type> Elems; ///< tuple elements, or the set element at [0]
+
+  static Type invalid() { return Type{}; }
+  static Type boolean() { return Type{Kind::Bool, {}, {}}; }
+  static Type integer() { return Type{Kind::Int, {}, {}}; }
+  static Type string() { return Type{Kind::Str, {}, {}}; }
+  static Type unit() { return Type{Kind::Unit, {}, {}}; }
+  static Type enumeration(std::string Name) {
+    return Type{Kind::Enum, std::move(Name), {}};
+  }
+  static Type tuple(std::vector<Type> Elems) {
+    return Type{Kind::Tuple, {}, std::move(Elems)};
+  }
+  static Type set(Type Elem) { return Type{Kind::Set, {}, {std::move(Elem)}}; }
+
+  bool isInvalid() const { return K == Kind::Invalid; }
+
+  /// Structural equality, with Invalid acting as a wildcard so that one
+  /// error does not cascade.
+  bool equals(const Type &O) const {
+    if (isInvalid() || O.isInvalid())
+      return true;
+    if (K != O.K || EnumName != O.EnumName ||
+        Elems.size() != O.Elems.size())
+      return false;
+    for (size_t I = 0; I < Elems.size(); ++I)
+      if (!Elems[I].equals(O.Elems[I]))
+        return false;
+    return true;
+  }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Invalid:
+      return "<error>";
+    case Kind::Bool:
+      return "Bool";
+    case Kind::Int:
+      return "Int";
+    case Kind::Str:
+      return "Str";
+    case Kind::Unit:
+      return "Unit";
+    case Kind::Enum:
+      return EnumName;
+    case Kind::Tuple: {
+      std::string Out = "(";
+      for (size_t I = 0; I < Elems.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += Elems[I].str();
+      }
+      return Out + ")";
+    }
+    case Kind::Set:
+      return "Set[" + Elems[0].str() + "]";
+    }
+    return "<error>";
+  }
+};
+
+} // namespace flix
+
+#endif // FLIX_LANG_TYPES_H

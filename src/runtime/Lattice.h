@@ -1,0 +1,82 @@
+//===- runtime/Lattice.h - Complete-lattice interface ---------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete-lattice interface used by lattice (`lat`) predicates. A
+/// lattice is the 6-tuple (E, ⊥, ⊤, ⊑, ⊔, ⊓) of §3.2; elements are runtime
+/// Values. Implementations include the built-in lattices (Lattices.h) and
+/// lattices interpreted from FLIX source (lang/Lowering.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_RUNTIME_LATTICE_H
+#define FLIX_RUNTIME_LATTICE_H
+
+#include "runtime/Value.h"
+
+#include <string>
+
+namespace flix {
+
+/// Abstract complete lattice over runtime Values.
+///
+/// The engine assumes (and the LatticeChecker can verify) that
+/// implementations satisfy the complete-lattice laws and have finite
+/// height; the paper makes the same assumption (§3.2, §7 "Safety").
+class Lattice {
+public:
+  virtual ~Lattice();
+
+  /// Human-readable lattice name, e.g. "Parity".
+  virtual std::string name() const = 0;
+
+  /// The least element ⊥.
+  virtual Value bot() const = 0;
+
+  /// The greatest element ⊤.
+  virtual Value top() const = 0;
+
+  /// The partial order: returns true iff \p A ⊑ \p B.
+  virtual bool leq(Value A, Value B) const = 0;
+
+  /// The least upper bound \p A ⊔ \p B.
+  virtual Value lub(Value A, Value B) const = 0;
+
+  /// The greatest lower bound \p A ⊓ \p B.
+  virtual Value glb(Value A, Value B) const = 0;
+
+  /// True iff \p A is strictly below \p B.
+  bool lt(Value A, Value B) const { return A != B && leq(A, B); }
+};
+
+/// The two-point boolean lattice false ⊑ true. Relational (`rel`)
+/// predicates are lattice predicates over this lattice: a tuple is either
+/// absent (false) or present (true). See DESIGN.md §7.
+class BoolLattice final : public Lattice {
+public:
+  explicit BoolLattice(const ValueFactory &F)
+      : False(F.boolean(false)), True(F.boolean(true)) {}
+
+  std::string name() const override { return "Bool"; }
+  Value bot() const override { return False; }
+  Value top() const override { return True; }
+  bool leq(Value A, Value B) const override {
+    return !A.asBool() || B.asBool();
+  }
+  Value lub(Value A, Value B) const override {
+    return (A.asBool() || B.asBool()) ? True : False;
+  }
+  Value glb(Value A, Value B) const override {
+    return (A.asBool() && B.asBool()) ? True : False;
+  }
+
+private:
+  Value False, True;
+};
+
+} // namespace flix
+
+#endif // FLIX_RUNTIME_LATTICE_H

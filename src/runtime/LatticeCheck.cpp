@@ -1,0 +1,171 @@
+//===- runtime/LatticeCheck.cpp - Lattice-law checking --------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LatticeCheck.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace flix;
+
+std::string LatticeCheckResult::summary() const {
+  if (ok())
+    return "all sampled lattice laws hold";
+  std::ostringstream OS;
+  OS << Violations.size() << " violation(s):\n";
+  for (const std::string &V : Violations)
+    OS << "  " << V << "\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Collects the sample plus ⊥ and ⊤, deduplicated.
+std::vector<Value> closeSample(const Lattice &L, std::span<const Value> S) {
+  std::vector<Value> Out(S.begin(), S.end());
+  Out.push_back(L.bot());
+  Out.push_back(L.top());
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+class Checker {
+public:
+  Checker(const Lattice &L, const ValueFactory &F, LatticeCheckResult &R)
+      : L(L), F(F), R(R) {}
+
+  void require(bool Cond, const std::string &Msg) {
+    if (!Cond && R.Violations.size() < MaxViolations)
+      R.Violations.push_back(Msg);
+  }
+
+  std::string str(Value V) const { return F.toString(V); }
+
+  const Lattice &L;
+  const ValueFactory &F;
+  LatticeCheckResult &R;
+  static constexpr size_t MaxViolations = 20;
+};
+
+} // namespace
+
+LatticeCheckResult flix::checkLatticeLaws(const Lattice &L,
+                                          const ValueFactory &F,
+                                          std::span<const Value> Sample) {
+  LatticeCheckResult R;
+  Checker C(L, F, R);
+  std::vector<Value> S = closeSample(L, Sample);
+
+  for (Value X : S) {
+    C.require(L.leq(X, X), "reflexivity fails at " + C.str(X));
+    C.require(L.leq(L.bot(), X), "bot not below " + C.str(X));
+    C.require(L.leq(X, L.top()), C.str(X) + " not below top");
+    C.require(L.lub(X, X) == X, "lub not idempotent at " + C.str(X));
+    C.require(L.glb(X, X) == X, "glb not idempotent at " + C.str(X));
+  }
+
+  for (Value X : S) {
+    for (Value Y : S) {
+      if (L.leq(X, Y) && L.leq(Y, X))
+        C.require(X == Y, "antisymmetry fails at " + C.str(X) + " vs " +
+                              C.str(Y));
+      Value J = L.lub(X, Y);
+      C.require(J == L.lub(Y, X), "lub not commutative at " + C.str(X) +
+                                      ", " + C.str(Y));
+      C.require(L.leq(X, J) && L.leq(Y, J),
+                "lub " + C.str(J) + " not an upper bound of " + C.str(X) +
+                    ", " + C.str(Y));
+      Value M = L.glb(X, Y);
+      C.require(M == L.glb(Y, X), "glb not commutative at " + C.str(X) +
+                                      ", " + C.str(Y));
+      C.require(L.leq(M, X) && L.leq(M, Y),
+                "glb " + C.str(M) + " not a lower bound of " + C.str(X) +
+                    ", " + C.str(Y));
+    }
+  }
+
+  for (Value X : S) {
+    for (Value Y : S) {
+      Value J = L.lub(X, Y);
+      Value M = L.glb(X, Y);
+      for (Value Z : S) {
+        if (L.leq(X, Y) && L.leq(Y, Z))
+          C.require(L.leq(X, Z), "transitivity fails: " + C.str(X) + " ⊑ " +
+                                     C.str(Y) + " ⊑ " + C.str(Z));
+        // Leastness of lub / greatestness of glb among sampled bounds.
+        if (L.leq(X, Z) && L.leq(Y, Z))
+          C.require(L.leq(J, Z), "lub of " + C.str(X) + ", " + C.str(Y) +
+                                     " not least (bound " + C.str(Z) + ")");
+        if (L.leq(Z, X) && L.leq(Z, Y))
+          C.require(L.leq(Z, M), "glb of " + C.str(X) + ", " + C.str(Y) +
+                                     " not greatest (bound " + C.str(Z) +
+                                     ")");
+      }
+    }
+  }
+  return R;
+}
+
+LatticeCheckResult flix::checkMonotone(
+    const Lattice &ArgLattice, const Lattice &ResultLattice,
+    const ValueFactory &F, unsigned Arity,
+    const std::function<Value(std::span<const Value>)> &Fn,
+    std::span<const Value> Sample, bool RequireStrict,
+    const std::string &FnName) {
+  LatticeCheckResult R;
+  Checker C(ResultLattice, F, R);
+  std::vector<Value> S = closeSample(ArgLattice, Sample);
+
+  // Enumerate all argument tuples over the sample (bounded to keep this
+  // tractable for higher arities).
+  std::vector<Value> Args(Arity, ArgLattice.bot());
+  size_t Total = 1;
+  for (unsigned I = 0; I < Arity; ++I) {
+    Total *= S.size();
+    if (Total > 100000)
+      Total = 100000;
+  }
+  for (size_t Idx = 0; Idx < Total; ++Idx) {
+    size_t T = Idx;
+    bool HasBot = false;
+    for (unsigned I = 0; I < Arity; ++I) {
+      Args[I] = S[T % S.size()];
+      T /= S.size();
+      HasBot |= Args[I] == ArgLattice.bot();
+    }
+    Value Out = Fn(Args);
+    if (RequireStrict && HasBot)
+      C.require(Out == ResultLattice.bot(),
+                FnName + " not strict: non-bot result on bot argument");
+    // Monotonicity: bump each argument to every sampled Y ⊒ Args[I].
+    for (unsigned I = 0; I < Arity; ++I) {
+      Value Saved = Args[I];
+      for (Value Y : S) {
+        if (!ArgLattice.leq(Saved, Y))
+          continue;
+        Args[I] = Y;
+        Value Out2 = Fn(Args);
+        C.require(ResultLattice.leq(Out, Out2),
+                  FnName + " not monotone in argument " + std::to_string(I));
+      }
+      Args[I] = Saved;
+    }
+  }
+  return R;
+}
+
+LatticeCheckResult flix::checkMonotoneFilter(
+    const Lattice &ArgLattice, const ValueFactory &F, unsigned Arity,
+    const std::function<bool(std::span<const Value>)> &Fn,
+    std::span<const Value> Sample, const std::string &FnName) {
+  BoolLattice BoolL(F);
+  auto Wrapped = [&](std::span<const Value> Args) {
+    return F.boolean(Fn(Args));
+  };
+  return checkMonotone(ArgLattice, BoolL, F, Arity, Wrapped, Sample,
+                       /*RequireStrict=*/false, FnName);
+}

@@ -1,0 +1,65 @@
+//===- runtime/LatticeCheck.h - Lattice-law checking ----------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based verification of the complete-lattice laws and of
+/// monotonicity/strictness of transfer functions. This implements the §7
+/// "Safety" future-work direction: a FLIX programmer may inadvertently
+/// supply a malformed lattice, and the semantics is then undefined; this
+/// checker catches such mistakes on a sample of elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_RUNTIME_LATTICECHECK_H
+#define FLIX_RUNTIME_LATTICECHECK_H
+
+#include "runtime/Lattice.h"
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flix {
+
+/// Result of a lattice-law check: empty Violations means all sampled laws
+/// hold.
+struct LatticeCheckResult {
+  std::vector<std::string> Violations;
+
+  bool ok() const { return Violations.empty(); }
+  std::string summary() const;
+};
+
+/// Checks the complete-lattice laws on every pair/triple drawn from
+/// \p Sample (⊥/⊤ are added automatically): reflexivity, antisymmetry,
+/// transitivity, ⊔/⊓ being least upper / greatest lower bounds, and
+/// ⊥ ⊑ x ⊑ ⊤. O(n^3) in the sample size; intended for tests and for the
+/// engine's debug mode, not hot paths.
+LatticeCheckResult checkLatticeLaws(const Lattice &L,
+                                    const ValueFactory &F,
+                                    std::span<const Value> Sample);
+
+/// Checks that \p Fn (an n-ary function on lattice elements) is monotone in
+/// every argument over the sampled elements, and — when \p RequireStrict —
+/// strict (maps any ⊥ argument to ⊥).
+LatticeCheckResult checkMonotone(
+    const Lattice &ArgLattice, const Lattice &ResultLattice,
+    const ValueFactory &F, unsigned Arity,
+    const std::function<Value(std::span<const Value>)> &Fn,
+    std::span<const Value> Sample, bool RequireStrict,
+    const std::string &FnName);
+
+/// Checks that a boolean filter function is monotone (false < true) over
+/// the sampled elements in every argument.
+LatticeCheckResult checkMonotoneFilter(
+    const Lattice &ArgLattice, const ValueFactory &F, unsigned Arity,
+    const std::function<bool(std::span<const Value>)> &Fn,
+    std::span<const Value> Sample, const std::string &FnName);
+
+} // namespace flix
+
+#endif // FLIX_RUNTIME_LATTICECHECK_H

@@ -1,0 +1,443 @@
+//===- runtime/Lattices.cpp - Built-in lattices ---------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Lattices.h"
+
+#include <algorithm>
+
+using namespace flix;
+
+Lattice::~Lattice() = default;
+
+//===----------------------------------------------------------------------===//
+// ParityLattice
+//===----------------------------------------------------------------------===//
+
+ParityLattice::ParityLattice(ValueFactory &F)
+    : Bot(F.tag("Parity.Bot")), Odd(F.tag("Parity.Odd")),
+      Even(F.tag("Parity.Even")), Top(F.tag("Parity.Top")) {}
+
+bool ParityLattice::leq(Value A, Value B) const {
+  return A == Bot || B == Top || A == B;
+}
+
+Value ParityLattice::lub(Value A, Value B) const {
+  if (A == Bot)
+    return B;
+  if (B == Bot)
+    return A;
+  return A == B ? A : Top;
+}
+
+Value ParityLattice::glb(Value A, Value B) const {
+  if (A == Top)
+    return B;
+  if (B == Top)
+    return A;
+  return A == B ? A : Bot;
+}
+
+Value ParityLattice::sum(Value A, Value B) const {
+  if (A == Bot || B == Bot)
+    return Bot;
+  if (A == Top || B == Top)
+    return Top;
+  // odd+odd = even, even+even = even, odd+even = odd.
+  return A == B ? Even : Odd;
+}
+
+Value ParityLattice::product(Value A, Value B) const {
+  if (A == Bot || B == Bot)
+    return Bot;
+  // even * anything (non-bot, non-top) = even.
+  if (A == Even || B == Even)
+    return Even;
+  if (A == Top || B == Top)
+    return Top;
+  return Odd;
+}
+
+//===----------------------------------------------------------------------===//
+// SignLattice
+//===----------------------------------------------------------------------===//
+
+SignLattice::SignLattice(ValueFactory &F)
+    : Bot(F.tag("Sign.Bot")), Neg(F.tag("Sign.Neg")), Zer(F.tag("Sign.Zer")),
+      Pos(F.tag("Sign.Pos")), Top(F.tag("Sign.Top")) {}
+
+bool SignLattice::leq(Value A, Value B) const {
+  return A == Bot || B == Top || A == B;
+}
+
+Value SignLattice::lub(Value A, Value B) const {
+  if (A == Bot)
+    return B;
+  if (B == Bot)
+    return A;
+  return A == B ? A : Top;
+}
+
+Value SignLattice::glb(Value A, Value B) const {
+  if (A == Top)
+    return B;
+  if (B == Top)
+    return A;
+  return A == B ? A : Bot;
+}
+
+Value SignLattice::sum(Value A, Value B) const {
+  if (A == Bot || B == Bot)
+    return Bot;
+  if (A == Top || B == Top)
+    return Top;
+  if (A == Zer)
+    return B;
+  if (B == Zer)
+    return A;
+  // pos+pos = pos, neg+neg = neg, pos+neg = unknown.
+  return A == B ? A : Top;
+}
+
+//===----------------------------------------------------------------------===//
+// ConstantLattice
+//===----------------------------------------------------------------------===//
+
+ConstantLattice::ConstantLattice(ValueFactory &F)
+    : F(F), CstSym(F.strings().intern("Constant.Cst")),
+      Bot(F.tag("Constant.Bot")), Top(F.tag("Constant.Top")) {}
+
+Value ConstantLattice::constant(int64_t K) const {
+  return F.tag(CstSym, F.integer(K));
+}
+
+bool ConstantLattice::isConstant(Value A) const {
+  return A.isTag() && F.tagName(A) == CstSym;
+}
+
+int64_t ConstantLattice::constantValue(Value A) const {
+  assert(isConstant(A) && "not a Cst value");
+  return F.tagPayload(A).asInt();
+}
+
+bool ConstantLattice::leq(Value A, Value B) const {
+  return A == Bot || B == Top || A == B;
+}
+
+Value ConstantLattice::lub(Value A, Value B) const {
+  if (A == Bot)
+    return B;
+  if (B == Bot)
+    return A;
+  return A == B ? A : Top;
+}
+
+Value ConstantLattice::glb(Value A, Value B) const {
+  if (A == Top)
+    return B;
+  if (B == Top)
+    return A;
+  return A == B ? A : Bot;
+}
+
+Value ConstantLattice::sum(Value A, Value B) const {
+  if (A == Bot || B == Bot)
+    return Bot;
+  if (A == Top || B == Top)
+    return Top;
+  return constant(constantValue(A) + constantValue(B));
+}
+
+Value ConstantLattice::product(Value A, Value B) const {
+  if (A == Bot || B == Bot)
+    return Bot;
+  // 0 * x = 0 even for unknown x (only when the other side is a known 0).
+  if (isConstant(A) && constantValue(A) == 0)
+    return A;
+  if (isConstant(B) && constantValue(B) == 0)
+    return B;
+  if (A == Top || B == Top)
+    return Top;
+  return constant(constantValue(A) * constantValue(B));
+}
+
+bool ConstantLattice::isMaybeZero(Value A) const {
+  if (A == Bot)
+    return false;
+  if (A == Top)
+    return true;
+  return constantValue(A) == 0;
+}
+
+//===----------------------------------------------------------------------===//
+// IntervalLattice
+//===----------------------------------------------------------------------===//
+
+IntervalLattice::IntervalLattice(ValueFactory &F, int64_t Bound)
+    : F(F), Bound(Bound), RangeSym(F.strings().intern("Interval.Range")),
+      Bot(F.tag("Interval.Bot")), Top(range(-Bound, Bound)) {
+  assert(Bound > 0 && "interval bound must be positive");
+}
+
+int64_t IntervalLattice::clamp(int64_t X) const {
+  return std::min(std::max(X, -Bound), Bound);
+}
+
+Value IntervalLattice::range(int64_t Lo, int64_t Hi) const {
+  assert(Lo <= Hi && "malformed interval");
+  return F.tag(RangeSym, F.tuple({F.integer(clamp(Lo)), F.integer(clamp(Hi))}));
+}
+
+int64_t IntervalLattice::lo(Value A) const {
+  assert(A != Bot && "no endpoints on Bot");
+  return F.tupleElems(F.tagPayload(A))[0].asInt();
+}
+
+int64_t IntervalLattice::hi(Value A) const {
+  assert(A != Bot && "no endpoints on Bot");
+  return F.tupleElems(F.tagPayload(A))[1].asInt();
+}
+
+bool IntervalLattice::leq(Value A, Value B) const {
+  if (A == Bot)
+    return true;
+  if (B == Bot)
+    return false;
+  return lo(B) <= lo(A) && hi(A) <= hi(B);
+}
+
+Value IntervalLattice::lub(Value A, Value B) const {
+  if (A == Bot)
+    return B;
+  if (B == Bot)
+    return A;
+  return range(std::min(lo(A), lo(B)), std::max(hi(A), hi(B)));
+}
+
+Value IntervalLattice::glb(Value A, Value B) const {
+  if (A == Bot || B == Bot)
+    return Bot;
+  int64_t Lo = std::max(lo(A), lo(B));
+  int64_t Hi = std::min(hi(A), hi(B));
+  return Lo <= Hi ? range(Lo, Hi) : Bot;
+}
+
+Value IntervalLattice::sum(Value A, Value B) const {
+  if (A == Bot || B == Bot)
+    return Bot;
+  return range(clamp(lo(A) + lo(B)), clamp(hi(A) + hi(B)));
+}
+
+bool IntervalLattice::isMaybeZero(Value A) const {
+  return A != Bot && lo(A) <= 0 && 0 <= hi(A);
+}
+
+//===----------------------------------------------------------------------===//
+// SULattice
+//===----------------------------------------------------------------------===//
+
+SULattice::SULattice(ValueFactory &F)
+    : F(F), SingleSym(F.strings().intern("SU.Single")), Bot(F.tag("SU.Bottom")),
+      Top(F.tag("SU.Top")) {}
+
+Value SULattice::single(Value P) const { return F.tag(SingleSym, P); }
+
+bool SULattice::isSingle(Value A) const {
+  return A.isTag() && F.tagName(A) == SingleSym;
+}
+
+Value SULattice::singleObject(Value A) const {
+  assert(isSingle(A) && "not a Single value");
+  return F.tagPayload(A);
+}
+
+bool SULattice::leq(Value A, Value B) const {
+  return A == Bot || B == Top || A == B;
+}
+
+Value SULattice::lub(Value A, Value B) const {
+  if (A == Bot)
+    return B;
+  if (B == Bot)
+    return A;
+  return A == B ? A : Top;
+}
+
+Value SULattice::glb(Value A, Value B) const {
+  if (A == Top)
+    return B;
+  if (B == Top)
+    return A;
+  return A == B ? A : Bot;
+}
+
+bool SULattice::filter(Value T, Value B) const {
+  // Figure 4: Bottom => false, Single(p) => b == p, Top => true.
+  if (T == Bot)
+    return false;
+  if (T == Top)
+    return true;
+  return singleObject(T) == B;
+}
+
+//===----------------------------------------------------------------------===//
+// MinCostLattice
+//===----------------------------------------------------------------------===//
+
+MinCostLattice::MinCostLattice(ValueFactory &F)
+    : F(F), Inf(F.tag("Cost.Inf")), Zero(F.integer(0)) {}
+
+Value MinCostLattice::cost(int64_t C) const {
+  assert(C >= 0 && "costs are naturals");
+  return F.integer(C);
+}
+
+int64_t MinCostLattice::costValue(Value A) const {
+  assert(!isInfinity(A) && "infinite cost");
+  return A.asInt();
+}
+
+bool MinCostLattice::leq(Value A, Value B) const {
+  // Reversed order: A ⊑ B iff cost(A) >= cost(B); ∞ is the least element.
+  if (A == Inf)
+    return true;
+  if (B == Inf)
+    return false;
+  return A.asInt() >= B.asInt();
+}
+
+Value MinCostLattice::lub(Value A, Value B) const {
+  if (A == Inf)
+    return B;
+  if (B == Inf)
+    return A;
+  return A.asInt() <= B.asInt() ? A : B;
+}
+
+Value MinCostLattice::glb(Value A, Value B) const {
+  if (A == Inf || B == Inf)
+    return Inf;
+  return A.asInt() >= B.asInt() ? A : B;
+}
+
+Value MinCostLattice::addCost(Value A, int64_t W) const {
+  assert(W >= 0 && "edge weights are naturals");
+  if (A == Inf)
+    return Inf;
+  return F.integer(A.asInt() + W);
+}
+
+//===----------------------------------------------------------------------===//
+// PowersetLattice
+//===----------------------------------------------------------------------===//
+
+PowersetLattice::PowersetLattice(ValueFactory &F, std::vector<Value> Universe)
+    : F(F), Empty(F.emptySet()), Univ(F.set(std::move(Universe))) {}
+
+//===----------------------------------------------------------------------===//
+// TransformerLattice
+//===----------------------------------------------------------------------===//
+
+TransformerLattice::TransformerLattice(ValueFactory &F,
+                                       const ConstantLattice &CL)
+    : F(F), CL(CL), NonBotSym(F.strings().intern("Transformer.NonBot")),
+      Bot(F.tag("Transformer.Bot")), Top(nonBot(0, 0, CL.top())),
+      Identity(nonBot(1, 0, CL.bot())) {}
+
+Value TransformerLattice::nonBot(int64_t A, int64_t B, Value C) const {
+  auto raw = [&](int64_t RA, int64_t RB, Value RC) {
+    return F.tag(NonBotSym, F.tuple({F.integer(RA), F.integer(RB), RC}));
+  };
+  // Canonicalize semantically equal representations so that equality of
+  // handles coincides with pointwise equality of micro-functions:
+  //   λl.(a·l + b) ⊔ ⊤   ==  λl.⊤                 (any a, b)
+  //   λl.(0·l + b) ⊔ c   ==  λl.Cst(b) ⊔ c        (a constant function)
+  if (C == CL.top())
+    return raw(0, 0, CL.top());
+  if (A == 0) {
+    Value V = CL.lub(CL.constant(B), C);
+    if (V == CL.top())
+      return raw(0, 0, CL.top());
+    // V is Cst(m); Figure 7 writes constant functions as NonBot(0,m,Cst(m)).
+    return raw(0, CL.constantValue(V), V);
+  }
+  return raw(A, B, C);
+}
+
+TransformerLattice::NonBotParts TransformerLattice::parts(Value T) const {
+  assert(T != Bot && "BotTransformer has no parts");
+  std::span<const Value> E = F.tupleElems(F.tagPayload(T));
+  return NonBotParts{E[0].asInt(), E[1].asInt(), E[2]};
+}
+
+bool TransformerLattice::leq(Value A, Value B) const {
+  return lub(A, B) == B;
+}
+
+Value TransformerLattice::lub(Value A, Value B) const {
+  if (A == Bot)
+    return B;
+  if (B == Bot)
+    return A;
+  if (A == B)
+    return A;
+  NonBotParts PA = parts(A), PB = parts(B);
+  if (PA.A == PB.A && PA.B == PB.B)
+    return nonBot(PA.A, PA.B, CL.lub(PA.C, PB.C));
+  // Distinct linear parts: collapse to the constant-⊤ function, exactly as
+  // Figure 7's comp does for the (Bot, NonBot(_, _, Top)) case.
+  return Top;
+}
+
+Value TransformerLattice::glb(Value A, Value B) const {
+  if (A == Top)
+    return B;
+  if (B == Top)
+    return A;
+  if (A == Bot || B == Bot)
+    return Bot;
+  if (A == B)
+    return A;
+  NonBotParts PA = parts(A), PB = parts(B);
+  if (PA.A == PB.A && PA.B == PB.B)
+    return nonBot(PA.A, PA.B, CL.glb(PA.C, PB.C));
+  return Bot;
+}
+
+Value TransformerLattice::comp(Value T1, Value T2) const {
+  // Figure 7, with (T1, T2) matching the paper's (t1, t2): T1 runs first.
+  if (T2 == Bot)
+    return Bot;
+  NonBotParts P2 = parts(T2);
+  if (T1 == Bot) {
+    if (P2.C == CL.bot())
+      return Bot;
+    if (CL.isConstant(P2.C))
+      return nonBot(0, CL.constantValue(P2.C), P2.C);
+    return Top; // NonBot(0, 0, Top)
+  }
+  NonBotParts P1 = parts(T1);
+  // (NonBot(a2,b2,c2), NonBot(a1,b1,c1)) in the paper's naming:
+  //   a2,b2,c2 = P1 (first function), a1,b1,c1 = P2 (second function).
+  int64_t A = P2.A * P1.A;
+  int64_t B = P2.A * P1.B + P2.B;
+  Value C = CL.lub(CL.sum(CL.product(P1.C, CL.constant(P2.A)),
+                          CL.constant(P2.B)),
+                   P2.C);
+  return nonBot(A, B, C);
+}
+
+Value TransformerLattice::apply(Value T, Value V) const {
+  if (T == Bot)
+    return CL.bot();
+  NonBotParts P = parts(T);
+  Value Linear;
+  if (P.A == 0) {
+    Linear = CL.constant(P.B);
+  } else {
+    Linear = CL.sum(CL.product(V, CL.constant(P.A)), CL.constant(P.B));
+  }
+  return CL.lub(Linear, P.C);
+}

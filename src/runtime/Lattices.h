@@ -1,0 +1,270 @@
+//===- runtime/Lattices.h - Built-in lattices -----------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in lattices used by the paper's analyses:
+///   * Parity      — §2.2, Figure 2 (odd/even dataflow)
+///   * Sign        — §3.2 second worked example
+///   * Constant    — constant propagation (§1, §4.3)
+///   * Interval    — bounded intervals, finite height via clamping
+///   * SULattice   — Strong Update analysis (§4.1, Figure 4)
+///   * MinCost     — all-pairs shortest paths (§4.4): (N, ∞, 0, ≥, min, max)
+///   * Powerset    — finite powerset over an explicit universe
+///   * Transformer — IDE micro-functions λl.(a·l+b) ⊔ c (§4.3, Figure 7)
+///
+/// Each lattice also exposes the monotone transfer/filter functions the
+/// paper's examples use (e.g. Parity::sum, Parity::isMaybeZero).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_RUNTIME_LATTICES_H
+#define FLIX_RUNTIME_LATTICES_H
+
+#include "runtime/Lattice.h"
+
+#include <vector>
+
+namespace flix {
+
+/// The parity lattice: Bot ⊑ {Odd, Even} ⊑ Top.
+class ParityLattice final : public Lattice {
+public:
+  explicit ParityLattice(ValueFactory &F);
+
+  std::string name() const override { return "Parity"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value A, Value B) const override;
+  Value lub(Value A, Value B) const override;
+  Value glb(Value A, Value B) const override;
+
+  Value odd() const { return Odd; }
+  Value even() const { return Even; }
+
+  /// Abstracts a concrete integer.
+  Value alpha(int64_t N) const { return (N % 2 == 0) ? Even : Odd; }
+
+  /// Monotone abstract addition (strict in both arguments).
+  Value sum(Value A, Value B) const;
+  /// Monotone abstract multiplication (strict in both arguments).
+  Value product(Value A, Value B) const;
+  /// Monotone filter: may the abstracted number be zero?
+  bool isMaybeZero(Value A) const { return A == Even || A == Top; }
+
+private:
+  Value Bot, Odd, Even, Top;
+};
+
+/// The sign lattice: Bot ⊑ {Neg, Zer, Pos} ⊑ Top.
+class SignLattice final : public Lattice {
+public:
+  explicit SignLattice(ValueFactory &F);
+
+  std::string name() const override { return "Sign"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value A, Value B) const override;
+  Value lub(Value A, Value B) const override;
+  Value glb(Value A, Value B) const override;
+
+  Value neg() const { return Neg; }
+  Value zer() const { return Zer; }
+  Value pos() const { return Pos; }
+  Value alpha(int64_t N) const { return N < 0 ? Neg : (N == 0 ? Zer : Pos); }
+
+  /// Monotone abstract addition.
+  Value sum(Value A, Value B) const;
+
+private:
+  Value Bot, Neg, Zer, Pos, Top;
+};
+
+/// The (flat) constant-propagation lattice over 64-bit integers:
+/// Bot ⊑ Cst(k) ⊑ Top. Infinite width but height 3, so ascending chains
+/// are finite as the paper requires.
+class ConstantLattice final : public Lattice {
+public:
+  explicit ConstantLattice(ValueFactory &F);
+
+  std::string name() const override { return "Constant"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value A, Value B) const override;
+  Value lub(Value A, Value B) const override;
+  Value glb(Value A, Value B) const override;
+
+  /// Builds Cst(k).
+  Value constant(int64_t K) const;
+  bool isConstant(Value A) const;
+  /// Extracts k from Cst(k); asserts otherwise.
+  int64_t constantValue(Value A) const;
+
+  /// Strict monotone abstract arithmetic.
+  Value sum(Value A, Value B) const;
+  Value product(Value A, Value B) const;
+  /// Monotone filter: may the value be zero?
+  bool isMaybeZero(Value A) const;
+
+private:
+  ValueFactory &F;
+  Symbol CstSym;
+  Value Bot, Top;
+};
+
+/// Bounded interval lattice. Endpoints are clamped to [-Bound, Bound], and
+/// anything escaping the clamp widens to the bound, giving the finite
+/// height the paper's termination argument requires (§3.2).
+class IntervalLattice final : public Lattice {
+public:
+  IntervalLattice(ValueFactory &F, int64_t Bound = 128);
+
+  std::string name() const override { return "Interval"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value A, Value B) const override;
+  Value lub(Value A, Value B) const override;
+  Value glb(Value A, Value B) const override;
+
+  /// Builds the interval [Lo, Hi] (clamped). Asserts Lo <= Hi.
+  Value range(int64_t Lo, int64_t Hi) const;
+  Value singleton(int64_t K) const { return range(K, K); }
+  int64_t lo(Value A) const;
+  int64_t hi(Value A) const;
+
+  /// Strict monotone abstract addition.
+  Value sum(Value A, Value B) const;
+  /// Monotone filter: may the value be zero?
+  bool isMaybeZero(Value A) const;
+
+private:
+  int64_t clamp(int64_t X) const;
+
+  ValueFactory &F;
+  int64_t Bound;
+  Symbol RangeSym;
+  Value Bot, Top;
+};
+
+/// The Strong Update lattice of Lhoták & Chung (POPL'11), Figure 4 of the
+/// FLIX paper: Bottom ⊑ Single(p) ⊑ Top.
+class SULattice final : public Lattice {
+public:
+  explicit SULattice(ValueFactory &F);
+
+  std::string name() const override { return "SU"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value A, Value B) const override;
+  Value lub(Value A, Value B) const override;
+  Value glb(Value A, Value B) const override;
+
+  /// Builds Single(p) for abstract object \p P.
+  Value single(Value P) const;
+  bool isSingle(Value A) const;
+  Value singleObject(Value A) const;
+
+  /// The paper's `filter` function: does points-to target \p B survive the
+  /// strong-update information \p T? (Figure 4.)
+  bool filter(Value T, Value B) const;
+
+private:
+  ValueFactory &F;
+  Symbol SingleSym;
+  Value Bot, Top;
+};
+
+/// Shortest-path cost lattice (N ∪ {∞}, ∞, 0, ≥, min, max) from §4.4.
+/// Note the order is reversed: larger costs are *lower* in the lattice, so
+/// the least fixed point is the minimal distance.
+class MinCostLattice final : public Lattice {
+public:
+  explicit MinCostLattice(ValueFactory &F);
+
+  std::string name() const override { return "MinCost"; }
+  Value bot() const override { return Inf; }
+  Value top() const override { return Zero; }
+  bool leq(Value A, Value B) const override;
+  Value lub(Value A, Value B) const override;
+  Value glb(Value A, Value B) const override;
+
+  Value infinity() const { return Inf; }
+  Value cost(int64_t C) const;
+  bool isInfinity(Value A) const { return A == Inf; }
+  int64_t costValue(Value A) const;
+
+  /// Monotone transfer: adds edge weight \p W (saturating at ∞).
+  Value addCost(Value A, int64_t W) const;
+
+private:
+  ValueFactory &F;
+  Value Inf, Zero;
+};
+
+/// Finite powerset lattice over an explicit universe, ordered by ⊆.
+class PowersetLattice final : public Lattice {
+public:
+  PowersetLattice(ValueFactory &F, std::vector<Value> Universe);
+
+  std::string name() const override { return "Powerset"; }
+  Value bot() const override { return Empty; }
+  Value top() const override { return Univ; }
+  bool leq(Value A, Value B) const override { return F.setSubsetOf(A, B); }
+  Value lub(Value A, Value B) const override { return F.setUnion(A, B); }
+  Value glb(Value A, Value B) const override { return F.setIntersect(A, B); }
+
+private:
+  ValueFactory &F;
+  Value Empty, Univ;
+};
+
+/// The IDE micro-function lattice (§4.3, Figure 7): λl.⊥ and functions
+/// λl.(a·l + b) ⊔ c over the Constant lattice. Join of functions with
+/// different linear parts conservatively widens to the constant-⊤ function
+/// NonBot(0, 0, ⊤) — the same collapse Figure 7's `comp` uses.
+class TransformerLattice final : public Lattice {
+public:
+  TransformerLattice(ValueFactory &F, const ConstantLattice &CL);
+
+  std::string name() const override { return "Transformer"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value A, Value B) const override;
+  Value lub(Value A, Value B) const override;
+  Value glb(Value A, Value B) const override;
+
+  /// Builds NonBot(a, b, c); \p C must be a Constant-lattice element.
+  Value nonBot(int64_t A, int64_t B, Value C) const;
+  /// The identity micro-function λl.l, used by the IDE JumpFn seed rule.
+  Value identity() const { return Identity; }
+  bool isBotTransformer(Value T) const { return T == Bot; }
+
+  /// Micro-function composition — the FLIX function of Figure 7, verbatim.
+  /// `comp(T1, T2)` applies \p T1 first, then \p T2 (i.e. T2 ∘ T1), which
+  /// is the order the IDE rules of Figure 6 rely on.
+  Value comp(Value T1, Value T2) const;
+
+  /// Applies micro-function \p T to constant-lattice element \p V.
+  Value apply(Value T, Value V) const;
+
+  /// The value lattice V the micro-functions transform.
+  const ConstantLattice &constants() const { return CL; }
+
+private:
+  struct NonBotParts {
+    int64_t A, B;
+    Value C;
+  };
+  NonBotParts parts(Value T) const;
+
+  ValueFactory &F;
+  const ConstantLattice &CL;
+  Symbol NonBotSym;
+  Value Bot, Top, Identity;
+};
+
+} // namespace flix
+
+#endif // FLIX_RUNTIME_LATTICES_H

@@ -1,0 +1,207 @@
+//===- runtime/Value.cpp - Hash-consed runtime values ---------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace flix;
+
+template <typename EqFn, typename MakeFn>
+uint32_t ValueFactory::internIn(FlatIndex &Ix, uint64_t H, EqFn Eq,
+                                MakeFn MakeNew) {
+  // Grow at 70% load (including initial allocation).
+  if (Ix.Count * 10 >= Ix.capacity() * 7) {
+    size_t NewCap = std::max<size_t>(64, Ix.capacity() * 2);
+    FlatIndex NewIx;
+    NewIx.Hashes.assign(NewCap, 0);
+    NewIx.Ids.assign(NewCap, FlatIndex::Empty);
+    NewIx.Count = Ix.Count;
+    size_t Mask = NewCap - 1;
+    for (size_t I = 0; I < Ix.capacity(); ++I) {
+      if (Ix.Ids[I] == FlatIndex::Empty)
+        continue;
+      size_t Slot = Ix.Hashes[I] & Mask;
+      while (NewIx.Ids[Slot] != FlatIndex::Empty)
+        Slot = (Slot + 1) & Mask;
+      NewIx.Hashes[Slot] = Ix.Hashes[I];
+      NewIx.Ids[Slot] = Ix.Ids[I];
+    }
+    Ix = std::move(NewIx);
+  }
+
+  size_t Mask = Ix.capacity() - 1;
+  size_t Slot = H & Mask;
+  while (Ix.Ids[Slot] != FlatIndex::Empty) {
+    if (Ix.Hashes[Slot] == H && Eq(Ix.Ids[Slot]))
+      return Ix.Ids[Slot];
+    Slot = (Slot + 1) & Mask;
+  }
+  uint32_t Id = MakeNew();
+  Ix.Hashes[Slot] = H;
+  Ix.Ids[Slot] = Id;
+  ++Ix.Count;
+  return Id;
+}
+
+Value ValueFactory::tag(Symbol TagName, Value Payload) {
+  uint64_t H = hashValues(static_cast<uint64_t>(TagName.Id), Payload.hash());
+  uint32_t Id = internIn(
+      TagIndex, H,
+      [&](uint32_t Idx) {
+        const TagRecord &R = Tags[Idx];
+        return R.Name == TagName && R.Payload == Payload;
+      },
+      [&] {
+        Tags.push_back({TagName, Payload});
+        PayloadBytes += sizeof(TagRecord);
+        return static_cast<uint32_t>(Tags.size() - 1);
+      });
+  return Value(ValueKind::Tag, Id);
+}
+
+Value ValueFactory::internSeq(std::span<const Value> Elems, ValueKind K) {
+  uint64_t H = 0x7c0fa1d2b3e4f596ULL;
+  for (const Value &V : Elems)
+    H = hashCombine(H, V.hash());
+  uint32_t Id = internIn(
+      SeqIndex, H,
+      [&](uint32_t Idx) {
+        const std::vector<Value> &S = Seqs[Idx];
+        return S.size() == Elems.size() &&
+               std::equal(S.begin(), S.end(), Elems.begin());
+      },
+      [&] {
+        Seqs.emplace_back(Elems.begin(), Elems.end());
+        PayloadBytes += Elems.size() * sizeof(Value) +
+                        sizeof(std::vector<Value>);
+        return static_cast<uint32_t>(Seqs.size() - 1);
+      });
+  return Value(K, Id);
+}
+
+Value ValueFactory::tuple(std::span<const Value> Elems) {
+  return internSeq(Elems, ValueKind::Tuple);
+}
+
+Value ValueFactory::set(std::vector<Value> Elems) {
+  std::sort(Elems.begin(), Elems.end());
+  Elems.erase(std::unique(Elems.begin(), Elems.end()), Elems.end());
+  return internSeq(Elems, ValueKind::Set);
+}
+
+Symbol ValueFactory::tagName(Value V) const {
+  assert(V.isTag() && "not a Tag value");
+  return Tags[V.rawBits()].Name;
+}
+
+Value ValueFactory::tagPayload(Value V) const {
+  assert(V.isTag() && "not a Tag value");
+  return Tags[V.rawBits()].Payload;
+}
+
+std::span<const Value> ValueFactory::tupleElems(Value V) const {
+  assert(V.isTuple() && "not a Tuple value");
+  return Seqs[V.rawBits()];
+}
+
+std::span<const Value> ValueFactory::setElems(Value V) const {
+  assert(V.isSet() && "not a Set value");
+  return Seqs[V.rawBits()];
+}
+
+Value ValueFactory::setInsert(Value SetV, Value Elem) {
+  std::span<const Value> Old = setElems(SetV);
+  if (std::binary_search(Old.begin(), Old.end(), Elem))
+    return SetV;
+  std::vector<Value> Elems(Old.begin(), Old.end());
+  Elems.insert(std::upper_bound(Elems.begin(), Elems.end(), Elem), Elem);
+  return internSeq(Elems, ValueKind::Set);
+}
+
+Value ValueFactory::setUnion(Value A, Value B) {
+  std::span<const Value> EA = setElems(A), EB = setElems(B);
+  std::vector<Value> Out;
+  Out.reserve(EA.size() + EB.size());
+  std::set_union(EA.begin(), EA.end(), EB.begin(), EB.end(),
+                 std::back_inserter(Out));
+  return internSeq(Out, ValueKind::Set);
+}
+
+Value ValueFactory::setIntersect(Value A, Value B) {
+  std::span<const Value> EA = setElems(A), EB = setElems(B);
+  std::vector<Value> Out;
+  std::set_intersection(EA.begin(), EA.end(), EB.begin(), EB.end(),
+                        std::back_inserter(Out));
+  return internSeq(Out, ValueKind::Set);
+}
+
+bool ValueFactory::setContains(Value SetV, Value Elem) const {
+  std::span<const Value> E = setElems(SetV);
+  return std::binary_search(E.begin(), E.end(), Elem);
+}
+
+bool ValueFactory::setSubsetOf(Value A, Value B) const {
+  std::span<const Value> EA = setElems(A), EB = setElems(B);
+  return std::includes(EB.begin(), EB.end(), EA.begin(), EA.end());
+}
+
+std::string ValueFactory::toString(Value V) const {
+  std::ostringstream OS;
+  switch (V.kind()) {
+  case ValueKind::Unit:
+    OS << "()";
+    break;
+  case ValueKind::Bool:
+    OS << (V.asBool() ? "true" : "false");
+    break;
+  case ValueKind::Int:
+    OS << V.asInt();
+    break;
+  case ValueKind::Str:
+    OS << '"' << Strings.text(V.asStr()) << '"';
+    break;
+  case ValueKind::Tag: {
+    OS << Strings.text(tagName(V));
+    Value P = tagPayload(V);
+    if (!P.isUnit())
+      OS << '(' << toString(P) << ')';
+    break;
+  }
+  case ValueKind::Tuple: {
+    OS << '(';
+    bool First = true;
+    for (const Value &E : tupleElems(V)) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << toString(E);
+    }
+    OS << ')';
+    break;
+  }
+  case ValueKind::Set: {
+    OS << '{';
+    bool First = true;
+    for (const Value &E : setElems(V)) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << toString(E);
+    }
+    OS << '}';
+    break;
+  }
+  }
+  return OS.str();
+}
+
+size_t ValueFactory::memoryBytes() const {
+  return PayloadBytes +
+         TagIndex.capacity() * (sizeof(uint64_t) + sizeof(uint32_t)) +
+         SeqIndex.capacity() * (sizeof(uint64_t) + sizeof(uint32_t));
+}

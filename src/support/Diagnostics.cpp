@@ -1,0 +1,42 @@
+//===- support/Diagnostics.cpp - Compiler diagnostics ---------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace flix;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (!D.Loc.isValid()) {
+      OS << severityName(D.Severity) << ": " << D.Message << "\n";
+      continue;
+    }
+    LineColumn LC = SM.lineColumn(D.Loc);
+    OS << SM.bufferName(D.Loc.Buffer) << ":" << LC.Line << ":" << LC.Column
+       << ": " << severityName(D.Severity) << ": " << D.Message << "\n";
+    std::string_view Line = SM.lineText(D.Loc);
+    OS << "  " << Line << "\n  ";
+    for (uint32_t I = 1; I < LC.Column; ++I)
+      OS << (I - 1 < Line.size() && Line[I - 1] == '\t' ? '\t' : ' ');
+    OS << "^\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,68 @@
+//===- support/Diagnostics.h - Compiler diagnostics -----------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic reporting for the FLIX frontend. The core engine never throws;
+/// errors are accumulated here with source locations and rendered with a
+/// caret snippet, clang-style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SUPPORT_DIAGNOSTICS_H
+#define FLIX_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceManager.h"
+
+#include <string>
+#include <vector>
+
+namespace flix {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem: severity, location and message. Messages follow the
+/// LLVM style: lowercase first letter, no trailing period.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while compiling a FLIX program.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  size_t numErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "<file>:<line>:<col>: error: <msg>" with a
+  /// source snippet and caret underneath.
+  std::string render() const;
+
+private:
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  size_t NumErrors = 0;
+};
+
+} // namespace flix
+
+#endif // FLIX_SUPPORT_DIAGNOSTICS_H

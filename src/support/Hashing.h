@@ -1,0 +1,54 @@
+//===- support/Hashing.h - Hash combinators -------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hashing utilities used throughout the project: a 64-bit mixing
+/// function and a variadic hash combinator for composite keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SUPPORT_HASHING_H
+#define FLIX_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace flix {
+
+/// Finalizing 64-bit mixer (splitmix64 finalizer). Spreads entropy of \p X
+/// across all output bits; suitable for hashing small integers.
+inline uint64_t hashMix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines an existing \p Seed with the hash of one more value.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Next) {
+  return hashMix(Seed ^ (Next + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                         (Seed >> 2)));
+}
+
+/// Hashes an arbitrary sequence of integral values into one 64-bit hash.
+template <typename... Ts> uint64_t hashValues(Ts... Vals) {
+  uint64_t Seed = 0x51ed270b35a8f7afULL;
+  ((Seed = hashCombine(Seed, static_cast<uint64_t>(Vals))), ...);
+  return Seed;
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It> uint64_t hashRange(It First, It Last) {
+  uint64_t Seed = 0x51ed270b35a8f7afULL;
+  for (; First != Last; ++First)
+    Seed = hashCombine(Seed, static_cast<uint64_t>(*First));
+  return Seed;
+}
+
+} // namespace flix
+
+#endif // FLIX_SUPPORT_HASHING_H

@@ -1,0 +1,269 @@
+//===- support/SmallVector.h - Vector with inline storage -----*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified SmallVector in the spirit of llvm::SmallVector: a dynamic
+/// array that stores up to N elements inline before spilling to the heap.
+/// Hot paths of the fixpoint engine (tuples, variable environments, join
+/// keys) are dominated by short sequences, so avoiding a heap allocation
+/// for them matters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SUPPORT_SMALLVECTOR_H
+#define FLIX_SUPPORT_SMALLVECTOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace flix {
+
+/// Dynamic array with inline storage for up to \p N elements.
+///
+/// Supports the subset of the std::vector interface the project uses.
+/// Unlike std::vector, growing from the inline buffer moves elements, so
+/// iterators and references are invalidated by any growth.
+template <typename T, unsigned N = 8> class SmallVector {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+  using size_type = size_t;
+
+  SmallVector() : Data(inlineBuffer()), Size(0), Capacity(N) {}
+
+  explicit SmallVector(size_t Count, const T &Val = T()) : SmallVector() {
+    reserve(Count);
+    for (size_t I = 0; I < Count; ++I)
+      push_back(Val);
+  }
+
+  SmallVector(std::initializer_list<T> Init) : SmallVector() {
+    reserve(Init.size());
+    for (const T &V : Init)
+      push_back(V);
+  }
+
+  template <typename It> SmallVector(It First, It Last) : SmallVector() {
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  SmallVector(const SmallVector &Other) : SmallVector() {
+    reserve(Other.Size);
+    for (const T &V : Other)
+      push_back(V);
+  }
+
+  SmallVector(SmallVector &&Other) noexcept : SmallVector() {
+    moveFrom(std::move(Other));
+  }
+
+  SmallVector &operator=(const SmallVector &Other) {
+    if (this == &Other)
+      return *this;
+    clear();
+    reserve(Other.Size);
+    for (const T &V : Other)
+      push_back(V);
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    destroyAll();
+    moveFrom(std::move(Other));
+    return *this;
+  }
+
+  SmallVector &operator=(std::initializer_list<T> Init) {
+    clear();
+    reserve(Init.size());
+    for (const T &V : Init)
+      push_back(V);
+    return *this;
+  }
+
+  ~SmallVector() { destroyAll(); }
+
+  iterator begin() { return Data; }
+  iterator end() { return Data + Size; }
+  const_iterator begin() const { return Data; }
+  const_iterator end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Capacity; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "SmallVector index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "SmallVector index out of range");
+    return Data[I];
+  }
+
+  T &front() {
+    assert(!empty() && "front() on empty SmallVector");
+    return Data[0];
+  }
+  const T &front() const {
+    assert(!empty() && "front() on empty SmallVector");
+    return Data[0];
+  }
+  T &back() {
+    assert(!empty() && "back() on empty SmallVector");
+    return Data[Size - 1];
+  }
+  const T &back() const {
+    assert(!empty() && "back() on empty SmallVector");
+    return Data[Size - 1];
+  }
+
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+
+  void push_back(const T &Val) { emplace_back(Val); }
+  void push_back(T &&Val) { emplace_back(std::move(Val)); }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    if (Size == Capacity)
+      grow(Capacity * 2);
+    ::new (static_cast<void *>(Data + Size)) T(std::forward<Args>(A)...);
+    return Data[Size++];
+  }
+
+  void pop_back() {
+    assert(!empty() && "pop_back() on empty SmallVector");
+    Data[--Size].~T();
+  }
+
+  void clear() {
+    for (size_t I = 0; I < Size; ++I)
+      Data[I].~T();
+    Size = 0;
+  }
+
+  void reserve(size_t NewCap) {
+    if (NewCap > Capacity)
+      grow(NewCap);
+  }
+
+  void resize(size_t NewSize, const T &Fill = T()) {
+    if (NewSize < Size) {
+      for (size_t I = NewSize; I < Size; ++I)
+        Data[I].~T();
+      Size = NewSize;
+      return;
+    }
+    reserve(NewSize);
+    while (Size < NewSize)
+      push_back(Fill);
+  }
+
+  /// Appends the range [First, Last).
+  template <typename It> void append(It First, It Last) {
+    for (; First != Last; ++First)
+      push_back(*First);
+  }
+
+  /// Removes the element at \p Pos, shifting later elements left.
+  iterator erase(iterator Pos) {
+    assert(Pos >= begin() && Pos < end() && "erase position out of range");
+    std::move(Pos + 1, end(), Pos);
+    pop_back();
+    return Pos;
+  }
+
+  bool operator==(const SmallVector &Other) const {
+    return Size == Other.Size && std::equal(begin(), end(), Other.begin());
+  }
+  bool operator!=(const SmallVector &Other) const { return !(*this == Other); }
+  bool operator<(const SmallVector &Other) const {
+    return std::lexicographical_compare(begin(), end(), Other.begin(),
+                                        Other.end());
+  }
+
+private:
+  T *inlineBuffer() { return reinterpret_cast<T *>(InlineStorage); }
+  bool isInline() const {
+    return Data == reinterpret_cast<const T *>(InlineStorage);
+  }
+
+  // GCC 12 emits spurious -Warray-bounds / -Wmaybe-uninitialized warnings
+  // for placement-new into allocator storage here; the code is well
+  // defined (indices are always < Size <= Capacity).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+  void grow(size_t NewCap) {
+    NewCap = std::max<size_t>(NewCap, Capacity * 2);
+    T *NewData = std::allocator<T>().allocate(NewCap);
+    for (size_t I = 0; I < Size; ++I) {
+      ::new (static_cast<void *>(NewData + I)) T(std::move(Data[I]));
+      Data[I].~T();
+    }
+    if (!isInline())
+      std::allocator<T>().deallocate(Data, Capacity);
+    Data = NewData;
+    Capacity = NewCap;
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  void destroyAll() {
+    clear();
+    if (!isInline())
+      std::allocator<T>().deallocate(Data, Capacity);
+    Data = inlineBuffer();
+    Capacity = N;
+  }
+
+  void moveFrom(SmallVector &&Other) {
+    if (Other.isInline()) {
+      Data = inlineBuffer();
+      Capacity = N;
+      Size = Other.Size;
+      for (size_t I = 0; I < Size; ++I) {
+        ::new (static_cast<void *>(Data + I)) T(std::move(Other.Data[I]));
+        Other.Data[I].~T();
+      }
+      Other.Size = 0;
+      return;
+    }
+    // Steal the heap buffer.
+    Data = Other.Data;
+    Size = Other.Size;
+    Capacity = Other.Capacity;
+    Other.Data = Other.inlineBuffer();
+    Other.Size = 0;
+    Other.Capacity = N;
+  }
+
+  // Zero-initialized to keep GCC's -Wmaybe-uninitialized quiet at use
+  // sites; the bytes are semantically dead until placement-new.
+  alignas(T) unsigned char InlineStorage[N * sizeof(T)] = {};
+  T *Data;
+  size_t Size;
+  size_t Capacity;
+};
+
+} // namespace flix
+
+#endif // FLIX_SUPPORT_SMALLVECTOR_H

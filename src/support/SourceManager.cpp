@@ -1,0 +1,57 @@
+//===- support/SourceManager.cpp - Source buffers and locations -----------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace flix;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Contents) {
+  Buffer B;
+  B.Name = std::move(Name);
+  B.Contents = std::move(Contents);
+  B.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(B.Contents.size()); I != E;
+       ++I)
+    if (B.Contents[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+  Buffers.push_back(std::move(B));
+  return static_cast<uint32_t>(Buffers.size());
+}
+
+const SourceManager::Buffer &SourceManager::buffer(uint32_t Id) const {
+  assert(Id >= 1 && Id <= Buffers.size() && "invalid buffer id");
+  return Buffers[Id - 1];
+}
+
+std::string_view SourceManager::bufferText(uint32_t Id) const {
+  return buffer(Id).Contents;
+}
+
+const std::string &SourceManager::bufferName(uint32_t Id) const {
+  return buffer(Id).Name;
+}
+
+LineColumn SourceManager::lineColumn(SourceLoc Loc) const {
+  const Buffer &B = buffer(Loc.Buffer);
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(),
+                             Loc.Offset);
+  uint32_t Line = static_cast<uint32_t>(It - B.LineStarts.begin());
+  uint32_t LineStart = B.LineStarts[Line - 1];
+  return LineColumn{Line, Loc.Offset - LineStart + 1};
+}
+
+std::string_view SourceManager::lineText(SourceLoc Loc) const {
+  const Buffer &B = buffer(Loc.Buffer);
+  LineColumn LC = lineColumn(Loc);
+  uint32_t Start = B.LineStarts[LC.Line - 1];
+  uint32_t End = LC.Line < B.LineStarts.size()
+                     ? B.LineStarts[LC.Line] - 1
+                     : static_cast<uint32_t>(B.Contents.size());
+  return std::string_view(B.Contents).substr(Start, End - Start);
+}

@@ -1,0 +1,83 @@
+//===- support/SourceManager.h - Source buffers and locations -*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the text of FLIX source files and maps byte offsets to
+/// human-readable line/column positions for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SUPPORT_SOURCEMANAGER_H
+#define FLIX_SUPPORT_SOURCEMANAGER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flix {
+
+/// A position in some source buffer: buffer id plus byte offset.
+struct SourceLoc {
+  uint32_t Buffer = 0;
+  uint32_t Offset = 0;
+
+  bool isValid() const { return Buffer != 0; }
+  static SourceLoc invalid() { return SourceLoc{}; }
+};
+
+/// A half-open byte range [Begin, End) within one buffer.
+struct SourceRange {
+  SourceLoc Begin;
+  uint32_t End = 0;
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+/// 1-based line/column pair resolved from a SourceLoc.
+struct LineColumn {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+};
+
+/// Owns source buffers and resolves locations.
+class SourceManager {
+public:
+  /// Registers a buffer and returns its id (>= 1). The name is used in
+  /// diagnostics (typically a file path or "<input>").
+  uint32_t addBuffer(std::string Name, std::string Contents);
+
+  /// Returns the full text of buffer \p Id.
+  std::string_view bufferText(uint32_t Id) const;
+
+  /// Returns the display name of buffer \p Id.
+  const std::string &bufferName(uint32_t Id) const;
+
+  /// Resolves \p Loc to a 1-based line/column pair.
+  LineColumn lineColumn(SourceLoc Loc) const;
+
+  /// Returns the full text of the line containing \p Loc (without the
+  /// trailing newline), for diagnostic snippets.
+  std::string_view lineText(SourceLoc Loc) const;
+
+  size_t numBuffers() const { return Buffers.size(); }
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Contents;
+    /// Byte offsets of the first character of every line.
+    std::vector<uint32_t> LineStarts;
+  };
+
+  const Buffer &buffer(uint32_t Id) const;
+
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace flix
+
+#endif // FLIX_SUPPORT_SOURCEMANAGER_H

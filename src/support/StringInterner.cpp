@@ -1,0 +1,31 @@
+//===- support/StringInterner.cpp - String interning ----------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace flix;
+
+Symbol StringInterner::intern(std::string_view Str) {
+  auto It = Map.find(Str);
+  if (It != Map.end())
+    return Symbol{It->second};
+  uint32_t Id = static_cast<uint32_t>(Strings.size());
+  Strings.emplace_back(Str);
+  Map.emplace(std::string_view(Strings.back()), Id);
+  return Symbol{Id};
+}
+
+const std::string &StringInterner::text(Symbol Sym) const {
+  assert(Sym.Id < Strings.size() && "symbol from a different interner");
+  return Strings[Sym.Id];
+}
+
+uint32_t StringInterner::lookup(std::string_view Str) const {
+  auto It = Map.find(Str);
+  return It == Map.end() ? NotInterned : It->second;
+}

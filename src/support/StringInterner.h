@@ -1,0 +1,75 @@
+//===- support/StringInterner.h - String interning ------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense 32-bit symbols. Identifiers, string constants
+/// and predicate names are interned once so the rest of the system can
+/// compare and hash them as integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SUPPORT_STRINGINTERNER_H
+#define FLIX_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace flix {
+
+/// A handle to an interned string. Symbols are only meaningful relative to
+/// the StringInterner that produced them.
+struct Symbol {
+  uint32_t Id = 0;
+
+  bool operator==(const Symbol &O) const { return Id == O.Id; }
+  bool operator!=(const Symbol &O) const { return Id != O.Id; }
+  bool operator<(const Symbol &O) const { return Id < O.Id; }
+};
+
+/// Interns strings and hands out stable Symbol handles.
+///
+/// Symbol 0 is always the empty string, so a default-constructed Symbol is
+/// valid and denotes "".
+class StringInterner {
+public:
+  StringInterner() { intern(""); }
+
+  /// Returns the symbol for \p Str, interning it on first use.
+  Symbol intern(std::string_view Str);
+
+  /// Returns the text of \p Sym. The reference stays valid for the lifetime
+  /// of the interner.
+  const std::string &text(Symbol Sym) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return Strings.size(); }
+
+  /// Returns the symbol for \p Str if already interned, otherwise nullopt
+  /// encoded as Symbol{UINT32_MAX}.
+  static constexpr uint32_t NotInterned = UINT32_MAX;
+  uint32_t lookup(std::string_view Str) const;
+
+private:
+  // Deque so that element addresses (and thus the string_view keys below,
+  // which point into the stored strings) remain stable as it grows.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Map;
+};
+
+} // namespace flix
+
+namespace std {
+template <> struct hash<flix::Symbol> {
+  size_t operator()(const flix::Symbol &S) const noexcept {
+    return std::hash<uint32_t>()(S.Id);
+  }
+};
+} // namespace std
+
+#endif // FLIX_SUPPORT_STRINGINTERNER_H

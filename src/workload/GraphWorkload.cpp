@@ -1,0 +1,34 @@
+//===- workload/GraphWorkload.cpp - Random graphs ---------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/GraphWorkload.h"
+
+#include <random>
+
+using namespace flix;
+
+WeightedGraph flix::generateGraph(uint64_t Seed, int NumNodes,
+                                  double AvgDegree, int MaxWeight) {
+  std::mt19937_64 Rng(Seed);
+  WeightedGraph G;
+  G.NumNodes = NumNodes;
+  auto weight = [&]() {
+    return 1 + static_cast<int>(Rng() % static_cast<uint64_t>(MaxWeight));
+  };
+  // Chain for reachability.
+  for (int V = 0; V + 1 < NumNodes; ++V)
+    G.Edges.push_back({V, V + 1, weight()});
+  // Random extra edges up to the requested average degree.
+  int64_t Extra = static_cast<int64_t>(AvgDegree * NumNodes) -
+                  static_cast<int64_t>(G.Edges.size());
+  for (int64_t K = 0; K < Extra; ++K) {
+    int A = static_cast<int>(Rng() % NumNodes);
+    int B = static_cast<int>(Rng() % NumNodes);
+    if (A != B)
+      G.Edges.push_back({A, B, weight()});
+  }
+  return G;
+}

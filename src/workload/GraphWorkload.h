@@ -1,0 +1,30 @@
+//===- workload/GraphWorkload.h - Random graphs ----------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random weighted digraphs for the shortest-paths experiments
+/// (§4.4) and plain edge lists for transitive-closure ablations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_WORKLOAD_GRAPHWORKLOAD_H
+#define FLIX_WORKLOAD_GRAPHWORKLOAD_H
+
+#include "analyses/ShortestPaths.h"
+
+#include <cstdint>
+
+namespace flix {
+
+/// Random digraph with \p NumNodes nodes, average out-degree \p AvgDegree
+/// and weights uniform in [1, MaxWeight]. Always includes a Hamiltonian-
+/// ish chain so most nodes are reachable from node 0.
+WeightedGraph generateGraph(uint64_t Seed, int NumNodes, double AvgDegree,
+                            int MaxWeight);
+
+} // namespace flix
+
+#endif // FLIX_WORKLOAD_GRAPHWORKLOAD_H

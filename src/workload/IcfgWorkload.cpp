@@ -1,0 +1,290 @@
+//===- workload/IcfgWorkload.cpp - Synthetic ICFGs for IFDS/IDE ------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/IcfgWorkload.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <random>
+
+using namespace flix;
+
+namespace {
+
+/// Burns ~2ns × Iters to simulate the cost of a real transfer function
+/// (see IcfgProgram::TransferWork).
+void simulateTransferCost(int Iters) {
+  if (Iters <= 0)
+    return;
+  uint64_t H = 0x9e3779b97f4a7c15ULL;
+  for (int I = 0; I < Iters; ++I)
+    H = hashMix(H + static_cast<uint64_t>(I));
+  [[maybe_unused]] static volatile uint64_t Sink;
+  Sink = H;
+}
+
+/// Applies the gen/kill/move transfer of \p Flow to fact \p D.
+void applyFlow(const IcfgProgram::NodeFlow &Flow, int D,
+               std::vector<int> &Out) {
+  if (D == 0) {
+    Out.push_back(0);
+    for (int G : Flow.Gen)
+      Out.push_back(G);
+    return;
+  }
+  bool Killed =
+      std::find(Flow.Kill.begin(), Flow.Kill.end(), D) != Flow.Kill.end();
+  for (const auto &[Src, Dst] : Flow.Move) {
+    if (Dst == D)
+      Killed = true; // dst is overwritten by the move
+    if (Src == D)
+      Out.push_back(Dst);
+  }
+  if (!Killed)
+    Out.push_back(D);
+}
+
+void applyMap(const std::vector<std::pair<int, int>> &Map, int D,
+              std::vector<int> &Out) {
+  if (D == 0) {
+    Out.push_back(0);
+    return;
+  }
+  for (const auto &[Src, Dst] : Map)
+    if (Src == D)
+      Out.push_back(Dst);
+}
+
+} // namespace
+
+IfdsProblem IcfgProgram::toIfdsProblem() const {
+  IfdsProblem P;
+  P.NumNodes = NumNodes;
+  P.NumProcs = NumProcs;
+  P.NumFacts = NumFacts;
+  P.CfgEdges = CfgEdges;
+  P.CallEdges = CallEdges;
+  P.StartNodes = StartNodes;
+  P.EndNodes = EndNodes;
+  P.Seeds = {{StartNodes[MainProc], 0}};
+
+  const IcfgProgram *Self = this;
+  P.EshIntra = [Self](int N, int D, std::vector<int> &Out) {
+    simulateTransferCost(Self->TransferWork);
+    applyFlow(Self->Flows[N], D, Out);
+  };
+  P.EshCallStart = [Self](int Call, int D, int Target,
+                          std::vector<int> &Out) {
+    simulateTransferCost(Self->TransferWork);
+    auto It = Self->CallMap.find({Call, Target});
+    if (It != Self->CallMap.end())
+      applyMap(It->second, D, Out);
+    else if (D == 0)
+      Out.push_back(0);
+  };
+  P.EshEndReturn = [Self](int Target, int D, int Call,
+                          std::vector<int> &Out) {
+    simulateTransferCost(Self->TransferWork);
+    auto It = Self->RetMap.find({Target, Call});
+    if (It != Self->RetMap.end())
+      applyMap(It->second, D, Out);
+    else if (D == 0)
+      Out.push_back(0);
+  };
+  return P;
+}
+
+IdeProblem IcfgProgram::toIdeProblem() const {
+  IdeProblem P;
+  P.NumNodes = NumNodes;
+  P.NumProcs = NumProcs;
+  P.NumFacts = NumFacts;
+  P.CfgEdges = CfgEdges;
+  P.CallEdges = CallEdges;
+  P.StartNodes = StartNodes;
+  P.EndNodes = EndNodes;
+  P.MainProc = MainProc;
+  P.MainFacts = {0};
+  P.Seeds = {{MainProc, 0, IdeProblem::Seed::Kind::Top, 0}};
+
+  const IcfgProgram *Self = this;
+
+  // Deterministic small linear coefficients per (node, fact) pair, so the
+  // micro-functions exercise composition and join without exploding.
+  auto genFn = [](const TransformerLattice &T, int N, int G) {
+    int64_t K = static_cast<int64_t>(hashValues(N, G) % 17);
+    return T.nonBot(0, K, T.constants().bot()); // λl.Cst(K)
+  };
+  auto moveFn = [](const TransformerLattice &T, int N, int Src, int Dst) {
+    uint64_t H = hashValues(N, Src, Dst);
+    int64_t A = 1 + static_cast<int64_t>(H % 2);       // 1 or 2
+    int64_t B = static_cast<int64_t>((H >> 8) % 5);    // 0..4
+    return T.nonBot(A, B, T.constants().bot());        // λl.A·l+B
+  };
+
+  P.EshIntra = [Self, genFn, moveFn](int N, int D,
+                                     const TransformerLattice &T,
+                                     IdeProblem::Out &Out) {
+    simulateTransferCost(Self->TransferWork);
+    const NodeFlow &Flow = Self->Flows[N];
+    if (D == 0) {
+      Out.push_back({0, T.identity()});
+      for (int G : Flow.Gen)
+        Out.push_back({G, genFn(T, N, G)});
+      return;
+    }
+    bool Killed =
+        std::find(Flow.Kill.begin(), Flow.Kill.end(), D) != Flow.Kill.end();
+    for (const auto &[Src, Dst] : Flow.Move) {
+      if (Dst == D)
+        Killed = true;
+      if (Src == D)
+        Out.push_back({Dst, moveFn(T, N, Src, Dst)});
+    }
+    if (!Killed)
+      Out.push_back({D, T.identity()});
+  };
+  P.EshCallStart = [Self](int Call, int D, int Target,
+                          const TransformerLattice &T,
+                          IdeProblem::Out &Out) {
+    simulateTransferCost(Self->TransferWork);
+    if (D == 0) {
+      Out.push_back({0, T.identity()});
+      return;
+    }
+    auto It = Self->CallMap.find({Call, Target});
+    if (It == Self->CallMap.end())
+      return;
+    for (const auto &[Src, Dst] : It->second)
+      if (Src == D)
+        Out.push_back({Dst, T.identity()});
+  };
+  P.EshEndReturn = [Self](int Target, int D, int Call,
+                          const TransformerLattice &T,
+                          IdeProblem::Out &Out) {
+    simulateTransferCost(Self->TransferWork);
+    if (D == 0) {
+      Out.push_back({0, T.identity()});
+      return;
+    }
+    auto It = Self->RetMap.find({Target, Call});
+    if (It == Self->RetMap.end())
+      return;
+    for (const auto &[Src, Dst] : It->second)
+      if (Src == D)
+        Out.push_back({Dst, T.identity()});
+  };
+  return P;
+}
+
+IcfgProgram flix::generateIcfg(uint64_t Seed, int NumProcs,
+                               int NodesPerProc, int FactsTotal,
+                               int CallsPerProc) {
+  std::mt19937_64 Rng(Seed);
+  IcfgProgram P;
+  P.NumProcs = NumProcs;
+  P.NumFacts = std::max(2, FactsTotal);
+  P.MainProc = 0;
+
+  // Facts 1..NumFacts-1 are distributed among procedures as "locals".
+  std::vector<std::pair<int, int>> ProcFacts(NumProcs); // [first, count)
+  {
+    int PerProc = std::max(1, (P.NumFacts - 1) / NumProcs);
+    int Next = 1;
+    for (int Proc = 0; Proc < NumProcs; ++Proc) {
+      int Count = std::min(PerProc, P.NumFacts - Next);
+      if (Count <= 0) {
+        Next = 1;
+        Count = std::min(PerProc, P.NumFacts - 1);
+      }
+      ProcFacts[Proc] = {Next, std::max(1, Count)};
+      Next += Count;
+    }
+  }
+  auto localFact = [&](int Proc) {
+    auto [First, Count] = ProcFacts[Proc];
+    return First + static_cast<int>(Rng() % Count);
+  };
+  auto chance = [&](double Prob) {
+    return std::uniform_real_distribution<double>(0, 1)(Rng) < Prob;
+  };
+
+  P.Flows.clear();
+  for (int Proc = 0; Proc < NumProcs; ++Proc) {
+    int First = P.NumNodes;
+    P.NumNodes += NodesPerProc;
+    P.StartNodes.push_back(First);
+    P.EndNodes.push_back(First + NodesPerProc - 1);
+    P.Flows.resize(P.NumNodes);
+
+    // Chain plus some branch edges.
+    for (int N = First; N + 1 < First + NodesPerProc; ++N)
+      P.CfgEdges.push_back({N, N + 1});
+    for (int K = 0; K < NodesPerProc / 8; ++K) {
+      int A = First + static_cast<int>(Rng() % NodesPerProc);
+      int B = First + static_cast<int>(Rng() % NodesPerProc);
+      if (A != B)
+        P.CfgEdges.push_back({A, B});
+    }
+
+    // Statements.
+    for (int N = First; N < First + NodesPerProc; ++N) {
+      if (chance(0.20))
+        P.Flows[N].Gen.push_back(localFact(Proc));
+      if (chance(0.10))
+        P.Flows[N].Kill.push_back(localFact(Proc));
+      if (chance(0.20)) {
+        int Src = localFact(Proc), Dst = localFact(Proc);
+        if (Src != Dst)
+          P.Flows[N].Move.push_back({Src, Dst});
+      }
+    }
+
+    // Calls from interior nodes (never the start/end nodes).
+    for (int K = 0; K < CallsPerProc && NodesPerProc > 3; ++K) {
+      int Call = First + 1 + static_cast<int>(Rng() % (NodesPerProc - 2));
+      int Target = static_cast<int>(Rng() % NumProcs);
+      P.CallEdges.push_back({Call, Target});
+    }
+  }
+
+  // Parameter and return mappings for every call edge.
+  std::sort(P.CallEdges.begin(), P.CallEdges.end());
+  P.CallEdges.erase(std::unique(P.CallEdges.begin(), P.CallEdges.end()),
+                    P.CallEdges.end());
+  auto procOfNode = [&](int Node) {
+    for (int Proc = 0; Proc < NumProcs; ++Proc)
+      if (Node >= P.StartNodes[Proc] && Node <= P.EndNodes[Proc])
+        return Proc;
+    return 0;
+  };
+  for (auto [Call, Target] : P.CallEdges) {
+    int Caller = procOfNode(Call);
+    auto &Params = P.CallMap[{Call, Target}];
+    Params.push_back({0, 0});
+    int NumParams = 1 + static_cast<int>(Rng() % 3);
+    for (int K = 0; K < NumParams; ++K)
+      Params.push_back({localFact(Caller), localFact(Target)});
+    auto &Rets = P.RetMap[{Target, Call}];
+    Rets.push_back({0, 0});
+    int NumRets = 1 + static_cast<int>(Rng() % 2);
+    for (int K = 0; K < NumRets; ++K)
+      Rets.push_back({localFact(Target), localFact(Caller)});
+  }
+
+  return P;
+}
+
+std::vector<DacapoPreset> flix::dacapoPresets() {
+  // Shapes ordered like Table 2: luindex < antlr < hsqldb < bloat < pmd,
+  // with jython an order of magnitude bigger.
+  return {
+      {"luindex", 40, 30, 240, 3}, {"antlr", 52, 32, 300, 3},
+      {"hsqldb", 56, 34, 320, 3},  {"bloat", 64, 36, 360, 4},
+      {"pmd", 76, 38, 420, 4},     {"jython", 150, 42, 800, 4},
+  };
+}

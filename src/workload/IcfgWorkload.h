@@ -1,0 +1,100 @@
+//===- workload/IcfgWorkload.h - Synthetic ICFGs for IFDS/IDE -*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator of interprocedural control-flow graphs with
+/// gen/kill/move distributive flow functions — the workload for the
+/// Table 2 reproduction. We do not have the DaCapo benchmarks or the
+/// object-abstraction typestate instance (the paper plugged its Scala
+/// transfer functions into both solvers); the generator produces ICFGs
+/// whose exploded-supergraph density is the cost driver for both the
+/// imperative and the declarative IFDS solver, at six DaCapo-shaped
+/// scales.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_WORKLOAD_ICFGWORKLOAD_H
+#define FLIX_WORKLOAD_ICFGWORKLOAD_H
+
+#include "analyses/Ide.h"
+#include "analyses/Ifds.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace flix {
+
+/// A generated interprocedural program with distributive flow functions
+/// in gen/kill/move form (an uninitialized-variables-style analysis):
+///   * fact 0 is Λ; facts 1..NumFacts-1 are "variables";
+///   * Gen at a node creates facts from Λ;
+///   * Kill stops a fact;
+///   * Move (src → dst) copies a fact (dst additionally killed unless
+///     moved onto).
+struct IcfgProgram {
+  int NumNodes = 0;
+  int NumProcs = 0;
+  int NumFacts = 0;
+  int MainProc = 0;
+
+  std::vector<std::pair<int, int>> CfgEdges;
+  std::vector<std::pair<int, int>> CallEdges;
+  std::vector<int> StartNodes;
+  std::vector<int> EndNodes;
+
+  struct NodeFlow {
+    std::vector<int> Gen;
+    std::vector<int> Kill;
+    std::vector<std::pair<int, int>> Move; ///< (src, dst)
+  };
+  std::vector<NodeFlow> Flows;
+
+  /// Parameter passing per (call, target): caller fact -> callee fact.
+  std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> CallMap;
+  /// Return mapping per (target, call): callee fact -> caller fact.
+  std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> RetMap;
+
+  /// Simulated per-call cost of the flow functions, in busy-work hash
+  /// iterations (0 = free). The paper's Table 2 instantiates both solvers
+  /// with the *same* nontrivial Scala transfer functions (the typestate
+  /// object abstraction), whose cost dominates both columns; setting this
+  /// to a few thousand iterations (~µs) reproduces that regime, while 0
+  /// isolates pure engine overhead.
+  int TransferWork = 0;
+
+  /// Wires the flow functions into an IfdsProblem. The IcfgProgram must
+  /// outlive the returned problem.
+  IfdsProblem toIfdsProblem() const;
+
+  /// Wires micro-function-decorated flow functions into an IdeProblem
+  /// (linear-constant-propagation style: gens produce λl.Cst(k),
+  /// moves λl.(a·l + b) with small deterministic coefficients). The
+  /// IcfgProgram must outlive the returned problem; the seeds use
+  /// \p SeedValue for Λ at main.
+  IdeProblem toIdeProblem() const;
+};
+
+/// Generates an ICFG with the given shape parameters.
+IcfgProgram generateIcfg(uint64_t Seed, int NumProcs, int NodesPerProc,
+                         int FactsTotal, int CallsPerProc);
+
+/// One Table 2 row: the DaCapo benchmark name and generator parameters
+/// sized so the exploded supergraph grows in the paper's order
+/// (luindex < antlr < hsqldb < bloat < pmd << jython).
+struct DacapoPreset {
+  std::string Name;
+  int NumProcs;
+  int NodesPerProc;
+  int FactsTotal;
+  int CallsPerProc;
+};
+
+std::vector<DacapoPreset> dacapoPresets();
+
+} // namespace flix
+
+#endif // FLIX_WORKLOAD_ICFGWORKLOAD_H

@@ -1,0 +1,188 @@
+//===- workload/PointerWorkload.cpp - Synthetic pointer programs -----------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/PointerWorkload.h"
+
+#include <algorithm>
+#include <random>
+
+using namespace flix;
+
+namespace {
+
+/// Per-function generation bookkeeping.
+struct FunctionPlan {
+  int FirstVar, NumVars;
+  int FirstObj, NumObjs;
+  int FirstLabel, NumLabels;
+};
+
+} // namespace
+
+PointerProgram flix::generatePointerProgram(uint64_t Seed,
+                                            size_t TargetFacts) {
+  std::mt19937_64 Rng(Seed);
+  PointerProgram P;
+
+  // A function of size (V vars, O objs, L labels) contributes roughly
+  // V*1.5 (addr-of) + V*0.5 (copies) + L*1.12 (cfg) + L*0.5 (load/store)
+  // + L*0.1 (kills) + O*0.2 (init-top) facts with the proportions below.
+  // Solve for the function count. The densities are chosen so that the
+  // points-to amplification (derived/input facts) stays in the range of
+  // real C programs (tens, not thousands).
+  const int VarsPerFn = 14;
+  const int ObjsPerFn = 10;
+  const int LabelsPerFn = 16;
+  const double FactsPerFn = 1.5 * VarsPerFn + 0.5 * VarsPerFn +
+                            1.12 * LabelsPerFn + 0.5 * LabelsPerFn +
+                            0.1 * LabelsPerFn + 0.2 * ObjsPerFn;
+  size_t NumFns = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(TargetFacts) / FactsPerFn));
+
+  // A few "hub" heap objects shared by the whole program (globals, I/O
+  // buffers). Many functions store into them, so their PtH sets — and
+  // with them the ⊤-valued strong-update cells — grow with program size.
+  // This is the asymmetry §4.5 calls out: the lattice engine stores one ⊤
+  // per cell, the powerset embedding keeps every element flowing, and the
+  // hand-written C++ analyzer keeps ⊤ implicit.
+  const int NumHubs = 8;
+  P.NumObjs = NumHubs;   // objects [0, NumHubs) are the hubs
+  P.NumVars = NumHubs;   // variable h points to hub h (aliased: no kills)
+  std::vector<FunctionPlan> Fns;
+  for (size_t I = 0; I < NumFns; ++I) {
+    FunctionPlan F;
+    F.FirstVar = P.NumVars;
+    F.NumVars = VarsPerFn;
+    P.NumVars += F.NumVars;
+    F.FirstObj = P.NumObjs;
+    F.NumObjs = ObjsPerFn;
+    P.NumObjs += F.NumObjs;
+    F.FirstLabel = P.NumLabels;
+    F.NumLabels = LabelsPerFn;
+    P.NumLabels += F.NumLabels;
+    Fns.push_back(F);
+  }
+
+  auto pick = [&](int First, int Num) {
+    return First + static_cast<int>(Rng() % Num);
+  };
+  auto chance = [&](double Prob) {
+    return std::uniform_real_distribution<double>(0, 1)(Rng) < Prob;
+  };
+
+  // Track, per variable, its address-taken objects and whether anything
+  // else flows into it — a store through an unaliased single-target
+  // pointer is a strong update (Kill).
+  std::vector<std::vector<int>> VarAddrs(P.NumVars);
+  std::vector<char> VarHasCopyIn(P.NumVars, 0);
+
+  // Hub variables: each points at its hub object, marked aliased so no
+  // store through them is ever a strong update.
+  for (int H = 0; H < NumHubs; ++H) {
+    P.AddrOf.push_back({H, H});
+    VarAddrs[H].push_back(H);
+    VarHasCopyIn[H] = 1;
+  }
+
+  for (const FunctionPlan &F : Fns) {
+    // Address-of: most vars are unaliased (single target), like locals in
+    // real C code; unaliased stores are strong-update candidates.
+    for (int V = F.FirstVar; V < F.FirstVar + F.NumVars; ++V) {
+      int Count = chance(0.6) ? 1 : (chance(0.75) ? 2 : 3);
+      for (int K = 0; K < Count; ++K) {
+        int Obj = pick(F.FirstObj, F.NumObjs);
+        P.AddrOf.push_back({V, Obj});
+        VarAddrs[V].push_back(Obj);
+      }
+    }
+    // Copies: mostly local chains, a few cross-function to couple the
+    // analysis globally (the paper's benchmarks are whole programs).
+    int NumCopies = static_cast<int>(0.5 * F.NumVars);
+    for (int K = 0; K < NumCopies; ++K) {
+      int To = pick(F.FirstVar, F.NumVars);
+      int From;
+      if (chance(0.04) && Fns.size() > 1) {
+        const FunctionPlan &Other = Fns[Rng() % Fns.size()];
+        From = pick(Other.FirstVar, Other.NumVars);
+      } else {
+        From = pick(F.FirstVar, F.NumVars);
+      }
+      if (To == From)
+        continue;
+      P.Copy.push_back({To, From});
+      VarHasCopyIn[To] = 1;
+    }
+    // CFG: a chain plus ~12% extra forward/back edges.
+    for (int L = F.FirstLabel; L + 1 < F.FirstLabel + F.NumLabels; ++L)
+      P.Cfg.push_back({L, L + 1});
+    int Extra = std::max(1, F.NumLabels / 8);
+    for (int K = 0; K < Extra; ++K) {
+      int A = pick(F.FirstLabel, F.NumLabels);
+      int B = pick(F.FirstLabel, F.NumLabels);
+      if (A != B)
+        P.Cfg.push_back({A, B});
+    }
+    // Statements at labels: ~25% stores, ~25% loads.
+    for (int L = F.FirstLabel; L < F.FirstLabel + F.NumLabels; ++L) {
+      double Roll = std::uniform_real_distribution<double>(0, 1)(Rng);
+      if (Roll < 0.25) {
+        int Pv = pick(F.FirstVar, F.NumVars);
+        int Qv = pick(F.FirstVar, F.NumVars);
+        P.Store.push_back({L, Pv, Qv});
+        // Strong update when the generator knows Pv is unaliased with a
+        // single target.
+        if (VarAddrs[Pv].size() == 1 && !VarHasCopyIn[Pv])
+          P.Kill.push_back({L, VarAddrs[Pv][0]});
+      } else if (Roll < 0.50) {
+        int Pv = pick(F.FirstVar, F.NumVars);
+        int Qv = pick(F.FirstVar, F.NumVars);
+        P.Load.push_back({L, Pv, Qv});
+      }
+    }
+    // Entry state: ~20% of local objects start with unknown contents.
+    for (int O = F.FirstObj; O < F.FirstObj + F.NumObjs; ++O)
+      if (chance(0.2))
+        P.InitTop.push_back({F.FirstLabel, O});
+
+    // Hub traffic: some functions store a local into a hub or read one
+    // back. A hub a function touches is unknown (⊤) at its entry, so its
+    // whole CFG carries a ⊤-valued cell whose underlying points-to set
+    // grows linearly with the program — the §4.5 asymmetry.
+    int TouchedHub = -1;
+    if (chance(0.10)) {
+      int Hub = static_cast<int>(Rng() % NumHubs);
+      int L = pick(F.FirstLabel, F.NumLabels);
+      P.Store.push_back({L, Hub, pick(F.FirstVar, F.NumVars)});
+      TouchedHub = Hub;
+    }
+    if (chance(0.12)) {
+      int Hub = static_cast<int>(Rng() % NumHubs);
+      int L = pick(F.FirstLabel, F.NumLabels);
+      P.Load.push_back({L, pick(F.FirstVar, F.NumVars), Hub});
+      P.InitTop.push_back({F.FirstLabel, Hub});
+      if (TouchedHub == Hub)
+        TouchedHub = -1;
+    }
+    if (TouchedHub >= 0)
+      P.InitTop.push_back({F.FirstLabel, TouchedHub});
+  }
+
+  return P;
+}
+
+std::vector<SpecPreset> flix::spec2006Presets() {
+  // Table 1's benchmark programs with their kSLOC and input fact counts.
+  return {
+      {"470.lbm", 1.2, 1205},        {"181.mcf", 2.5, 3377},
+      {"429.mcf", 2.7, 3392},        {"256.bzip2", 4.7, 5017},
+      {"462.libquantum", 4.4, 6196}, {"164.gzip", 8.6, 9259},
+      {"401.bzip2", 8.3, 11844},     {"458.sjeng", 13.9, 20154},
+      {"433.milc", 15.0, 22147},     {"175.vpr", 17.8, 25977},
+      {"186.crafty", 21.2, 32189},   {"197.parser", 11.4, 32606},
+      {"482.sphinx3", 25.1, 42736},  {"300.twolf", 20.5, 44041},
+      {"456.hmmer", 36.0, 68384},    {"464.h264ref", 51.6, 89898},
+  };
+}

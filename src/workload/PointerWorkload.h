@@ -1,0 +1,52 @@
+//===- workload/PointerWorkload.h - Synthetic pointer programs -*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator of synthetic C-like pointer programs in the Strong
+/// Update input format, used to reproduce Table 1. We do not have the
+/// SPEC CPU benchmarks (the paper extracted facts from their LLVM
+/// bitcode), so the generator produces programs whose *input fact counts*
+/// match the paper's second column; fact count and pointer-graph shape
+/// are what drive the cost of all three implementations (see DESIGN.md
+/// §3, substitutions).
+///
+/// Programs are built from "functions": clusters of variables, abstract
+/// objects and a label CFG (a chain with extra forward/back edges), with
+/// address-of/copy/load/store statements, occasional cross-function
+/// copies, strong-update kills where the generator knows a pointer is
+/// unaliased, and ⊤-initialized objects at entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_WORKLOAD_POINTERWORKLOAD_H
+#define FLIX_WORKLOAD_POINTERWORKLOAD_H
+
+#include "analyses/StrongUpdate.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flix {
+
+/// Generates a pointer program with approximately \p TargetFacts input
+/// facts (within a few percent).
+PointerProgram generatePointerProgram(uint64_t Seed, size_t TargetFacts);
+
+/// One Table 1 row: the benchmark name, the source size the paper reports
+/// (for display), and the input-fact count we match.
+struct SpecPreset {
+  std::string Name;
+  double KSloc;
+  size_t InputFacts;
+};
+
+/// The benchmark list of Table 1, in the paper's order.
+std::vector<SpecPreset> spec2006Presets();
+
+} // namespace flix
+
+#endif // FLIX_WORKLOAD_POINTERWORKLOAD_H

@@ -1,0 +1,150 @@
+//===- workload/RandomProgram.cpp - Random FLIX programs --------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/RandomProgram.h"
+
+#include <random>
+
+using namespace flix;
+
+RandomProgramBundle flix::generateRandomProgram(uint64_t Seed,
+                                                RandomProgramOptions Opts) {
+  std::mt19937_64 Rng(Seed);
+  RandomProgramBundle B;
+  B.Factory = std::make_unique<ValueFactory>();
+  ValueFactory &F = *B.Factory;
+  B.Parity = std::make_unique<ParityLattice>(F);
+  ParityLattice &L = *B.Parity;
+  B.Prog = std::make_unique<Program>(F);
+  Program &P = *B.Prog;
+
+  auto chance = [&](double Prob) {
+    return std::uniform_real_distribution<double>(0, 1)(Rng) < Prob;
+  };
+
+  // Predicates. Key columns are Int; lattice columns are Parity.
+  struct PredShape {
+    PredId Id;
+    unsigned KeyArity;
+    bool IsLat;
+  };
+  std::vector<PredShape> Preds;
+  for (unsigned I = 0; I < Opts.NumRelations; ++I) {
+    unsigned Arity = 1 + static_cast<unsigned>(Rng() % 2);
+    PredId Id = P.relation("R" + std::to_string(I), Arity);
+    Preds.push_back({Id, Arity, false});
+  }
+  for (unsigned I = 0; I < Opts.NumLatPredicates; ++I) {
+    unsigned Arity = 1 + static_cast<unsigned>(Rng() % 2);
+    PredId Id = P.lattice("L" + std::to_string(I), Arity, &L);
+    Preds.push_back({Id, Arity - 1, true});
+  }
+
+  std::vector<Value> Constants;
+  for (unsigned I = 0; I < Opts.NumConstants; ++I)
+    Constants.push_back(F.integer(I));
+  std::vector<Value> Elems = {L.bot(), L.odd(), L.even(), L.top()};
+  auto randConst = [&]() { return Constants[Rng() % Constants.size()]; };
+  auto randElem = [&]() {
+    // Bias away from ⊥ facts (they are no-ops) but keep them possible.
+    return chance(0.1) ? L.bot() : Elems[1 + Rng() % 3];
+  };
+
+  // Facts.
+  for (unsigned I = 0; I < Opts.NumFacts; ++I) {
+    const PredShape &PS = Preds[Rng() % Preds.size()];
+    SmallVector<Value, 4> Key;
+    for (unsigned K = 0; K < PS.KeyArity; ++K)
+      Key.push_back(randConst());
+    if (PS.IsLat)
+      P.addLatFact(PS.Id, std::span<const Value>(Key.data(), Key.size()),
+                   randElem());
+    else
+      P.addFact(PS.Id, std::span<const Value>(Key.data(), Key.size()));
+  }
+
+  // Rules. Variables are typed: k0..k3 range over key constants, v0..v3
+  // over lattice elements; only variables bound by the body appear in the
+  // head.
+  static const char *KeyVars[] = {"k0", "k1", "k2", "k3"};
+  static const char *LatVars[] = {"v0", "v1", "v2", "v3"};
+  for (unsigned RI = 0; RI < Opts.NumRules; ++RI) {
+    RuleBuilder RB;
+    std::vector<std::string> BoundKey, BoundLat;
+
+    unsigned NumAtoms =
+        1 + static_cast<unsigned>(Rng() % Opts.MaxBodyAtoms);
+    // Body first (the builder is order independent; we call head() last
+    // via a staged construction below).
+    struct PlannedAtom {
+      PredId Id;
+      std::vector<RuleBuilder::Spec> Terms;
+    };
+    std::vector<PlannedAtom> Body;
+    for (unsigned AI = 0; AI < NumAtoms; ++AI) {
+      const PredShape &PS = Preds[Rng() % Preds.size()];
+      PlannedAtom A{PS.Id, {}};
+      for (unsigned K = 0; K < PS.KeyArity; ++K) {
+        if (chance(0.7)) {
+          const char *V = KeyVars[Rng() % 4];
+          A.Terms.push_back(std::string(V));
+          BoundKey.push_back(V);
+        } else {
+          A.Terms.push_back(randConst());
+        }
+      }
+      if (PS.IsLat) {
+        if (chance(0.85)) {
+          const char *V = LatVars[Rng() % 4];
+          A.Terms.push_back(std::string(V));
+          BoundLat.push_back(V);
+        } else {
+          // Ground lattice term in a body atom: matched by ⊑.
+          A.Terms.push_back(Elems[1 + Rng() % 3]);
+        }
+      }
+      Body.push_back(std::move(A));
+    }
+
+    // Head over bound variables (or constants when nothing suitable).
+    const PredShape &HS = Preds[Rng() % Preds.size()];
+    std::vector<RuleBuilder::Spec> HeadTerms;
+    for (unsigned K = 0; K < HS.KeyArity; ++K) {
+      if (!BoundKey.empty() && chance(0.8))
+        HeadTerms.push_back(BoundKey[Rng() % BoundKey.size()]);
+      else
+        HeadTerms.push_back(randConst());
+    }
+    if (HS.IsLat) {
+      if (!BoundLat.empty() && chance(0.8))
+        HeadTerms.push_back(BoundLat[Rng() % BoundLat.size()]);
+      else
+        HeadTerms.push_back(Elems[1 + Rng() % 3]);
+    }
+
+    RB.head(HS.Id, std::move(HeadTerms));
+    for (PlannedAtom &A : Body)
+      RB.atom(A.Id, std::move(A.Terms));
+    RB.addTo(P);
+  }
+
+  // Herbrand spec for the model-theory comparison.
+  B.Herbrand.Terms = Constants;
+  B.Herbrand.LatticeElems[&L] = Elems;
+
+  // Brute-force budget: product over cells of (choices + 1).
+  double Space = 1;
+  for (const PredShape &PS : Preds) {
+    double Cells = 1;
+    for (unsigned K = 0; K < PS.KeyArity; ++K)
+      Cells *= Constants.size();
+    double Choices = PS.IsLat ? Elems.size() + 1 : 2;
+    for (double C = 0; C < Cells && Space < 1e9; ++C)
+      Space *= Choices;
+  }
+  B.BruteForceable = Space <= 300000;
+  return B;
+}

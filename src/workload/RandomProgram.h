@@ -1,0 +1,54 @@
+//===- workload/RandomProgram.h - Random FLIX programs ---------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator of small random fixpoint programs in the §3.2 core
+/// fragment (relations + lattice predicates, positive atoms only), used
+/// for differential testing: naive vs semi-naive vs the brute-force
+/// model-theoretic semantics must all agree on every generated program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_WORKLOAD_RANDOMPROGRAM_H
+#define FLIX_WORKLOAD_RANDOMPROGRAM_H
+
+#include "fixpoint/ModelTheory.h"
+#include "runtime/Lattices.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace flix {
+
+/// A generated program together with everything it borrows.
+struct RandomProgramBundle {
+  std::unique_ptr<ValueFactory> Factory;
+  std::unique_ptr<ParityLattice> Parity;
+  std::unique_ptr<Program> Prog;
+  HerbrandSpec Herbrand;
+
+  /// True when the program is small enough for bruteForceMinimalModel
+  /// (cells × elements budget).
+  bool BruteForceable = false;
+};
+
+/// Shape knobs for the generator.
+struct RandomProgramOptions {
+  unsigned NumRelations = 2;     ///< relational predicates (arity 1-2)
+  unsigned NumLatPredicates = 2; ///< parity-lattice predicates (arity 1-2)
+  unsigned NumRules = 4;
+  unsigned NumFacts = 4;
+  unsigned NumConstants = 2; ///< size of the key-term universe
+  unsigned MaxBodyAtoms = 3;
+  bool ForBruteForce = false; ///< keep the Herbrand space tiny
+};
+
+RandomProgramBundle generateRandomProgram(uint64_t Seed,
+                                          RandomProgramOptions Opts);
+
+} // namespace flix
+
+#endif // FLIX_WORKLOAD_RANDOMPROGRAM_H

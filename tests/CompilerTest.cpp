@@ -1,0 +1,724 @@
+//===- tests/CompilerTest.cpp - FLIX end-to-end compiler tests ------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sema, interpreter and whole-pipeline tests: FLIX source in, solved
+/// minimal model out.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Solver.h"
+#include "lang/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace flix;
+
+namespace {
+
+/// The parity lattice in FLIX source, shared by several tests (Figure 2).
+const char *ParityPrelude = R"flix(
+enum Parity { case Top, case Even, case Odd, case Bot }
+
+def leq(e1: Parity, e2: Parity): Bool = match (e1, e2) with {
+  case (Parity.Bot, _) => true
+  case (Parity.Even, Parity.Even) => true
+  case (Parity.Odd, Parity.Odd) => true
+  case (_, Parity.Top) => true
+  case _ => false
+}
+
+def lub(e1: Parity, e2: Parity): Parity = match (e1, e2) with {
+  case (Parity.Bot, x) => x
+  case (x, Parity.Bot) => x
+  case (Parity.Even, Parity.Even) => Parity.Even
+  case (Parity.Odd, Parity.Odd) => Parity.Odd
+  case _ => Parity.Top
+}
+
+def glb(e1: Parity, e2: Parity): Parity = match (e1, e2) with {
+  case (Parity.Top, x) => x
+  case (x, Parity.Top) => x
+  case (Parity.Even, Parity.Even) => Parity.Even
+  case (Parity.Odd, Parity.Odd) => Parity.Odd
+  case _ => Parity.Bot
+}
+
+let Parity<> = (Parity.Bot, Parity.Top, leq, lub, glb);
+)flix";
+
+//===----------------------------------------------------------------------===//
+// Sema diagnostics
+//===----------------------------------------------------------------------===//
+
+struct Compiled {
+  // Heap-allocated so Compiled stays movable; the reference tracks the
+  // same heap object across moves.
+  std::unique_ptr<ValueFactory> FP = std::make_unique<ValueFactory>();
+  ValueFactory &F = *FP;
+  std::unique_ptr<FlixCompiler> C;
+  bool Ok = false;
+};
+
+Compiled compileSrc(const std::string &Src) {
+  Compiled R;
+  R.C = std::make_unique<FlixCompiler>(*R.FP);
+  R.Ok = R.C->compile(Src);
+  return R;
+}
+
+TEST(SemaTest, UnknownTypeReported) {
+  Compiled R = compileSrc("rel A(x: Bogus);");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("unknown type 'Bogus'"),
+            std::string::npos);
+}
+
+TEST(SemaTest, TypeErrorInDefBody) {
+  Compiled R = compileSrc("def f(x: Int): Int = x && true;");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("Bool"), std::string::npos);
+}
+
+TEST(SemaTest, ReturnTypeMismatch) {
+  Compiled R = compileSrc("def f(x: Int): Bool = x + 1;");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("returns Int, declared Bool"),
+            std::string::npos);
+}
+
+TEST(SemaTest, UnknownPredicateInRule) {
+  Compiled R = compileSrc("rel A(x: Int);\nB(x) :- A(x).");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("unknown predicate 'B'"),
+            std::string::npos);
+}
+
+TEST(SemaTest, AtomArityMismatch) {
+  Compiled R = compileSrc("rel A(x: Int);\nrel B(x: Int);\n"
+                          "B(x) :- A(x, x).");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("atom supplies"), std::string::npos);
+}
+
+TEST(SemaTest, VariableTypeConflictAcrossAtoms) {
+  Compiled R = compileSrc("rel A(x: Int);\nrel B(x: Str);\nrel C(x: Int);\n"
+                          "C(x) :- A(x), B(x).");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("has type Int, expected Str"),
+            std::string::npos);
+}
+
+TEST(SemaTest, FilterMustReturnBool) {
+  Compiled R = compileSrc("def f(x: Int): Int = x;\n"
+                          "rel A(x: Int);\nrel B(x: Int);\n"
+                          "B(x) :- A(x), f(x).");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("must return Bool"), std::string::npos);
+}
+
+TEST(SemaTest, NegationOnLatticeRejected) {
+  Compiled R = compileSrc(std::string(ParityPrelude) +
+                          "lat A(x: Str, Parity<>);\nrel B(x: Str);\n"
+                          "rel N(x: Str);\n"
+                          "B(x) :- N(x), !A(x, Parity.Odd).");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("negation is only supported on "
+                                    "relations"),
+            std::string::npos);
+}
+
+TEST(SemaTest, FunctionInBodyAtomRejected) {
+  // §3.3: non-filter functions may not appear in rule bodies.
+  Compiled R = compileSrc("def f(x: Int): Int = x + 1;\n"
+                          "rel A(x: Int);\nrel B(x: Int);\n"
+                          "B(x) :- A(f(x)).");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("unknown variable 'x'"),
+            std::string::npos);
+}
+
+TEST(SemaTest, LatticeAttrOnlyLastInLat) {
+  Compiled R = compileSrc(std::string(ParityPrelude) +
+                          "lat A(Parity<>, x: Str);");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SemaTest, LatDeclarationRequiresBinding) {
+  Compiled R = compileSrc("enum E { case A, case B }\nlat P(x: Str, E<>);");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("no lattice binding"),
+            std::string::npos);
+}
+
+TEST(SemaTest, UnboundHeadVariable) {
+  // Last head term: reported through the expression checker.
+  Compiled R = compileSrc("rel A(x: Int);\nrel B(x: Int, y: Int);\n"
+                          "B(x, y) :- A(x).");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("unknown variable 'y'"),
+            std::string::npos);
+  // Key head term: reported as an unbound rule variable.
+  Compiled R2 = compileSrc("rel A(x: Int);\nrel B(x: Int, y: Int);\n"
+                           "B(y, x) :- A(x).");
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_NE(R2.C->diagnostics().find("not bound"), std::string::npos);
+}
+
+TEST(SemaTest, FactsMustBeConstant) {
+  Compiled R = compileSrc("rel A(x: Int);\nA(x).");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(SemaTest, DuplicateDeclarationsReported) {
+  Compiled R = compileSrc("rel A(x: Int);\nrel A(y: Str);");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("duplicate predicate"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, ArithmeticAndComparison) {
+  Compiled R = compileSrc(
+      "def f(x: Int, y: Int): Int = (x + y) * 2 - x % 3;\n"
+      "def g(x: Int): Bool = x > 2 && x <= 10 || x == 0 - 1;");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Interp &I = R.C->interp();
+  Value Args[2] = {R.F.integer(7), R.F.integer(5)};
+  EXPECT_EQ(I.call("f", Args), R.F.integer(23));
+  Value A3[1] = {R.F.integer(3)};
+  EXPECT_EQ(I.call("g", A3), R.F.boolean(true));
+  Value AM1[1] = {R.F.integer(-1)};
+  EXPECT_EQ(I.call("g", AM1), R.F.boolean(true));
+  Value A20[1] = {R.F.integer(20)};
+  EXPECT_EQ(I.call("g", A20), R.F.boolean(false));
+}
+
+TEST(InterpTest, MatchWithTagsAndLub) {
+  Compiled R = compileSrc(ParityPrelude);
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Interp &I = R.C->interp();
+  Value Odd = R.F.tag("Parity.Odd"), Even = R.F.tag("Parity.Even");
+  Value Top = R.F.tag("Parity.Top"), Bot = R.F.tag("Parity.Bot");
+  Value A1[2] = {Odd, Even};
+  EXPECT_EQ(I.call("lub", A1), Top);
+  Value A2[2] = {Bot, Even};
+  EXPECT_EQ(I.call("lub", A2), Even);
+  Value A3[2] = {Odd, Top};
+  EXPECT_EQ(I.call("leq", A3), R.F.boolean(true));
+  Value A4[2] = {Top, Odd};
+  EXPECT_EQ(I.call("leq", A4), R.F.boolean(false));
+  Value A5[2] = {Odd, Even};
+  EXPECT_EQ(I.call("glb", A5), Bot);
+}
+
+TEST(InterpTest, RecursionWorks) {
+  Compiled R = compileSrc(
+      "def fact(n: Int): Int = if (n <= 1) 1 else n * fact(n - 1);");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Value A[1] = {R.F.integer(10)};
+  EXPECT_EQ(R.C->interp().call("fact", A), R.F.integer(3628800));
+}
+
+TEST(InterpTest, RunawayRecursionReported) {
+  Compiled R = compileSrc("def loop(n: Int): Int = loop(n + 1);");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Value A[1] = {R.F.integer(0)};
+  R.C->interp().call("loop", A);
+  EXPECT_TRUE(R.C->interp().hasError());
+  EXPECT_NE(R.C->interp().error().find("call depth"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionByZeroReported) {
+  Compiled R = compileSrc("def f(x: Int): Int = 10 / x;");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Value A[1] = {R.F.integer(0)};
+  R.C->interp().call("f", A);
+  EXPECT_TRUE(R.C->interp().hasError());
+}
+
+TEST(InterpTest, NoMatchingCaseReported) {
+  Compiled R = compileSrc("enum E { case A, case B }\n"
+                          "def f(x: E): Int = match x with { case E.A => 1 "
+                          "};");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Value A[1] = {R.F.tag("E.B")};
+  R.C->interp().call("f", A);
+  EXPECT_TRUE(R.C->interp().hasError());
+}
+
+TEST(InterpTest, SetLiteralsAndLet) {
+  Compiled R = compileSrc(
+      "def f(x: Int): Set[Int] = let y = x * 2; #{x, y, x};");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Value A[1] = {R.F.integer(3)};
+  Value S = R.C->interp().call("f", A);
+  ASSERT_TRUE(S.isSet());
+  EXPECT_EQ(S, R.F.set({R.F.integer(3), R.F.integer(6)}));
+}
+
+TEST(InterpTest, NativeFunctionDispatch) {
+  Compiled R = compileSrc("ext def double(x: Int): Int;\n"
+                          "def quad(x: Int): Int = double(double(x));");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  R.C->registerNative("double",
+                      [](ValueFactory &F, std::span<const Value> A) {
+                        return F.integer(A[0].asInt() * 2);
+                      });
+  Value A[1] = {R.F.integer(5)};
+  EXPECT_EQ(R.C->interp().call("quad", A), R.F.integer(20));
+}
+
+TEST(InterpTest, MissingNativeReported) {
+  Compiled R = compileSrc("ext def nope(x: Int): Int;");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Value A[1] = {R.F.integer(1)};
+  R.C->interp().call("nope", A);
+  EXPECT_TRUE(R.C->interp().hasError());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: compile and solve
+//===----------------------------------------------------------------------===//
+
+TEST(EndToEndTest, DatalogPointsTo) {
+  Compiled R = compileSrc(R"flix(
+rel New(v: Str, h: Str);
+rel Assign(to: Str, from: Str);
+rel Load(to: Str, base: Str, field: Str);
+rel Store(base: Str, field: Str, from: Str);
+rel VarPointsTo(v: Str, h: Str);
+rel HeapPointsTo(h1: Str, f: Str, h2: Str);
+
+New("o1", "A").
+New("o2", "B").
+Assign("o3", "o2").
+Store("o2", "f", "o1").
+Load("r", "o3", "f").
+
+VarPointsTo(v, h) :- New(v, h).
+VarPointsTo(v, h) :- Assign(v, v2), VarPointsTo(v2, h).
+VarPointsTo(v, h2) :- Load(v, v2, f), VarPointsTo(v2, h1),
+                      HeapPointsTo(h1, f, h2).
+HeapPointsTo(h1, f, h2) :- Store(v1, f, v2), VarPointsTo(v1, h1),
+                           VarPointsTo(v2, h2).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Solver S(R.C->program());
+  ASSERT_TRUE(S.solve().ok());
+  PredId VPT = *R.C->predicate("VarPointsTo");
+  EXPECT_TRUE(S.contains(VPT, {R.F.string("r"), R.F.string("A")}));
+  EXPECT_FALSE(S.contains(VPT, {R.F.string("r"), R.F.string("B")}));
+  EXPECT_FALSE(R.C->interp().hasError());
+}
+
+TEST(EndToEndTest, ParityDataflowWithDivByZero) {
+  // The Figure 2 program, reduced to its dataflow core.
+  Compiled R = compileSrc(std::string(ParityPrelude) + R"flix(
+def sum(e1: Parity, e2: Parity): Parity = match (e1, e2) with {
+  case (Parity.Bot, _) => Parity.Bot
+  case (_, Parity.Bot) => Parity.Bot
+  case (Parity.Top, _) => Parity.Top
+  case (_, Parity.Top) => Parity.Top
+  case (x, y) => if (x == y) Parity.Even else Parity.Odd
+}
+
+def isMaybeZero(e: Parity): Bool = match e with {
+  case Parity.Even => true
+  case Parity.Top => true
+  case _ => false
+}
+
+rel Assign(to: Str, from: Str);
+rel AddExp(r: Str, v1: Str, v2: Str);
+rel DivExp(r: Str, v1: Str, v2: Str);
+lat IntVar(v: Str, Parity<>);
+rel ArithmeticError(r: Str);
+
+IntVar("a", Parity.Odd).
+IntVar("b", Parity.Odd).
+IntVar("x", Parity.Odd).
+AddExp("c", "a", "b").
+DivExp("d", "x", "c").
+DivExp("e", "x", "a").
+
+IntVar(v, i) :- Assign(v, v2), IntVar(v2, i).
+IntVar(r, sum(i1, i2)) :- AddExp(r, v1, v2), IntVar(v1, i1), IntVar(v2, i2).
+ArithmeticError(r) :- DivExp(r, v1, v2), IntVar(v2, i2), isMaybeZero(i2).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Solver S(R.C->program());
+  ASSERT_TRUE(S.solve().ok());
+  PredId IntVar = *R.C->predicate("IntVar");
+  PredId Err = *R.C->predicate("ArithmeticError");
+  // odd + odd = even, so dividing by "c" may divide by zero.
+  EXPECT_EQ(S.latValue(IntVar, {R.F.string("c")}), R.F.tag("Parity.Even"));
+  EXPECT_TRUE(S.contains(Err, {R.F.string("d")}));
+  // dividing by odd "a" cannot be a division by zero.
+  EXPECT_FALSE(S.contains(Err, {R.F.string("e")}));
+  EXPECT_FALSE(R.C->interp().hasError());
+}
+
+TEST(EndToEndTest, ShortestPathsWithHeadExpression) {
+  // §4.4, with the min-lattice written directly in FLIX over Int.
+  Compiled R = compileSrc(R"flix(
+def leq(e1: Int, e2: Int): Bool = e1 >= e2
+def lub(e1: Int, e2: Int): Int = if (e1 <= e2) e1 else e2
+def glb(e1: Int, e2: Int): Int = if (e1 >= e2) e1 else e2
+let Int<> = (99999999, 0, leq, lub, glb);
+
+rel Edge(x: Str, y: Str, c: Int);
+lat Dist(x: Str, Int<>);
+
+Dist("s", 0).
+Edge("s", "a", 1).
+Edge("a", "b", 2).
+Edge("s", "b", 5).
+Edge("b", "c", 1).
+
+Dist(y, d + c) :- Dist(x, d), Edge(x, y, c).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Solver S(R.C->program());
+  ASSERT_TRUE(S.solve().ok());
+  PredId Dist = *R.C->predicate("Dist");
+  EXPECT_EQ(S.latValue(Dist, {R.F.string("a")}), R.F.integer(1));
+  EXPECT_EQ(S.latValue(Dist, {R.F.string("b")}), R.F.integer(3));
+  EXPECT_EQ(S.latValue(Dist, {R.F.string("c")}), R.F.integer(4));
+}
+
+TEST(EndToEndTest, ConstructorInHeadLastTerm) {
+  // Figure 4 uses SULattice.Single(b) in a head; check the general
+  // expression-in-last-term lowering.
+  Compiled R = compileSrc(R"flix(
+enum SU { case Top, case Single(Str), case Bottom }
+def leq(e1: SU, e2: SU): Bool = match (e1, e2) with {
+  case (SU.Bottom, _) => true
+  case (_, SU.Top) => true
+  case (SU.Single(a), SU.Single(b)) => a == b
+  case _ => false
+}
+def lub(e1: SU, e2: SU): SU = match (e1, e2) with {
+  case (SU.Bottom, x) => x
+  case (x, SU.Bottom) => x
+  case (SU.Single(a), SU.Single(b)) => if (a == b) SU.Single(a) else SU.Top
+  case _ => SU.Top
+}
+def glb(e1: SU, e2: SU): SU = match (e1, e2) with {
+  case (SU.Top, x) => x
+  case (x, SU.Top) => x
+  case (SU.Single(a), SU.Single(b)) => if (a == b) SU.Single(a) else
+                                       SU.Bottom
+  case _ => SU.Bottom
+}
+let SU<> = (SU.Bottom, SU.Top, leq, lub, glb);
+
+rel Store(l: Str, p: Str);
+lat After(l: Str, SU<>);
+
+Store("l1", "p").
+Store("l2", "q").
+Store("l2", "r").
+
+After(l, SU.Single(p)) :- Store(l, p).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Solver S(R.C->program());
+  ASSERT_TRUE(S.solve().ok());
+  PredId After = *R.C->predicate("After");
+  EXPECT_EQ(S.latValue(After, {R.F.string("l1")}),
+            R.F.tag("SU.Single", R.F.string("p")));
+  // two different stores at l2 join to Top.
+  EXPECT_EQ(S.latValue(After, {R.F.string("l2")}), R.F.tag("SU.Top"));
+}
+
+TEST(EndToEndTest, BinderFromExtDef) {
+  Compiled R = compileSrc(R"flix(
+ext def succs(n: Int): Set[(Int, Int)];
+rel Node(n: Int);
+rel Out(a: Int, b: Int);
+Node(10).
+Out(a, b) :- Node(n), (a, b) <- succs(n).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  R.C->registerNative("succs",
+                      [](ValueFactory &F, std::span<const Value> A) {
+                        int64_t N = A[0].asInt();
+                        return F.set({F.tuple({F.integer(N), F.integer(N)}),
+                                      F.tuple({F.integer(N), F.integer(N + 1)})});
+                      });
+  Solver S(R.C->program());
+  ASSERT_TRUE(S.solve().ok());
+  PredId Out = *R.C->predicate("Out");
+  EXPECT_TRUE(S.contains(Out, {R.F.integer(10), R.F.integer(10)}));
+  EXPECT_TRUE(S.contains(Out, {R.F.integer(10), R.F.integer(11)}));
+  EXPECT_FALSE(R.C->interp().hasError());
+}
+
+TEST(EndToEndTest, StratifiedNegationFromSource) {
+  Compiled R = compileSrc(R"flix(
+rel Node(x: Int);
+rel Edge(x: Int, y: Int);
+rel Reach(x: Int);
+rel Unreach(x: Int);
+Node(1). Node(2). Node(3).
+Edge(1, 2).
+Reach(1).
+Reach(y) :- Reach(x), Edge(x, y).
+Unreach(x) :- Node(x), !Reach(x).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Solver S(R.C->program());
+  ASSERT_TRUE(S.solve().ok());
+  PredId Unreach = *R.C->predicate("Unreach");
+  EXPECT_FALSE(S.contains(Unreach, {R.F.integer(1)}));
+  EXPECT_FALSE(S.contains(Unreach, {R.F.integer(2)}));
+  EXPECT_TRUE(S.contains(Unreach, {R.F.integer(3)}));
+}
+
+TEST(EndToEndTest, ProgrammaticFactInjection) {
+  Compiled R = compileSrc(R"flix(
+rel Edge(x: Int, y: Int);
+rel Path(x: Int, y: Int);
+Path(x, y) :- Edge(x, y).
+Path(x, z) :- Path(x, y), Edge(y, z).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  for (int I = 0; I < 5; ++I) {
+    Value T[2] = {R.F.integer(I), R.F.integer(I + 1)};
+    EXPECT_TRUE(R.C->addFact("Edge", T));
+  }
+  Value Bad[1] = {R.F.integer(0)};
+  EXPECT_FALSE(R.C->addFact("Edge", Bad));     // arity mismatch
+  EXPECT_FALSE(R.C->addFact("Nonexistent", Bad));
+  Solver S(R.C->program());
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_TRUE(S.contains(*R.C->predicate("Path"),
+                         {R.F.integer(0), R.F.integer(5)}));
+}
+
+TEST(EndToEndTest, RuntimeErrorSurfacesAfterSolve) {
+  Compiled R = compileSrc(R"flix(
+def bad(x: Int): Int = x / 0;
+rel A(x: Int);
+rel B(x: Int);
+A(1).
+B(bad(x)) :- A(x).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Solver S(R.C->program());
+  S.solve();
+  EXPECT_TRUE(R.C->interp().hasError());
+  EXPECT_NE(R.C->interp().error().find("division by zero"),
+            std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Exhaustiveness warnings
+//===----------------------------------------------------------------------===//
+
+TEST(ExhaustivenessTest, MissingEnumCaseWarns) {
+  Compiled R = compileSrc("enum E { case A, case B, case C }\n"
+                          "def f(x: E): Int = match x with { case E.A => 1 "
+                          "case E.B => 2 };");
+  EXPECT_TRUE(R.Ok) << R.C->diagnostics(); // warning, not error
+  EXPECT_NE(R.C->diagnostics().find("may not be exhaustive"),
+            std::string::npos);
+  EXPECT_NE(R.C->diagnostics().find("'E.C'"), std::string::npos);
+}
+
+TEST(ExhaustivenessTest, WildcardSilencesWarning) {
+  Compiled R = compileSrc("enum E { case A, case B }\n"
+                          "def f(x: E): Int = match x with { case E.A => 1 "
+                          "case _ => 2 };");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.C->diagnostics().find("exhaustive"), std::string::npos);
+}
+
+TEST(ExhaustivenessTest, AllCasesCoveredNoWarning) {
+  Compiled R = compileSrc("enum E { case A, case B }\n"
+                          "def f(x: E): Int = match x with { case E.A => 1 "
+                          "case E.B => 2 };");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.C->diagnostics().find("exhaustive"), std::string::npos);
+}
+
+TEST(ExhaustivenessTest, PayloadLiteralDoesNotCoverCase) {
+  // E.A(3) only covers part of case A.
+  Compiled R = compileSrc("enum E { case A(Int), case B }\n"
+                          "def f(x: E): Int = match x with "
+                          "{ case E.A(3) => 1 case E.B => 2 };");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("'E.A'"), std::string::npos);
+}
+
+TEST(ExhaustivenessTest, IrrefutablePayloadCoversCase) {
+  Compiled R = compileSrc("enum E { case A(Int), case B }\n"
+                          "def f(x: E): Int = match x with "
+                          "{ case E.A(n) => n case E.B => 2 };");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.C->diagnostics().find("exhaustive"), std::string::npos);
+}
+
+TEST(ExhaustivenessTest, BoolMatchMissingFalseWarns) {
+  Compiled R = compileSrc(
+      "def f(x: Bool): Int = match x with { case true => 1 };");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("missing case 'false'"),
+            std::string::npos);
+}
+
+TEST(ExhaustivenessTest, TupleCatchAllViaVariablePatterns) {
+  Compiled R = compileSrc(
+      "def f(x: Int, y: Int): Int = match (x, y) with "
+      "{ case (0, 0) => 0 case (a, b) => a + b };");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.C->diagnostics().find("exhaustive"), std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Index hints (§4.5)
+//===----------------------------------------------------------------------===//
+
+TEST(IndexHintTest, HintPrebuildsIndexAndPreservesResults) {
+  Compiled R = compileSrc(R"flix(
+rel Edge(src: Int, dst: Int);
+rel Path(src: Int, dst: Int);
+index Edge(src);
+Edge(1, 2). Edge(2, 3).
+Path(x, y) :- Edge(x, y).
+Path(x, z) :- Path(x, y), Edge(y, z).
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  ASSERT_EQ(R.C->checkedModule().IndexHints.size(), 1u);
+  EXPECT_EQ(R.C->checkedModule().IndexHints[0].second, 0b01u);
+  Solver S(R.C->program());
+  // The hinted index exists before any rule evaluation.
+  EXPECT_GE(S.table(*R.C->predicate("Edge")).numIndexes(), 1u);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_TRUE(S.contains(*R.C->predicate("Path"),
+                         {R.F.integer(1), R.F.integer(3)}));
+}
+
+TEST(IndexHintTest, UnknownPredicateRejected) {
+  Compiled R = compileSrc("rel A(x: Int);\nindex B(x);");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("unknown predicate 'B'"),
+            std::string::npos);
+}
+
+TEST(IndexHintTest, UnknownAttributeRejected) {
+  Compiled R = compileSrc("rel A(x: Int, y: Int);\nindex A(z);");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("no key attribute 'z'"),
+            std::string::npos);
+}
+
+TEST(IndexHintTest, FullKeyIndexRejected) {
+  Compiled R = compileSrc("rel A(x: Int, y: Int);\nindex A(x, y);");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("duplicates the primary"),
+            std::string::npos);
+}
+
+} // namespace
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pattern-matching depth and scoping
+//===----------------------------------------------------------------------===//
+
+TEST(InterpPatternTest, NestedTagAndTuplePatterns) {
+  Compiled R = compileSrc(R"flix(
+enum Shape { case Circle(Int), case Rect((Int, Int)), case Point }
+def area(s: Shape): Int = match s with {
+  case Shape.Circle(r) => 3 * r * r
+  case Shape.Rect((w, h)) => w * h
+  case Shape.Point => 0
+}
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Interp &I = R.C->interp();
+  Value Circle[1] = {R.F.tag("Shape.Circle", R.F.integer(2))};
+  EXPECT_EQ(I.call("area", Circle), R.F.integer(12));
+  Value Rect[1] = {
+      R.F.tag("Shape.Rect", R.F.tuple({R.F.integer(3), R.F.integer(4)}))};
+  EXPECT_EQ(I.call("area", Rect), R.F.integer(12));
+  Value Point[1] = {R.F.tag("Shape.Point")};
+  EXPECT_EQ(I.call("area", Point), R.F.integer(0));
+}
+
+TEST(InterpPatternTest, LiteralPatternsSelectPrecisely) {
+  Compiled R = compileSrc(R"flix(
+def name(x: Int): Str = match x with {
+  case 0 => "zero"
+  case 1 => "one"
+  case -1 => "minus one"
+  case _ => "many"
+}
+def greet(s: Str): Int = match s with {
+  case "hi" => 1
+  case _ => 0
+}
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Interp &I = R.C->interp();
+  Value A[1] = {R.F.integer(-1)};
+  EXPECT_EQ(I.call("name", A), R.F.string("minus one"));
+  Value B[1] = {R.F.integer(42)};
+  EXPECT_EQ(I.call("name", B), R.F.string("many"));
+  Value C2[1] = {R.F.string("hi")};
+  EXPECT_EQ(I.call("greet", C2), R.F.integer(1));
+}
+
+TEST(InterpPatternTest, PatternVariableShadowingRejected) {
+  Compiled R = compileSrc("def f(x: Int): Int = match x with "
+                          "{ case x => x };");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.C->diagnostics().find("shadows"), std::string::npos);
+}
+
+TEST(InterpPatternTest, FirstMatchingCaseWins) {
+  Compiled R = compileSrc(R"flix(
+def f(x: Int): Int = match x with {
+  case _ => 1
+  case 0 => 2
+}
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Value A[1] = {R.F.integer(0)};
+  EXPECT_EQ(R.C->interp().call("f", A), R.F.integer(1));
+}
+
+TEST(InterpPatternTest, MatchOnTupleOfEnums) {
+  // The Figure 2/4/7 style: matching a pair of lattice elements.
+  Compiled R = compileSrc(std::string(ParityPrelude) + R"flix(
+def bothOdd(a: Parity, b: Parity): Bool = match (a, b) with {
+  case (Parity.Odd, Parity.Odd) => true
+  case _ => false
+}
+)flix");
+  ASSERT_TRUE(R.Ok) << R.C->diagnostics();
+  Interp &I = R.C->interp();
+  Value Odd = R.F.tag("Parity.Odd"), Even = R.F.tag("Parity.Even");
+  Value A[2] = {Odd, Odd};
+  EXPECT_EQ(I.call("bothOdd", A), R.F.boolean(true));
+  Value B[2] = {Odd, Even};
+  EXPECT_EQ(I.call("bothOdd", B), R.F.boolean(false));
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+//===- tests/LatticeCheckTest.cpp - lattice-law checker tests --------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Negative tests for the §7 "Safety" extension: the checker must *catch*
+/// malformed lattices and non-monotone functions, not just bless correct
+/// ones, including user-written FLIX lattices through the compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compiler.h"
+#include "runtime/LatticeCheck.h"
+#include "runtime/Lattices.h"
+
+#include <gtest/gtest.h>
+
+using namespace flix;
+
+namespace {
+
+/// A deliberately broken "lattice": lub returns its left argument, so it
+/// is not an upper bound of the right one.
+class BrokenLubLattice final : public Lattice {
+public:
+  explicit BrokenLubLattice(ValueFactory &F)
+      : Bot(F.tag("B.Bot")), Mid1(F.tag("B.M1")), Mid2(F.tag("B.M2")),
+        Top(F.tag("B.Top")) {}
+  std::string name() const override { return "BrokenLub"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value A, Value B) const override {
+    return A == Bot || B == Top || A == B;
+  }
+  Value lub(Value A, Value B) const override {
+    return A == Bot ? B : A; // WRONG: ignores B
+  }
+  Value glb(Value A, Value B) const override {
+    if (A == Top)
+      return B;
+    if (B == Top)
+      return A;
+    return A == B ? A : Bot;
+  }
+  Value Bot, Mid1, Mid2, Top;
+};
+
+/// A "lattice" whose order is not antisymmetric: two distinct elements
+/// below each other.
+class NotAntisymmetric final : public Lattice {
+public:
+  explicit NotAntisymmetric(ValueFactory &F)
+      : Bot(F.tag("N.Bot")), A(F.tag("N.A")), B(F.tag("N.B")),
+        Top(F.tag("N.Top")) {}
+  std::string name() const override { return "NotAntisymmetric"; }
+  Value bot() const override { return Bot; }
+  Value top() const override { return Top; }
+  bool leq(Value X, Value Y) const override {
+    if (X == Bot || Y == Top || X == Y)
+      return true;
+    // A ⊑ B and B ⊑ A although A != B.
+    return (X == A && Y == B) || (X == B && Y == A);
+  }
+  Value lub(Value X, Value Y) const override {
+    if (X == Bot)
+      return Y;
+    if (Y == Bot)
+      return X;
+    return X == Y ? X : Top;
+  }
+  Value glb(Value X, Value Y) const override {
+    if (X == Top)
+      return Y;
+    if (Y == Top)
+      return X;
+    return X == Y ? X : Bot;
+  }
+  Value Bot, A, B, Top;
+};
+
+TEST(LatticeCheckTest, DetectsBrokenLub) {
+  ValueFactory F;
+  BrokenLubLattice L(F);
+  std::vector<Value> Sample = {L.Mid1, L.Mid2};
+  LatticeCheckResult R = checkLatticeLaws(L, F, Sample);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.summary().find("upper bound"), std::string::npos);
+}
+
+TEST(LatticeCheckTest, DetectsNonAntisymmetricOrder) {
+  ValueFactory F;
+  NotAntisymmetric L(F);
+  std::vector<Value> Sample = {L.A, L.B};
+  LatticeCheckResult R = checkLatticeLaws(L, F, Sample);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.summary().find("antisymmetry"), std::string::npos);
+}
+
+TEST(LatticeCheckTest, DetectsNonMonotoneFunction) {
+  ValueFactory F;
+  ParityLattice L(F);
+  // "negate maybe-zero-ness": decreasing in its argument.
+  auto Fn = [&](std::span<const Value> A) {
+    return A[0] == L.top() ? L.bot() : L.top();
+  };
+  std::vector<Value> Sample = {L.odd(), L.even()};
+  LatticeCheckResult R = checkMonotone(L, L, F, 1, Fn, Sample,
+                                       /*RequireStrict=*/false, "antifn");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.summary().find("not monotone"), std::string::npos);
+}
+
+TEST(LatticeCheckTest, DetectsNonStrictFunction) {
+  ValueFactory F;
+  ParityLattice L(F);
+  // Constant function: monotone but not strict.
+  auto Fn = [&](std::span<const Value>) { return L.odd(); };
+  std::vector<Value> Sample = {L.odd(), L.even()};
+  LatticeCheckResult R = checkMonotone(L, L, F, 1, Fn, Sample,
+                                       /*RequireStrict=*/true, "constfn");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.summary().find("not strict"), std::string::npos);
+  // Without the strictness requirement it is fine.
+  LatticeCheckResult R2 = checkMonotone(L, L, F, 1, Fn, Sample, false,
+                                        "constfn");
+  EXPECT_TRUE(R2.ok()) << R2.summary();
+}
+
+TEST(LatticeCheckTest, DetectsNonMonotoneFilter) {
+  ValueFactory F;
+  ParityLattice L(F);
+  // isDefinitelyOdd is *anti*monotone: true at Odd, false at Top ⊒ Odd.
+  auto Fn = [&](std::span<const Value> A) { return A[0] == L.odd(); };
+  std::vector<Value> Sample = {L.odd(), L.even()};
+  LatticeCheckResult R =
+      checkMonotoneFilter(L, F, 1, Fn, Sample, "isDefinitelyOdd");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(LatticeCheckTest, AcceptsBinaryMonotoneFunctions) {
+  ValueFactory F;
+  SignLattice L(F);
+  auto Fn = [&](std::span<const Value> A) { return L.sum(A[0], A[1]); };
+  std::vector<Value> Sample = {L.neg(), L.zer(), L.pos()};
+  LatticeCheckResult R =
+      checkMonotone(L, L, F, 2, Fn, Sample, /*RequireStrict=*/true, "sum");
+  EXPECT_TRUE(R.ok()) << R.summary();
+}
+
+TEST(LatticeCheckTest, ChecksUserWrittenFlixLattice) {
+  // A user-written FLIX "lattice" with a wrong lub (returns Bot for
+  // incomparable elements): the checker catches it through the compiled
+  // InterpretedLattice.
+  const char *Src = R"flix(
+enum P { case Top, case Even, case Odd, case Bot }
+def leq(e1: P, e2: P): Bool = match (e1, e2) with {
+  case (P.Bot, _) => true
+  case (P.Even, P.Even) => true
+  case (P.Odd, P.Odd) => true
+  case (_, P.Top) => true
+  case _ => false
+}
+def lub(e1: P, e2: P): P = match (e1, e2) with {
+  case (P.Bot, x) => x
+  case (x, P.Bot) => x
+  case (P.Even, P.Even) => P.Even
+  case (P.Odd, P.Odd) => P.Odd
+  case _ => P.Bot
+}
+def glb(e1: P, e2: P): P = match (e1, e2) with {
+  case (P.Top, x) => x
+  case (x, P.Top) => x
+  case (P.Even, P.Even) => P.Even
+  case (P.Odd, P.Odd) => P.Odd
+  case _ => P.Bot
+}
+let P<> = (P.Bot, P.Top, leq, lub, glb);
+lat L(k: Str, P<>);
+)flix";
+  ValueFactory F;
+  FlixCompiler C(F);
+  ASSERT_TRUE(C.compile(Src)) << C.diagnostics();
+  // Fish the lattice out of the compiled program.
+  auto L = C.predicate("L");
+  ASSERT_TRUE(L.has_value());
+  const Lattice *Lat = C.program().predicate(*L).Lat;
+  ASSERT_NE(Lat, nullptr);
+  std::vector<Value> Sample = {F.tag("P.Even"), F.tag("P.Odd")};
+  LatticeCheckResult R = checkLatticeLaws(*Lat, F, Sample);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.summary().find("upper bound"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,379 @@
+//===- tests/LatticeTest.cpp - Built-in lattice tests ---------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LatticeCheck.h"
+#include "runtime/Lattices.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace flix;
+
+namespace {
+
+/// A lattice under test together with a representative element sample.
+struct LatticeEnv {
+  std::unique_ptr<ValueFactory> F = std::make_unique<ValueFactory>();
+  std::unique_ptr<ConstantLattice> CL; // substrate for Transformer
+  std::unique_ptr<Lattice> L;
+  std::vector<Value> Sample;
+};
+
+LatticeEnv makeEnv(const std::string &Name) {
+  LatticeEnv E;
+  ValueFactory &F = *E.F;
+  if (Name == "Bool") {
+    E.L = std::make_unique<BoolLattice>(F);
+  } else if (Name == "Parity") {
+    auto L = std::make_unique<ParityLattice>(F);
+    E.Sample = {L->odd(), L->even()};
+    E.L = std::move(L);
+  } else if (Name == "Sign") {
+    auto L = std::make_unique<SignLattice>(F);
+    E.Sample = {L->neg(), L->zer(), L->pos()};
+    E.L = std::move(L);
+  } else if (Name == "Constant") {
+    auto L = std::make_unique<ConstantLattice>(F);
+    E.Sample = {L->constant(-1), L->constant(0), L->constant(1),
+                L->constant(7)};
+    E.L = std::move(L);
+  } else if (Name == "Interval") {
+    auto L = std::make_unique<IntervalLattice>(F, 16);
+    E.Sample = {L->singleton(0), L->singleton(3), L->range(-2, 5),
+                L->range(0, 16), L->range(-16, -1)};
+    E.L = std::move(L);
+  } else if (Name == "SU") {
+    auto L = std::make_unique<SULattice>(F);
+    E.Sample = {L->single(F.string("p")), L->single(F.string("q"))};
+    E.L = std::move(L);
+  } else if (Name == "MinCost") {
+    auto L = std::make_unique<MinCostLattice>(F);
+    E.Sample = {L->cost(1), L->cost(5), L->cost(100)};
+    E.L = std::move(L);
+  } else if (Name == "Powerset") {
+    std::vector<Value> Univ = {F.string("a"), F.string("b"), F.string("c")};
+    auto L = std::make_unique<PowersetLattice>(F, Univ);
+    E.Sample = {F.set({Univ[0]}), F.set({Univ[1]}), F.set({Univ[0], Univ[2]}),
+                F.set({Univ[1], Univ[2]})};
+    E.L = std::move(L);
+  } else if (Name == "Transformer") {
+    E.CL = std::make_unique<ConstantLattice>(F);
+    auto L = std::make_unique<TransformerLattice>(F, *E.CL);
+    E.Sample = {L->identity(), L->nonBot(1, 0, E.CL->constant(3)),
+                L->nonBot(2, 1, E.CL->bot()), L->nonBot(0, 5, E.CL->bot()),
+                L->nonBot(0, 5, E.CL->top()),
+                L->nonBot(2, 1, E.CL->constant(4))};
+    E.L = std::move(L);
+  }
+  return E;
+}
+
+class LatticeLawTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LatticeLawTest, SatisfiesCompleteLatticeLaws) {
+  LatticeEnv E = makeEnv(GetParam());
+  ASSERT_NE(E.L, nullptr) << "unknown lattice " << GetParam();
+  LatticeCheckResult R = checkLatticeLaws(*E.L, *E.F, E.Sample);
+  EXPECT_TRUE(R.ok()) << GetParam() << ": " << R.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLattices, LatticeLawTest,
+                         ::testing::Values("Bool", "Parity", "Sign",
+                                           "Constant", "Interval", "SU",
+                                           "MinCost", "Powerset",
+                                           "Transformer"),
+                         [](const auto &Info) { return Info.param; });
+
+//===----------------------------------------------------------------------===//
+// Parity
+//===----------------------------------------------------------------------===//
+
+class ParityTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  ParityLattice L{F};
+};
+
+TEST_F(ParityTest, Alpha) {
+  EXPECT_EQ(L.alpha(4), L.even());
+  EXPECT_EQ(L.alpha(7), L.odd());
+  EXPECT_EQ(L.alpha(0), L.even());
+}
+
+TEST_F(ParityTest, AbstractSumSoundOnSamples) {
+  // γ(sum(α(a), α(b))) must contain a + b.
+  for (int64_t A = -5; A <= 5; ++A)
+    for (int64_t B = -5; B <= 5; ++B) {
+      Value S = L.sum(L.alpha(A), L.alpha(B));
+      EXPECT_TRUE(S == L.alpha(A + B) || S == L.top());
+      EXPECT_EQ(S, L.alpha(A + B)); // parity sum is exact
+    }
+}
+
+TEST_F(ParityTest, SumStrictAndTopAbsorbing) {
+  EXPECT_EQ(L.sum(L.bot(), L.odd()), L.bot());
+  EXPECT_EQ(L.sum(L.top(), L.odd()), L.top());
+}
+
+TEST_F(ParityTest, ProductSoundOnSamples) {
+  for (int64_t A = -4; A <= 4; ++A)
+    for (int64_t B = -4; B <= 4; ++B) {
+      Value Prod = L.product(L.alpha(A), L.alpha(B));
+      EXPECT_TRUE(L.leq(L.alpha(A * B), Prod));
+    }
+  // even * top is still even.
+  EXPECT_EQ(L.product(L.even(), L.top()), L.even());
+}
+
+TEST_F(ParityTest, IsMaybeZeroFilter) {
+  EXPECT_TRUE(L.isMaybeZero(L.even()));
+  EXPECT_TRUE(L.isMaybeZero(L.top()));
+  EXPECT_FALSE(L.isMaybeZero(L.odd()));
+  EXPECT_FALSE(L.isMaybeZero(L.bot()));
+}
+
+TEST_F(ParityTest, SumIsMonotoneAndStrict) {
+  std::vector<Value> Sample = {L.odd(), L.even()};
+  auto Fn = [&](std::span<const Value> A) { return L.sum(A[0], A[1]); };
+  LatticeCheckResult R =
+      checkMonotone(L, L, F, 2, Fn, Sample, /*RequireStrict=*/true, "sum");
+  EXPECT_TRUE(R.ok()) << R.summary();
+}
+
+TEST_F(ParityTest, IsMaybeZeroIsMonotoneFilter) {
+  std::vector<Value> Sample = {L.odd(), L.even()};
+  auto Fn = [&](std::span<const Value> A) { return L.isMaybeZero(A[0]); };
+  LatticeCheckResult R = checkMonotoneFilter(L, F, 1, Fn, Sample, "isMaybeZero");
+  EXPECT_TRUE(R.ok()) << R.summary();
+}
+
+//===----------------------------------------------------------------------===//
+// Sign
+//===----------------------------------------------------------------------===//
+
+class SignTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  SignLattice L{F};
+};
+
+TEST_F(SignTest, SumRules) {
+  EXPECT_EQ(L.sum(L.pos(), L.pos()), L.pos());
+  EXPECT_EQ(L.sum(L.neg(), L.neg()), L.neg());
+  EXPECT_EQ(L.sum(L.pos(), L.neg()), L.top());
+  EXPECT_EQ(L.sum(L.zer(), L.pos()), L.pos());
+  EXPECT_EQ(L.sum(L.bot(), L.pos()), L.bot());
+}
+
+TEST_F(SignTest, PaperJoinExample) {
+  // §3.2: A(1, Pos). A(2, Pos). A(2, Neg). — cell 2 joins to Top.
+  EXPECT_EQ(L.lub(L.pos(), L.neg()), L.top());
+  EXPECT_EQ(L.lub(L.pos(), L.pos()), L.pos());
+}
+
+//===----------------------------------------------------------------------===//
+// Constant
+//===----------------------------------------------------------------------===//
+
+class ConstantTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  ConstantLattice L{F};
+};
+
+TEST_F(ConstantTest, FlatOrder) {
+  EXPECT_TRUE(L.leq(L.constant(3), L.constant(3)));
+  EXPECT_FALSE(L.leq(L.constant(3), L.constant(4)));
+  EXPECT_TRUE(L.leq(L.bot(), L.constant(3)));
+  EXPECT_TRUE(L.leq(L.constant(3), L.top()));
+}
+
+TEST_F(ConstantTest, Arithmetic) {
+  EXPECT_EQ(L.sum(L.constant(2), L.constant(3)), L.constant(5));
+  EXPECT_EQ(L.product(L.constant(2), L.constant(3)), L.constant(6));
+  EXPECT_EQ(L.sum(L.top(), L.constant(3)), L.top());
+  EXPECT_EQ(L.sum(L.bot(), L.top()), L.bot()); // strict
+  // 0 times anything known-zero-side is 0.
+  EXPECT_EQ(L.product(L.constant(0), L.top()), L.constant(0));
+}
+
+TEST_F(ConstantTest, MaybeZero) {
+  EXPECT_TRUE(L.isMaybeZero(L.constant(0)));
+  EXPECT_TRUE(L.isMaybeZero(L.top()));
+  EXPECT_FALSE(L.isMaybeZero(L.constant(1)));
+  EXPECT_FALSE(L.isMaybeZero(L.bot()));
+}
+
+//===----------------------------------------------------------------------===//
+// Interval
+//===----------------------------------------------------------------------===//
+
+class IntervalTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  IntervalLattice L{F, 100};
+};
+
+TEST_F(IntervalTest, ContainmentOrder) {
+  EXPECT_TRUE(L.leq(L.range(1, 2), L.range(0, 5)));
+  EXPECT_FALSE(L.leq(L.range(0, 5), L.range(1, 2)));
+  EXPECT_TRUE(L.leq(L.bot(), L.range(0, 0)));
+}
+
+TEST_F(IntervalTest, LubIsHull) {
+  EXPECT_EQ(L.lub(L.range(0, 1), L.range(4, 5)), L.range(0, 5));
+}
+
+TEST_F(IntervalTest, GlbIsIntersection) {
+  EXPECT_EQ(L.glb(L.range(0, 4), L.range(2, 8)), L.range(2, 4));
+  EXPECT_EQ(L.glb(L.range(0, 1), L.range(3, 4)), L.bot());
+}
+
+TEST_F(IntervalTest, ClampingBoundsHeight) {
+  EXPECT_EQ(L.range(-1000, 1000), L.top());
+  EXPECT_EQ(L.sum(L.range(90, 90), L.range(20, 20)), L.range(100, 100));
+}
+
+TEST_F(IntervalTest, MaybeZero) {
+  EXPECT_TRUE(L.isMaybeZero(L.range(-1, 1)));
+  EXPECT_FALSE(L.isMaybeZero(L.range(1, 5)));
+  EXPECT_FALSE(L.isMaybeZero(L.bot()));
+}
+
+//===----------------------------------------------------------------------===//
+// SULattice
+//===----------------------------------------------------------------------===//
+
+class SUTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  SULattice L{F};
+};
+
+TEST_F(SUTest, SingletonJoin) {
+  Value P = L.single(F.string("p")), Q = L.single(F.string("q"));
+  EXPECT_EQ(L.lub(P, P), P);
+  EXPECT_EQ(L.lub(P, Q), L.top());
+  EXPECT_EQ(L.lub(L.bot(), P), P);
+}
+
+TEST_F(SUTest, FilterSemantics) {
+  // Figure 4: Bottom => false; Single(p) => b == p; Top => true.
+  Value P = F.string("p"), Q = F.string("q");
+  EXPECT_FALSE(L.filter(L.bot(), P));
+  EXPECT_TRUE(L.filter(L.single(P), P));
+  EXPECT_FALSE(L.filter(L.single(P), Q));
+  EXPECT_TRUE(L.filter(L.top(), P));
+}
+
+//===----------------------------------------------------------------------===//
+// MinCost
+//===----------------------------------------------------------------------===//
+
+class MinCostTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  MinCostLattice L{F};
+};
+
+TEST_F(MinCostTest, ReversedOrder) {
+  // §4.4: (N, ∞, 0, ≥, min, max): bigger costs are lower.
+  EXPECT_TRUE(L.leq(L.cost(10), L.cost(3)));
+  EXPECT_FALSE(L.leq(L.cost(3), L.cost(10)));
+  EXPECT_TRUE(L.leq(L.infinity(), L.cost(1000)));
+  EXPECT_EQ(L.bot(), L.infinity());
+  EXPECT_EQ(L.top(), L.cost(0));
+}
+
+TEST_F(MinCostTest, LubIsMin) {
+  EXPECT_EQ(L.lub(L.cost(3), L.cost(7)), L.cost(3));
+  EXPECT_EQ(L.lub(L.infinity(), L.cost(7)), L.cost(7));
+  EXPECT_EQ(L.glb(L.cost(3), L.cost(7)), L.cost(7));
+}
+
+TEST_F(MinCostTest, AddCostSaturatesAtInfinity) {
+  EXPECT_EQ(L.addCost(L.cost(3), 4), L.cost(7));
+  EXPECT_EQ(L.addCost(L.infinity(), 4), L.infinity());
+}
+
+//===----------------------------------------------------------------------===//
+// Transformer (IDE micro-functions)
+//===----------------------------------------------------------------------===//
+
+class TransformerTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  ConstantLattice CL{F};
+  TransformerLattice L{F, CL};
+};
+
+TEST_F(TransformerTest, IdentityApplies) {
+  EXPECT_EQ(L.apply(L.identity(), CL.constant(5)), CL.constant(5));
+  EXPECT_EQ(L.apply(L.identity(), CL.top()), CL.top());
+  EXPECT_EQ(L.apply(L.identity(), CL.bot()), CL.bot());
+}
+
+TEST_F(TransformerTest, BotTransformerKillsEverything) {
+  EXPECT_EQ(L.apply(L.bot(), CL.constant(5)), CL.bot());
+  EXPECT_EQ(L.apply(L.bot(), CL.top()), CL.bot());
+}
+
+TEST_F(TransformerTest, LinearApplication) {
+  // λl. 2l + 1
+  Value T = L.nonBot(2, 1, CL.bot());
+  EXPECT_EQ(L.apply(T, CL.constant(3)), CL.constant(7));
+  EXPECT_EQ(L.apply(T, CL.top()), CL.top());
+}
+
+TEST_F(TransformerTest, ConstantFunction) {
+  // λl. 5 regardless of l.
+  Value T = L.nonBot(0, 5, CL.bot());
+  EXPECT_EQ(L.apply(T, CL.constant(9)), CL.constant(5));
+  EXPECT_EQ(L.apply(T, CL.top()), CL.constant(5));
+}
+
+TEST_F(TransformerTest, CompositionMatchesPointwiseApplication) {
+  // comp(T1, T2) applies T1 first (Figure 7).
+  Value T1 = L.nonBot(2, 1, CL.bot()); // λl. 2l+1
+  Value T2 = L.nonBot(3, 0, CL.bot()); // λl. 3l
+  Value C = L.comp(T1, T2);            // λl. 3(2l+1) = 6l+3
+  for (int64_t X : {-2, 0, 1, 5})
+    EXPECT_EQ(L.apply(C, CL.constant(X)),
+              L.apply(T2, L.apply(T1, CL.constant(X))));
+  EXPECT_EQ(L.apply(C, CL.constant(1)), CL.constant(9));
+}
+
+TEST_F(TransformerTest, CompositionWithBot) {
+  Value T = L.nonBot(2, 1, CL.bot());
+  EXPECT_EQ(L.comp(T, L.bot()), L.bot());
+  // Bot into λl.2l+1 (strict linear part, bot constant part) is Bot.
+  EXPECT_EQ(L.comp(L.bot(), T), L.bot());
+  // Bot into λl.(2l+1) ⊔ 4 is the constant-4 function.
+  Value U = L.nonBot(2, 1, CL.constant(4));
+  EXPECT_EQ(L.comp(L.bot(), U), L.nonBot(0, 4, CL.constant(4)));
+}
+
+TEST_F(TransformerTest, CompositionAssociativityOnSamples) {
+  std::vector<Value> Ts = {L.bot(), L.identity(), L.nonBot(2, 1, CL.bot()),
+                           L.nonBot(0, 3, CL.constant(3)),
+                           L.nonBot(1, 4, CL.top())};
+  for (Value A : Ts)
+    for (Value B : Ts)
+      for (Value C : Ts)
+        EXPECT_EQ(L.comp(L.comp(A, B), C), L.comp(A, L.comp(B, C)));
+}
+
+TEST_F(TransformerTest, JoinCollapsesDistinctLinearParts) {
+  Value T1 = L.nonBot(2, 0, CL.bot());
+  Value T2 = L.nonBot(3, 0, CL.bot());
+  EXPECT_EQ(L.lub(T1, T2), L.top());
+  EXPECT_EQ(L.lub(T1, T1), T1);
+  Value T3 = L.nonBot(2, 0, CL.constant(1));
+  EXPECT_EQ(L.lub(T1, T3), T3);
+}
+
+} // namespace

@@ -1,0 +1,315 @@
+//===- tests/LexerParserTest.cpp - Lexer and parser tests -----------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace flix;
+
+namespace {
+
+struct LexResult {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::vector<Token> Tokens;
+};
+
+LexResult lex(const std::string &Src) {
+  LexResult R;
+  uint32_t B = R.SM.addBuffer("<test>", Src);
+  R.Diags = std::make_unique<DiagnosticEngine>(R.SM);
+  Lexer L(R.SM, B, *R.Diags);
+  R.Tokens = L.lexAll();
+  return R;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Ts) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Ts)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, Punctuation) {
+  LexResult R = lex(":- <- => == != <= >= && || #{ ( ) { } [ ] , ; . : _");
+  EXPECT_FALSE(R.Diags->hasErrors());
+  std::vector<TokenKind> K = kinds(R.Tokens);
+  std::vector<TokenKind> Want = {
+      TokenKind::ColonMinus, TokenKind::LeftArrow,  TokenKind::FatArrow,
+      TokenKind::EqEq,       TokenKind::NotEq,      TokenKind::Le,
+      TokenKind::Ge,         TokenKind::AmpAmp,     TokenKind::PipePipe,
+      TokenKind::HashBrace,  TokenKind::LParen,     TokenKind::RParen,
+      TokenKind::LBrace,     TokenKind::RBrace,     TokenKind::LBracket,
+      TokenKind::RBracket,   TokenKind::Comma,      TokenKind::Semi,
+      TokenKind::Dot,        TokenKind::Colon,      TokenKind::Underscore,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, IdentifierCaseDistinguished) {
+  LexResult R = lex("foo Bar _x X1");
+  std::vector<TokenKind> K = kinds(R.Tokens);
+  std::vector<TokenKind> Want = {TokenKind::Ident, TokenKind::UpperIdent,
+                                 TokenKind::Ident, TokenKind::UpperIdent,
+                                 TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, KeywordsRecognized) {
+  LexResult R = lex("enum case def ext match with let if else rel lat true "
+                    "false");
+  std::vector<TokenKind> K = kinds(R.Tokens);
+  std::vector<TokenKind> Want = {
+      TokenKind::KwEnum, TokenKind::KwCase,  TokenKind::KwDef,
+      TokenKind::KwExt,  TokenKind::KwMatch, TokenKind::KwWith,
+      TokenKind::KwLet,  TokenKind::KwIf,    TokenKind::KwElse,
+      TokenKind::KwRel,  TokenKind::KwLat,   TokenKind::KwTrue,
+      TokenKind::KwFalse, TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  LexResult R = lex("0 42 123456789");
+  EXPECT_EQ(R.Tokens[0].IntValue, 0);
+  EXPECT_EQ(R.Tokens[1].IntValue, 42);
+  EXPECT_EQ(R.Tokens[2].IntValue, 123456789);
+}
+
+TEST(LexerTest, IntegerOverflowReported) {
+  LexResult R = lex("999999999999999999999999999");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  LexResult R = lex("\"hello\" \"a\\nb\" \"q\\\"q\"");
+  EXPECT_FALSE(R.Diags->hasErrors());
+  EXPECT_EQ(R.Tokens[0].StrValue, "hello");
+  EXPECT_EQ(R.Tokens[1].StrValue, "a\nb");
+  EXPECT_EQ(R.Tokens[2].StrValue, "q\"q");
+}
+
+TEST(LexerTest, UnterminatedStringReported) {
+  LexResult R = lex("\"oops");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  LexResult R = lex("a // line comment\nb /* block /* nested */ still */ c");
+  std::vector<TokenKind> K = kinds(R.Tokens);
+  std::vector<TokenKind> Want = {TokenKind::Ident, TokenKind::Ident,
+                                 TokenKind::Ident, TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, UnexpectedCharacterReported) {
+  LexResult R = lex("a $ b");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+struct ParseResult {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  ast::Module M;
+};
+
+ParseResult parse(const std::string &Src) {
+  ParseResult R;
+  uint32_t B = R.SM.addBuffer("<test>", Src);
+  R.Diags = std::make_unique<DiagnosticEngine>(R.SM);
+  Lexer L(R.SM, B, *R.Diags);
+  Parser P(L.lexAll(), *R.Diags);
+  R.M = P.parseModule();
+  return R;
+}
+
+TEST(ParserTest, EnumDeclaration) {
+  ParseResult R = parse("enum Parity { case Top, case Even, case Odd, "
+                        "case Bot }");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Enums.size(), 1u);
+  EXPECT_EQ(R.M.Enums[0].Name, "Parity");
+  ASSERT_EQ(R.M.Enums[0].Cases.size(), 4u);
+  EXPECT_EQ(R.M.Enums[0].Cases[2].Name, "Odd");
+}
+
+TEST(ParserTest, EnumWithPayloads) {
+  ParseResult R = parse("enum SULattice { case Top, case Single(Str), "
+                        "case Bottom }");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Enums[0].Cases.size(), 3u);
+  ASSERT_TRUE(R.M.Enums[0].Cases[1].Payload.has_value());
+  EXPECT_EQ(R.M.Enums[0].Cases[1].Payload->Name, "Str");
+}
+
+TEST(ParserTest, DefWithMatch) {
+  ParseResult R = parse(R"(
+def leq(e1: Parity, e2: Parity): Bool = match (e1, e2) with {
+  case (Parity.Bot, _) => true
+  case (Parity.Even, Parity.Even) => true
+  case (_, Parity.Top) => true
+  case _ => false
+}
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Defs.size(), 1u);
+  const ast::DefDecl &D = R.M.Defs[0];
+  EXPECT_EQ(D.Name, "leq");
+  ASSERT_EQ(D.Params.size(), 2u);
+  ASSERT_TRUE(D.Body);
+  EXPECT_EQ(D.Body->K, ast::Expr::Kind::Match);
+  EXPECT_EQ(D.Body->Cases.size(), 4u);
+}
+
+TEST(ParserTest, ExtDef) {
+  ParseResult R = parse("ext def esh(n: Str, d: Str): Set[(Str, Str)];");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Defs.size(), 1u);
+  EXPECT_TRUE(R.M.Defs[0].IsExt);
+  EXPECT_EQ(R.M.Defs[0].RetType.K, ast::TypeExpr::Kind::Set);
+  EXPECT_EQ(R.M.Defs[0].RetType.Elems[0].K, ast::TypeExpr::Kind::Tuple);
+}
+
+TEST(ParserTest, LatticeBinding) {
+  ParseResult R = parse("let Parity<> = (Parity.Bot, Parity.Top, leq, lub, "
+                        "glb);");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.LatticeBinds.size(), 1u);
+  EXPECT_EQ(R.M.LatticeBinds[0].TypeName, "Parity");
+  EXPECT_EQ(R.M.LatticeBinds[0].LeqFn, "leq");
+  EXPECT_EQ(R.M.LatticeBinds[0].GlbFn, "glb");
+}
+
+TEST(ParserTest, RelAndLatDeclarations) {
+  ParseResult R = parse(R"(
+rel Load(var: Str, base: Str, field: Str);
+lat IntVar(var: Str, Parity<>);
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Preds.size(), 2u);
+  EXPECT_FALSE(R.M.Preds[0].IsLat);
+  EXPECT_EQ(R.M.Preds[0].Attrs.size(), 3u);
+  EXPECT_TRUE(R.M.Preds[1].IsLat);
+  EXPECT_EQ(R.M.Preds[1].Attrs[1].Type.K, ast::TypeExpr::Kind::Lattice);
+}
+
+TEST(ParserTest, FactsAndRules) {
+  ParseResult R = parse(R"(
+New("o1", "A").
+VarPointsTo(v1, h1) :- New(v1, h1).
+VarPointsTo(v1, h2) :- Assign(v1, v2), VarPointsTo(v2, h2).
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Rules.size(), 3u);
+  EXPECT_TRUE(R.M.Rules[0].Body.empty());
+  EXPECT_EQ(R.M.Rules[1].Body.size(), 1u);
+  EXPECT_EQ(R.M.Rules[2].Body.size(), 2u);
+  EXPECT_EQ(R.M.Rules[2].Head.Pred, "VarPointsTo");
+}
+
+TEST(ParserTest, RuleWithFilterAndTransfer) {
+  ParseResult R = parse(R"(
+IntVar(r, sum(i1, i2)) :- AddExp(r, v1, v2), IntVar(v1, i1), IntVar(v2, i2).
+ArithmeticError(r) :- DivExp(r, v1, v2), IntVar(v2, i2), isMaybeZero(i2).
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Rules.size(), 2u);
+  // sum(i1, i2) is a call expression in the head's last term.
+  EXPECT_EQ(R.M.Rules[0].Head.Terms[1]->K, ast::Expr::Kind::Call);
+  // isMaybeZero(i2) is a filter in the body.
+  EXPECT_TRUE(
+      std::holds_alternative<ast::FilterAST>(R.M.Rules[1].Body.back()));
+}
+
+TEST(ParserTest, RuleWithBinders) {
+  ParseResult R = parse(R"(
+PathEdge(d1, m, d3) :- CFG(n, m), PathEdge(d1, n, d2), d3 <- eshIntra(n, d2).
+JumpFn(d1, m, d3, comp(l, s)) :- CFG(n, m), JumpFn(d1, n, d2, l),
+                                 (d3, s) <- eshIntra(n, d2).
+)");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  ASSERT_EQ(R.M.Rules.size(), 2u);
+  const auto &B1 = std::get<ast::BinderAST>(R.M.Rules[0].Body.back());
+  EXPECT_EQ(B1.Pattern, (std::vector<std::string>{"d3"}));
+  EXPECT_EQ(B1.Fn, "eshIntra");
+  const auto &B2 = std::get<ast::BinderAST>(R.M.Rules[1].Body.back());
+  EXPECT_EQ(B2.Pattern, (std::vector<std::string>{"d3", "s"}));
+}
+
+TEST(ParserTest, NegatedAtom) {
+  ParseResult R = parse("Unreach(x) :- Node(x), !Reach(x).");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  const auto &A = std::get<ast::AtomAST>(R.M.Rules[0].Body[1]);
+  EXPECT_TRUE(A.Negated);
+}
+
+TEST(ParserTest, TagTermsInFacts) {
+  ParseResult R = parse("A(Parity.Odd).\nB(1, Sign.Pos).");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  EXPECT_EQ(R.M.Rules[0].Head.Terms[0]->K, ast::Expr::Kind::Tag);
+  EXPECT_EQ(R.M.Rules[1].Head.Terms[1]->EnumName, "Sign");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  ParseResult R = parse("def f(x: Int, y: Int): Int = 1 + x * 2 - y;");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  const ast::Expr &E = *R.M.Defs[0].Body;
+  // ((1 + (x * 2)) - y)
+  ASSERT_EQ(E.K, ast::Expr::Kind::Binary);
+  EXPECT_EQ(E.BOp, ast::BinOp::Sub);
+  const ast::Expr &L = *E.Args[0];
+  EXPECT_EQ(L.BOp, ast::BinOp::Add);
+  EXPECT_EQ(L.Args[1]->BOp, ast::BinOp::Mul);
+}
+
+TEST(ParserTest, LetAndIfExpressions) {
+  ParseResult R = parse(
+      "def f(x: Int): Int = let y = x + 1; if (y > 0) y else 0 - y;");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  EXPECT_EQ(R.M.Defs[0].Body->K, ast::Expr::Kind::Let);
+}
+
+TEST(ParserTest, SetLiteral) {
+  ParseResult R = parse("def f(x: Int): Set[Int] = #{x, x + 1, 0};");
+  ASSERT_FALSE(R.Diags->hasErrors()) << R.Diags->render();
+  EXPECT_EQ(R.M.Defs[0].Body->K, ast::Expr::Kind::SetLit);
+  EXPECT_EQ(R.M.Defs[0].Body->Args.size(), 3u);
+}
+
+TEST(ParserTest, ErrorRecoveryProducesMultipleDiagnostics) {
+  ParseResult R = parse(R"(
+rel A(;
+rel B(x: Int);
+def f(): = 3;
+rel C(y: Str);
+)");
+  EXPECT_TRUE(R.Diags->hasErrors());
+  EXPECT_GE(R.Diags->numErrors(), 2u);
+  // B and C should still have parsed.
+  bool SawB = false, SawC = false;
+  for (const auto &P : R.M.Preds) {
+    SawB |= P.Name == "B";
+    SawC |= P.Name == "C";
+  }
+  EXPECT_TRUE(SawB);
+  EXPECT_TRUE(SawC);
+}
+
+TEST(ParserTest, MissingDotReported) {
+  ParseResult R = parse("A(x) :- B(x)");
+  EXPECT_TRUE(R.Diags->hasErrors());
+}
+
+} // namespace

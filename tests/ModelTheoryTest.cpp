@@ -1,0 +1,273 @@
+//===- tests/ModelTheoryTest.cpp - §3.2 semantics tests -------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Replays the paper's worked examples from §3.1 and §3.2 against the
+/// executable model-theoretic semantics, and checks that the production
+/// solver computes exactly the brute-force minimal model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/ModelTheory.h"
+
+#include "runtime/Lattices.h"
+
+#include <gtest/gtest.h>
+
+using namespace flix;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Datalog example from §3.1: A(1). B(2,3). A(x) :- B(x, _).
+//===----------------------------------------------------------------------===//
+
+class DatalogSemanticsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    P = std::make_unique<Program>(F);
+    A = P->relation("A", 1);
+    B = P->relation("B", 2);
+    P->addFact(A, {F.integer(1)});
+    P->addFact(B, {F.integer(2), F.integer(3)});
+    RuleBuilder().head(*&A, {"x"}).atom(B, {"x", "_"}).addTo(*P);
+    H.Terms = {F.integer(1), F.integer(2), F.integer(3)};
+  }
+
+  GroundAtom a(int X) { return {A, {F.integer(X)}}; }
+  GroundAtom b(int X, int Y) { return {B, {F.integer(X), F.integer(Y)}}; }
+
+  ValueFactory F;
+  std::unique_ptr<Program> P;
+  PredId A = 0, B = 0;
+  HerbrandSpec H;
+};
+
+TEST_F(DatalogSemanticsTest, PaperInterpretationsI1ToI4) {
+  // I1 = {A(1)} — not a model (B(2,3) fact not satisfied).
+  Interpretation I1 = {a(1)};
+  EXPECT_FALSE(isModel(*P, H, I1));
+  // I2 = {A(1), B(2,3)} — not a model (rule instance A(2) :- B(2,3)).
+  Interpretation I2 = {a(1), b(2, 3)};
+  EXPECT_FALSE(isModel(*P, H, I2));
+  // I3 = {A(1), A(2), A(3), B(2,3)} — a model, but not minimal.
+  Interpretation I3 = {a(1), a(2), a(3), b(2, 3)};
+  EXPECT_TRUE(isModel(*P, H, I3));
+  // I4 = {A(1), A(2), B(2,3)} — the minimal model.
+  Interpretation I4 = {a(1), a(2), b(2, 3)};
+  EXPECT_TRUE(isModel(*P, H, I4));
+  EXPECT_TRUE(modelLeq(*P, I4, I3));
+  EXPECT_FALSE(modelLeq(*P, I3, I4));
+}
+
+TEST_F(DatalogSemanticsTest, BruteForceFindsI4) {
+  auto M = bruteForceMinimalModel(*P, H);
+  ASSERT_TRUE(M.has_value());
+  Interpretation I4 = {a(1), a(2), b(2, 3)};
+  std::sort(I4.begin(), I4.end());
+  EXPECT_EQ(*M, I4);
+}
+
+TEST_F(DatalogSemanticsTest, SolverMatchesBruteForce) {
+  auto M = bruteForceMinimalModel(*P, H);
+  ASSERT_TRUE(M.has_value());
+  Solver S(*P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(solverModel(*P, S), *M);
+}
+
+//===----------------------------------------------------------------------===//
+// Parity example from §3.2: A(Even). A(Odd). B(Odd).
+//===----------------------------------------------------------------------===//
+
+class ParitySemanticsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    L = std::make_unique<ParityLattice>(F);
+    P = std::make_unique<Program>(F);
+    A = P->lattice("A", 1, L.get());
+    B = P->lattice("B", 1, L.get());
+    P->addLatFact(A, std::initializer_list<Value>{}, L->even());
+    P->addLatFact(A, std::initializer_list<Value>{}, L->odd());
+    P->addLatFact(B, std::initializer_list<Value>{}, L->odd());
+    H.LatticeElems[L.get()] = {L->bot(), L->odd(), L->even(), L->top()};
+  }
+
+  GroundAtom ga(PredId Pr, Value V) { return {Pr, {V}}; }
+
+  ValueFactory F;
+  std::unique_ptr<ParityLattice> L;
+  std::unique_ptr<Program> P;
+  PredId A = 0, B = 0;
+  HerbrandSpec H;
+};
+
+TEST_F(ParitySemanticsTest, PaperInterpretationsI1ToI6) {
+  // I1 = {A(Top)} — not a model: B(Odd) untrue.
+  EXPECT_FALSE(isModel(*P, H, {ga(A, L->top())}));
+  // I2 = {A(Top), B(Bot)} — not a model: B(Odd) still untrue.
+  EXPECT_FALSE(isModel(*P, H, {ga(A, L->top()), ga(B, L->bot())}));
+  // I3 = {A(Top), B(Odd), B(Top)} — a model, but not compact.
+  Interpretation I3 = {ga(A, L->top()), ga(B, L->odd()), ga(B, L->top())};
+  EXPECT_TRUE(isModel(*P, H, I3));
+  EXPECT_FALSE(isCompact(*P, I3));
+  // I4 = {A(Even), A(Odd), B(Odd)} — a model, but not compact.
+  Interpretation I4 = {ga(A, L->even()), ga(A, L->odd()), ga(B, L->odd())};
+  EXPECT_TRUE(isModel(*P, H, I4));
+  EXPECT_FALSE(isCompact(*P, I4));
+  // I5 = {A(Top), B(Top)} — compact model, not minimal.
+  Interpretation I5 = {ga(A, L->top()), ga(B, L->top())};
+  EXPECT_TRUE(isModel(*P, H, I5));
+  EXPECT_TRUE(isCompact(*P, I5));
+  // I6 = {A(Top), B(Odd)} — the minimal model.
+  Interpretation I6 = {ga(A, L->top()), ga(B, L->odd())};
+  EXPECT_TRUE(isModel(*P, H, I6));
+  EXPECT_TRUE(isCompact(*P, I6));
+  EXPECT_TRUE(modelLeq(*P, I6, I5));
+  EXPECT_FALSE(modelLeq(*P, I5, I6));
+}
+
+TEST_F(ParitySemanticsTest, BruteForceFindsI6) {
+  auto M = bruteForceMinimalModel(*P, H);
+  ASSERT_TRUE(M.has_value());
+  Interpretation I6 = {ga(A, L->top()), ga(B, L->odd())};
+  std::sort(I6.begin(), I6.end());
+  EXPECT_EQ(*M, I6);
+}
+
+TEST_F(ParitySemanticsTest, SolverMatchesBruteForce) {
+  auto M = bruteForceMinimalModel(*P, H);
+  ASSERT_TRUE(M.has_value());
+  Solver S(*P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(solverModel(*P, S), dropBottomAtoms(*P, *M));
+}
+
+//===----------------------------------------------------------------------===//
+// Sign example from §3.2: A(1, Pos). A(2, Pos). A(2, Neg).
+//===----------------------------------------------------------------------===//
+
+class SignSemanticsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    L = std::make_unique<SignLattice>(F);
+    P = std::make_unique<Program>(F);
+    A = P->lattice("A", 2, L.get());
+    P->addLatFact(A, {F.integer(1)}, L->pos());
+    P->addLatFact(A, {F.integer(2)}, L->pos());
+    P->addLatFact(A, {F.integer(2)}, L->neg());
+    H.Terms = {F.integer(1), F.integer(2)};
+    H.LatticeElems[L.get()] = {L->bot(), L->neg(), L->zer(), L->pos(),
+                               L->top()};
+  }
+
+  GroundAtom ga(int K, Value V) { return {A, {F.integer(K), V}}; }
+
+  ValueFactory F;
+  std::unique_ptr<SignLattice> L;
+  std::unique_ptr<Program> P;
+  PredId A = 0;
+  HerbrandSpec H;
+};
+
+TEST_F(SignSemanticsTest, PaperInterpretations) {
+  // I1 = {A(1, Top)} — not a model (nothing makes A(2, ...) true).
+  EXPECT_FALSE(isModel(*P, H, {ga(1, L->top())}));
+  // I2 = {A(1,Pos), A(1,Neg), A(2,Top)} — model, not compact.
+  Interpretation I2 = {ga(1, L->pos()), ga(1, L->neg()), ga(2, L->top())};
+  EXPECT_TRUE(isModel(*P, H, I2));
+  EXPECT_FALSE(isCompact(*P, I2));
+  // I3 = {A(1,Top), A(2,Top)} — compact model.
+  Interpretation I3 = {ga(1, L->top()), ga(2, L->top())};
+  EXPECT_TRUE(isModel(*P, H, I3));
+  EXPECT_TRUE(isCompact(*P, I3));
+  // I4 = {A(1,Pos), A(2,Top)} — the minimal model.
+  Interpretation I4 = {ga(1, L->pos()), ga(2, L->top())};
+  EXPECT_TRUE(isModel(*P, H, I4));
+  EXPECT_TRUE(isCompact(*P, I4));
+  EXPECT_TRUE(modelLeq(*P, I4, I3));
+  EXPECT_FALSE(modelLeq(*P, I3, I4));
+}
+
+TEST_F(SignSemanticsTest, BruteForceAndSolverAgree) {
+  auto M = bruteForceMinimalModel(*P, H);
+  ASSERT_TRUE(M.has_value());
+  Interpretation I4 = {ga(1, L->pos()), ga(2, L->top())};
+  std::sort(I4.begin(), I4.end());
+  EXPECT_EQ(*M, I4);
+  Solver S(*P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(solverModel(*P, S), dropBottomAtoms(*P, *M));
+}
+
+//===----------------------------------------------------------------------===//
+// A program with rules over lattices, checked against brute force.
+//===----------------------------------------------------------------------===//
+
+TEST(ModelTheoryRuleTest, LatticeRulePropagation) {
+  ValueFactory F;
+  ParityLattice L(F);
+  Program P(F);
+  PredId A = P.lattice("A", 1, &L);
+  PredId B = P.lattice("B", 1, &L);
+  P.addLatFact(A, std::initializer_list<Value>{}, L.odd());
+  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).addTo(P);
+  HerbrandSpec H;
+  H.LatticeElems[&L] = {L.bot(), L.odd(), L.even(), L.top()};
+
+  auto M = bruteForceMinimalModel(P, H);
+  ASSERT_TRUE(M.has_value());
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(solverModel(P, S), dropBottomAtoms(P, *M));
+  EXPECT_EQ(S.latValue(B, std::initializer_list<Value>{}), L.odd());
+}
+
+TEST(ModelTheoryRuleTest, GlbRuleLeavesBottomCellAbsent) {
+  // R(x) :- A(x), B(x). with A(Odd), B(Even): the strongest consistent
+  // instantiation of x is Odd ⊓ Even = ⊥, so under the ⊥-free reading the
+  // R cell stays absent — in the brute-force minimal model and in the
+  // solver alike.
+  ValueFactory F;
+  ParityLattice L(F);
+  Program P(F);
+  PredId A = P.lattice("A", 1, &L);
+  PredId B = P.lattice("B", 1, &L);
+  PredId R = P.lattice("R", 1, &L);
+  P.addLatFact(A, std::initializer_list<Value>{}, L.odd());
+  P.addLatFact(B, std::initializer_list<Value>{}, L.even());
+  RuleBuilder().head(R, {"x"}).atom(A, {"x"}).atom(B, {"x"}).addTo(P);
+  HerbrandSpec H;
+  H.LatticeElems[&L] = {L.bot(), L.odd(), L.even(), L.top()};
+
+  auto M = bruteForceMinimalModel(P, H);
+  ASSERT_TRUE(M.has_value());
+  for (const GroundAtom &GA : *M)
+    EXPECT_NE(GA.Pred, R) << "R cell unexpectedly present";
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(solverModel(P, S), *M);
+}
+
+TEST(ModelTheoryRuleTest, BottomFactIsTriviallySatisfied) {
+  // A(⊥) as a fact imposes nothing: the minimal model is empty, matching
+  // the engine's no-⊥-materialization behavior.
+  ValueFactory F;
+  ParityLattice L(F);
+  Program P(F);
+  PredId A = P.lattice("A", 1, &L);
+  (void)A;
+  P.addLatFact(A, std::initializer_list<Value>{}, L.bot());
+  HerbrandSpec H;
+  H.LatticeElems[&L] = {L.bot(), L.odd(), L.even(), L.top()};
+  auto M = bruteForceMinimalModel(P, H);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->empty());
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_TRUE(solverModel(P, S).empty());
+}
+
+} // namespace

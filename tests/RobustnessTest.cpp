@@ -1,0 +1,133 @@
+//===- tests/RobustnessTest.cpp - frontend robustness ----------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fuzz-style robustness: the lexer/parser/checker must never crash and
+/// must always terminate with diagnostics on garbage, truncated and
+/// mutated inputs. (A compiler's first duty on bad input is a good error,
+/// not a segfault.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace flix;
+
+namespace {
+
+/// Compiling must terminate and either succeed or produce diagnostics —
+/// never crash.
+void mustNotCrash(const std::string &Src) {
+  ValueFactory F;
+  FlixCompiler C(F);
+  bool Ok = C.compile(Src);
+  if (!Ok) {
+    EXPECT_TRUE(C.hasErrors()) << "failed without diagnostics on: " << Src;
+  }
+}
+
+TEST(RobustnessTest, EmptyAndWhitespaceInputs) {
+  mustNotCrash("");
+  mustNotCrash("   \n\t\n");
+  mustNotCrash("// only a comment\n");
+  mustNotCrash("/* unterminated");
+}
+
+TEST(RobustnessTest, GarbageBytes) {
+  std::mt19937_64 Rng(2016);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::string Src;
+    size_t Len = Rng() % 200;
+    for (size_t I = 0; I < Len; ++I)
+      Src.push_back(static_cast<char>(' ' + Rng() % 95));
+    mustNotCrash(Src);
+  }
+}
+
+TEST(RobustnessTest, TokenSoup) {
+  // Valid tokens in random order.
+  static const char *Tokens[] = {
+      "enum", "case",  "def",  "match", "with", "let",  "rel",  "lat",
+      "if",   "else",  "true", "false", "(",    ")",    "{",    "}",
+      ",",    ";",     ".",    ":",     ":-",   "<-",   "=>",   "=",
+      "==",   "!=",    "<",    ">",     "+",    "-",    "*",    "/",
+      "!",    "#{",    "_",    "x",     "Foo",  "Bar",  "42",   "\"s\"",
+      "Set",  "[",     "]",    "Int",   "Str",  "Bool", "ext"};
+  std::mt19937_64 Rng(99);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::string Src;
+    size_t Len = 5 + Rng() % 60;
+    for (size_t I = 0; I < Len; ++I) {
+      Src += Tokens[Rng() % (sizeof(Tokens) / sizeof(Tokens[0]))];
+      Src += ' ';
+    }
+    mustNotCrash(Src);
+  }
+}
+
+TEST(RobustnessTest, TruncatedValidProgram) {
+  const std::string Full = R"flix(
+enum Parity { case Top, case Even, case Odd, case Bot }
+def leq(e1: Parity, e2: Parity): Bool = match (e1, e2) with {
+  case (Parity.Bot, _) => true
+  case _ => false
+}
+def lub(e1: Parity, e2: Parity): Parity = e1;
+def glb(e1: Parity, e2: Parity): Parity = e2;
+let Parity<> = (Parity.Bot, Parity.Top, leq, lub, glb);
+lat A(x: Str, Parity<>);
+A("k", Parity.Odd).
+A(x, p) :- A(x, p).
+)flix";
+  // Every prefix must be handled gracefully.
+  for (size_t Len = 0; Len < Full.size(); Len += 7)
+    mustNotCrash(Full.substr(0, Len));
+}
+
+TEST(RobustnessTest, MutatedValidProgram) {
+  const std::string Full = "rel Edge(x: Int, y: Int);\n"
+                           "rel Path(x: Int, y: Int);\n"
+                           "Edge(1, 2).\n"
+                           "Path(x, y) :- Edge(x, y).\n"
+                           "Path(x, z) :- Path(x, y), Edge(y, z).\n";
+  std::mt19937_64 Rng(7);
+  for (int Round = 0; Round < 100; ++Round) {
+    std::string Src = Full;
+    // Flip, delete or insert a few characters.
+    for (int K = 0; K < 3; ++K) {
+      size_t Pos = Rng() % Src.size();
+      switch (Rng() % 3) {
+      case 0:
+        Src[Pos] = static_cast<char>(' ' + Rng() % 95);
+        break;
+      case 1:
+        Src.erase(Pos, 1);
+        break;
+      default:
+        Src.insert(Pos, 1, static_cast<char>(' ' + Rng() % 95));
+        break;
+      }
+    }
+    mustNotCrash(Src);
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedExpressions) {
+  // Deep but bounded nesting must not blow the stack.
+  std::string Src = "def f(x: Int): Int = ";
+  for (int I = 0; I < 200; ++I)
+    Src += "(1 + ";
+  Src += "x";
+  for (int I = 0; I < 200; ++I)
+    Src += ")";
+  Src += ";";
+  mustNotCrash(Src);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===- tests/SolverEdgeTest.cpp - solver edge-case tests -------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Solver.h"
+
+#include "runtime/Lattices.h"
+
+#include <gtest/gtest.h>
+
+using namespace flix;
+
+namespace {
+
+TEST(SolverEdgeTest, IterationLimitReported) {
+  ValueFactory F;
+  Program P(F);
+  PredId Edge = P.relation("Edge", 2);
+  PredId Path = P.relation("Path", 2);
+  RuleBuilder().head(Path, {"x", "y"}).atom(Edge, {"x", "y"}).addTo(P);
+  RuleBuilder()
+      .head(Path, {"x", "z"})
+      .atom(Path, {"x", "y"})
+      .atom(Edge, {"y", "z"})
+      .addTo(P);
+  for (int I = 0; I < 50; ++I)
+    P.addFact(Edge, {F.integer(I), F.integer(I + 1)});
+  SolverOptions Opts;
+  Opts.MaxIterations = 2;
+  Solver S(P, Opts);
+  SolveStats St = S.solve();
+  EXPECT_EQ(St.St, SolveStats::Status::IterationLimit);
+  // Partial results are still a sound under-approximation.
+  EXPECT_TRUE(S.contains(Path, {F.integer(0), F.integer(1)}));
+}
+
+TEST(SolverEdgeTest, BinderReturningEmptySet) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId R = P.relation("R", 1);
+  FnId Empty = P.function("empty", 1, FnRole::Binder,
+                          [&F](std::span<const Value>) {
+                            return F.emptySet();
+                          });
+  RuleBuilder().head(R, {"d"}).atom(A, {"n"}).bind({"d"}, Empty, {"n"})
+      .addTo(P);
+  P.addFact(A, {F.integer(1)});
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(S.table(R).size(), 0u);
+}
+
+TEST(SolverEdgeTest, BinderRebindsExistingVariableAsEqualityCheck) {
+  // d already bound by the atom: only matching elements survive.
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 2);
+  PredId R = P.relation("R", 1);
+  FnId Succs = P.function("succs", 1, FnRole::Binder,
+                          [&F](std::span<const Value> Args) {
+                            return F.set({F.integer(Args[0].asInt() + 1)});
+                          });
+  // R(d) :- A(n, d), d <- succs(n).  Keeps rows where d == n + 1.
+  RuleBuilder()
+      .head(R, {"d"})
+      .atom(A, {"n", "d"})
+      .bind({"d"}, Succs, {"n"})
+      .addTo(P);
+  P.addFact(A, {F.integer(1), F.integer(2)}); // 2 == 1+1: kept
+  P.addFact(A, {F.integer(1), F.integer(5)}); // 5 != 1+1: dropped
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_TRUE(S.contains(R, {F.integer(2)}));
+  EXPECT_FALSE(S.contains(R, {F.integer(5)}));
+}
+
+TEST(SolverEdgeTest, ConstantOnlyFilterRule) {
+  // A rule whose filter has no variable arguments at all.
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId R = P.relation("R", 1);
+  FnId Yes = P.function("yes", 1, FnRole::Filter,
+                        [&F](std::span<const Value> Args) {
+                          return F.boolean(Args[0].asInt() == 7);
+                        });
+  RuleBuilder()
+      .head(R, {"x"})
+      .atom(A, {"x"})
+      .filter(Yes, {RuleBuilder::Spec(F.integer(7))})
+      .addTo(P);
+  P.addFact(A, {F.integer(1)});
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_TRUE(S.contains(R, {F.integer(1)}));
+}
+
+TEST(SolverEdgeTest, WideKeyPredicates) {
+  // Six key columns: exercises multi-bit index masks.
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 6);
+  PredId B = P.relation("B", 2);
+  PredId R = P.relation("R", 2);
+  RuleBuilder()
+      .head(R, {"a", "f"})
+      .atom(B, {"a", "c"})
+      .atom(A, {"a", "b", "c", "d", "e", "f"})
+      .addTo(P);
+  auto N = [&](int I) { return F.integer(I); };
+  for (int I = 0; I < 10; ++I)
+    P.addFact(A, {N(I), N(1), N(I + 1), N(3), N(4), N(I * 10)});
+  P.addFact(B, {N(2), N(3)});
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(S.table(R).size(), 1u);
+  EXPECT_TRUE(S.contains(R, {N(2), N(20)}));
+}
+
+TEST(SolverEdgeTest, ValidateRejectsNegatedLatticeAtomInIR) {
+  ValueFactory F;
+  ParityLattice L(F);
+  Program P(F);
+  PredId A = P.lattice("A", 2, &L);
+  PredId N = P.relation("N", 1);
+  PredId R = P.relation("R", 1);
+  RuleBuilder()
+      .head(R, {"x"})
+      .atom(N, {"x"})
+      .negated(A, {"x", "_"})
+      .addTo(P);
+  Solver S(P);
+  SolveStats St = S.solve();
+  EXPECT_EQ(St.St, SolveStats::Status::Error);
+  EXPECT_NE(St.Error.find("negated atom on lattice"), std::string::npos);
+}
+
+TEST(SolverEdgeTest, SelfJoinOnSamePredicate) {
+  // R(x, z) :- A(x, y), A(y, z): the same table drives both atoms.
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 2);
+  PredId R = P.relation("R", 2);
+  RuleBuilder()
+      .head(R, {"x", "z"})
+      .atom(A, {"x", "y"})
+      .atom(A, {"y", "z"})
+      .addTo(P);
+  auto N = [&](int I) { return F.integer(I); };
+  P.addFact(A, {N(1), N(2)});
+  P.addFact(A, {N(2), N(3)});
+  P.addFact(A, {N(3), N(4)});
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(S.table(R).size(), 2u);
+  EXPECT_TRUE(S.contains(R, {N(1), N(3)}));
+  EXPECT_TRUE(S.contains(R, {N(2), N(4)}));
+}
+
+TEST(SolverEdgeTest, LatticeValueAsJoinKeyInAnotherPredicate) {
+  // The lattice value bound from one atom is used as a key in the next.
+  ValueFactory F;
+  ParityLattice L(F);
+  Program P(F);
+  PredId V = P.lattice("V", 2, &L);
+  PredId Name = P.relation("Name", 2); // (parity value, label)
+  PredId R = P.relation("R", 2);
+  RuleBuilder()
+      .head(R, {"k", "label"})
+      .atom(V, {"k", "p"})
+      .atom(Name, {"p", "label"})
+      .addTo(P);
+  P.addLatFact(V, {F.string("x")}, L.odd());
+  P.addFact(Name, {L.odd(), F.string("odd")});
+  P.addFact(Name, {L.top(), F.string("top")});
+  Solver S(P);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_TRUE(S.contains(R, {F.string("x"), F.string("odd")}));
+  EXPECT_FALSE(S.contains(R, {F.string("x"), F.string("top")}));
+}
+
+TEST(SolverEdgeTest, IndexHintViaApi) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 2);
+  P.addIndexHint(A, 0b10);
+  P.addFact(A, {F.integer(1), F.integer(2)});
+  Solver S(P);
+  EXPECT_EQ(S.table(A).numIndexes(), 1u);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(S.table(A).size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+//===- tests/TableTest.cpp - Table and stratification unit tests -----------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Stratify.h"
+#include "fixpoint/Table.h"
+
+#include "runtime/Lattices.h"
+
+#include <gtest/gtest.h>
+
+using namespace flix;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+class TableTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+  ParityLattice L{F};
+
+  Value key(int A, int B) { return F.tuple({F.integer(A), F.integer(B)}); }
+};
+
+TEST_F(TableTest, InsertAndLookup) {
+  Table T(2, L, F);
+  auto [Id, Changed] = T.join(key(1, 2), L.odd());
+  EXPECT_TRUE(Changed);
+  EXPECT_EQ(T.size(), 1u);
+  ASSERT_NE(T.lookup(key(1, 2)), nullptr);
+  EXPECT_EQ(*T.lookup(key(1, 2)), L.odd());
+  EXPECT_EQ(T.lookup(key(2, 1)), nullptr);
+  EXPECT_EQ(T.lookupRow(key(1, 2)), Id);
+}
+
+TEST_F(TableTest, JoinComputesLubPerCell) {
+  Table T(2, L, F);
+  T.join(key(1, 2), L.odd());
+  auto R1 = T.join(key(1, 2), L.odd());
+  EXPECT_FALSE(R1.Changed); // no increase
+  auto R2 = T.join(key(1, 2), L.even());
+  EXPECT_TRUE(R2.Changed); // odd ⊔ even = ⊤
+  EXPECT_EQ(*T.lookup(key(1, 2)), L.top());
+  EXPECT_EQ(T.size(), 1u); // still one compact cell
+}
+
+TEST_F(TableTest, BottomCellsNotMaterialized) {
+  Table T(2, L, F);
+  auto R = T.join(key(1, 2), L.bot());
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(R.RowId, Table::NoRow);
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST_F(TableTest, JoinBottomIntoExistingCellIsNoop) {
+  Table T(2, L, F);
+  T.join(key(1, 2), L.odd());
+  auto R = T.join(key(1, 2), L.bot());
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(*T.lookup(key(1, 2)), L.odd());
+}
+
+TEST_F(TableTest, SecondaryIndexProbing) {
+  Table T(2, L, F);
+  for (int A = 0; A < 5; ++A)
+    for (int B = 0; B < 3; ++B)
+      T.join(key(A, B), L.odd());
+  // Probe on column 0 = 2.
+  Value Proj = F.tuple({F.integer(2)});
+  const std::vector<uint32_t> &Bucket = T.probe(0b01, Proj);
+  EXPECT_EQ(Bucket.size(), 3u);
+  for (uint32_t Id : Bucket)
+    EXPECT_EQ(T.rowKey(Id)[0].asInt(), 2);
+  // Probe on column 1 = 0.
+  const std::vector<uint32_t> &B2 = T.probe(0b10, F.tuple({F.integer(0)}));
+  EXPECT_EQ(B2.size(), 5u);
+  EXPECT_EQ(T.numIndexes(), 2u);
+}
+
+TEST_F(TableTest, IndexStaysInSyncWithNewRows) {
+  Table T(2, L, F);
+  T.join(key(1, 1), L.odd());
+  Value Proj = F.tuple({F.integer(1)});
+  EXPECT_EQ(T.probe(0b01, Proj).size(), 1u);
+  // Insert after the index exists; the index must pick it up.
+  T.join(key(1, 2), L.odd());
+  EXPECT_EQ(T.probe(0b01, Proj).size(), 2u);
+}
+
+TEST_F(TableTest, ProbeMissReturnsEmpty) {
+  Table T(2, L, F);
+  T.join(key(1, 1), L.odd());
+  EXPECT_TRUE(T.probe(0b01, F.tuple({F.integer(9)})).empty());
+}
+
+TEST_F(TableTest, MemoryAccountingGrows) {
+  Table T(2, L, F);
+  size_t Before = T.memoryBytes();
+  for (int I = 0; I < 1000; ++I)
+    T.join(key(I, I), L.odd());
+  T.probe(0b01, F.tuple({F.integer(0)}));
+  EXPECT_GT(T.memoryBytes(), Before);
+}
+
+TEST_F(TableTest, RelationalTableViaBoolLattice) {
+  BoolLattice BL(F);
+  Table T(2, BL, F);
+  auto R1 = T.join(key(1, 2), F.boolean(true));
+  EXPECT_TRUE(R1.Changed);
+  auto R2 = T.join(key(1, 2), F.boolean(true));
+  EXPECT_FALSE(R2.Changed); // duplicate tuple
+  EXPECT_EQ(T.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stratification
+//===----------------------------------------------------------------------===//
+
+TEST(StratifyTest, PositiveProgramIsOneStratum) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId B = P.relation("B", 1);
+  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).addTo(P);
+  RuleBuilder().head(A, {"x"}).atom(B, {"x"}).addTo(P);
+  StratifyResult R = stratify(P);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Strat->numStrata(), 1u);
+}
+
+TEST(StratifyTest, NegationForcesHigherStratum) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId B = P.relation("B", 1);
+  PredId C = P.relation("C", 1);
+  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).addTo(P);
+  RuleBuilder().head(C, {"x"}).atom(A, {"x"}).negated(B, {"x"}).addTo(P);
+  StratifyResult R = stratify(P);
+  ASSERT_TRUE(R.ok());
+  EXPECT_GT(R.Strat->PredStratum[C], R.Strat->PredStratum[B]);
+  // Rules are grouped by head stratum.
+  EXPECT_EQ(R.Strat->RulesByStratum[R.Strat->PredStratum[C]].size(), 1u);
+}
+
+TEST(StratifyTest, ChainOfNegationsBuildsStrata) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId B = P.relation("B", 1);
+  PredId C = P.relation("C", 1);
+  PredId D = P.relation("D", 1);
+  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).negated(A, {"x"}).addTo(P);
+  RuleBuilder().head(C, {"x"}).atom(A, {"x"}).negated(B, {"x"}).addTo(P);
+  RuleBuilder().head(D, {"x"}).atom(A, {"x"}).negated(C, {"x"}).addTo(P);
+  StratifyResult R = stratify(P);
+  ASSERT_TRUE(R.ok());
+  EXPECT_LT(R.Strat->PredStratum[B], R.Strat->PredStratum[C]);
+  EXPECT_LT(R.Strat->PredStratum[C], R.Strat->PredStratum[D]);
+}
+
+TEST(StratifyTest, NegativeCycleRejected) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId B = P.relation("B", 1);
+  PredId N = P.relation("N", 1);
+  RuleBuilder().head(A, {"x"}).atom(N, {"x"}).negated(B, {"x"}).addTo(P);
+  RuleBuilder().head(B, {"x"}).atom(N, {"x"}).negated(A, {"x"}).addTo(P);
+  StratifyResult R = stratify(P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("not stratifiable"), std::string::npos);
+}
+
+TEST(StratifyTest, NegativeSelfLoopRejected) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId N = P.relation("N", 1);
+  RuleBuilder().head(A, {"x"}).atom(N, {"x"}).negated(A, {"x"}).addTo(P);
+  EXPECT_FALSE(stratify(P).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Program dump (round-trip sanity for diagnostics)
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramDumpTest, RendersRulesAndFacts) {
+  ValueFactory F;
+  ParityLattice L(F);
+  Program P(F);
+  PredId A = P.relation("A", 2);
+  PredId V = P.lattice("V", 2, &L);
+  FnId Sum = P.function("sum", 2, FnRole::Transfer,
+                        [&](std::span<const Value> Args) {
+                          return L.sum(Args[0], Args[1]);
+                        });
+  P.addFact(A, {F.integer(1), F.integer(2)});
+  P.addLatFact(V, {F.string("x")}, L.odd());
+  RuleBuilder()
+      .headFn(V, {"k"}, Sum, {"p", "q"})
+      .atom(V, {"k", "p"})
+      .atom(V, {"k", "q"})
+      .addTo(P);
+  RuleBuilder()
+      .head(A, {"x", "y"})
+      .atom(A, {"y", "x"})
+      .negated(A, {"x", "x"})
+      .addTo(P);
+  std::string D = P.dump();
+  EXPECT_NE(D.find("rel A/2"), std::string::npos);
+  EXPECT_NE(D.find("lat V/2 <Parity>"), std::string::npos);
+  EXPECT_NE(D.find("A(1, 2)."), std::string::npos);
+  EXPECT_NE(D.find("Parity.Odd"), std::string::npos);
+  EXPECT_NE(D.find("sum(p, q)"), std::string::npos);
+  EXPECT_NE(D.find("!A(x, x)"), std::string::npos);
+}
+
+TEST(ProgramValidateTest, DetectsRoleMisuse) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 1);
+  PredId B = P.relation("B", 1);
+  FnId T = P.function("t", 1, FnRole::Transfer,
+                      [&](std::span<const Value> Args) { return Args[0]; });
+  // Transfer function used as a filter.
+  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).filter(T, {"x"}).addTo(P);
+  auto Err = P.validate();
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("not declared Filter"), std::string::npos);
+}
+
+TEST(ProgramValidateTest, DetectsArityMismatch) {
+  ValueFactory F;
+  Program P(F);
+  PredId A = P.relation("A", 2);
+  PredId B = P.relation("B", 1);
+  Rule R;
+  R.Head.Pred = B;
+  R.Head.LastTerm = Term::var(0);
+  BodyAtom At;
+  At.Pred = A;
+  At.Terms.push_back(Term::var(0)); // A used with arity 1
+  R.Body.emplace_back(std::move(At));
+  R.NumVars = 1;
+  P.addRule(std::move(R));
+  auto Err = P.validate();
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("expected 2"), std::string::npos);
+}
+
+} // namespace

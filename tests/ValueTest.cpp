@@ -1,0 +1,145 @@
+//===- tests/ValueTest.cpp - Hash-consed value tests ----------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace flix;
+
+namespace {
+
+class ValueTest : public ::testing::Test {
+protected:
+  ValueFactory F;
+};
+
+TEST_F(ValueTest, PrimitivesRoundTrip) {
+  EXPECT_TRUE(F.unit().isUnit());
+  EXPECT_TRUE(F.boolean(true).asBool());
+  EXPECT_FALSE(F.boolean(false).asBool());
+  EXPECT_EQ(F.integer(-42).asInt(), -42);
+  EXPECT_EQ(F.integer(INT64_MIN).asInt(), INT64_MIN);
+  EXPECT_EQ(F.integer(INT64_MAX).asInt(), INT64_MAX);
+}
+
+TEST_F(ValueTest, StringsIntern) {
+  Value A = F.string("hello");
+  Value B = F.string("hello");
+  Value C = F.string("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(F.strings().text(A.asStr()), "hello");
+}
+
+TEST_F(ValueTest, EqualityDistinguishesKinds) {
+  // Int 0, Bool false and Unit all have zero payload bits.
+  EXPECT_NE(F.integer(0), F.boolean(false));
+  EXPECT_NE(Value(), F.integer(0));
+  EXPECT_NE(F.integer(1), F.boolean(true));
+}
+
+TEST_F(ValueTest, TagsHashCons) {
+  Value A = F.tag("Parity.Odd");
+  Value B = F.tag("Parity.Odd");
+  Value C = F.tag("Parity.Even");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(F.strings().text(F.tagName(A)), "Parity.Odd");
+  EXPECT_TRUE(F.tagPayload(A).isUnit());
+}
+
+TEST_F(ValueTest, TagsWithPayload) {
+  Value P1 = F.tag("Cst", F.integer(7));
+  Value P2 = F.tag("Cst", F.integer(7));
+  Value P3 = F.tag("Cst", F.integer(8));
+  EXPECT_EQ(P1, P2);
+  EXPECT_NE(P1, P3);
+  EXPECT_EQ(F.tagPayload(P1).asInt(), 7);
+}
+
+TEST_F(ValueTest, NestedTagsStructurallyEqual) {
+  Value Inner = F.tuple({F.string("x"), F.integer(1)});
+  Value A = F.tag("Wrap", Inner);
+  Value B = F.tag("Wrap", F.tuple({F.string("x"), F.integer(1)}));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(ValueTest, TuplesHashCons) {
+  Value A = F.tuple({F.integer(1), F.integer(2)});
+  Value B = F.tuple({F.integer(1), F.integer(2)});
+  Value C = F.tuple({F.integer(2), F.integer(1)});
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(F.tupleElems(A).size(), 2u);
+  EXPECT_EQ(F.tupleElems(A)[1].asInt(), 2);
+}
+
+TEST_F(ValueTest, EmptyTupleIsValid) {
+  Value A = F.tuple(std::initializer_list<Value>{});
+  Value B = F.tuple(std::initializer_list<Value>{});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(F.tupleElems(A).size(), 0u);
+}
+
+TEST_F(ValueTest, SetsCanonicalized) {
+  Value A = F.set({F.integer(2), F.integer(1), F.integer(2)});
+  Value B = F.set({F.integer(1), F.integer(2)});
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(F.setElems(A).size(), 2u);
+}
+
+TEST_F(ValueTest, SetOperations) {
+  Value S12 = F.set({F.integer(1), F.integer(2)});
+  Value S23 = F.set({F.integer(2), F.integer(3)});
+  EXPECT_EQ(F.setUnion(S12, S23),
+            F.set({F.integer(1), F.integer(2), F.integer(3)}));
+  EXPECT_EQ(F.setIntersect(S12, S23), F.set({F.integer(2)}));
+  EXPECT_TRUE(F.setContains(S12, F.integer(1)));
+  EXPECT_FALSE(F.setContains(S12, F.integer(3)));
+  EXPECT_TRUE(F.setSubsetOf(F.set({F.integer(2)}), S12));
+  EXPECT_FALSE(F.setSubsetOf(S12, S23));
+  EXPECT_EQ(F.setInsert(S12, F.integer(3)),
+            F.set({F.integer(1), F.integer(2), F.integer(3)}));
+  EXPECT_EQ(F.setInsert(S12, F.integer(1)), S12);
+}
+
+TEST_F(ValueTest, EmptySetSubsetOfEverything) {
+  Value E = F.emptySet();
+  Value S = F.set({F.string("a")});
+  EXPECT_TRUE(F.setSubsetOf(E, S));
+  EXPECT_TRUE(F.setSubsetOf(E, E));
+  EXPECT_FALSE(F.setSubsetOf(S, E));
+}
+
+TEST_F(ValueTest, ToStringRendering) {
+  EXPECT_EQ(F.toString(F.unit()), "()");
+  EXPECT_EQ(F.toString(F.boolean(true)), "true");
+  EXPECT_EQ(F.toString(F.integer(-3)), "-3");
+  EXPECT_EQ(F.toString(F.string("hi")), "\"hi\"");
+  EXPECT_EQ(F.toString(F.tag("Parity.Odd")), "Parity.Odd");
+  EXPECT_EQ(F.toString(F.tag("Cst", F.integer(4))), "Cst(4)");
+  EXPECT_EQ(F.toString(F.tuple({F.integer(1), F.string("a")})),
+            "(1, \"a\")");
+  EXPECT_EQ(F.toString(F.set({F.integer(2), F.integer(1)})), "{1, 2}");
+}
+
+TEST_F(ValueTest, HashStableAndDiscriminating) {
+  Value A = F.tuple({F.integer(1), F.integer(2)});
+  Value B = F.tuple({F.integer(1), F.integer(2)});
+  EXPECT_EQ(A.hash(), B.hash());
+  // Not a strict requirement, but these should essentially never collide.
+  EXPECT_NE(F.integer(1).hash(), F.integer(2).hash());
+}
+
+TEST_F(ValueTest, MemoryAccountingGrows) {
+  size_t Before = F.memoryBytes();
+  for (int I = 0; I < 100; ++I)
+    F.tuple({F.integer(I), F.integer(I + 1)});
+  EXPECT_GT(F.memoryBytes(), Before);
+}
+
+} // namespace

@@ -1,0 +1,337 @@
+//===- tools/flixc.cpp - FLIX command-line driver --------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+//
+// flixc: compile and solve a FLIX program.
+//
+//   flixc [options] <file.flix>
+//
+//   --naive            use naive instead of semi-naive evaluation
+//   --no-index         disable automatic secondary indexes
+//   --reorder          greedily reorder rule bodies
+//   --time-limit <s>   abort after <s> seconds
+//   --facts <dir>      load input facts from <dir>/<Pred>.facts files
+//                      (tab-separated, one tuple per line)
+//   --dump-program     print the lowered fixpoint program and exit
+//   --print <pred>     print all tuples of one predicate (repeatable)
+//   --explain <pred>   print derivation trees for a predicate's rows
+//   --stats            print solver statistics
+//
+// With no --print option, prints every predicate's row count and the full
+// contents of predicates with at most 50 rows.
+//
+// Fact files use one tuple per line with tab-separated columns; columns
+// are parsed according to the predicate's declared attribute types (Int,
+// Str, Bool, or a nullary enum tag written Enum.Case).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Solver.h"
+#include "lang/Compiler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace flix;
+
+static void printUsage() {
+  std::printf(
+      "usage: flixc [options] <file.flix>\n"
+      "  --naive            use naive instead of semi-naive evaluation\n"
+      "  --no-index         disable automatic secondary indexes\n"
+      "  --reorder          greedily reorder rule bodies\n"
+      "  --time-limit <s>   abort after <s> seconds\n"
+      "  --facts <dir>      load input facts from <dir>/<Pred>.facts\n"
+      "  --dump-program     print the lowered fixpoint program and exit\n"
+      "  --print <pred>     print all tuples of one predicate\n"
+      "  --explain <pred>   print derivation trees for a predicate's rows\n"
+      "  --stats            print solver statistics\n");
+}
+
+/// Parses one fact-file column according to its declared type. Returns
+/// false (with a message) on malformed input.
+static bool parseColumn(ValueFactory &F, const Type &T,
+                        const std::string &Text, Value &Out,
+                        std::string &Err) {
+  switch (T.K) {
+  case Type::Kind::Int: {
+    char *End = nullptr;
+    long long V = std::strtoll(Text.c_str(), &End, 10);
+    if (End == Text.c_str() || *End != '\0') {
+      Err = "expected an integer, got '" + Text + "'";
+      return false;
+    }
+    Out = F.integer(V);
+    return true;
+  }
+  case Type::Kind::Str:
+    Out = F.string(Text);
+    return true;
+  case Type::Kind::Bool:
+    if (Text == "true" || Text == "false") {
+      Out = F.boolean(Text == "true");
+      return true;
+    }
+    Err = "expected true/false, got '" + Text + "'";
+    return false;
+  case Type::Kind::Enum:
+    if (Text.rfind(T.EnumName + ".", 0) == 0) {
+      Out = F.tag(Text);
+      return true;
+    }
+    Err = "expected a " + T.EnumName + " tag (Enum.Case), got '" + Text +
+          "'";
+    return false;
+  default:
+    Err = "unsupported column type " + T.str() + " in fact files";
+    return false;
+  }
+}
+
+/// Loads <Dir>/<Pred>.facts for every declared predicate that has one.
+/// Returns the number of facts loaded, or -1 on error.
+static long loadFactsDir(FlixCompiler &C, ValueFactory &F,
+                         const std::string &Dir) {
+  long Loaded = 0;
+  const CheckedModule &CM = C.checkedModule();
+  for (const auto &[Name, Info] : CM.Preds) {
+    std::string Path = Dir + "/" + Name + ".facts";
+    std::ifstream In(Path);
+    if (!In)
+      continue;
+    bool IsLat = Info.Decl->IsLat;
+    std::string Line;
+    unsigned LineNo = 0;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      if (Line.empty() || Line[0] == '#')
+        continue;
+      // Split on tabs.
+      std::vector<std::string> Cols;
+      size_t Start = 0;
+      for (;;) {
+        size_t Tab = Line.find('\t', Start);
+        Cols.push_back(Line.substr(Start, Tab - Start));
+        if (Tab == std::string::npos)
+          break;
+        Start = Tab + 1;
+      }
+      if (Cols.size() != Info.AttrTypes.size()) {
+        std::fprintf(stderr, "%s:%u: error: expected %zu columns, got "
+                             "%zu\n",
+                     Path.c_str(), LineNo, Info.AttrTypes.size(),
+                     Cols.size());
+        return -1;
+      }
+      std::vector<Value> Vals(Cols.size());
+      for (size_t I = 0; I < Cols.size(); ++I) {
+        std::string Err;
+        if (!parseColumn(F, Info.AttrTypes[I], Cols[I], Vals[I], Err)) {
+          std::fprintf(stderr, "%s:%u: error: column %zu: %s\n",
+                       Path.c_str(), LineNo, I + 1, Err.c_str());
+          return -1;
+        }
+      }
+      bool Ok;
+      if (IsLat)
+        Ok = C.addLatFact(Name,
+                          std::span<const Value>(Vals.data(),
+                                                 Vals.size() - 1),
+                          Vals.back());
+      else
+        Ok = C.addFact(Name,
+                       std::span<const Value>(Vals.data(), Vals.size()));
+      if (!Ok) {
+        std::fprintf(stderr, "%s:%u: error: fact rejected\n", Path.c_str(),
+                     LineNo);
+        return -1;
+      }
+      ++Loaded;
+    }
+  }
+  return Loaded;
+}
+
+static void printPredicate(const Program &P, const Solver &S, PredId Id) {
+  const PredicateDecl &D = P.predicate(Id);
+  const ValueFactory &F = P.factory();
+  std::printf("%s (%zu rows)\n", D.Name.c_str(), S.table(Id).size());
+  for (const auto &Row : S.tuples(Id)) {
+    std::printf("  %s(", D.Name.c_str());
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        std::printf(", ");
+      Value V = Row[I];
+      if (V.isStr())
+        std::printf("\"%s\"", F.strings().text(V.asStr()).c_str());
+      else
+        std::printf("%s", F.toString(V).c_str());
+    }
+    std::printf(")\n");
+  }
+}
+
+int main(int Argc, char **Argv) {
+  SolverOptions Opts;
+  bool DumpProgram = false;
+  bool Stats = false;
+  std::vector<std::string> PrintPreds;
+  std::vector<std::string> ExplainPreds;
+  std::string InputPath;
+  std::string FactsDir;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--naive") {
+      Opts.Strat = Strategy::Naive;
+    } else if (Arg == "--no-index") {
+      Opts.UseIndexes = false;
+    } else if (Arg == "--reorder") {
+      Opts.ReorderBody = true;
+    } else if (Arg == "--time-limit") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --time-limit needs a value\n");
+        return 1;
+      }
+      Opts.TimeLimitSeconds = std::atof(Argv[I]);
+    } else if (Arg == "--facts") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --facts needs a directory\n");
+        return 1;
+      }
+      FactsDir = Argv[I];
+    } else if (Arg == "--dump-program") {
+      DumpProgram = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--print") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --print needs a predicate name\n");
+        return 1;
+      }
+      PrintPreds.push_back(Argv[I]);
+    } else if (Arg == "--explain") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --explain needs a predicate name\n");
+        return 1;
+      }
+      ExplainPreds.push_back(Argv[I]);
+      Opts.TrackProvenance = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 1;
+    } else {
+      InputPath = Arg;
+    }
+  }
+  if (InputPath.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  std::ifstream File(InputPath);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", InputPath.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << File.rdbuf();
+
+  ValueFactory F;
+  FlixCompiler C(F);
+  if (!C.compile(Buf.str(), InputPath)) {
+    std::fprintf(stderr, "%s", C.diagnostics().c_str());
+    return 1;
+  }
+  // Surface warnings (e.g. non-exhaustive matches) even on success.
+  std::string Diags = C.diagnostics();
+  if (!Diags.empty())
+    std::fprintf(stderr, "%s", Diags.c_str());
+  if (!FactsDir.empty()) {
+    long Loaded = loadFactsDir(C, F, FactsDir);
+    if (Loaded < 0)
+      return 1;
+    std::fprintf(stderr, "loaded %ld facts from %s\n", Loaded,
+                 FactsDir.c_str());
+  }
+  if (DumpProgram) {
+    std::printf("%s", C.program().dump().c_str());
+    return 0;
+  }
+
+  Solver S(C.program(), Opts);
+  SolveStats St = S.solve();
+  if (St.St == SolveStats::Status::Error) {
+    std::fprintf(stderr, "error: %s\n", St.Error.c_str());
+    return 1;
+  }
+  if (St.St == SolveStats::Status::Timeout)
+    std::fprintf(stderr, "warning: time limit reached; results are a "
+                         "sound under-approximation of the fixpoint\n");
+  if (C.interp().hasError()) {
+    std::fprintf(stderr, "runtime error: %s\n", C.interp().error().c_str());
+    return 1;
+  }
+
+  const Program &P = C.program();
+  if (!PrintPreds.empty()) {
+    for (const std::string &Name : PrintPreds) {
+      auto Id = C.predicate(Name);
+      if (!Id) {
+        std::fprintf(stderr, "error: unknown predicate '%s'\n",
+                     Name.c_str());
+        return 1;
+      }
+      printPredicate(P, S, *Id);
+    }
+  } else {
+    for (PredId Id = 0; Id < P.predicates().size(); ++Id) {
+      if (S.table(Id).size() <= 50)
+        printPredicate(P, S, Id);
+      else
+        std::printf("%s (%zu rows, use --print %s to list)\n",
+                    P.predicate(Id).Name.c_str(), S.table(Id).size(),
+                    P.predicate(Id).Name.c_str());
+    }
+  }
+
+  for (const std::string &Name : ExplainPreds) {
+    auto Id = C.predicate(Name);
+    if (!Id) {
+      std::fprintf(stderr, "error: unknown predicate '%s'\n", Name.c_str());
+      return 1;
+    }
+    std::printf("derivations of %s:\n", Name.c_str());
+    size_t Shown = 0;
+    for (const auto &Row : S.tuples(*Id)) {
+      std::span<const Value> Key(Row.data(),
+                                 P.predicate(*Id).keyArity());
+      std::printf("%s", S.explainString(*Id, Key).c_str());
+      if (++Shown >= 20) {
+        std::printf("  ... (%zu more rows)\n", S.table(*Id).size() - Shown);
+        break;
+      }
+    }
+  }
+
+  if (Stats)
+    std::printf("\nstats: %llu iterations, %llu rule firings, %llu facts "
+                "derived, %.3f s, %.1f MB\n",
+                static_cast<unsigned long long>(St.Iterations),
+                static_cast<unsigned long long>(St.RuleFirings),
+                static_cast<unsigned long long>(St.FactsDerived),
+                St.Seconds,
+                static_cast<double>(St.MemoryBytes) / (1024.0 * 1024.0));
+  return 0;
+}
