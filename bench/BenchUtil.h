@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace flix::bench {
 
@@ -52,6 +53,80 @@ inline std::string memCell(size_t Bytes, bool Valid) {
   std::snprintf(Buf, sizeof(Buf), "%.0f",
                 static_cast<double>(Bytes) / (1024.0 * 1024.0));
   return Buf;
+}
+
+/// Accumulates flat records and renders them as a JSON array of objects,
+/// one record per solver run (`--json <file>`). Keys and string values
+/// must be plain ASCII without quotes or backslashes, which holds for
+/// everything the benches emit.
+class JsonReport {
+public:
+  void begin() { Fields.clear(); }
+  JsonReport &str(const std::string &K, const std::string &V) {
+    Fields.push_back("\"" + K + "\": \"" + V + "\"");
+    return *this;
+  }
+  JsonReport &num(const std::string &K, double V) {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Fields.push_back("\"" + K + "\": " + Buf);
+    return *this;
+  }
+  JsonReport &integer(const std::string &K, long long V) {
+    Fields.push_back("\"" + K + "\": " + std::to_string(V));
+    return *this;
+  }
+  JsonReport &boolean(const std::string &K, bool V) {
+    Fields.push_back("\"" + K + "\": " + (V ? "true" : "false"));
+    return *this;
+  }
+  void end() {
+    std::string Row = "  {";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        Row += ", ";
+      Row += Fields[I];
+    }
+    Row += "}";
+    Rows.push_back(Row);
+  }
+  bool write(const std::string &Path) const {
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out)
+      return false;
+    std::fprintf(Out, "[\n");
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(Out, "%s%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(Out, "]\n");
+    std::fclose(Out);
+    return true;
+  }
+
+private:
+  std::vector<std::string> Fields, Rows;
+};
+
+/// Parses a comma-separated list of non-negative integers ("0,1,8").
+/// Returns false on malformed input.
+inline bool parseThreadList(const std::string &S,
+                            std::vector<unsigned> &Out) {
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t Comma = S.find(',', Start);
+    std::string Part = S.substr(Start, Comma - Start);
+    if (Part.empty())
+      return false;
+    char *End = nullptr;
+    long V = std::strtol(Part.c_str(), &End, 10);
+    if (End == Part.c_str() || *End != '\0' || V < 0)
+      return false;
+    Out.push_back(static_cast<unsigned>(V));
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+  return !Out.empty();
 }
 
 } // namespace flix::bench

@@ -22,6 +22,11 @@
 // slower than Flix and stops scaling first; the hand-coded C++ analyzer
 // is 1-2 orders faster than Flix; memory follows the same ordering.
 //
+// Options:
+//   --threads <n>      run both Flix columns through the parallel engine
+//                      with <n> workers (0 = sequential, the default)
+//   --json <file>      write one machine-readable record per solver run
+//
 // Environment overrides:
 //   FLIX_TABLE1_TIMEOUT  per-run timeout in seconds   (default 20)
 //   FLIX_TABLE1_ROWS     number of benchmark rows     (default 14; the
@@ -37,12 +42,34 @@
 #include "workload/PointerWorkload.h"
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 using namespace flix;
 using namespace flix::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  unsigned Threads = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else if (Arg == "--threads" && I + 1 < Argc) {
+      long N = std::atol(Argv[++I]);
+      if (N < 0) {
+        std::fprintf(stderr, "error: --threads needs a value >= 0\n");
+        return 1;
+      }
+      Threads = static_cast<unsigned>(N);
+    } else {
+      std::fprintf(stderr, "usage: table1_strong_update [--threads <n>] "
+                           "[--json <file>]\n");
+      return 1;
+    }
+  }
+  JsonReport Json;
+
   double Timeout = envDouble("FLIX_TABLE1_TIMEOUT", 20.0);
   double Scale = envDouble("FLIX_TABLE1_SCALE", 1.0);
   std::vector<SpecPreset> Presets = spec2006Presets();
@@ -50,10 +77,19 @@ int main() {
   if (Rows < Presets.size())
     Presets.resize(Rows);
 
+  SolverOptions FlixOpts;
+  FlixOpts.TimeLimitSeconds = Timeout;
+  FlixOpts.NumThreads = Threads;
+
   std::printf("Table 1: Strong Update analysis — Datalog embedding vs "
               "FLIX vs hand-coded C++\n");
-  std::printf("(synthetic SPEC-shaped inputs; timeout %.0f s; see "
-              "EXPERIMENTS.md)\n\n", Timeout);
+  std::string EngineDesc =
+      Threads == 0 ? "the sequential engine"
+                   : "the parallel engine, " + std::to_string(Threads) +
+                         " worker(s)";
+  std::printf("(synthetic SPEC-shaped inputs; timeout %.0f s; Flix "
+              "columns on %s; see EXPERIMENTS.md)\n\n", Timeout,
+              EngineDesc.c_str());
   std::printf("%-16s %6s %8s | %9s %8s | %9s %8s | %9s %8s | %9s\n",
               "Benchmark", "kSLOC", "Facts", "DatalogMB", "Time(s)",
               "FlixMB", "Time(s)", "Flix(n)MB", "Time(s)", "C++(s)");
@@ -81,12 +117,12 @@ int main() {
                       : 0;
     }
     if (!SkipFlix) {
-      Flix = runStrongUpdateFlixSource(P, Timeout);
+      Flix = runStrongUpdateFlixSource(P, FlixOpts);
       FlixTO =
           Flix.St == StrongUpdateResult::Status::Timeout ? FlixTO + 1 : 0;
     }
     if (!SkipNative) {
-      Native = runStrongUpdateFlix(P, Timeout);
+      Native = runStrongUpdateFlix(P, FlixOpts);
       NativeTO = Native.St == StrongUpdateResult::Status::Timeout
                      ? NativeTO + 1
                      : 0;
@@ -113,11 +149,42 @@ int main() {
                 DMem.c_str(), DTime.c_str(), FMem.c_str(), FTime.c_str(),
                 NMem.c_str(), NTime.c_str(), Cpp.Seconds);
     std::fflush(stdout);
+
+    if (!JsonPath.empty()) {
+      auto record = [&](const char *Column, const StrongUpdateResult &R,
+                        bool Skipped, unsigned ColThreads) {
+        Json.begin();
+        Json.str("bench", "table1_strong_update")
+            .str("benchmark", Preset.Name)
+            .integer("facts", static_cast<long long>(P.factCount()))
+            .str("column", Column)
+            .integer("threads", ColThreads)
+            .str("status",
+                 Skipped ? "skipped"
+                 : R.St == StrongUpdateResult::Status::Timeout
+                     ? "timeout"
+                 : R.ok() ? "ok"
+                          : "error")
+            .num("seconds", Skipped ? -1 : R.Seconds)
+            .num("memory_mb", Skipped ? -1
+                                      : static_cast<double>(R.MemoryBytes) /
+                                            (1024.0 * 1024.0));
+        Json.end();
+      };
+      record("datalog", Datalog, SkipDatalog, 0);
+      record("flix_source", Flix, SkipFlix, Threads);
+      record("flix_native", Native, SkipNative, Threads);
+      record("cpp", Cpp, false, 0);
+    }
   }
 
   std::printf("\nColumns: Datalog = powerset embedding (DLV proxy); "
               "Flix = FLIX source, interpreted lattice ops;\n"
               "Flix(n) = C++ API, native lattice ops; C++ = hand-coded "
               "imperative analyzer.\n");
+  if (!JsonPath.empty() && !Json.write(JsonPath)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -18,6 +18,14 @@
 //   * trivial flow functions (engine-bound): isolates the pure overhead
 //     of the generic engine over the bare worklist algorithm.
 //
+// Options:
+//   --threads <csv>    also run the declarative solver through the
+//                      parallel engine at each listed worker count
+//                      (0 = the sequential solver) and report a scaling
+//                      section; results are cross-checked against the
+//                      imperative solver at every thread count
+//   --json <file>      write one machine-readable record per solver run
+//
 // Environment overrides:
 //   FLIX_TABLE2_REPS   repetitions per row, median reported (default 1)
 //   FLIX_TABLE2_WORK   transfer-function busy-work iterations
@@ -32,6 +40,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 using namespace flix;
@@ -39,8 +48,16 @@ using namespace flix::bench;
 
 namespace {
 
-void runRegime(const char *Title, int TransferWork, long Reps,
-               bool CheckAgainstPaper) {
+double median(long Reps, const std::function<double()> &Run) {
+  std::vector<double> Times;
+  for (long R = 0; R < Reps; ++R)
+    Times.push_back(Run());
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+void runRegime(const char *Title, const char *RegimeKey, int TransferWork,
+               long Reps, bool CheckAgainstPaper, JsonReport *Json) {
   // The paper's slowdowns, for side-by-side display.
   static const double PaperSlowdown[] = {2.7, 2.5, 2.5, 2.9, 2.7, 3.1};
   int RowIdx = 0;
@@ -59,20 +76,12 @@ void runRegime(const char *Title, int TransferWork, long Reps,
     G.TransferWork = TransferWork;
     IfdsProblem Prob = G.toIfdsProblem();
 
-    auto median = [&](auto Run) {
-      std::vector<double> Times;
-      for (long R = 0; R < Reps; ++R)
-        Times.push_back(Run());
-      std::sort(Times.begin(), Times.end());
-      return Times[Times.size() / 2];
-    };
-
     IfdsResult Imp, Flix;
-    double ImpTime = median([&] {
+    double ImpTime = median(Reps, [&] {
       Imp = runIfdsImperative(Prob);
       return Imp.Seconds;
     });
-    double FlixTime = median([&] {
+    double FlixTime = median(Reps, [&] {
       Flix = runIfdsFlix(Prob);
       return Flix.Seconds;
     });
@@ -89,15 +98,119 @@ void runRegime(const char *Title, int TransferWork, long Reps,
     std::printf("\n");
     ++RowIdx;
     std::fflush(stdout);
+
+    if (Json) {
+      Json->begin();
+      Json->str("bench", "table2_ifds")
+          .str("regime", RegimeKey)
+          .str("program", Preset.Name)
+          .integer("nodes", G.NumNodes)
+          .str("solver", "imperative")
+          .integer("threads", 0)
+          .num("seconds", ImpTime)
+          .boolean("ok", Imp.Ok);
+      Json->end();
+      Json->begin();
+      Json->str("bench", "table2_ifds")
+          .str("regime", RegimeKey)
+          .str("program", Preset.Name)
+          .integer("nodes", G.NumNodes)
+          .str("solver", "flix")
+          .integer("threads", 0)
+          .num("seconds", FlixTime)
+          .boolean("ok", Flix.Ok && Flix.sameResult(Imp));
+      Json->end();
+    }
+  }
+  std::printf("\n");
+}
+
+void runScaling(const std::vector<unsigned> &Threads, int TransferWork,
+                long Reps, JsonReport *Json) {
+  std::printf("Parallel scaling (declarative solver; 0 = sequential "
+              "engine):\n");
+  std::printf("%-10s", "Program");
+  for (unsigned T : Threads)
+    std::printf(" %8s", ("T=" + std::to_string(T)).c_str());
+  std::printf("  speedup (T=%u vs T=0)\n", Threads.back());
+  std::printf("%.*s\n",
+              static_cast<int>(12 + 9 * Threads.size() + 24),
+              "------------------------------------------------------------"
+              "--------------------");
+
+  for (const DacapoPreset &Preset : dacapoPresets()) {
+    IcfgProgram G = generateIcfg(/*Seed=*/2016, Preset.NumProcs,
+                                 Preset.NodesPerProc, Preset.FactsTotal,
+                                 Preset.CallsPerProc);
+    G.TransferWork = TransferWork;
+    IfdsProblem Prob = G.toIfdsProblem();
+    IfdsResult Reference = runIfdsImperative(Prob);
+
+    std::printf("%-10s", Preset.Name.c_str());
+    double Base = -1, Last = -1;
+    for (unsigned T : Threads) {
+      SolverOptions Opts;
+      Opts.NumThreads = T;
+      IfdsResult R;
+      double Time = median(Reps, [&] {
+        R = runIfdsFlix(Prob, Opts);
+        return R.Seconds;
+      });
+      if (!R.Ok || !R.sameResult(Reference))
+        std::printf("\nWARNING: parallel solver (%u threads) disagrees "
+                    "with imperative on %s!\n",
+                    T, Preset.Name.c_str());
+      if (T == 0 || Base < 0)
+        Base = Time;
+      Last = Time;
+      std::printf(" %8.3f", Time);
+      if (Json) {
+        Json->begin();
+        Json->str("bench", "table2_ifds")
+            .str("regime", "scaling")
+            .str("program", Preset.Name)
+            .integer("nodes", G.NumNodes)
+            .str("solver", T == 0 ? "flix" : "flix_parallel")
+            .integer("threads", T)
+            .num("seconds", Time)
+            .num("speedup", Base / std::max(Time, 1e-9))
+            .boolean("ok", R.Ok && R.sameResult(Reference));
+        Json->end();
+      }
+    }
+    std::printf("  %6.2fx\n", Base / std::max(Last, 1e-9));
+    std::fflush(stdout);
   }
   std::printf("\n");
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   long Reps = envInt("FLIX_TABLE2_REPS", 1);
   int Work = static_cast<int>(envInt("FLIX_TABLE2_WORK", 6000));
+
+  std::string JsonPath;
+  std::vector<unsigned> Threads;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else if (Arg == "--threads" && I + 1 < Argc) {
+      if (!parseThreadList(Argv[++I], Threads)) {
+        std::fprintf(stderr, "error: --threads wants a comma-separated "
+                             "list of worker counts, e.g. 0,1,2,8\n");
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: table2_ifds [--threads <csv>] [--json <file>]\n");
+      return 1;
+    }
+  }
+
+  JsonReport Json;
+  JsonReport *JsonP = JsonPath.empty() ? nullptr : &Json;
 
   std::printf("Table 2: IFDS — imperative solver vs declarative FLIX "
               "formulation\n");
@@ -107,14 +220,21 @@ int main() {
   if (Work > 0)
     runRegime("Realistic flow functions (shared nontrivial transfer "
               "code, as in the paper):",
-              Work, Reps, /*CheckAgainstPaper=*/true);
-  runRegime("Trivial flow functions (pure engine overhead):", 0, Reps,
-            false);
+              "realistic", Work, Reps, /*CheckAgainstPaper=*/true, JsonP);
+  runRegime("Trivial flow functions (pure engine overhead):", "trivial", 0,
+            Reps, false, JsonP);
+  if (!Threads.empty())
+    runScaling(Threads, Work, Reps, JsonP);
 
   std::printf("Both solvers run the same flow-function code; the Flix "
               "column pays for the generic engine\n(tables, indexes, "
               "delta bookkeeping), the imperative column for nothing but "
               "the algorithm.\nWith realistic transfer functions the "
               "shared cost dominates, as in the paper's setup.\n");
+
+  if (JsonP && !Json.write(JsonPath)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
   return 0;
 }

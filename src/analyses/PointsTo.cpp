@@ -6,6 +6,8 @@
 
 #include "analyses/PointsTo.h"
 
+#include "parallel/Dispatch.h"
+
 #include <array>
 
 using namespace flix;
@@ -73,18 +75,19 @@ PointsToResult flix::runPointsTo(const PointsToInput &In,
     P.addFact(Ids.Store,
               {F.string(S.Base), F.string(S.Field), F.string(S.From)});
 
-  Solver S(P, Opts);
-  PointsToResult R;
-  R.Stats = S.solve();
-  if (!R.Stats.ok())
-    return R;
+  return solveWith(P, Opts, [&](const auto &S, const SolveStats &St) {
+    PointsToResult R;
+    R.Stats = St;
+    if (!R.Stats.ok())
+      return R;
 
-  for (const auto &Row : S.tuples(Ids.VarPointsTo))
-    R.VarPointsTo.emplace_back(F.strings().text(Row[0].asStr()),
-                               F.strings().text(Row[1].asStr()));
-  for (const auto &Row : S.tuples(Ids.HeapPointsTo))
-    R.HeapPointsTo.push_back({F.strings().text(Row[0].asStr()),
-                              F.strings().text(Row[1].asStr()),
-                              F.strings().text(Row[2].asStr())});
-  return R;
+    for (const auto &Row : S.tuples(Ids.VarPointsTo))
+      R.VarPointsTo.emplace_back(F.strings().text(Row[0].asStr()),
+                                 F.strings().text(Row[1].asStr()));
+    for (const auto &Row : S.tuples(Ids.HeapPointsTo))
+      R.HeapPointsTo.push_back({F.strings().text(Row[0].asStr()),
+                                F.strings().text(Row[1].asStr()),
+                                F.strings().text(Row[2].asStr())});
+    return R;
+  });
 }

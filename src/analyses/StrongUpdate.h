@@ -98,13 +98,21 @@ struct StrongUpdateResult {
   }
 };
 
-/// Figure 4 over the native SULattice through the C++ API.
+/// Figure 4 over the native SULattice through the C++ API. The full
+/// SolverOptions overload honors NumThreads (dispatching to the parallel
+/// engine); the convenience overload keeps the historical signature.
+StrongUpdateResult runStrongUpdateFlix(const PointerProgram &In,
+                                       const SolverOptions &Opts);
 StrongUpdateResult runStrongUpdateFlix(const PointerProgram &In,
                                        double TimeLimitSeconds = 0,
                                        Strategy Strat = Strategy::SemiNaive);
 
 /// Figure 4 as FLIX source through the full pipeline (lexer → parser →
-/// type checker → interpreted lattice ops → semi-naive solver).
+/// type checker → interpreted lattice ops → semi-naive solver). With
+/// Opts.NumThreads > 0 the interpreter is switched to thread-safe mode
+/// and the parallel engine is used.
+StrongUpdateResult runStrongUpdateFlixSource(const PointerProgram &In,
+                                             const SolverOptions &Opts);
 StrongUpdateResult
 runStrongUpdateFlixSource(const PointerProgram &In,
                           double TimeLimitSeconds = 0);

@@ -7,6 +7,7 @@
 #include "analyses/StrongUpdate.h"
 
 #include "lang/Compiler.h"
+#include "parallel/Dispatch.h"
 #include "runtime/Lattices.h"
 
 using namespace flix;
@@ -32,8 +33,10 @@ void fillStatus(StrongUpdateResult &R, const SolveStats &St) {
   }
 }
 
-/// Reads Pt/PtH relations (Int columns) back into result sets.
-void extractPointsTo(StrongUpdateResult &R, const Solver &S, PredId Pt,
+/// Reads Pt/PtH relations (Int columns) back into result sets. Generic
+/// over the sequential and parallel solvers.
+template <typename SolverT>
+void extractPointsTo(StrongUpdateResult &R, const SolverT &S, PredId Pt,
                      PredId PtH, const PointerProgram &In) {
   R.Pt.assign(In.NumVars, {});
   R.PtH.assign(In.NumObjs, {});
@@ -48,6 +51,14 @@ void extractPointsTo(StrongUpdateResult &R, const Solver &S, PredId Pt,
 StrongUpdateResult flix::runStrongUpdateFlix(const PointerProgram &In,
                                              double TimeLimitSeconds,
                                              Strategy Strat) {
+  SolverOptions Opts;
+  Opts.Strat = Strat;
+  Opts.TimeLimitSeconds = TimeLimitSeconds;
+  return runStrongUpdateFlix(In, Opts);
+}
+
+StrongUpdateResult flix::runStrongUpdateFlix(const PointerProgram &In,
+                                             const SolverOptions &Opts) {
   ValueFactory F;
   SULattice SU(F);
   Program P(F);
@@ -138,15 +149,13 @@ StrongUpdateResult flix::runStrongUpdateFlix(const PointerProgram &In,
   for (auto [L, A] : In.InitTop)
     P.addLatFact(SUAfter, {N(L), N(A)}, SU.top());
 
-  SolverOptions Opts;
-  Opts.Strat = Strat;
-  Opts.TimeLimitSeconds = TimeLimitSeconds;
-  Solver S(P, Opts);
-  StrongUpdateResult R;
-  fillStatus(R, S.solve());
-  if (R.ok())
-    extractPointsTo(R, S, Pt, PtH, In);
-  return R;
+  return solveWith(P, Opts, [&](const auto &S, const SolveStats &St) {
+    StrongUpdateResult R;
+    fillStatus(R, St);
+    if (R.ok())
+      extractPointsTo(R, S, Pt, PtH, In);
+    return R;
+  });
 }
 
 std::string flix::strongUpdateFlixSource() {
@@ -218,6 +227,14 @@ PtSU(l, a, b) :- PtH(a, b), SUBefore(l, a, t), filter(t, b).
 StrongUpdateResult
 flix::runStrongUpdateFlixSource(const PointerProgram &In,
                                 double TimeLimitSeconds) {
+  SolverOptions Opts;
+  Opts.TimeLimitSeconds = TimeLimitSeconds;
+  return runStrongUpdateFlixSource(In, Opts);
+}
+
+StrongUpdateResult
+flix::runStrongUpdateFlixSource(const PointerProgram &In,
+                                const SolverOptions &Opts) {
   ValueFactory F;
   FlixCompiler C(F);
   StrongUpdateResult R;
@@ -254,16 +271,21 @@ flix::runStrongUpdateFlixSource(const PointerProgram &In,
     C.addLatFact("SUAfter", Key, Top);
   }
 
-  SolverOptions Opts;
-  Opts.TimeLimitSeconds = TimeLimitSeconds;
-  Solver S(C.program(), Opts);
-  fillStatus(R, S.solve());
-  if (C.interp().hasError()) {
-    R.St = StrongUpdateResult::Status::Error;
-    R.Error = C.interp().error();
+  // All lattice operations and externals of a compiled program run
+  // through the interpreter; serialize it before letting the parallel
+  // solver's workers call into it.
+  if (Opts.NumThreads > 0)
+    C.interp().enableThreadSafe();
+  return solveWith(C.program(), Opts,
+                   [&](const auto &S, const SolveStats &St) {
+    fillStatus(R, St);
+    if (C.interp().hasError()) {
+      R.St = StrongUpdateResult::Status::Error;
+      R.Error = C.interp().error();
+      return R;
+    }
+    if (R.ok())
+      extractPointsTo(R, S, *C.predicate("Pt"), *C.predicate("PtH"), In);
     return R;
-  }
-  if (R.ok())
-    extractPointsTo(R, S, *C.predicate("Pt"), *C.predicate("PtH"), In);
-  return R;
+  });
 }

@@ -38,7 +38,9 @@ Solver::~Solver() = default;
 // Body reordering (ablation of the paper's left-to-right strategy, §4.5)
 //===----------------------------------------------------------------------===//
 
-Rule Solver::reorderRule(const Rule &R) const {
+Rule Solver::reorderRule(const Rule &R) const { return reorderRuleGreedy(R); }
+
+Rule flix::reorderRuleGreedy(const Rule &R) {
   Rule Out = R;
   std::vector<bool> BoundVar(R.NumVars, false);
   std::vector<bool> Used(R.Body.size(), false);
@@ -115,11 +117,12 @@ Rule Solver::reorderRule(const Rule &R) const {
 //===----------------------------------------------------------------------===//
 
 bool Solver::checkDeadline() {
-  if (!HasDeadline || Aborted)
-    return Aborted;
-  if ((++OpCounter & 0xFFF) != 0)
-    return false;
-  if (std::chrono::steady_clock::now() >= Deadline) {
+  // Checked once per driver/scan row (not sampled every 4096 ops as it
+  // used to be): a single huge join can no longer overshoot the time
+  // limit by more than one row's worth of work. See support/Deadline.h.
+  if (Aborted)
+    return true;
+  if (DL.expired()) {
     Aborted = true;
     Stats.St = SolveStats::Status::Timeout;
   }
@@ -461,13 +464,7 @@ SolveStats Solver::solve() {
   Solved = true;
 
   auto Start = std::chrono::steady_clock::now();
-  if (Opts.TimeLimitSeconds > 0) {
-    HasDeadline = true;
-    Deadline = Start + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(
-                               Opts.TimeLimitSeconds));
-  }
+  DL = Deadline::after(Opts.TimeLimitSeconds);
 
   auto finish = [&]() {
     Stats.Seconds =

@@ -28,8 +28,8 @@
 #include "fixpoint/Program.h"
 #include "fixpoint/Stratify.h"
 #include "fixpoint/Table.h"
+#include "support/Deadline.h"
 
-#include <chrono>
 #include <memory>
 #include <unordered_set>
 
@@ -55,6 +55,16 @@ struct SolverOptions {
   /// it, enabling explain() after solving. Costs time and memory; off by
   /// default.
   bool TrackProvenance = false;
+  /// Worker threads for the ParallelSolver (src/parallel). 0 selects the
+  /// sequential legacy path (this class); the sequential Solver itself
+  /// ignores the field. Callers that accept SolverOptions dispatch on it.
+  unsigned NumThreads = 0;
+  /// Serialize every external-function call behind one mutex in the
+  /// parallel solver. Required when the externals are not thread-safe —
+  /// e.g. the AST interpreter backing compiled FLIX source; native
+  /// analyses whose externals only touch the (lock-sharded) ValueFactory
+  /// leave this off.
+  bool SerializeExternals = false;
 };
 
 /// Why a cell holds its value: the rule that last increased it and the
@@ -82,8 +92,20 @@ struct SolveStats {
   double Seconds = 0;
   size_t MemoryBytes = 0; ///< tables + indexes + value arena
 
+  // Parallel-engine counters (zero for the sequential solver).
+  uint64_t ParallelTasks = 0;   ///< (rule, driver, chunk) tasks executed
+  uint64_t ParallelSteals = 0;  ///< tasks obtained by work stealing
+  uint64_t MergeCollisions = 0; ///< ⊔-compactions of same-key derivations
+
   bool ok() const { return St == Status::Fixpoint; }
 };
+
+/// Greedily reorders a rule's body to maximize bound columns at each
+/// step (ablation for the paper's left-to-right evaluation, §4.5).
+/// Shared by the sequential Solver and the parallel solver
+/// (src/parallel/ParallelSolver.h), both of which apply it when
+/// SolverOptions::ReorderBody is set.
+Rule reorderRuleGreedy(const Rule &R);
 
 /// Solves one Program. The solver owns the predicate tables; query them
 /// through the accessors after solve() returns.
@@ -170,9 +192,7 @@ private:
   SolveStats Stats;
   bool Solved = false;
   bool Aborted = false;
-  uint64_t OpCounter = 0;
-  std::chrono::steady_clock::time_point Deadline;
-  bool HasDeadline = false;
+  Deadline DL;
 };
 
 } // namespace flix

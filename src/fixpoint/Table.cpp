@@ -84,6 +84,17 @@ const std::vector<uint32_t> &Table::probe(uint64_t BoundMask,
   return It == Ix.Buckets.end() ? EmptyBucket : It->second;
 }
 
+const std::vector<uint32_t> *Table::probeExisting(uint64_t BoundMask,
+                                                  Value ProjTuple) const {
+  for (const Index &Ix : Indexes) {
+    if (Ix.Mask != BoundMask)
+      continue;
+    auto It = Ix.Buckets.find(ProjTuple);
+    return It == Ix.Buckets.end() ? &EmptyBucket : &It->second;
+  }
+  return nullptr;
+}
+
 size_t Table::memoryBytes() const {
   size_t Bytes = Rows.capacity() * sizeof(Row);
   Bytes += Primary.size() * (sizeof(Value) + sizeof(uint32_t) + 16);

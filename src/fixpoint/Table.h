@@ -80,6 +80,15 @@ public:
   /// index on first use. \p BoundMask must be neither empty nor full.
   const std::vector<uint32_t> &probe(uint64_t BoundMask, Value ProjTuple);
 
+  /// Read-only probe for concurrent readers (the parallel solver's
+  /// workers): returns the bucket for \p BoundMask/\p ProjTuple, an empty
+  /// bucket if the index exists but has no such key, or nullptr if the
+  /// index itself does not exist (callers fall back to a full scan).
+  /// Never builds an index, so it is safe while other threads read the
+  /// table — indexes must be prepared up front with prepareIndex().
+  const std::vector<uint32_t> *probeExisting(uint64_t BoundMask,
+                                             Value ProjTuple) const;
+
   /// Eagerly creates the secondary index for \p BoundMask (a no-op if it
   /// already exists); used by index hints.
   void prepareIndex(uint64_t BoundMask) { ensureIndex(BoundMask); }

@@ -24,6 +24,12 @@ Value Interp::makeTag(const std::string &EnumName,
 }
 
 Value Interp::call(const std::string &Fn, std::span<const Value> Args) {
+  // Serialize whole calls in thread-safe mode: eval() mutates CallDepth,
+  // ErrorMsg and per-call environments. Recursive, because a native can
+  // re-enter call() on the same thread.
+  std::unique_lock<std::recursive_mutex> Lock;
+  if (ThreadSafe)
+    Lock = std::unique_lock<std::recursive_mutex>(CallMu);
   auto It = CM.Defs.find(Fn);
   if (It == CM.Defs.end())
     return fail(SourceLoc::invalid(), "call to unknown function '" + Fn +

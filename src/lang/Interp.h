@@ -26,6 +26,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 
@@ -45,6 +46,14 @@ public:
 
   /// Calls a top-level function by name.
   Value call(const std::string &Fn, std::span<const Value> Args);
+
+  /// Makes call() safe to invoke from multiple threads by serializing
+  /// every top-level call behind one recursive mutex (recursive because
+  /// natives may call back into the interpreter). This is the single
+  /// chokepoint through which all lattice operations and external
+  /// functions of a compiled FLIX program flow, so locking here makes the
+  /// whole compiled program safe for the parallel solver. One-way.
+  void enableThreadSafe() { ThreadSafe = true; }
 
   /// Evaluates an expression under the given variable bindings.
   Value eval(const ast::Expr &E, const std::map<std::string, Value> &Env);
@@ -68,6 +77,8 @@ private:
   std::string ErrorMsg;
   unsigned CallDepth = 0;
   static constexpr unsigned MaxCallDepth = 512;
+  bool ThreadSafe = false;
+  std::recursive_mutex CallMu;
 };
 
 } // namespace flix

@@ -1,0 +1,730 @@
+//===- parallel/ParallelSolver.cpp - Parallel semi-naive solver -----------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelSolver.h"
+
+#include "support/Hashing.h"
+#include "support/SmallVector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+using namespace flix;
+
+//===----------------------------------------------------------------------===//
+// Worker-local evaluation context
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Undo log for variable bindings within one body-element match (same
+/// shape as the sequential solver's trail).
+struct BindTrail {
+  SmallVector<std::pair<VarId, std::pair<bool, Value>>, 4> Saved;
+
+  void save(VarId V, bool WasBound, Value Old) {
+    Saved.push_back({V, {WasBound, Old}});
+  }
+  void undo(std::vector<Value> &Env, std::vector<uint8_t> &Bound) {
+    for (size_t I = Saved.size(); I-- > 0;) {
+      Env[Saved[I].first] = Saved[I].second.second;
+      Bound[Saved[I].first] = Saved[I].second.first;
+    }
+    Saved.clear();
+  }
+};
+
+/// Map key for per-shard ⊔-compaction: one cell of one predicate.
+struct CellKey {
+  PredId Pred;
+  Value Key;
+  bool operator==(const CellKey &O) const {
+    return Pred == O.Pred && Key == O.Key;
+  }
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey &C) const {
+    return hashValues(static_cast<uint64_t>(C.Pred), C.Key.hash());
+  }
+};
+
+} // namespace
+
+/// Per-worker evaluation state. Mirrors the sequential Solver's rule
+/// evaluation (Solver.cpp) exactly, with three differences: tables are
+/// read through const access paths only (the snapshot is immutable during
+/// an eval phase), derived heads are buffered into per-shard vectors
+/// instead of joined in place, and the abort check consults a shared
+/// atomic flag so one worker's timeout stops all of them.
+struct ParallelSolver::WorkerCtx {
+  ParallelSolver &S;
+  unsigned Id;
+
+  std::vector<Value> Env;
+  std::vector<uint8_t> Bound;
+  const Task *Cur = nullptr;
+
+  /// Buffered derivations, pre-sharded by hash(pred, key) so the merge
+  /// phase can compact each shard without cross-shard synchronization.
+  std::vector<std::vector<Deriv>> Buffers;
+
+  // Counters drained into SolveStats by the coordinator between phases.
+  uint64_t RuleFirings = 0;
+  uint64_t FactsDerived = 0;
+  uint64_t MergeCollisions = 0;
+
+  WorkerCtx(ParallelSolver &S, unsigned Id) : S(S), Id(Id) {
+    Buffers.resize(NumMergeShards);
+  }
+
+  bool checkAbort() {
+    if (S.AbortFlag.load(std::memory_order_relaxed))
+      return true;
+    if (S.DL.expired()) {
+      S.AbortFlag.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  Value callExtern(FnId Fn, std::span<const Value> Args) {
+    const ExternImpl &Impl = S.P.functionDecl(Fn).Impl;
+    if (S.Opts.SerializeExternals) {
+      std::lock_guard<std::mutex> Lock(S.ExternMu);
+      return Impl(Args);
+    }
+    return Impl(Args);
+  }
+
+  void runTask(const Task &T);
+  void evalElems(const Rule &R, std::span<const BodyElem *const> Order,
+                 size_t Pos);
+  void evalAtom(const Rule &R, const BodyAtom &A,
+                std::span<const BodyElem *const> Order, size_t Pos);
+  void matchAtomRow(const Rule &R, const BodyAtom &A, uint32_t RowId,
+                    std::span<const BodyElem *const> Order, size_t Pos);
+  void deriveHead(const Rule &R);
+  void compactShard(size_t Sh);
+  void joinPred(PredId Pred);
+};
+
+void ParallelSolver::WorkerCtx::runTask(const Task &T) {
+  const Rule &R = S.Prepared[T.RuleIdx];
+  Env.assign(R.NumVars, Value());
+  Bound.assign(R.NumVars, 0);
+
+  SmallVector<const BodyElem *, 8> Order;
+  if (T.Driver >= 0)
+    Order.push_back(&R.Body[T.Driver]);
+  for (size_t I = 0; I < R.Body.size(); ++I)
+    if (static_cast<int>(I) != T.Driver)
+      Order.push_back(&R.Body[I]);
+
+  Cur = &T;
+  evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
+            0);
+  Cur = nullptr;
+}
+
+void ParallelSolver::WorkerCtx::evalElems(
+    const Rule &R, std::span<const BodyElem *const> Order, size_t Pos) {
+  if (S.AbortFlag.load(std::memory_order_relaxed))
+    return;
+  if (Pos == Order.size()) {
+    deriveHead(R);
+    return;
+  }
+  const BodyElem &E = *Order[Pos];
+
+  auto termValue = [&](const Term &T) -> Value {
+    if (!T.isVar())
+      return T.Constant;
+    assert(Bound[T.Variable] && "unbound variable; validation missed it");
+    return Env[T.Variable];
+  };
+
+  if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
+    SmallVector<Value, 4> Args;
+    for (const Term &T : Fl->Args)
+      Args.push_back(termValue(T));
+    Value Res =
+        callExtern(Fl->Fn, std::span<const Value>(Args.data(), Args.size()));
+    assert(Res.isBool() && "filter function must return Bool");
+    if (Res.asBool())
+      evalElems(R, Order, Pos + 1);
+    return;
+  }
+
+  if (const auto *B = std::get_if<BodyBinder>(&E)) {
+    SmallVector<Value, 4> Args;
+    for (const Term &T : B->Args)
+      Args.push_back(termValue(T));
+    Value Res =
+        callExtern(B->Fn, std::span<const Value>(Args.data(), Args.size()));
+    assert(Res.isSet() && "binder function must return a Set");
+    for (Value Elem : S.F.setElems(Res)) {
+      if (checkAbort())
+        return;
+      BindTrail Trail;
+      bool Ok = true;
+      auto bindOne = [&](VarId V, Value Val) {
+        if (Bound[V]) {
+          Ok = Env[V] == Val;
+          return;
+        }
+        Trail.save(V, false, Env[V]);
+        Env[V] = Val;
+        Bound[V] = 1;
+      };
+      if (B->Pattern.size() == 1) {
+        bindOne(B->Pattern[0], Elem);
+      } else {
+        if (!Elem.isTuple() ||
+            S.F.tupleElems(Elem).size() != B->Pattern.size()) {
+          Ok = false;
+        } else {
+          std::span<const Value> Elems = S.F.tupleElems(Elem);
+          for (size_t I = 0; I < B->Pattern.size() && Ok; ++I)
+            bindOne(B->Pattern[I], Elems[I]);
+        }
+      }
+      if (Ok)
+        evalElems(R, Order, Pos + 1);
+      Trail.undo(Env, Bound);
+    }
+    return;
+  }
+
+  evalAtom(R, std::get<BodyAtom>(E), Order, Pos);
+}
+
+void ParallelSolver::WorkerCtx::evalAtom(
+    const Rule &R, const BodyAtom &A, std::span<const BodyElem *const> Order,
+    size_t Pos) {
+  const PredicateDecl &D = S.P.predicate(A.Pred);
+  const Table &T = *S.Tables[A.Pred];
+  unsigned KA = D.keyArity();
+
+  auto termValue = [&](const Term &Tm) -> Value {
+    if (!Tm.isVar())
+      return Tm.Constant;
+    assert(Bound[Tm.Variable] && "unbound variable in ground context");
+    return Env[Tm.Variable];
+  };
+
+  if (A.Negated) {
+    SmallVector<Value, 4> Key;
+    for (unsigned I = 0; I < KA; ++I)
+      Key.push_back(termValue(A.Terms[I]));
+    Value KeyT = S.F.tuple(std::span<const Value>(Key.data(), Key.size()));
+    if (!T.lookup(KeyT))
+      evalElems(R, Order, Pos + 1);
+    return;
+  }
+
+  // Driver atom: iterate this task's chunk of the driver rows.
+  if (Pos == 0 && Cur->Driver >= 0) {
+    const std::vector<uint32_t> &Rows = *Cur->Rows;
+    for (uint32_t I = Cur->Begin; I != Cur->End; ++I) {
+      if (checkAbort())
+        return;
+      matchAtomRow(R, A, Rows[I], Order, Pos);
+    }
+    return;
+  }
+
+  // Compute the bound-column pattern to pick an access path. Boundness is
+  // static for the fixed driver-first order, so every (pred, mask) pair
+  // seen here had its index pre-built by prepareStaticIndexes().
+  uint64_t Mask = 0;
+  SmallVector<Value, 4> Proj;
+  for (unsigned I = 0; I < KA; ++I) {
+    const Term &Tm = A.Terms[I];
+    if (!Tm.isVar()) {
+      Mask |= uint64_t(1) << I;
+      Proj.push_back(Tm.Constant);
+    } else if (Bound[Tm.Variable]) {
+      Mask |= uint64_t(1) << I;
+      Proj.push_back(Env[Tm.Variable]);
+    }
+  }
+  uint64_t Full = KA == 0 ? 0 : (uint64_t(1) << KA) - 1;
+
+  if (Mask == Full) {
+    Value KeyT = S.F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
+    uint32_t Id = T.lookupRow(KeyT);
+    if (Id != Table::NoRow)
+      matchAtomRow(R, A, Id, Order, Pos);
+    return;
+  }
+
+  if (Mask != 0 && S.Opts.UseIndexes) {
+    Value ProjT = S.F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
+    // Unlike the sequential solver there is no need to copy the bucket:
+    // tables are immutable during an eval phase, so the bucket cannot grow
+    // under us.
+    if (const std::vector<uint32_t> *Bucket = T.probeExisting(Mask, ProjT)) {
+      for (uint32_t Id : *Bucket) {
+        if (checkAbort())
+          return;
+        matchAtomRow(R, A, Id, Order, Pos);
+      }
+      return;
+    }
+    // No index for this mask (should not happen for statically analyzable
+    // orders); fall through to a full scan.
+  }
+
+  for (uint32_t Id = 0, E = static_cast<uint32_t>(T.size()); Id != E; ++Id) {
+    if (checkAbort())
+      return;
+    matchAtomRow(R, A, Id, Order, Pos);
+  }
+}
+
+void ParallelSolver::WorkerCtx::matchAtomRow(
+    const Rule &R, const BodyAtom &A, uint32_t RowId,
+    std::span<const BodyElem *const> Order, size_t Pos) {
+  const PredicateDecl &D = S.P.predicate(A.Pred);
+  const Table &T = *S.Tables[A.Pred];
+  unsigned KA = D.keyArity();
+
+  BindTrail Trail;
+  bool Ok = true;
+  {
+    std::span<const Value> KeyElems = T.rowKey(RowId);
+    for (unsigned I = 0; I < KA && Ok; ++I) {
+      const Term &Tm = A.Terms[I];
+      if (!Tm.isVar()) {
+        Ok = Tm.Constant == KeyElems[I];
+        continue;
+      }
+      if (Bound[Tm.Variable]) {
+        Ok = Env[Tm.Variable] == KeyElems[I];
+        continue;
+      }
+      Trail.save(Tm.Variable, false, Env[Tm.Variable]);
+      Env[Tm.Variable] = KeyElems[I];
+      Bound[Tm.Variable] = 1;
+    }
+  }
+
+  if (Ok && !D.isRelational()) {
+    const Term &Lt = A.Terms[KA];
+    Value RowVal = T.row(RowId).Lat;
+    if (!Lt.isVar()) {
+      Ok = D.Lat->leq(Lt.Constant, RowVal);
+    } else if (!Bound[Lt.Variable]) {
+      Trail.save(Lt.Variable, false, Env[Lt.Variable]);
+      Env[Lt.Variable] = RowVal;
+      Bound[Lt.Variable] = 1;
+    } else {
+      Value G = D.Lat->glb(Env[Lt.Variable], RowVal);
+      Trail.save(Lt.Variable, true, Env[Lt.Variable]);
+      Env[Lt.Variable] = G;
+    }
+  }
+
+  if (Ok)
+    evalElems(R, Order, Pos + 1);
+  Trail.undo(Env, Bound);
+}
+
+void ParallelSolver::WorkerCtx::deriveHead(const Rule &R) {
+  const HeadAtom &H = R.Head;
+  const PredicateDecl &D = S.P.predicate(H.Pred);
+
+  auto termValue = [&](const Term &Tm) -> Value {
+    if (!Tm.isVar())
+      return Tm.Constant;
+    assert(Bound[Tm.Variable] && "unbound head variable");
+    return Env[Tm.Variable];
+  };
+
+  SmallVector<Value, 4> Key;
+  for (const Term &Tm : H.KeyTerms)
+    Key.push_back(termValue(Tm));
+
+  Value LatVal;
+  if (H.LastFn) {
+    SmallVector<Value, 4> Args;
+    for (const Term &Tm : H.FnArgs)
+      Args.push_back(termValue(Tm));
+    LatVal = callExtern(*H.LastFn,
+                        std::span<const Value>(Args.data(), Args.size()));
+  } else {
+    LatVal = termValue(H.LastTerm);
+  }
+
+  if (D.isRelational()) {
+    Key.push_back(LatVal);
+    LatVal = S.F.boolean(true);
+  }
+
+  ++RuleFirings;
+  // ⊥ derivations can never change a cell (x ⊔ ⊥ = x, and absent cells
+  // are implicitly ⊥), so drop them here instead of shipping them through
+  // the merge — the sequential Table::join does the same.
+  if (!D.isRelational() && LatVal == D.Lat->bot())
+    return;
+  Value KeyT = S.F.tuple(std::span<const Value>(Key.data(), Key.size()));
+  size_t Sh = hashValues(static_cast<uint64_t>(H.Pred), KeyT.hash()) &
+              (NumMergeShards - 1);
+  Buffers[Sh].push_back({H.Pred, KeyT, LatVal});
+}
+
+// Merge phase A: fold all workers' buffered derivations for shard \p Sh
+// into one derivation per cell via ⊔. Shards partition the cell space, so
+// tasks write disjoint CompactedShards entries.
+void ParallelSolver::WorkerCtx::compactShard(size_t Sh) {
+  std::vector<Deriv> &Out = S.CompactedShards[Sh];
+  std::unordered_map<CellKey, size_t, CellKeyHash> Cells;
+  for (const std::unique_ptr<WorkerCtx> &W : S.Workers) {
+    for (const Deriv &D : W->Buffers[Sh]) {
+      auto [It, IsNew] = Cells.try_emplace(CellKey{D.Pred, D.Key},
+                                           Out.size());
+      if (IsNew) {
+        Out.push_back(D);
+        continue;
+      }
+      Deriv &E = Out[It->second];
+      E.Lat = S.Tables[D.Pred]->lattice().lub(E.Lat, D.Lat);
+      ++MergeCollisions;
+    }
+  }
+}
+
+// Merge phase B: join one predicate's compacted derivations into its head
+// table and record the strictly-increased rows as the next delta. One
+// task per predicate, so table mutation is single-writer.
+void ParallelSolver::WorkerCtx::joinPred(PredId Pred) {
+  Table &T = *S.Tables[Pred];
+  std::vector<uint32_t> &ND = S.NextDelta[Pred];
+  for (const Deriv &D : S.PendingByPred[Pred]) {
+    Table::JoinResult JR = T.join(D.Key, D.Lat);
+    if (JR.Changed) {
+      ++FactsDerived;
+      ND.push_back(JR.RowId);
+    }
+  }
+  // Compaction left at most one derivation per cell, so the ids are
+  // unique; sort them so delta iteration order is deterministic.
+  std::sort(ND.begin(), ND.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Coordinator
+//===----------------------------------------------------------------------===//
+
+ParallelSolver::ParallelSolver(const Program &P, SolverOptions Opts)
+    : P(P), Opts(Opts), F(P.factory()),
+      RelLattice(std::make_unique<BoolLattice>(F)),
+      NumWorkers(std::max(1u, Opts.NumThreads)) {
+  Tables.reserve(P.predicates().size());
+  for (const PredicateDecl &D : P.predicates()) {
+    assert(D.keyArity() < 64 && "key arity limited to 63 columns");
+    const Lattice &L = D.isRelational() ? *RelLattice : *D.Lat;
+    Tables.push_back(std::make_unique<Table>(D.keyArity(), L, F));
+  }
+  Prepared.reserve(P.rules().size());
+  for (const Rule &R : P.rules())
+    Prepared.push_back(Opts.ReorderBody ? reorderRuleGreedy(R) : R);
+  Delta.resize(P.predicates().size());
+  NextDelta.resize(P.predicates().size());
+  AllRows.resize(P.predicates().size());
+  PendingByPred.resize(P.predicates().size());
+  CompactedShards.resize(NumMergeShards);
+  prepareStaticIndexes();
+  Pool = std::make_unique<ThreadPool>(NumWorkers);
+  Workers.reserve(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Workers.push_back(std::make_unique<WorkerCtx>(*this, W));
+}
+
+ParallelSolver::~ParallelSolver() = default;
+
+/// Workers never create indexes (probeExisting is read-only), so every
+/// index they could profit from must exist before the first eval phase.
+/// With the fixed driver-first body order, the set of bound variables at
+/// each atom position is statically known — simulate every (rule, driver)
+/// order once and pre-build the resulting (pred, mask) indexes. The
+/// sequential solver instead builds these same indexes lazily on first
+/// probe.
+void ParallelSolver::prepareStaticIndexes() {
+  if (!Opts.UseIndexes)
+    return;
+  std::set<std::pair<PredId, uint64_t>> Wanted;
+  for (const Rule &R : Prepared) {
+    SmallVector<int, 8> Drivers;
+    Drivers.push_back(-1);
+    for (size_t I = 0; I < R.Body.size(); ++I)
+      if (const auto *A = std::get_if<BodyAtom>(&R.Body[I]);
+          A && !A->Negated)
+        Drivers.push_back(static_cast<int>(I));
+
+    for (int Driver : Drivers) {
+      std::vector<uint8_t> BoundVar(R.NumVars, 0);
+      SmallVector<const BodyElem *, 8> Order;
+      if (Driver >= 0)
+        Order.push_back(&R.Body[Driver]);
+      for (size_t I = 0; I < R.Body.size(); ++I)
+        if (static_cast<int>(I) != Driver)
+          Order.push_back(&R.Body[I]);
+
+      for (size_t Pos = 0; Pos < Order.size(); ++Pos) {
+        const BodyElem &E = *Order[Pos];
+        if (const auto *A = std::get_if<BodyAtom>(&E)) {
+          if (A->Negated)
+            continue; // negated atoms use the primary map
+          unsigned KA = P.predicate(A->Pred).keyArity();
+          if (!(Pos == 0 && Driver >= 0)) {
+            uint64_t Mask = 0;
+            for (unsigned I = 0; I < KA; ++I) {
+              const Term &Tm = A->Terms[I];
+              if (!Tm.isVar() || BoundVar[Tm.Variable])
+                Mask |= uint64_t(1) << I;
+            }
+            uint64_t Full = KA == 0 ? 0 : (uint64_t(1) << KA) - 1;
+            if (Mask != 0 && Mask != Full)
+              Wanted.insert({A->Pred, Mask});
+          }
+          for (const Term &Tm : A->Terms)
+            if (Tm.isVar())
+              BoundVar[Tm.Variable] = 1;
+        } else if (const auto *B = std::get_if<BodyBinder>(&E)) {
+          for (VarId V : B->Pattern)
+            BoundVar[V] = 1;
+        }
+        // Filters bind nothing.
+      }
+    }
+  }
+  for (auto [Pred, Mask] : Wanted)
+    Tables[Pred]->prepareIndex(Mask);
+  for (auto [Pred, Mask] : P.indexHints())
+    Tables[Pred]->prepareIndex(Mask);
+}
+
+void ParallelSolver::buildRound0Tasks(const std::vector<uint32_t> &RuleIds) {
+  Tasks.clear();
+  for (uint32_t RI : RuleIds) {
+    const Rule &R = Prepared[RI];
+    const BodyAtom *A =
+        R.Body.empty() ? nullptr : std::get_if<BodyAtom>(&R.Body[0]);
+    if (A && !A->Negated) {
+      // Leading positive atom: drive it over all current rows, chunked.
+      // Driver-first with the first atom is exactly left-to-right order.
+      std::vector<uint32_t> &Rows = AllRows[A->Pred];
+      Rows.resize(Tables[A->Pred]->size());
+      std::iota(Rows.begin(), Rows.end(), 0u);
+      addChunkedTasks(RI, 0, Rows);
+    } else {
+      Tasks.push_back({RI, -1, 0, 0, nullptr});
+    }
+  }
+}
+
+void ParallelSolver::buildDeltaTasks(const std::vector<uint32_t> &RuleIds) {
+  Tasks.clear();
+  for (uint32_t RI : RuleIds) {
+    const Rule &R = Prepared[RI];
+    for (size_t BI = 0; BI < R.Body.size(); ++BI) {
+      const auto *A = std::get_if<BodyAtom>(&R.Body[BI]);
+      if (!A || A->Negated)
+        continue;
+      if (Delta[A->Pred].empty())
+        continue;
+      addChunkedTasks(RI, static_cast<int32_t>(BI), Delta[A->Pred]);
+    }
+  }
+}
+
+void ParallelSolver::addChunkedTasks(uint32_t RuleIdx, int32_t Driver,
+                                     const std::vector<uint32_t> &Rows) {
+  size_t N = Rows.size();
+  if (N == 0)
+    return;
+  // ~8 chunks per worker balances steal granularity against per-task
+  // overhead; small drivers stay in one task.
+  size_t ChunkSize =
+      std::max<size_t>(16, (N + NumWorkers * 8 - 1) / (NumWorkers * 8));
+  for (size_t B = 0; B < N; B += ChunkSize)
+    Tasks.push_back({RuleIdx, Driver, static_cast<uint32_t>(B),
+                     static_cast<uint32_t>(std::min(B + ChunkSize, N)),
+                     &Rows});
+}
+
+void ParallelSolver::runEvalPhase() {
+  Stats.ParallelTasks += Tasks.size();
+  Pool->run(Tasks.size(),
+            [this](size_t I, unsigned W) { Workers[W]->runTask(Tasks[I]); });
+}
+
+void ParallelSolver::runMergePhase() {
+  // Phase A: per-shard ⊔-compaction of the workers' buffers.
+  Pool->run(NumMergeShards,
+            [this](size_t Sh, unsigned W) { Workers[W]->compactShard(Sh); });
+  for (const std::unique_ptr<WorkerCtx> &W : Workers)
+    for (std::vector<Deriv> &B : W->Buffers)
+      B.clear();
+
+  // Regroup the shard outputs by head predicate (cheap: one move per
+  // derivation), then phase B: one parallel join task per predicate.
+  SmallVector<PredId, 16> MergePreds;
+  for (std::vector<Deriv> &Shard : CompactedShards) {
+    for (const Deriv &D : Shard) {
+      if (PendingByPred[D.Pred].empty())
+        MergePreds.push_back(D.Pred);
+      PendingByPred[D.Pred].push_back(D);
+    }
+    Shard.clear();
+  }
+  Pool->run(MergePreds.size(), [this, &MergePreds](size_t I, unsigned W) {
+    Workers[W]->joinPred(MergePreds[I]);
+  });
+  for (PredId Pred : MergePreds)
+    PendingByPred[Pred].clear();
+}
+
+SolveStats ParallelSolver::solve() {
+  assert(!Solved && "solve() may be called once");
+  Solved = true;
+
+  auto Start = std::chrono::steady_clock::now();
+  DL = Deadline::after(Opts.TimeLimitSeconds);
+
+  auto finish = [&]() -> SolveStats & {
+    for (const std::unique_ptr<WorkerCtx> &W : Workers) {
+      Stats.RuleFirings += W->RuleFirings;
+      Stats.FactsDerived += W->FactsDerived;
+      Stats.MergeCollisions += W->MergeCollisions;
+      W->RuleFirings = W->FactsDerived = W->MergeCollisions = 0;
+    }
+    Stats.ParallelSteals = Pool->steals();
+    Stats.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    Stats.MemoryBytes = F.memoryBytes();
+    for (const std::unique_ptr<Table> &T : Tables)
+      Stats.MemoryBytes += T->memoryBytes();
+    return Stats;
+  };
+
+  if (Opts.TrackProvenance) {
+    Stats.St = SolveStats::Status::Error;
+    Stats.Error = "provenance tracking is not supported by the parallel "
+                  "solver; use the sequential Solver";
+    return finish();
+  }
+
+  if (std::optional<std::string> Err = P.validate()) {
+    Stats.St = SolveStats::Status::Error;
+    Stats.Error = *Err;
+    return finish();
+  }
+
+  StratifyResult SR = stratify(P);
+  if (!SR.ok()) {
+    Stats.St = SolveStats::Status::Error;
+    Stats.Error = SR.Error;
+    return finish();
+  }
+  const Stratification &St = *SR.Strat;
+
+  // From here on values are interned from worker threads; flip the
+  // factory into lock-sharded mode (a one-way latch, so concurrent
+  // solvers sharing this factory may race to set it).
+  F.enableConcurrentInterning();
+
+  for (const Fact &Fa : P.facts()) {
+    Value KeyT =
+        F.tuple(std::span<const Value>(Fa.Key.data(), Fa.Key.size()));
+    Tables[Fa.Pred]->join(KeyT, Fa.LatValue);
+  }
+
+  // Note: Strategy::Naive is answered with semi-naive evaluation — the
+  // minimal model is identical (the naive strategy exists only as a
+  // sequential ablation baseline).
+  bool Aborted = false;
+  for (uint32_t S = 0; S < St.numStrata() && !Aborted; ++S) {
+    const std::vector<uint32_t> &RuleIds = St.RulesByStratum[S];
+    if (RuleIds.empty())
+      continue;
+
+    // Round 0: evaluate every rule of the stratum against the snapshot.
+    for (std::vector<uint32_t> &ND : NextDelta)
+      ND.clear();
+    buildRound0Tasks(RuleIds);
+    runEvalPhase();
+    runMergePhase();
+    ++Stats.Iterations;
+
+    // Delta rounds: drive each rule through each positive body atom whose
+    // predicate changed last round (§3.7).
+    while (!(Aborted = AbortFlag.load(std::memory_order_relaxed))) {
+      bool AnyDelta = false;
+      for (size_t PI = 0; PI < NextDelta.size(); ++PI) {
+        Delta[PI] = std::move(NextDelta[PI]);
+        NextDelta[PI].clear();
+        AnyDelta |= !Delta[PI].empty();
+      }
+      if (!AnyDelta)
+        break;
+      if (Opts.MaxIterations && Stats.Iterations >= Opts.MaxIterations) {
+        Stats.St = SolveStats::Status::IterationLimit;
+        return finish();
+      }
+      buildDeltaTasks(RuleIds);
+      runEvalPhase();
+      runMergePhase();
+      ++Stats.Iterations;
+    }
+  }
+
+  if (Aborted || AbortFlag.load(std::memory_order_relaxed))
+    Stats.St = SolveStats::Status::Timeout;
+  return finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Query API (mirrors Solver)
+//===----------------------------------------------------------------------===//
+
+bool ParallelSolver::contains(PredId Pred,
+                              std::span<const Value> Tuple) const {
+  assert(P.predicate(Pred).isRelational() && "contains() is for relations");
+  Value KeyT = F.tuple(Tuple);
+  return Tables[Pred]->lookup(KeyT) != nullptr;
+}
+
+Value ParallelSolver::latValue(PredId Pred,
+                               std::span<const Value> Key) const {
+  const PredicateDecl &D = P.predicate(Pred);
+  assert(!D.isRelational() && "latValue() is for lattice predicates");
+  Value KeyT = F.tuple(Key);
+  const Value *V = Tables[Pred]->lookup(KeyT);
+  return V ? *V : D.Lat->bot();
+}
+
+std::vector<std::vector<Value>> ParallelSolver::tuples(PredId Pred) const {
+  const PredicateDecl &D = P.predicate(Pred);
+  std::vector<std::vector<Value>> Out;
+  const Table &T = *Tables[Pred];
+  Out.reserve(T.size());
+  for (const Table::Row &R : T.rows()) {
+    std::span<const Value> Key = F.tupleElems(R.Key);
+    std::vector<Value> Tup(Key.begin(), Key.end());
+    if (!D.isRelational())
+      Tup.push_back(R.Lat);
+    Out.push_back(std::move(Tup));
+  }
+  return Out;
+}

@@ -1,0 +1,154 @@
+//===- parallel/ThreadPool.cpp - Work-stealing thread pool ----------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ThreadPool.h"
+
+#include <cassert>
+
+using namespace flix;
+
+// Owner side of the Chase–Lev protocol: pop one task index from the
+// bottom of the deque. The seq_cst fence between the Bottom store and the
+// Top load resolves the race with thieves on the last element: either the
+// thief's CAS or the owner's reservation wins, never both.
+size_t ThreadPool::Deque::take() {
+  int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+  Bottom.store(B, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int64_t T = Top.load(std::memory_order_relaxed);
+  if (T > B) {
+    // Deque was already empty; undo the reservation.
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return Empty;
+  }
+  size_t Task = Tasks[static_cast<size_t>(B)];
+  if (T == B) {
+    // Last element: race the thieves for it.
+    if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      Task = Empty; // a thief got it
+    Bottom.store(B + 1, std::memory_order_relaxed);
+  }
+  return Task;
+}
+
+// Thief side: claim the task at the top with a CAS. The acquire load of
+// Bottom pairs with the owner's relaxed stores via the seq_cst fence in
+// take(); Tasks itself is immutable during a phase.
+size_t ThreadPool::Deque::steal() {
+  int64_t T = Top.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int64_t B = Bottom.load(std::memory_order_acquire);
+  if (T >= B)
+    return Empty;
+  size_t Task = Tasks[static_cast<size_t>(T)];
+  if (!Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                   std::memory_order_relaxed))
+    return Empty; // lost the race; caller retries elsewhere
+  return Task;
+}
+
+ThreadPool::ThreadPool(unsigned NumWorkers) : Deques(NumWorkers) {
+  assert(NumWorkers > 0 && "a pool needs at least one worker");
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::run(size_t NumTasks,
+                     const std::function<void(size_t, unsigned)> &Fn) {
+  if (NumTasks == 0)
+    return;
+  // Preload each deque with a contiguous slice of [0, NumTasks). Slices
+  // keep adjacent tasks (often adjacent delta rows) on one worker, which
+  // preserves locality until stealing kicks in.
+  unsigned W = numWorkers();
+  size_t Per = NumTasks / W, Extra = NumTasks % W;
+  size_t Next = 0;
+  for (unsigned I = 0; I < W; ++I) {
+    Deque &D = Deques[I];
+    size_t Len = Per + (I < Extra ? 1 : 0);
+    D.Tasks.resize(Len);
+    for (size_t J = 0; J < Len; ++J)
+      D.Tasks[J] = Next++;
+    D.Top.store(0, std::memory_order_relaxed);
+    D.Bottom.store(static_cast<int64_t>(Len), std::memory_order_relaxed);
+  }
+  assert(Next == NumTasks);
+  Remaining.store(NumTasks, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  PhaseFn = &Fn;
+  Active = W;
+  ++Generation; // publishes the deque/task state to workers (via Mu)
+  WakeWorkers.notify_all();
+  PhaseDone.wait(Lock, [this] { return Active == 0; });
+  PhaseFn = nullptr;
+}
+
+void ThreadPool::workerMain(unsigned Me) {
+  uint64_t SeenGeneration = 0;
+  Deque &Mine = Deques[Me];
+  unsigned W = numWorkers();
+  for (;;) {
+    const std::function<void(size_t, unsigned)> *Fn;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WakeWorkers.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      Fn = PhaseFn;
+    }
+
+    // Drain own deque, then cycle over victims until no tasks remain
+    // anywhere. Remaining is decremented after each task completes, so
+    // reaching zero implies all task effects are visible (release) to
+    // whoever observes it (acquire).
+    for (;;) {
+      size_t Task = Mine.take();
+      if (Task == Deque::Empty) {
+        for (unsigned Off = 1; Off < W && Task == Deque::Empty; ++Off)
+          Task = Deques[(Me + Off) % W].steal();
+        if (Task == Deque::Empty) {
+          if (Remaining.load(std::memory_order_acquire) == 0)
+            break;
+          std::this_thread::yield();
+          continue;
+        }
+        ++Mine.Steals;
+      }
+      (*Fn)(Task, Me);
+      Remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (--Active == 0)
+        PhaseDone.notify_one();
+    }
+  }
+}
+
+uint64_t ThreadPool::steals() const {
+  // Quiescent-state read: called between phases by the coordinator.
+  uint64_t N = 0;
+  for (const Deque &D : Deques)
+    N += D.Steals;
+  return N;
+}

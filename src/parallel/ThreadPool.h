@@ -1,0 +1,101 @@
+//===- parallel/ThreadPool.h - Work-stealing thread pool ------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size pool of worker threads executing *phases* of tasks with
+/// Chase–Lev-style work-stealing deques. The coordinator preloads each
+/// worker's deque with a contiguous slice of the phase's task indices and
+/// releases the workers; each worker pops from the bottom of its own
+/// deque (LIFO) and, when empty, steals from the top of a victim's deque
+/// (FIFO) with a CAS on the top cursor — the Chase–Lev protocol.
+///
+/// Two simplifications relative to the full Chase–Lev deque, both enabled
+/// by the fixpoint engine's round structure (all of a round's tasks are
+/// known before the round starts and no task spawns further tasks):
+/// the buffer never grows concurrently, so there is no circular-array
+/// republication, and top never wraps, so there is no ABA hazard. What
+/// remains is the owner-bottom / thief-top discipline with its seq_cst
+/// fence race resolution, which is the part that matters for scalability:
+/// the owner's hot path never executes an atomic RMW.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_PARALLEL_THREADPOOL_H
+#define FLIX_PARALLEL_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flix {
+
+/// A persistent pool of \p NumWorkers threads executing one phase of
+/// tasks at a time. Not itself thread-safe: one coordinator thread calls
+/// run(); the pool may be reused for any number of phases.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumWorkers);
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+  ~ThreadPool();
+
+  /// Reads Deques (fully built before any worker thread starts), not
+  /// Workers — workers call this while the constructor is still pushing
+  /// into the Workers vector.
+  unsigned numWorkers() const { return static_cast<unsigned>(Deques.size()); }
+
+  /// Executes Fn(TaskIndex, WorkerIndex) for every TaskIndex in
+  /// [0, NumTasks), distributed over the workers with work stealing.
+  /// Blocks the calling thread until every task has finished; the
+  /// happens-before edges run through the phase start/finish latches, so
+  /// non-atomic state written by tasks is visible to the coordinator (and
+  /// to all tasks of subsequent phases) without further synchronization.
+  void run(size_t NumTasks, const std::function<void(size_t, unsigned)> &Fn);
+
+  /// Total tasks obtained by stealing (rather than from the thief's own
+  /// deque) since construction.
+  uint64_t steals() const;
+
+private:
+  /// Chase–Lev-style deque over the phase's task indices. The owner works
+  /// [Top, Bottom) from the bottom; thieves CAS Top upward. Tasks holds
+  /// the phase-global task indices and is written only between phases.
+  struct alignas(64) Deque {
+    std::atomic<int64_t> Top{0};
+    std::atomic<int64_t> Bottom{0};
+    std::vector<size_t> Tasks;
+    uint64_t Steals = 0; ///< owner-private steal counter
+
+    static constexpr size_t Empty = SIZE_MAX;
+    size_t take();
+    size_t steal();
+  };
+
+  void workerMain(unsigned Me);
+
+  std::vector<Deque> Deques;
+  std::vector<std::thread> Workers;
+
+  // Phase control. Generation is bumped (under Mu) to release workers;
+  // Remaining counts unexecuted tasks; Active counts workers still inside
+  // the phase. The coordinator waits for Active == 0.
+  std::mutex Mu;
+  std::condition_variable WakeWorkers;
+  std::condition_variable PhaseDone;
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+  const std::function<void(size_t, unsigned)> *PhaseFn = nullptr;
+  std::atomic<size_t> Remaining{0};
+  unsigned Active = 0;
+};
+
+} // namespace flix
+
+#endif // FLIX_PARALLEL_THREADPOOL_H

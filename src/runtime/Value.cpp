@@ -11,6 +11,8 @@
 
 using namespace flix;
 
+static_assert(sizeof(void *) >= 8, "Value handles assume a 64-bit host");
+
 template <typename EqFn, typename MakeFn>
 uint32_t ValueFactory::internIn(FlatIndex &Ix, uint64_t H, EqFn Eq,
                                 MakeFn MakeNew) {
@@ -50,16 +52,19 @@ uint32_t ValueFactory::internIn(FlatIndex &Ix, uint64_t H, EqFn Eq,
 
 Value ValueFactory::tag(Symbol TagName, Value Payload) {
   uint64_t H = hashValues(static_cast<uint64_t>(TagName.Id), Payload.hash());
+  unsigned ShardId = shardOfHash(H);
+  Shard &S = Shards[ShardId];
+  auto Lock = lockShard(S);
   uint32_t Id = internIn(
-      TagIndex, H,
-      [&](uint32_t Idx) {
-        const TagRecord &R = Tags[Idx];
+      S.TagIx, H,
+      [&](uint32_t Enc) {
+        const TagRecord &R = S.Tags[localOfId(Enc)];
         return R.Name == TagName && R.Payload == Payload;
       },
       [&] {
-        Tags.push_back({TagName, Payload});
-        PayloadBytes += sizeof(TagRecord);
-        return static_cast<uint32_t>(Tags.size() - 1);
+        S.PayloadBytes += sizeof(TagRecord);
+        return static_cast<uint32_t>(
+            encodeId(ShardId, S.Tags.push_back({TagName, Payload})));
       });
   return Value(ValueKind::Tag, Id);
 }
@@ -68,18 +73,22 @@ Value ValueFactory::internSeq(std::span<const Value> Elems, ValueKind K) {
   uint64_t H = 0x7c0fa1d2b3e4f596ULL;
   for (const Value &V : Elems)
     H = hashCombine(H, V.hash());
+  unsigned ShardId = shardOfHash(H);
+  Shard &S = Shards[ShardId];
+  auto Lock = lockShard(S);
   uint32_t Id = internIn(
-      SeqIndex, H,
-      [&](uint32_t Idx) {
-        const std::vector<Value> &S = Seqs[Idx];
-        return S.size() == Elems.size() &&
-               std::equal(S.begin(), S.end(), Elems.begin());
+      S.SeqIx, H,
+      [&](uint32_t Enc) {
+        const std::vector<Value> &Sq = S.Seqs[localOfId(Enc)];
+        return Sq.size() == Elems.size() &&
+               std::equal(Sq.begin(), Sq.end(), Elems.begin());
       },
       [&] {
-        Seqs.emplace_back(Elems.begin(), Elems.end());
-        PayloadBytes += Elems.size() * sizeof(Value) +
-                        sizeof(std::vector<Value>);
-        return static_cast<uint32_t>(Seqs.size() - 1);
+        S.PayloadBytes += Elems.size() * sizeof(Value) +
+                          sizeof(std::vector<Value>);
+        return static_cast<uint32_t>(encodeId(
+            ShardId,
+            S.Seqs.push_back(std::vector<Value>(Elems.begin(), Elems.end()))));
       });
   return Value(K, Id);
 }
@@ -96,22 +105,24 @@ Value ValueFactory::set(std::vector<Value> Elems) {
 
 Symbol ValueFactory::tagName(Value V) const {
   assert(V.isTag() && "not a Tag value");
-  return Tags[V.rawBits()].Name;
+  const Shard &S = Shards[shardOfId(V.rawBits())];
+  return S.Tags[localOfId(V.rawBits())].Name;
 }
 
 Value ValueFactory::tagPayload(Value V) const {
   assert(V.isTag() && "not a Tag value");
-  return Tags[V.rawBits()].Payload;
+  const Shard &S = Shards[shardOfId(V.rawBits())];
+  return S.Tags[localOfId(V.rawBits())].Payload;
 }
 
 std::span<const Value> ValueFactory::tupleElems(Value V) const {
   assert(V.isTuple() && "not a Tuple value");
-  return Seqs[V.rawBits()];
+  return seq(V);
 }
 
 std::span<const Value> ValueFactory::setElems(Value V) const {
   assert(V.isSet() && "not a Set value");
-  return Seqs[V.rawBits()];
+  return seq(V);
 }
 
 Value ValueFactory::setInsert(Value SetV, Value Elem) {
@@ -201,7 +212,14 @@ std::string ValueFactory::toString(Value V) const {
 }
 
 size_t ValueFactory::memoryBytes() const {
-  return PayloadBytes +
-         TagIndex.capacity() * (sizeof(uint64_t) + sizeof(uint32_t)) +
-         SeqIndex.capacity() * (sizeof(uint64_t) + sizeof(uint32_t));
+  size_t Bytes = 0;
+  for (const Shard &S : Shards) {
+    // Lock so a concurrently interning solver cannot race this read (the
+    // stress path: several solvers sharing one factory).
+    auto Lock = lockShard(S);
+    Bytes += S.PayloadBytes +
+             S.TagIx.capacity() * (sizeof(uint64_t) + sizeof(uint32_t)) +
+             S.SeqIx.capacity() * (sizeof(uint64_t) + sizeof(uint32_t));
+  }
+  return Bytes;
 }

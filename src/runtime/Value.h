@@ -18,10 +18,14 @@
 #define FLIX_RUNTIME_VALUE_H
 
 #include "support/Hashing.h"
+#include "support/SegmentedVector.h"
 #include "support/StringInterner.h"
 
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -101,7 +105,15 @@ private:
 /// Creates and interns values. All compound values are hash-consed: building
 /// the same tag/tuple/set twice yields the identical handle.
 ///
-/// A ValueFactory is not thread-safe; each solver instance owns one.
+/// By default a ValueFactory is single-threaded. Calling
+/// enableConcurrentInterning() switches it to *lock-sharded* operation for
+/// the parallel solver: the hash-consing tables are split into power-of-two
+/// shards keyed by the structural hash, interning takes only the owning
+/// shard's mutex, and read accessors (tupleElems, setElems, tagName, ...)
+/// stay entirely lock-free — payload storage is a SegmentedVector, so any
+/// handle a thread can legitimately hold refers to memory written before
+/// the handle escaped its shard lock (see DESIGN.md §S11 for the tradeoff
+/// against per-worker scratch factories).
 class ValueFactory {
 public:
   ValueFactory() = default;
@@ -166,6 +178,17 @@ public:
   /// the benchmark harness as a deterministic memory metric.
   size_t memoryBytes() const;
 
+  /// Switches interning to lock-sharded concurrent operation (see class
+  /// comment). One-way: once enabled it stays enabled, so concurrent
+  /// solvers sharing this factory cannot race on the mode itself.
+  void enableConcurrentInterning() {
+    Strings.enableConcurrent();
+    Concurrent.store(true, std::memory_order_release);
+  }
+  bool concurrentInterning() const {
+    return Concurrent.load(std::memory_order_relaxed);
+  }
+
 private:
   struct TagRecord {
     Symbol Name;
@@ -184,25 +207,58 @@ private:
     size_t capacity() const { return Ids.size(); }
   };
 
+  /// Compound-value ids are sharded by structural hash: handle payload
+  /// bits encode (shard, per-shard index) as Local·NumShards + Shard.
+  /// Structurally equal values hash equal, so consing stays canonical;
+  /// interning locks only the owning shard (and only in concurrent mode).
+  static constexpr uint64_t NumShards = 8;
+  static unsigned shardOfHash(uint64_t H) {
+    // High bits: the FlatIndex slot uses the low bits, and reusing them
+    // for shard selection would leave 7/8 of each shard's slots unused.
+    return static_cast<unsigned>(H >> 61);
+  }
+  static uint64_t encodeId(unsigned Shard, size_t Local) {
+    return static_cast<uint64_t>(Local) * NumShards + Shard;
+  }
+  static unsigned shardOfId(uint64_t Bits) {
+    return static_cast<unsigned>(Bits & (NumShards - 1));
+  }
+  static size_t localOfId(uint64_t Bits) { return Bits / NumShards; }
+
+  struct Shard {
+    mutable std::mutex Mu;
+    FlatIndex TagIx;
+    FlatIndex SeqIx;
+    SegmentedVector<TagRecord> Tags;
+    // Tuples and sets share the element-vector storage; sets are stored
+    // in canonical (sorted, unique) order.
+    SegmentedVector<std::vector<Value>> Seqs;
+    /// Incrementally maintained heap estimate of Tags/Seqs payloads.
+    size_t PayloadBytes = 0;
+  };
+
+  std::unique_lock<std::mutex> lockShard(const Shard &S) const {
+    if (Concurrent.load(std::memory_order_relaxed))
+      return std::unique_lock<std::mutex>(S.Mu);
+    return {};
+  }
+
   /// Finds the id interned under \p H for which \p Eq(id) holds, or
-  /// inserts the id produced by \p MakeNew.
+  /// inserts the id produced by \p MakeNew. Caller holds the shard lock.
   template <typename EqFn, typename MakeFn>
-  uint32_t internIn(FlatIndex &Ix, uint64_t H, EqFn Eq, MakeFn MakeNew);
+  static uint32_t internIn(FlatIndex &Ix, uint64_t H, EqFn Eq,
+                           MakeFn MakeNew);
 
   Value internSeq(std::span<const Value> Elems, ValueKind K);
 
+  const std::vector<Value> &seq(Value V) const {
+    const Shard &S = Shards[shardOfId(V.rawBits())];
+    return S.Seqs[localOfId(V.rawBits())];
+  }
+
   StringInterner Strings;
-
-  std::vector<TagRecord> Tags;
-  FlatIndex TagIndex;
-
-  // Tuples and sets share the element-vector storage; sets are stored in
-  // canonical (sorted, unique) order.
-  std::vector<std::vector<Value>> Seqs;
-  FlatIndex SeqIndex;
-
-  /// Incrementally maintained heap estimate of Tags/Seqs payloads.
-  size_t PayloadBytes = 0;
+  std::array<Shard, NumShards> Shards;
+  std::atomic<bool> Concurrent{false};
 };
 
 } // namespace flix

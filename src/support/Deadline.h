@@ -1,0 +1,58 @@
+//===- support/Deadline.h - Wall-clock deadline helper --------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small wall-clock deadline shared by the sequential and parallel
+/// fixpoint solvers. The solvers check expiry once per driver row, so a
+/// single oversized join can overshoot the requested time limit by at
+/// most one row's worth of work (previously the sequential solver sampled
+/// the clock only every 4096 operations, which let huge joins overshoot
+/// badly). steady_clock::now() is a vDSO call on the platforms we target,
+/// so a per-row check is affordable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SUPPORT_DEADLINE_H
+#define FLIX_SUPPORT_DEADLINE_H
+
+#include <chrono>
+
+namespace flix {
+
+/// An optional point in time after which work should stop. A default
+/// constructed Deadline is inactive and never expires.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// A deadline \p Seconds from now; non-positive means "no deadline".
+  static Deadline after(double Seconds) {
+    Deadline D;
+    if (Seconds > 0) {
+      D.Active = true;
+      D.TP = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<
+                 std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(Seconds));
+    }
+    return D;
+  }
+
+  bool active() const { return Active; }
+
+  /// True iff the deadline is active and has passed.
+  bool expired() const {
+    return Active && std::chrono::steady_clock::now() >= TP;
+  }
+
+private:
+  bool Active = false;
+  std::chrono::steady_clock::time_point TP;
+};
+
+} // namespace flix
+
+#endif // FLIX_SUPPORT_DEADLINE_H

@@ -11,12 +11,15 @@
 using namespace flix;
 
 Symbol StringInterner::intern(std::string_view Str) {
+  std::unique_lock<std::mutex> Lock;
+  if (Concurrent.load(std::memory_order_relaxed))
+    Lock = std::unique_lock<std::mutex>(Mu);
   auto It = Map.find(Str);
   if (It != Map.end())
     return Symbol{It->second};
   uint32_t Id = static_cast<uint32_t>(Strings.size());
-  Strings.emplace_back(Str);
-  Map.emplace(std::string_view(Strings.back()), Id);
+  Strings.push_back(std::string(Str));
+  Map.emplace(std::string_view(Strings[Id]), Id);
   return Symbol{Id};
 }
 
@@ -26,6 +29,9 @@ const std::string &StringInterner::text(Symbol Sym) const {
 }
 
 uint32_t StringInterner::lookup(std::string_view Str) const {
+  std::unique_lock<std::mutex> Lock;
+  if (Concurrent.load(std::memory_order_relaxed))
+    Lock = std::unique_lock<std::mutex>(Mu);
   auto It = Map.find(Str);
   return It == Map.end() ? NotInterned : It->second;
 }

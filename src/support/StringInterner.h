@@ -14,8 +14,11 @@
 #ifndef FLIX_SUPPORT_STRINGINTERNER_H
 #define FLIX_SUPPORT_STRINGINTERNER_H
 
+#include "support/SegmentedVector.h"
+
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -36,6 +39,11 @@ struct Symbol {
 ///
 /// Symbol 0 is always the empty string, so a default-constructed Symbol is
 /// valid and denotes "".
+///
+/// By default the interner is single-threaded. After enableConcurrent()
+/// intern() and lookup() serialize on an internal mutex while text()
+/// remains lock-free: storage is a SegmentedVector, so a published Symbol
+/// always refers to memory written before the symbol escaped the mutex.
 class StringInterner {
 public:
   StringInterner() { intern(""); }
@@ -55,11 +63,20 @@ public:
   static constexpr uint32_t NotInterned = UINT32_MAX;
   uint32_t lookup(std::string_view Str) const;
 
+  /// Switches intern()/lookup() to mutex-serialized operation so multiple
+  /// threads may intern concurrently. One-way: there is no way back, so a
+  /// solver that finished does not yank thread safety from another solver
+  /// still running on the same interner.
+  void enableConcurrent() { Concurrent.store(true, std::memory_order_relaxed); }
+
 private:
-  // Deque so that element addresses (and thus the string_view keys below,
-  // which point into the stored strings) remain stable as it grows.
-  std::deque<std::string> Strings;
+  // SegmentedVector keeps element addresses (and thus the string_view keys
+  // below, which point into the stored strings) stable as it grows, and
+  // makes text() safe against concurrent intern() in concurrent mode.
+  SegmentedVector<std::string> Strings;
   std::unordered_map<std::string_view, uint32_t> Map;
+  std::atomic<bool> Concurrent{false};
+  mutable std::mutex Mu;
 };
 
 } // namespace flix

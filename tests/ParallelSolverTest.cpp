@@ -1,0 +1,358 @@
+//===- tests/ParallelSolverTest.cpp - Parallel engine differential tests ---===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential tests for the work-stealing parallel engine: on every
+/// program we can generate, the parallel solver must compute a model
+/// value-identical to the sequential solver at any worker count. Both
+/// solvers share the program's hash-consing ValueFactory, so "identical"
+/// is exact handle equality, not just structural equality; only row
+/// insertion order may differ, so models are compared as sorted
+/// Interpretations.
+///
+/// Covered: random core-fragment programs (seeded), the §3.7 compactness
+/// example, all four paper case studies (Strong Update incl. the
+/// interpreted-FLIX-source pipeline, IFDS, IDE, shortest paths), several
+/// parallel solvers running concurrently against one shared factory, and
+/// the timeout / provenance-rejection paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelSolver.h"
+
+#include "analyses/Ide.h"
+#include "analyses/Ifds.h"
+#include "analyses/ShortestPaths.h"
+#include "analyses/StrongUpdate.h"
+#include "fixpoint/ModelTheory.h"
+#include "workload/GraphWorkload.h"
+#include "workload/IcfgWorkload.h"
+#include "workload/PointerWorkload.h"
+#include "workload/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+using namespace flix;
+
+namespace {
+
+/// Extracts a solver's model as a sorted Interpretation; works for both
+/// the sequential and the parallel solver (same query API).
+template <typename SolverT>
+Interpretation modelOf(const Program &P, const SolverT &S) {
+  Interpretation I;
+  for (PredId Pred = 0; Pred < P.predicates().size(); ++Pred)
+    for (const std::vector<Value> &Tup : S.tuples(Pred)) {
+      GroundAtom GA;
+      GA.Pred = Pred;
+      GA.Args = Tup;
+      I.push_back(std::move(GA));
+    }
+  std::sort(I.begin(), I.end());
+  return I;
+}
+
+class ParallelSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelSeedTest, MatchesSequentialAtAllThreadCounts) {
+  RandomProgramOptions Opts;
+  Opts.NumRelations = 2;
+  Opts.NumLatPredicates = 2;
+  Opts.NumRules = 6;
+  Opts.NumFacts = 6;
+  Opts.NumConstants = 3;
+  RandomProgramBundle B = generateRandomProgram(GetParam(), Opts);
+
+  Solver Seq(*B.Prog);
+  ASSERT_TRUE(Seq.solve().ok());
+  Interpretation Expected = modelOf(*B.Prog, Seq);
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    SolverOptions PO;
+    PO.NumThreads = Threads;
+    ParallelSolver Par(*B.Prog, PO);
+    SolveStats St = Par.solve();
+    ASSERT_TRUE(St.ok()) << St.Error;
+    EXPECT_EQ(modelOf(*B.Prog, Par), Expected)
+        << "threads=" << Threads << "\nprogram:\n"
+        << B.Prog->dump();
+  }
+}
+
+TEST_P(ParallelSeedTest, ReorderAndNoIndexDoNotChangeResults) {
+  RandomProgramOptions Opts;
+  Opts.NumRules = 5;
+  Opts.NumFacts = 5;
+  Opts.NumConstants = 3;
+  RandomProgramBundle B = generateRandomProgram(GetParam() * 131 + 9, Opts);
+
+  Solver Seq(*B.Prog);
+  ASSERT_TRUE(Seq.solve().ok());
+  Interpretation Expected = modelOf(*B.Prog, Seq);
+
+  for (bool Reorder : {false, true})
+    for (bool UseIndexes : {false, true}) {
+      SolverOptions PO;
+      PO.NumThreads = 2;
+      PO.ReorderBody = Reorder;
+      PO.UseIndexes = UseIndexes;
+      ParallelSolver Par(*B.Prog, PO);
+      ASSERT_TRUE(Par.solve().ok());
+      EXPECT_EQ(modelOf(*B.Prog, Par), Expected)
+          << "reorder=" << Reorder << " indexes=" << UseIndexes
+          << "\nprogram:\n"
+          << B.Prog->dump();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSeedTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(ParallelSolverTest, SemiNaiveCompactnessExample) {
+  // §3.7: A(Odd). B(Even). A(x) :- B(x). R(x) :- isMaybeZero(x), A(x).
+  // The A cell joins to Top and R must see the joined value, also when
+  // rounds are evaluated against immutable snapshots.
+  ValueFactory F;
+  ParityLattice L(F);
+  Program P(F);
+  PredId A = P.lattice("A", 1, &L);
+  PredId B = P.lattice("B", 1, &L);
+  PredId R = P.lattice("R", 1, &L);
+  FnId IsMaybeZero = P.function(
+      "isMaybeZero", 1, FnRole::Filter, [&](std::span<const Value> Args) {
+        return F.boolean(L.isMaybeZero(Args[0]));
+      });
+  P.addLatFact(A, std::initializer_list<Value>{}, L.odd());
+  P.addLatFact(B, std::initializer_list<Value>{}, L.even());
+  RuleBuilder().head(A, {"x"}).atom(B, {"x"}).addTo(P);
+  RuleBuilder()
+      .head(R, {"x"})
+      .atom(A, {"x"})
+      .filter(IsMaybeZero, {"x"})
+      .addTo(P);
+
+  SolverOptions Opts;
+  Opts.NumThreads = 2;
+  ParallelSolver S(P, Opts);
+  ASSERT_TRUE(S.solve().ok());
+  EXPECT_EQ(S.latValue(A, std::initializer_list<Value>{}), L.top());
+  EXPECT_EQ(S.latValue(R, std::initializer_list<Value>{}), L.top());
+}
+
+TEST(ParallelSolverTest, NaiveStrategyFallsBackToSemiNaive) {
+  RandomProgramOptions Opts;
+  Opts.NumRules = 5;
+  Opts.NumFacts = 5;
+  RandomProgramBundle B = generateRandomProgram(4242, Opts);
+
+  SolverOptions SeqNaive;
+  SeqNaive.Strat = Strategy::Naive;
+  Solver Seq(*B.Prog, SeqNaive);
+  ASSERT_TRUE(Seq.solve().ok());
+
+  SolverOptions ParNaive;
+  ParNaive.Strat = Strategy::Naive;
+  ParNaive.NumThreads = 2;
+  ParallelSolver Par(*B.Prog, ParNaive);
+  ASSERT_TRUE(Par.solve().ok());
+  EXPECT_EQ(modelOf(*B.Prog, Par), modelOf(*B.Prog, Seq));
+}
+
+TEST(ParallelSolverTest, ProvenanceIsRejected) {
+  ValueFactory F;
+  Program P(F);
+  PredId E = P.relation("E", 2);
+  P.addFact(E, {F.integer(1), F.integer(2)});
+
+  SolverOptions Opts;
+  Opts.NumThreads = 2;
+  Opts.TrackProvenance = true;
+  ParallelSolver S(P, Opts);
+  SolveStats St = S.solve();
+  EXPECT_EQ(St.St, SolveStats::Status::Error);
+  EXPECT_NE(St.Error.find("provenance"), std::string::npos);
+}
+
+TEST(ParallelSolverTest, TimeoutAborts) {
+  // All-pairs shortest paths on a dense-ish graph with an (effectively)
+  // zero deadline: the solve must stop with Timeout, not run to the
+  // fixpoint.
+  WeightedGraph G = generateGraph(7, 300, 8.0, 10);
+  ValueFactory F;
+  MinCostLattice L(F);
+  Program P(F);
+  PredId Edge = P.relation("Edge", 3);
+  PredId Node = P.relation("Node", 1);
+  PredId Dist = P.lattice("Dist", 3, &L);
+  FnId Add = P.function("addCost", 2, FnRole::Transfer,
+                        [&L](std::span<const Value> A) {
+                          if (L.isInfinity(A[0]))
+                            return L.infinity();
+                          return L.addCost(A[0], A[1].asInt());
+                        });
+  RuleBuilder()
+      .head(Dist, {"s", "s", RuleBuilder::Spec(L.cost(0))})
+      .atom(Node, {"s"})
+      .addTo(P);
+  RuleBuilder()
+      .headFn(Dist, {"s", "z"}, Add, {"d", "c"})
+      .atom(Dist, {"s", "y", "d"})
+      .atom(Edge, {"y", "z", "c"})
+      .addTo(P);
+  for (int V = 0; V < G.NumNodes; ++V)
+    P.addFact(Node, {F.integer(V)});
+  for (const auto &E : G.Edges)
+    P.addFact(Edge, {F.integer(E[0]), F.integer(E[1]), F.integer(E[2])});
+
+  SolverOptions Opts;
+  Opts.NumThreads = 2;
+  Opts.TimeLimitSeconds = 1e-6;
+  ParallelSolver S(P, Opts);
+  SolveStats St = S.solve();
+  EXPECT_EQ(St.St, SolveStats::Status::Timeout);
+}
+
+TEST(ParallelSolverTest, StatsAreReported) {
+  RandomProgramOptions Opts;
+  Opts.NumRules = 6;
+  Opts.NumFacts = 6;
+  RandomProgramBundle B = generateRandomProgram(99, Opts);
+
+  SolverOptions PO;
+  PO.NumThreads = 2;
+  ParallelSolver S(*B.Prog, PO);
+  SolveStats St = S.solve();
+  ASSERT_TRUE(St.ok());
+  EXPECT_GT(St.ParallelTasks, 0u);
+  EXPECT_GT(St.Iterations, 0u);
+  EXPECT_GT(St.Seconds, 0.0);
+}
+
+TEST(ParallelSolverTest, ConcurrentSolversSharedFactory) {
+  // Several ParallelSolver instances over programs that share ONE
+  // factory, solved from concurrent host threads: exercises the
+  // lock-sharded interning path from many pools at once.
+  ValueFactory F;
+  F.enableConcurrentInterning();
+
+  constexpr int NumPrograms = 4;
+  constexpr int Chain = 24;
+  std::vector<std::unique_ptr<Program>> Programs;
+  std::vector<PredId> PathIds;
+  for (int PI = 0; PI < NumPrograms; ++PI) {
+    auto P = std::make_unique<Program>(F);
+    PredId Edge = P->relation("Edge", 2);
+    PredId Path = P->relation("Path", 2);
+    RuleBuilder().head(Path, {"x", "y"}).atom(Edge, {"x", "y"}).addTo(*P);
+    RuleBuilder()
+        .head(Path, {"x", "z"})
+        .atom(Path, {"x", "y"})
+        .atom(Edge, {"y", "z"})
+        .addTo(*P);
+    // A chain with a program-specific offset so the threads keep
+    // interning fresh integers while running.
+    for (int I = 0; I < Chain; ++I)
+      P->addFact(Edge, {F.integer(PI * 1000 + I),
+                        F.integer(PI * 1000 + I + 1)});
+    PathIds.push_back(Path);
+    Programs.push_back(std::move(P));
+  }
+
+  std::vector<size_t> PathCounts(NumPrograms, 0);
+  // Not vector<bool>: adjacent bit-packed elements would race.
+  std::vector<char> SolveOk(NumPrograms, 0);
+  std::vector<std::thread> Hosts;
+  for (int PI = 0; PI < NumPrograms; ++PI)
+    Hosts.emplace_back([&, PI] {
+      SolverOptions Opts;
+      Opts.NumThreads = 2;
+      ParallelSolver S(*Programs[PI], Opts);
+      SolveOk[PI] = S.solve().ok();
+      PathCounts[PI] = S.table(PathIds[PI]).size();
+    });
+  for (std::thread &T : Hosts)
+    T.join();
+
+  // A chain of N edges has N*(N+1)/2 transitive-closure pairs.
+  for (int PI = 0; PI < NumPrograms; ++PI) {
+    EXPECT_TRUE(SolveOk[PI]) << "program " << PI;
+    EXPECT_EQ(PathCounts[PI], static_cast<size_t>(Chain) * (Chain + 1) / 2)
+        << "program " << PI;
+  }
+}
+
+// ---- Paper case studies: parallel vs sequential ------------------------
+
+TEST(ParallelCaseStudyTest, StrongUpdateNative) {
+  PointerProgram In = generatePointerProgram(2016, 1500);
+  StrongUpdateResult Seq = runStrongUpdateFlix(In, SolverOptions());
+  ASSERT_TRUE(Seq.ok()) << Seq.Error;
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    SolverOptions Opts;
+    Opts.NumThreads = Threads;
+    StrongUpdateResult Par = runStrongUpdateFlix(In, Opts);
+    ASSERT_TRUE(Par.ok()) << Par.Error;
+    EXPECT_TRUE(Par.samePointsTo(Seq)) << "threads=" << Threads;
+  }
+}
+
+TEST(ParallelCaseStudyTest, StrongUpdateInterpretedSource) {
+  // The FLIX-source pipeline funnels every lattice operation through the
+  // interpreter; with NumThreads > 0 it runs in thread-safe mode.
+  PointerProgram In = generatePointerProgram(7, 600);
+  StrongUpdateResult Seq = runStrongUpdateFlixSource(In, SolverOptions());
+  ASSERT_TRUE(Seq.ok()) << Seq.Error;
+  SolverOptions Opts;
+  Opts.NumThreads = 2;
+  StrongUpdateResult Par = runStrongUpdateFlixSource(In, Opts);
+  ASSERT_TRUE(Par.ok()) << Par.Error;
+  EXPECT_TRUE(Par.samePointsTo(Seq));
+}
+
+TEST(ParallelCaseStudyTest, Ifds) {
+  IcfgProgram G = generateIcfg(2016, 12, 40, 120, 3);
+  IfdsProblem Prob = G.toIfdsProblem();
+  IfdsResult Imp = runIfdsImperative(Prob);
+  IfdsResult Seq = runIfdsFlix(Prob);
+  ASSERT_TRUE(Seq.Ok) << Seq.Error;
+  EXPECT_TRUE(Seq.sameResult(Imp));
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    SolverOptions Opts;
+    Opts.NumThreads = Threads;
+    IfdsResult Par = runIfdsFlix(Prob, Opts);
+    ASSERT_TRUE(Par.Ok) << Par.Error;
+    EXPECT_TRUE(Par.sameResult(Seq)) << "threads=" << Threads;
+  }
+}
+
+TEST(ParallelCaseStudyTest, Ide) {
+  IcfgProgram G = generateIcfg(99, 8, 30, 80, 3);
+  IdeProblem Prob = G.toIdeProblem();
+  IdeResult Seq = runIdeFlix(Prob);
+  ASSERT_TRUE(Seq.Ok) << Seq.Error;
+  SolverOptions Opts;
+  Opts.NumThreads = 2;
+  IdeResult Par = runIdeFlix(Prob, Opts);
+  ASSERT_TRUE(Par.Ok) << Par.Error;
+  EXPECT_EQ(Par.Values, Seq.Values);
+  EXPECT_EQ(Par.Reachable, Seq.Reachable);
+}
+
+TEST(ParallelCaseStudyTest, ShortestPaths) {
+  WeightedGraph G = generateGraph(5, 400, 4.0, 20);
+  SsspResult Ref = runDijkstra(G, 0);
+  for (unsigned Threads : {2u, 8u}) {
+    SolverOptions Opts;
+    Opts.NumThreads = Threads;
+    SsspResult Par = runShortestPathsFlix(G, 0, Opts);
+    ASSERT_TRUE(Par.Ok);
+    EXPECT_EQ(Par.Dist, Ref.Dist) << "threads=" << Threads;
+  }
+}
+
+} // namespace

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Deadline.h"
 #include "support/Diagnostics.h"
 #include "support/Hashing.h"
 #include "support/SmallVector.h"
@@ -229,4 +230,35 @@ TEST(DiagnosticsTest, ErrorsCountedWarningsNot) {
   EXPECT_FALSE(DE.hasErrors());
   DE.error(SourceLoc::invalid(), "boom");
   EXPECT_EQ(DE.numErrors(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline
+//===----------------------------------------------------------------------===//
+
+TEST(DeadlineTest, DefaultIsInactiveAndNeverExpires) {
+  Deadline D;
+  EXPECT_FALSE(D.active());
+  EXPECT_FALSE(D.expired());
+}
+
+TEST(DeadlineTest, NonPositiveSecondsMeansNoDeadline) {
+  EXPECT_FALSE(Deadline::after(0).active());
+  EXPECT_FALSE(Deadline::after(-1.5).active());
+  EXPECT_FALSE(Deadline::after(0).expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineActiveButNotExpired) {
+  Deadline D = Deadline::after(3600.0);
+  EXPECT_TRUE(D.active());
+  EXPECT_FALSE(D.expired());
+}
+
+TEST(DeadlineTest, TinyDeadlineExpires) {
+  Deadline D = Deadline::after(1e-9);
+  EXPECT_TRUE(D.active());
+  // steady_clock must advance past a nanosecond eventually.
+  while (!D.expired()) {
+  }
+  EXPECT_TRUE(D.expired());
 }

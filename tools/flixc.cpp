@@ -11,12 +11,15 @@
 //   --naive            use naive instead of semi-naive evaluation
 //   --no-index         disable automatic secondary indexes
 //   --reorder          greedily reorder rule bodies
+//   --threads <n>      solve with the parallel engine on <n> worker
+//                      threads (0 = sequential solver, the default)
 //   --time-limit <s>   abort after <s> seconds
 //   --facts <dir>      load input facts from <dir>/<Pred>.facts files
 //                      (tab-separated, one tuple per line)
 //   --dump-program     print the lowered fixpoint program and exit
 //   --print <pred>     print all tuples of one predicate (repeatable)
 //   --explain <pred>   print derivation trees for a predicate's rows
+//                      (sequential solver only)
 //   --stats            print solver statistics
 //
 // With no --print option, prints every predicate's row count and the full
@@ -28,8 +31,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "fixpoint/Solver.h"
 #include "lang/Compiler.h"
+#include "parallel/Dispatch.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +40,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 using namespace flix;
@@ -47,6 +51,8 @@ static void printUsage() {
       "  --naive            use naive instead of semi-naive evaluation\n"
       "  --no-index         disable automatic secondary indexes\n"
       "  --reorder          greedily reorder rule bodies\n"
+      "  --threads <n>      parallel engine with <n> workers (0 = "
+      "sequential)\n"
       "  --time-limit <s>   abort after <s> seconds\n"
       "  --facts <dir>      load input facts from <dir>/<Pred>.facts\n"
       "  --dump-program     print the lowered fixpoint program and exit\n"
@@ -159,7 +165,8 @@ static long loadFactsDir(FlixCompiler &C, ValueFactory &F,
   return Loaded;
 }
 
-static void printPredicate(const Program &P, const Solver &S, PredId Id) {
+template <typename SolverT>
+static void printPredicate(const Program &P, const SolverT &S, PredId Id) {
   const PredicateDecl &D = P.predicate(Id);
   const ValueFactory &F = P.factory();
   std::printf("%s (%zu rows)\n", D.Name.c_str(), S.table(Id).size());
@@ -195,6 +202,17 @@ int main(int Argc, char **Argv) {
       Opts.UseIndexes = false;
     } else if (Arg == "--reorder") {
       Opts.ReorderBody = true;
+    } else if (Arg == "--threads") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --threads needs a value\n");
+        return 1;
+      }
+      long N = std::atol(Argv[I]);
+      if (N < 0) {
+        std::fprintf(stderr, "error: --threads needs a value >= 0\n");
+        return 1;
+      }
+      Opts.NumThreads = static_cast<unsigned>(N);
     } else if (Arg == "--time-limit") {
       if (++I >= Argc) {
         std::fprintf(stderr, "error: --time-limit needs a value\n");
@@ -239,6 +257,14 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 1;
   }
+  if (Opts.NumThreads > 0 && !ExplainPreds.empty()) {
+    std::fprintf(stderr, "error: --explain requires the sequential solver; "
+                         "drop --threads or use --threads 0\n");
+    return 1;
+  }
+  if (Opts.NumThreads > 0 && Opts.Strat == Strategy::Naive)
+    std::fprintf(stderr, "warning: the parallel engine always evaluates "
+                         "semi-naively; --naive is ignored\n");
 
   std::ifstream File(InputPath);
   if (!File) {
@@ -270,68 +296,88 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  Solver S(C.program(), Opts);
-  SolveStats St = S.solve();
-  if (St.St == SolveStats::Status::Error) {
-    std::fprintf(stderr, "error: %s\n", St.Error.c_str());
-    return 1;
-  }
-  if (St.St == SolveStats::Status::Timeout)
-    std::fprintf(stderr, "warning: time limit reached; results are a "
-                         "sound under-approximation of the fixpoint\n");
-  if (C.interp().hasError()) {
-    std::fprintf(stderr, "runtime error: %s\n", C.interp().error().c_str());
-    return 1;
-  }
+  if (Opts.NumThreads > 0)
+    C.interp().enableThreadSafe();
 
-  const Program &P = C.program();
-  if (!PrintPreds.empty()) {
-    for (const std::string &Name : PrintPreds) {
-      auto Id = C.predicate(Name);
-      if (!Id) {
-        std::fprintf(stderr, "error: unknown predicate '%s'\n",
-                     Name.c_str());
-        return 1;
-      }
-      printPredicate(P, S, *Id);
-    }
-  } else {
-    for (PredId Id = 0; Id < P.predicates().size(); ++Id) {
-      if (S.table(Id).size() <= 50)
-        printPredicate(P, S, Id);
-      else
-        std::printf("%s (%zu rows, use --print %s to list)\n",
-                    P.predicate(Id).Name.c_str(), S.table(Id).size(),
-                    P.predicate(Id).Name.c_str());
-    }
-  }
-
-  for (const std::string &Name : ExplainPreds) {
-    auto Id = C.predicate(Name);
-    if (!Id) {
-      std::fprintf(stderr, "error: unknown predicate '%s'\n", Name.c_str());
+  return solveWith(C.program(), Opts, [&](const auto &S,
+                                          const SolveStats &St) -> int {
+    if (St.St == SolveStats::Status::Error) {
+      std::fprintf(stderr, "error: %s\n", St.Error.c_str());
       return 1;
     }
-    std::printf("derivations of %s:\n", Name.c_str());
-    size_t Shown = 0;
-    for (const auto &Row : S.tuples(*Id)) {
-      std::span<const Value> Key(Row.data(),
-                                 P.predicate(*Id).keyArity());
-      std::printf("%s", S.explainString(*Id, Key).c_str());
-      if (++Shown >= 20) {
-        std::printf("  ... (%zu more rows)\n", S.table(*Id).size() - Shown);
-        break;
+    if (St.St == SolveStats::Status::Timeout)
+      std::fprintf(stderr, "warning: time limit reached; results are a "
+                           "sound under-approximation of the fixpoint\n");
+    if (C.interp().hasError()) {
+      std::fprintf(stderr, "runtime error: %s\n",
+                   C.interp().error().c_str());
+      return 1;
+    }
+
+    const Program &P = C.program();
+    if (!PrintPreds.empty()) {
+      for (const std::string &Name : PrintPreds) {
+        auto Id = C.predicate(Name);
+        if (!Id) {
+          std::fprintf(stderr, "error: unknown predicate '%s'\n",
+                       Name.c_str());
+          return 1;
+        }
+        printPredicate(P, S, *Id);
+      }
+    } else {
+      for (PredId Id = 0; Id < P.predicates().size(); ++Id) {
+        if (S.table(Id).size() <= 50)
+          printPredicate(P, S, Id);
+        else
+          std::printf("%s (%zu rows, use --print %s to list)\n",
+                      P.predicate(Id).Name.c_str(), S.table(Id).size(),
+                      P.predicate(Id).Name.c_str());
       }
     }
-  }
 
-  if (Stats)
-    std::printf("\nstats: %llu iterations, %llu rule firings, %llu facts "
-                "derived, %.3f s, %.1f MB\n",
-                static_cast<unsigned long long>(St.Iterations),
-                static_cast<unsigned long long>(St.RuleFirings),
-                static_cast<unsigned long long>(St.FactsDerived),
-                St.Seconds,
-                static_cast<double>(St.MemoryBytes) / (1024.0 * 1024.0));
-  return 0;
+    // Provenance (and hence --explain) only exists on the sequential
+    // solver; --threads with --explain was rejected during parsing.
+    if constexpr (std::is_same_v<std::decay_t<decltype(S)>, Solver>) {
+      for (const std::string &Name : ExplainPreds) {
+        auto Id = C.predicate(Name);
+        if (!Id) {
+          std::fprintf(stderr, "error: unknown predicate '%s'\n",
+                       Name.c_str());
+          return 1;
+        }
+        std::printf("derivations of %s:\n", Name.c_str());
+        size_t Shown = 0;
+        for (const auto &Row : S.tuples(*Id)) {
+          std::span<const Value> Key(Row.data(),
+                                     P.predicate(*Id).keyArity());
+          std::printf("%s", S.explainString(*Id, Key).c_str());
+          if (++Shown >= 20) {
+            std::printf("  ... (%zu more rows)\n",
+                        S.table(*Id).size() - Shown);
+            break;
+          }
+        }
+      }
+    }
+
+    if (Stats) {
+      std::printf("\nstats: %llu iterations, %llu rule firings, %llu facts "
+                  "derived, %.3f s, %.1f MB\n",
+                  static_cast<unsigned long long>(St.Iterations),
+                  static_cast<unsigned long long>(St.RuleFirings),
+                  static_cast<unsigned long long>(St.FactsDerived),
+                  St.Seconds,
+                  static_cast<double>(St.MemoryBytes) /
+                      (1024.0 * 1024.0));
+      if (Opts.NumThreads > 0)
+        std::printf("parallel: %u threads, %llu tasks, %llu steals, %llu "
+                    "merge collisions\n",
+                    Opts.NumThreads,
+                    static_cast<unsigned long long>(St.ParallelTasks),
+                    static_cast<unsigned long long>(St.ParallelSteals),
+                    static_cast<unsigned long long>(St.MergeCollisions));
+    }
+    return 0;
+  });
 }
