@@ -1,0 +1,191 @@
+//===- bench/skew_fanout.cpp - Intra-rule join-parallelism ablation --------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the intra-rule spill path (DESIGN.md §11) on a deliberately
+// skewed workload: transitive closure over a star graph whose hub node
+// owns almost every edge, so each delta round funnels through one hot
+// index bucket. Driver-row chunking alone cannot split that bucket — the
+// spill threshold can. The bench sweeps worker counts and spill
+// thresholds (0 disables spilling) and reports wall time plus the new
+// SolveStats counters; every run is checked against the sequential
+// solver's model size.
+//
+// Options:
+//   --threads <csv>   worker counts to sweep (default 1,2,4,8)
+//   --spill <csv>     spill thresholds to sweep (default 0,1024)
+//   --json <file>     write one machine-readable record per run
+//
+// Environment overrides:
+//   FLIX_SKEW_FANOUT   hub out-degree             (default 5000)
+//   FLIX_SKEW_FEEDERS  nodes with an edge to the hub (default 32)
+//   FLIX_SKEW_REPS     repetitions, median reported  (default 1)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "parallel/ParallelSolver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace flix;
+using namespace flix::bench;
+
+namespace {
+
+struct SkewProgram {
+  ValueFactory F;
+  Program P{F};
+  PredId Edge, Path;
+
+  SkewProgram(int Fanout, int Feeders) {
+    Edge = P.relation("Edge", 2);
+    Path = P.relation("Path", 2);
+    RuleBuilder().head(Path, {"x", "y"}).atom(Edge, {"x", "y"}).addTo(P);
+    RuleBuilder()
+        .head(Path, {"x", "z"})
+        .atom(Path, {"x", "y"})
+        .atom(Edge, {"y", "z"})
+        .addTo(P);
+    for (int I = 1; I <= Fanout; ++I)
+      P.addFact(Edge, {F.integer(0), F.integer(I)});
+    for (int I = 0; I < Feeders; ++I)
+      P.addFact(Edge, {F.integer(1000000 + I), F.integer(0)});
+  }
+};
+
+double median(long Reps, const std::function<double()> &Run) {
+  std::vector<double> Times;
+  for (long R = 0; R < Reps; ++R)
+    Times.push_back(Run());
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Fanout = static_cast<int>(envInt("FLIX_SKEW_FANOUT", 5000));
+  int Feeders = static_cast<int>(envInt("FLIX_SKEW_FEEDERS", 32));
+  long Reps = envInt("FLIX_SKEW_REPS", 1);
+
+  std::string JsonPath;
+  std::vector<unsigned> Threads{1, 2, 4, 8};
+  std::vector<unsigned> Spills{0, 1024};
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else if (Arg == "--threads" && I + 1 < Argc) {
+      Threads.clear();
+      if (!parseThreadList(Argv[++I], Threads)) {
+        std::fprintf(stderr, "error: --threads wants e.g. 1,2,8\n");
+        return 1;
+      }
+    } else if (Arg == "--spill" && I + 1 < Argc) {
+      Spills.clear();
+      if (!parseThreadList(Argv[++I], Spills)) {
+        std::fprintf(stderr, "error: --spill wants e.g. 0,256,1024\n");
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "usage: skew_fanout [--threads <csv>] "
+                           "[--spill <csv>] [--json <file>]\n");
+      return 1;
+    }
+  }
+
+  JsonReport Json;
+  JsonReport *JsonP = JsonPath.empty() ? nullptr : &Json;
+
+  std::printf("Skewed fan-out: transitive closure, hub out-degree %d, "
+              "%d feeders (median of %ld run(s))\n\n",
+              Fanout, Feeders, Reps);
+
+  // Sequential baseline fixes the expected model size.
+  size_t ExpectedPaths;
+  double SeqTime;
+  {
+    SkewProgram W(Fanout, Feeders);
+    Solver Seq(W.P);
+    SolveStats St = Seq.solve();
+    if (!St.ok()) {
+      std::fprintf(stderr, "error: sequential baseline failed: %s\n",
+                   St.Error.c_str());
+      return 1;
+    }
+    SeqTime = St.Seconds;
+    ExpectedPaths = Seq.table(W.Path).size();
+  }
+  std::printf("sequential: %.3fs, %zu Path rows\n\n", SeqTime,
+              ExpectedPaths);
+
+  std::printf("%8s %8s | %9s %8s %10s %8s %8s\n", "threads", "spill",
+              "time(s)", "speedup", "subtasks", "fanout", "steals");
+  std::printf("--------------------------------------------------------"
+              "-------------\n");
+
+  bool AllOk = true;
+  for (unsigned T : Threads) {
+    for (unsigned Spill : Spills) {
+      SolveStats St;
+      bool Ok = true;
+      double Time = median(Reps, [&] {
+        SkewProgram W(Fanout, Feeders);
+        SolverOptions Opts;
+        Opts.NumThreads = T;
+        Opts.SpillThreshold = Spill;
+        ParallelSolver S(W.P, Opts);
+        St = S.solve();
+        Ok = St.ok() && S.table(W.Path).size() == ExpectedPaths;
+        return St.Seconds;
+      });
+      if (!Ok) {
+        std::printf("WARNING: run disagrees with sequential baseline "
+                    "(threads=%u spill=%u)!\n", T, Spill);
+        AllOk = false;
+      }
+      std::printf("%8u %8u | %9.3f %7.2fx %10llu %8llu %8llu\n", T, Spill,
+                  Time, SeqTime / std::max(Time, 1e-9),
+                  static_cast<unsigned long long>(St.SpawnedSubtasks),
+                  static_cast<unsigned long long>(St.MaxFanout),
+                  static_cast<unsigned long long>(St.ParallelSteals));
+      std::fflush(stdout);
+      if (JsonP) {
+        Json.begin();
+        Json.str("bench", "skew_fanout")
+            .integer("fanout", Fanout)
+            .integer("feeders", Feeders)
+            .integer("threads", T)
+            .integer("spill_threshold", Spill)
+            .num("seconds", Time)
+            .num("speedup", SeqTime / std::max(Time, 1e-9))
+            .integer("spawned_subtasks",
+                     static_cast<long long>(St.SpawnedSubtasks))
+            .integer("max_fanout", static_cast<long long>(St.MaxFanout))
+            .integer("index_build_tasks",
+                     static_cast<long long>(St.IndexBuildTasks))
+            .integer("parallel_steals",
+                     static_cast<long long>(St.ParallelSteals))
+            .boolean("ok", Ok);
+        Json.end();
+      }
+    }
+  }
+  std::printf("\nspill=0 disables intra-rule splitting; nonzero thresholds "
+              "split the hub bucket\ninto stealable sub-tasks "
+              "(SolveStats::SpawnedSubtasks / MaxFanout).\n");
+
+  if (JsonP && !Json.write(JsonPath)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
+  return AllOk ? 0 : 2;
+}

@@ -174,6 +174,13 @@ void runScaling(const std::vector<unsigned> &Threads, int TransferWork,
             .integer("threads", T)
             .num("seconds", Time)
             .num("speedup", Base / std::max(Time, 1e-9))
+            .integer("spawned_subtasks",
+                     static_cast<long long>(R.Stats.SpawnedSubtasks))
+            .integer("max_fanout", static_cast<long long>(R.Stats.MaxFanout))
+            .integer("index_build_tasks",
+                     static_cast<long long>(R.Stats.IndexBuildTasks))
+            .integer("parallel_steals",
+                     static_cast<long long>(R.Stats.ParallelSteals))
             .boolean("ok", R.Ok && R.sameResult(Reference));
         Json->end();
       }

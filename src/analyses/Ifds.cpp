@@ -141,6 +141,7 @@ IfdsResult flix::runIfdsFlix(const IfdsProblem &In, SolverOptions Opts) {
   return solveWith(P, Opts, [&](const auto &S, const SolveStats &St) {
     IfdsResult R;
     R.Seconds = St.Seconds;
+    R.Stats = St;
     if (!St.ok()) {
       R.Error = St.Error.empty() ? "solver did not reach a fixpoint"
                                  : St.Error;

@@ -64,6 +64,9 @@ struct IfdsResult {
   size_t NumPathEdges = 0;
   size_t NumSummaries = 0;
   double Seconds = 0;
+  /// Full engine counters of the declarative run (default-constructed for
+  /// the imperative solver) — benchmarks report SpawnedSubtasks etc.
+  SolveStats Stats;
 
   bool sameResult(const IfdsResult &O) const { return Result == O.Result; }
 };

@@ -104,6 +104,17 @@ private:
 } // namespace
 
 std::optional<std::string> Program::validate() const {
+  // Bound-column patterns are 64-bit masks, so a key arity above 63 would
+  // make `uint64_t(1) << KeyArity` undefined in both solvers and in
+  // Table::probe. Reject such predicates up front with a diagnostic
+  // instead of invoking UB at evaluation time.
+  for (const PredicateDecl &D : Preds)
+    if (D.keyArity() > 63)
+      return "predicate " + D.Name + " has key arity " +
+             std::to_string(D.keyArity()) +
+             ", but at most 63 key columns are supported (bound-column "
+             "masks are 64-bit)";
+
   for (size_t RI = 0; RI < Rules.size(); ++RI) {
     const Rule &R = Rules[RI];
     auto err = [&](const std::string &Msg) {

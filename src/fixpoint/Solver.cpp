@@ -16,7 +16,8 @@ Solver::Solver(const Program &P, SolverOptions Opts)
       RelLattice(std::make_unique<BoolLattice>(F)) {
   Tables.reserve(P.predicates().size());
   for (const PredicateDecl &D : P.predicates()) {
-    assert(D.keyArity() < 64 && "key arity limited to 63 columns");
+    // Key arity > 63 is rejected by Program::validate() at solve() start
+    // (a diagnostic, not an assert), so constructing the table is fine.
     const Lattice &L = D.isRelational() ? *RelLattice : *D.Lat;
     Tables.push_back(std::make_unique<Table>(D.keyArity(), L, F));
   }

@@ -65,6 +65,21 @@ struct SolverOptions {
   /// analyses whose externals only touch the (lock-sharded) ValueFactory
   /// leave this off.
   bool SerializeExternals = false;
+  /// Intra-rule join parallelism (parallel solver only): when one atom's
+  /// index bucket or full scan has more than this many remaining rows,
+  /// the worker splits the tail into sub-tasks pushed onto its
+  /// work-stealing deque (capturing the bound-env prefix), so a single
+  /// hot driver row no longer serializes a round. 0 disables splitting.
+  /// The default balances sub-task overhead (~1 env copy + deque push)
+  /// against steal granularity; see DESIGN.md S11.
+  uint32_t SpillThreshold = 1024;
+  /// Debug check (parallel solver only): assert that every (pred, mask)
+  /// access path the workers take via Table::probeExisting was pre-built
+  /// by the static index analysis instead of silently falling back to a
+  /// full scan. Fallbacks are always counted in
+  /// SolveStats::IndexFallbacks; with this flag set they also trip an
+  /// assert in debug builds. Meaningful only with UseIndexes.
+  bool StrictIndexCoverage = false;
 };
 
 /// Why a cell holds its value: the rule that last increased it and the
@@ -96,6 +111,15 @@ struct SolveStats {
   uint64_t ParallelTasks = 0;   ///< (rule, driver, chunk) tasks executed
   uint64_t ParallelSteals = 0;  ///< tasks obtained by work stealing
   uint64_t MergeCollisions = 0; ///< ⊔-compactions of same-key derivations
+  uint64_t SpawnedSubtasks = 0; ///< intra-rule sub-tasks split off by
+                                ///< workers (SolverOptions::SpillThreshold)
+  uint64_t MaxFanout = 0;       ///< largest number of sub-tasks one split
+                                ///< produced (hot-row fan-out indicator)
+  uint64_t IndexBuildTasks = 0; ///< pool tasks used to pre-build static
+                                ///< indexes (partial scans + merges)
+  uint64_t IndexFallbacks = 0;  ///< probeExisting misses that fell back to
+                                ///< a full scan (0 when the static index
+                                ///< analysis covers every access path)
 
   bool ok() const { return St == Status::Fixpoint; }
 };

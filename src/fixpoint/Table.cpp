@@ -14,6 +14,23 @@ using namespace flix;
 
 const std::vector<uint32_t> Table::EmptyBucket;
 
+// Estimated heap bytes of one map node of a bucket map (hash-map node
+// header + key + vector object). Bucket *payload* is charged separately
+// from vector capacity, so this only covers the fixed per-bucket part.
+static constexpr size_t BucketNodeBytes =
+    sizeof(Value) + sizeof(std::vector<uint32_t>) + 16;
+
+void Table::Index::add(Value Proj, uint32_t Id) {
+  auto [It, Inserted] = Buckets.try_emplace(Proj);
+  if (Inserted)
+    Bytes += BucketNodeBytes;
+  std::vector<uint32_t> &B = It->second;
+  size_t OldCap = B.capacity();
+  B.push_back(Id);
+  if (B.capacity() != OldCap)
+    Bytes += (B.capacity() - OldCap) * sizeof(uint32_t);
+}
+
 Table::JoinResult Table::join(Value KeyTuple, Value LatVal) {
   auto It = Primary.find(KeyTuple);
   if (It != Primary.end()) {
@@ -34,10 +51,8 @@ Table::JoinResult Table::join(Value KeyTuple, Value LatVal) {
   Primary.emplace(KeyTuple, Id);
   // Keep existing secondary indexes in sync.
   std::span<const Value> KeyElems = F.tupleElems(KeyTuple);
-  for (Index &Ix : Indexes) {
-    Ix.Buckets[projectKey(KeyElems, Ix.Mask)].push_back(Id);
-    IndexBytes += sizeof(uint32_t) + 8;
-  }
+  for (Index &Ix : Indexes)
+    Ix.add(projectKey(KeyElems, Ix.Mask), Id);
   return {Id, true};
 }
 
@@ -60,24 +75,71 @@ Value Table::projectKey(std::span<const Value> KeyElems,
   return F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
 }
 
-Table::Index &Table::ensureIndex(uint64_t Mask) {
+Table::Index *Table::findIndex(uint64_t Mask) {
   for (Index &Ix : Indexes)
     if (Ix.Mask == Mask)
-      return Ix;
-  Indexes.push_back(Index{Mask, {}});
+      return &Ix;
+  return nullptr;
+}
+
+Table::Index &Table::ensureIndex(uint64_t Mask) {
+  if (Index *Ix = findIndex(Mask))
+    return *Ix;
+  Indexes.push_back(Index{Mask, {}, 0});
   Index &Ix = Indexes.back();
-  for (uint32_t Id = 0; Id < Rows.size(); ++Id) {
-    Ix.Buckets[projectKey(F.tupleElems(Rows[Id].Key), Mask)].push_back(Id);
-    IndexBytes += sizeof(uint32_t) + 8;
-  }
+  for (uint32_t Id = 0; Id < Rows.size(); ++Id)
+    Ix.add(projectKey(F.tupleElems(Rows[Id].Key), Mask), Id);
   return Ix;
+}
+
+void Table::buildPartialIndex(uint64_t Mask, uint32_t Begin, uint32_t End,
+                              PartialIndex &Out) const {
+  assert(End <= Rows.size());
+  for (uint32_t Id = Begin; Id < End; ++Id)
+    Out[projectKey(F.tupleElems(Rows[Id].Key), Mask)].push_back(Id);
+}
+
+void Table::reserveIndexSlots(std::span<const uint64_t> Masks) {
+  for (uint64_t Mask : Masks)
+    if (!findIndex(Mask))
+      Indexes.push_back(Index{Mask, {}, 0});
+}
+
+void Table::buildIndexFromPartials(uint64_t Mask,
+                                   std::span<PartialIndex> Parts) {
+  Index *Ix = findIndex(Mask);
+  assert(Ix && "slot must be pre-created with reserveIndexSlots");
+  assert(Ix->Buckets.empty() && "index already built");
+  // Size the bucket map once: the union's bucket count is at most the sum
+  // of the partials' (and usually close to the largest partial's).
+  size_t KeyEstimate = 0;
+  for (const PartialIndex &P : Parts)
+    KeyEstimate += P.size();
+  Ix->Buckets.reserve(KeyEstimate);
+  // Partials are ordered by row range and each partial's buckets hold
+  // ascending ids, so appending in partial order keeps every merged
+  // bucket ascending — the same layout ensureIndex produces.
+  for (PartialIndex &P : Parts) {
+    for (auto &[Proj, Ids] : P) {
+      auto [It, Inserted] = Ix->Buckets.try_emplace(Proj);
+      if (Inserted)
+        Ix->Bytes += BucketNodeBytes;
+      std::vector<uint32_t> &B = It->second;
+      size_t OldCap = B.capacity();
+      B.insert(B.end(), Ids.begin(), Ids.end());
+      if (B.capacity() != OldCap)
+        Ix->Bytes += (B.capacity() - OldCap) * sizeof(uint32_t);
+    }
+  }
 }
 
 const std::vector<uint32_t> &Table::probe(uint64_t BoundMask,
                                           Value ProjTuple) {
   assert(BoundMask != 0 && "use a full scan for unbound probes");
-  assert(BoundMask != (KeyArity >= 64 ? ~uint64_t(0)
-                                      : (uint64_t(1) << KeyArity) - 1) &&
+  // Mirrors the solvers' Full computation; KeyArity > 63 never reaches a
+  // probe (rejected by Program::validate), so the shift is defined.
+  assert(KeyArity <= 63 && "unindexable key arity must be rejected earlier");
+  assert(BoundMask != (KeyArity == 0 ? 0 : (uint64_t(1) << KeyArity) - 1) &&
          "use the primary map for fully bound probes");
   Index &Ix = ensureIndex(BoundMask);
   auto It = Ix.Buckets.find(ProjTuple);
@@ -98,8 +160,10 @@ const std::vector<uint32_t> *Table::probeExisting(uint64_t BoundMask,
 size_t Table::memoryBytes() const {
   size_t Bytes = Rows.capacity() * sizeof(Row);
   Bytes += Primary.size() * (sizeof(Value) + sizeof(uint32_t) + 16);
-  Bytes += IndexBytes;
-  for (const Index &Ix : Indexes)
-    Bytes += Ix.Buckets.size() * (sizeof(Value) + 16);
+  for (const Index &Ix : Indexes) {
+    Bytes += Ix.Bytes;
+    // Hash-table array of the bucket map itself.
+    Bytes += Ix.Buckets.bucket_count() * sizeof(void *);
+  }
   return Bytes;
 }

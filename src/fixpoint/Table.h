@@ -38,7 +38,10 @@ public:
   };
 
   /// \p KeyArity key columns; \p Lat is the lattice of the value column
-  /// (the BoolLattice for relational predicates).
+  /// (the BoolLattice for relational predicates). Key arities above 63
+  /// cannot be indexed (bound-column masks are 64-bit); Program::validate
+  /// rejects such predicates before any solver evaluates them, so a Table
+  /// with KeyArity > 63 may be constructed but never probed or joined.
   Table(unsigned KeyArity, const Lattice &Lat, ValueFactory &F)
       : KeyArity(KeyArity), Lat(Lat), F(F) {}
 
@@ -93,24 +96,56 @@ public:
   /// already exists); used by index hints.
   void prepareIndex(uint64_t BoundMask) { ensureIndex(BoundMask); }
 
+  /// One worker's partial secondary index over a contiguous row range:
+  /// projected bound-column tuple → ids of the range's matching rows, in
+  /// ascending order.
+  using PartialIndex = std::unordered_map<Value, std::vector<uint32_t>>;
+
+  /// Scans rows [\p Begin, \p End) and appends each row id to the bucket
+  /// of its \p Mask projection in \p Out. Read-only on the table, so any
+  /// number of threads may build partials of the same table concurrently
+  /// (with a concurrent-mode ValueFactory for the projection tuples).
+  void buildPartialIndex(uint64_t Mask, uint32_t Begin, uint32_t End,
+                         PartialIndex &Out) const;
+
+  /// Pre-creates empty index slots for \p Masks (skipping ones that
+  /// already exist) WITHOUT scanning any rows, so that one concurrent
+  /// buildIndexFromPartials call per mask can later fill them while only
+  /// touching its own Index object.
+  void reserveIndexSlots(std::span<const uint64_t> Masks);
+
+  /// Installs the secondary index for \p Mask by concatenating per-range
+  /// partial buckets (\p Parts ordered by row range, as produced by
+  /// buildPartialIndex over a partition of [0, size())). The slot must
+  /// have been created by reserveIndexSlots and still be empty. Calls for
+  /// distinct masks of the same table may run concurrently: each touches
+  /// only its own pre-created Index object.
+  void buildIndexFromPartials(uint64_t Mask, std::span<PartialIndex> Parts);
+
   /// Number of secondary indexes created so far (for stats/tests).
   size_t numIndexes() const { return Indexes.size(); }
 
-  /// Approximate heap bytes used by rows and indexes.
+  /// Approximate heap bytes used by rows and indexes. Index cost is
+  /// tracked at bucket-vector granularity including unused capacity from
+  /// growth, so the estimate no longer drifts low as buckets grow.
   size_t memoryBytes() const;
 
 private:
   struct Index {
     uint64_t Mask;
     std::unordered_map<Value, std::vector<uint32_t>> Buckets;
+    /// Capacity-aware byte estimate of this index's buckets (vector
+    /// capacity + per-bucket map-node overhead), maintained by add().
+    size_t Bytes = 0;
+
+    /// Appends \p Id to the bucket of \p Proj, keeping Bytes in sync with
+    /// actual vector capacity growth.
+    void add(Value Proj, uint32_t Id);
   };
 
   Value projectKey(std::span<const Value> KeyElems, uint64_t Mask) const;
   Index &ensureIndex(uint64_t Mask);
-
-  /// Incrementally maintained index-entry byte estimate, so memoryBytes()
-  /// is O(1) instead of walking every bucket.
-  size_t IndexBytes = 0;
+  Index *findIndex(uint64_t Mask);
 
   unsigned KeyArity;
   const Lattice &Lat;

@@ -55,6 +55,14 @@ struct CellKeyHash {
   }
 };
 
+// Deque payload encoding. Payloads below SpawnPayloadBit index the
+// coordinator's preloaded Tasks vector; payloads with the bit set name a
+// sub-task spawned mid-phase: (spawning worker << SpawnWorkerShift) |
+// arena slot.
+constexpr size_t SpawnPayloadBit = size_t(1) << 63;
+constexpr unsigned SpawnWorkerShift = 40;
+constexpr size_t SpawnSlotMask = (size_t(1) << SpawnWorkerShift) - 1;
+
 } // namespace
 
 /// Per-worker evaluation state. Mirrors the sequential Solver's rule
@@ -64,12 +72,92 @@ struct CellKeyHash {
 /// instead of joined in place, and the abort check consults a shared
 /// atomic flag so one worker's timeout stops all of them.
 struct ParallelSolver::WorkerCtx {
+  /// A captured continuation of one in-flight rule evaluation: re-run the
+  /// scan at Order position Pos over row range [Begin, End) — ids from
+  /// *Rows (an index bucket, immutable during the phase) or, when Rows is
+  /// null, raw table ids — under the bound-env prefix (Env, Bound) that
+  /// was live when the owning worker decided to split. The evaluation
+  /// Order is not stored: it is a pure function of (RuleIdx, Driver), so
+  /// the executor rebuilds it exactly as runTask does.
+  struct SubTask {
+    uint32_t RuleIdx;
+    int32_t Driver;
+    uint32_t Pos;
+    const std::vector<uint32_t> *Rows;
+    uint32_t Begin, End;
+    std::vector<Value> Env;
+    std::vector<uint8_t> Bound;
+  };
+
+  /// Per-worker storage for spawned sub-tasks, published to thieves one
+  /// atomic slot at a time. The owner fills a SubTask (reusing last
+  /// phase's objects, so Env capacity survives), then release-stores its
+  /// pointer into Slots[N] *before* pushing the payload onto the deque;
+  /// an executor acquire-loads the slot, spinning past the (theoretical)
+  /// window in which the deque handed over the payload but the slot store
+  /// is not yet visible — the Chase–Lev buffer only synchronizes the
+  /// payload value itself, not the pointee. Slots are reset by the
+  /// coordinator between phases (a happens-before edge via the pool's
+  /// phase mutex), so reuse across phases is race-free. alloc() returning
+  /// null (capacity exhausted) makes the caller fall back to inline
+  /// iteration — spilling is an optimization, never a correctness need.
+  struct SpawnArena {
+    static constexpr size_t Capacity = size_t(1) << 16;
+
+    std::unique_ptr<std::atomic<SubTask *>[]> Slots; ///< lazily allocated
+    std::vector<std::unique_ptr<SubTask>> Owned;     ///< owner-only
+    size_t Filled = 0; ///< owner-only: slots filled this phase
+
+    /// Owner: next sub-task object to fill, or nullptr when the arena is
+    /// full. Does not publish.
+    SubTask *alloc() {
+      if (Filled == Capacity)
+        return nullptr;
+      if (!Slots) {
+        Slots.reset(new std::atomic<SubTask *>[Capacity]);
+        for (size_t I = 0; I < Capacity; ++I)
+          Slots[I].store(nullptr, std::memory_order_relaxed);
+      }
+      if (Filled == Owned.size())
+        Owned.push_back(std::make_unique<SubTask>());
+      return Owned[Filled].get();
+    }
+
+    /// Owner: publishes the filled sub-task, returning its slot index.
+    size_t publish(SubTask *T) {
+      Slots[Filled].store(T, std::memory_order_release);
+      return Filled++;
+    }
+
+    /// Executor (any worker): the sub-task at \p Slot.
+    const SubTask &get(size_t Slot) const {
+      SubTask *T;
+      while (!(T = Slots[Slot].load(std::memory_order_acquire)))
+        std::this_thread::yield(); // publish store racing into view
+      return *T;
+    }
+
+    /// Coordinator, between phases: recycle. Only the filled prefix needs
+    /// nulling, so cost tracks actual spawn volume.
+    void reset() {
+      for (size_t I = 0; I < Filled; ++I)
+        Slots[I].store(nullptr, std::memory_order_relaxed);
+      Filled = 0;
+    }
+  };
+
   ParallelSolver &S;
   unsigned Id;
 
   std::vector<Value> Env;
   std::vector<uint8_t> Bound;
   const Task *Cur = nullptr;
+  /// Rule/driver of the evaluation in flight (set by both runTask and
+  /// runSpawned), from which spawned continuations rebuild their Order.
+  uint32_t CurRuleIdx = 0;
+  int32_t CurDriver = -1;
+
+  SpawnArena Arena;
 
   /// Buffered derivations, pre-sharded by hash(pred, key) so the merge
   /// phase can compact each shard without cross-shard synchronization.
@@ -79,6 +167,9 @@ struct ParallelSolver::WorkerCtx {
   uint64_t RuleFirings = 0;
   uint64_t FactsDerived = 0;
   uint64_t MergeCollisions = 0;
+  uint64_t SpawnedSubtasks = 0;
+  uint64_t MaxFanout = 0;
+  uint64_t IndexFallbacks = 0;
 
   WorkerCtx(ParallelSolver &S, unsigned Id) : S(S), Id(Id) {
     Buffers.resize(NumMergeShards);
@@ -104,6 +195,9 @@ struct ParallelSolver::WorkerCtx {
   }
 
   void runTask(const Task &T);
+  void runSpawned(const SubTask &T);
+  uint32_t trySpill(size_t Pos, const std::vector<uint32_t> *Rows,
+                    uint32_t Begin, uint32_t End);
   void evalElems(const Rule &R, std::span<const BodyElem *const> Order,
                  size_t Pos);
   void evalAtom(const Rule &R, const BodyAtom &A,
@@ -115,22 +209,105 @@ struct ParallelSolver::WorkerCtx {
   void joinPred(PredId Pred);
 };
 
+// The driver-first evaluation Order for rule \p R; must stay in lockstep
+// with the simulation in computeWantedIndexes(), and is the contract that
+// lets SubTasks carry only (RuleIdx, Driver) instead of the Order itself.
+static void buildOrder(const Rule &R, int32_t Driver,
+                       SmallVector<const BodyElem *, 8> &Order) {
+  if (Driver >= 0)
+    Order.push_back(&R.Body[Driver]);
+  for (size_t I = 0; I < R.Body.size(); ++I)
+    if (static_cast<int>(I) != Driver)
+      Order.push_back(&R.Body[I]);
+}
+
 void ParallelSolver::WorkerCtx::runTask(const Task &T) {
   const Rule &R = S.Prepared[T.RuleIdx];
   Env.assign(R.NumVars, Value());
   Bound.assign(R.NumVars, 0);
 
   SmallVector<const BodyElem *, 8> Order;
-  if (T.Driver >= 0)
-    Order.push_back(&R.Body[T.Driver]);
-  for (size_t I = 0; I < R.Body.size(); ++I)
-    if (static_cast<int>(I) != T.Driver)
-      Order.push_back(&R.Body[I]);
+  buildOrder(R, T.Driver, Order);
 
   Cur = &T;
+  CurRuleIdx = T.RuleIdx;
+  CurDriver = T.Driver;
   evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
             0);
   Cur = nullptr;
+}
+
+// Executes a spawned continuation: restore the captured env prefix and
+// resume the split scan at its Order position. Runs on whichever worker
+// took or stole the payload.
+void ParallelSolver::WorkerCtx::runSpawned(const SubTask &T) {
+  const Rule &R = S.Prepared[T.RuleIdx];
+  Env = T.Env;
+  Bound = T.Bound;
+
+  SmallVector<const BodyElem *, 8> Order;
+  buildOrder(R, T.Driver, Order);
+  std::span<const BodyElem *const> OrderView(Order.data(), Order.size());
+  const auto &A = std::get<BodyAtom>(*Order[T.Pos]);
+
+  // Cur stays null: the driver branch of evalAtom is unreachable from
+  // here (continuations resume at matchAtomRow, so every deeper evalAtom
+  // sees Pos > T.Pos >= 0 or a null Cur).
+  CurRuleIdx = T.RuleIdx;
+  CurDriver = T.Driver;
+  if (T.Rows) {
+    for (uint32_t I = trySpill(T.Pos, T.Rows, T.Begin, T.End); I != T.End;
+         ++I) {
+      if (checkAbort())
+        return;
+      matchAtomRow(R, A, (*T.Rows)[I], OrderView, T.Pos);
+    }
+  } else {
+    for (uint32_t Id = trySpill(T.Pos, nullptr, T.Begin, T.End); Id != T.End;
+         ++Id) {
+      if (checkAbort())
+        return;
+      matchAtomRow(R, A, Id, OrderView, T.Pos);
+    }
+  }
+}
+
+// Splits the scan [Begin, End) at Order position \p Pos into spawned
+// sub-tasks of SpillThreshold rows each, keeping the tail inline.
+// Returns the start of the inline remainder (== Begin when the range is
+// below the threshold, spilling is disabled, or the arena is full).
+uint32_t ParallelSolver::WorkerCtx::trySpill(size_t Pos,
+                                             const std::vector<uint32_t> *Rows,
+                                             uint32_t Begin, uint32_t End) {
+  uint32_t Thresh = S.Opts.SpillThreshold;
+  if (Thresh == 0)
+    return Begin;
+  // No point fanning out work that will only observe the abort flag.
+  if (S.AbortFlag.load(std::memory_order_relaxed))
+    return Begin;
+  uint64_t Fanout = 0;
+  uint32_t B = Begin;
+  while (End - B > Thresh) {
+    SubTask *T = Arena.alloc();
+    if (!T)
+      break; // arena full; iterate the rest inline
+    T->RuleIdx = CurRuleIdx;
+    T->Driver = CurDriver;
+    T->Pos = static_cast<uint32_t>(Pos);
+    T->Rows = Rows;
+    T->Begin = B;
+    T->End = B + Thresh;
+    T->Env = Env;
+    T->Bound = Bound;
+    size_t Slot = Arena.publish(T);
+    S.Pool->spawn(Id, SpawnPayloadBit |
+                          (size_t(Id) << SpawnWorkerShift) | Slot);
+    ++SpawnedSubtasks;
+    ++Fanout;
+    B += Thresh;
+  }
+  MaxFanout = std::max(MaxFanout, Fanout);
+  return B;
 }
 
 void ParallelSolver::WorkerCtx::evalElems(
@@ -229,8 +406,9 @@ void ParallelSolver::WorkerCtx::evalAtom(
     return;
   }
 
-  // Driver atom: iterate this task's chunk of the driver rows.
-  if (Pos == 0 && Cur->Driver >= 0) {
+  // Driver atom: iterate this task's chunk of the driver rows. (Cur is
+  // null in spawned continuations, which never re-enter position 0.)
+  if (Pos == 0 && Cur && Cur->Driver >= 0) {
     const std::vector<uint32_t> &Rows = *Cur->Rows;
     for (uint32_t I = Cur->Begin; I != Cur->End; ++I) {
       if (checkAbort())
@@ -269,20 +447,29 @@ void ParallelSolver::WorkerCtx::evalAtom(
     Value ProjT = S.F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
     // Unlike the sequential solver there is no need to copy the bucket:
     // tables are immutable during an eval phase, so the bucket cannot grow
-    // under us.
+    // under us — which also makes it a stable target for spawned
+    // sub-tasks covering its tail.
     if (const std::vector<uint32_t> *Bucket = T.probeExisting(Mask, ProjT)) {
-      for (uint32_t Id : *Bucket) {
+      uint32_t End = static_cast<uint32_t>(Bucket->size());
+      for (uint32_t I = trySpill(Pos, Bucket, 0, End); I != End; ++I) {
         if (checkAbort())
           return;
-        matchAtomRow(R, A, Id, Order, Pos);
+        matchAtomRow(R, A, (*Bucket)[I], Order, Pos);
       }
       return;
     }
-    // No index for this mask (should not happen for statically analyzable
-    // orders); fall through to a full scan.
+    // No index for this mask: the static analysis in
+    // computeWantedIndexes() missed an access path. Count the fallback
+    // (SolveStats::IndexFallbacks) and scan; StrictIndexCoverage turns
+    // this into a hard failure in debug builds.
+    ++IndexFallbacks;
+    assert(!S.Opts.StrictIndexCoverage &&
+           "probeExisting miss: (pred, mask) not pre-built by the static "
+           "index analysis");
   }
 
-  for (uint32_t Id = 0, E = static_cast<uint32_t>(T.size()); Id != E; ++Id) {
+  uint32_t End = static_cast<uint32_t>(T.size());
+  for (uint32_t Id = trySpill(Pos, nullptr, 0, End); Id != End; ++Id) {
     if (checkAbort())
       return;
     matchAtomRow(R, A, Id, Order, Pos);
@@ -386,8 +573,14 @@ void ParallelSolver::WorkerCtx::deriveHead(const Rule &R) {
 void ParallelSolver::WorkerCtx::compactShard(size_t Sh) {
   std::vector<Deriv> &Out = S.CompactedShards[Sh];
   std::unordered_map<CellKey, size_t, CellKeyHash> Cells;
+  uint64_t Seen = 0;
   for (const std::unique_ptr<WorkerCtx> &W : S.Workers) {
     for (const Deriv &D : W->Buffers[Sh]) {
+      // A timed-out run's model is discarded, so aborting mid-merge is
+      // safe; without this check a derivation-heavy round could overshoot
+      // the deadline by the whole merge.
+      if ((++Seen & 0x3FF) == 0 && checkAbort())
+        return;
       auto [It, IsNew] = Cells.try_emplace(CellKey{D.Pred, D.Key},
                                            Out.size());
       if (IsNew) {
@@ -407,7 +600,10 @@ void ParallelSolver::WorkerCtx::compactShard(size_t Sh) {
 void ParallelSolver::WorkerCtx::joinPred(PredId Pred) {
   Table &T = *S.Tables[Pred];
   std::vector<uint32_t> &ND = S.NextDelta[Pred];
+  uint64_t Seen = 0;
   for (const Deriv &D : S.PendingByPred[Pred]) {
+    if ((++Seen & 0x3FF) == 0 && checkAbort())
+      break; // partial joins are fine: the run reports Timeout
     Table::JoinResult JR = T.join(D.Key, D.Lat);
     if (JR.Changed) {
       ++FactsDerived;
@@ -429,7 +625,8 @@ ParallelSolver::ParallelSolver(const Program &P, SolverOptions Opts)
       NumWorkers(std::max(1u, Opts.NumThreads)) {
   Tables.reserve(P.predicates().size());
   for (const PredicateDecl &D : P.predicates()) {
-    assert(D.keyArity() < 64 && "key arity limited to 63 columns");
+    // Key arity > 63 is rejected by Program::validate() at solve() start
+    // (a diagnostic, not an assert), so constructing the table is fine.
     const Lattice &L = D.isRelational() ? *RelLattice : *D.Lat;
     Tables.push_back(std::make_unique<Table>(D.keyArity(), L, F));
   }
@@ -441,7 +638,8 @@ ParallelSolver::ParallelSolver(const Program &P, SolverOptions Opts)
   AllRows.resize(P.predicates().size());
   PendingByPred.resize(P.predicates().size());
   CompactedShards.resize(NumMergeShards);
-  prepareStaticIndexes();
+  // Static indexes are built pool-parallel inside solve(), after fact
+  // loading — the tables are still empty here.
   Pool = std::make_unique<ThreadPool>(NumWorkers);
   Workers.reserve(NumWorkers);
   for (unsigned W = 0; W < NumWorkers; ++W)
@@ -454,12 +652,13 @@ ParallelSolver::~ParallelSolver() = default;
 /// index they could profit from must exist before the first eval phase.
 /// With the fixed driver-first body order, the set of bound variables at
 /// each atom position is statically known — simulate every (rule, driver)
-/// order once and pre-build the resulting (pred, mask) indexes. The
+/// order once and collect the resulting (pred, mask) pairs. The
 /// sequential solver instead builds these same indexes lazily on first
 /// probe.
-void ParallelSolver::prepareStaticIndexes() {
+std::vector<std::pair<PredId, uint64_t>>
+ParallelSolver::computeWantedIndexes() const {
   if (!Opts.UseIndexes)
-    return;
+    return {};
   std::set<std::pair<PredId, uint64_t>> Wanted;
   for (const Rule &R : Prepared) {
     SmallVector<int, 8> Drivers;
@@ -506,10 +705,84 @@ void ParallelSolver::prepareStaticIndexes() {
       }
     }
   }
-  for (auto [Pred, Mask] : Wanted)
-    Tables[Pred]->prepareIndex(Mask);
   for (auto [Pred, Mask] : P.indexHints())
-    Tables[Pred]->prepareIndex(Mask);
+    Wanted.insert({Pred, Mask});
+  return {Wanted.begin(), Wanted.end()};
+}
+
+/// Builds the wanted indexes through the pool in two phases: (1) one task
+/// per (pred, row-chunk) scans its chunk once and fills per-mask partial
+/// buckets; (2) one task per (pred, mask) concatenates that mask's
+/// partials (ordered by row range, so buckets stay ascending) into the
+/// pre-created Index slot. Distinct (pred, mask) merges touch disjoint
+/// Index objects, so phase 2 needs no locking; empty tables only get
+/// their (empty) slots, which Table::join then maintains incrementally as
+/// rows arrive from merge phases.
+void ParallelSolver::buildStaticIndexes() {
+  std::vector<std::pair<PredId, uint64_t>> Wanted = computeWantedIndexes();
+  if (Wanted.empty())
+    return;
+
+  struct BuildJob {
+    PredId Pred;
+    std::vector<uint64_t> Masks;
+    uint32_t NumChunks, ChunkSize;
+    /// Partials[MaskIdx][Chunk]; rows [Chunk*ChunkSize, ...+ChunkSize).
+    std::vector<std::vector<Table::PartialIndex>> Partials;
+  };
+  std::vector<BuildJob> Jobs;
+  for (size_t I = 0; I < Wanted.size();) {
+    PredId Pred = Wanted[I].first;
+    BuildJob J{Pred, {}, 0, 0, {}};
+    for (; I < Wanted.size() && Wanted[I].first == Pred; ++I)
+      J.Masks.push_back(Wanted[I].second);
+    Tables[Pred]->reserveIndexSlots(
+        std::span<const uint64_t>(J.Masks.data(), J.Masks.size()));
+    uint32_t NumRows = static_cast<uint32_t>(Tables[Pred]->size());
+    if (NumRows == 0)
+      continue; // slots exist; nothing to scan
+    // One chunk per worker unless the table is too small to amortize the
+    // per-task overhead.
+    constexpr uint32_t MinChunk = 1024;
+    J.NumChunks = std::min<uint32_t>(
+        NumWorkers, std::max<uint32_t>(1, NumRows / MinChunk));
+    J.ChunkSize = (NumRows + J.NumChunks - 1) / J.NumChunks;
+    J.Partials.assign(J.Masks.size(),
+                      std::vector<Table::PartialIndex>(J.NumChunks));
+    Jobs.push_back(std::move(J));
+  }
+
+  // Phase 1: (job, chunk) scan tasks.
+  std::vector<std::pair<uint32_t, uint32_t>> Scans;
+  for (uint32_t JI = 0; JI < Jobs.size(); ++JI)
+    for (uint32_t C = 0; C < Jobs[JI].NumChunks; ++C)
+      Scans.push_back({JI, C});
+  Pool->run(Scans.size(), [&](size_t I, unsigned) {
+    auto [JI, C] = Scans[I];
+    BuildJob &J = Jobs[JI];
+    const Table &T = *Tables[J.Pred];
+    uint32_t Begin = C * J.ChunkSize;
+    uint32_t End = std::min<uint32_t>(Begin + J.ChunkSize,
+                                      static_cast<uint32_t>(T.size()));
+    for (size_t M = 0; M < J.Masks.size(); ++M)
+      T.buildPartialIndex(J.Masks[M], Begin, End, J.Partials[M][C]);
+  });
+
+  // Phase 2: (job, mask) merge tasks.
+  std::vector<std::pair<uint32_t, uint32_t>> Merges;
+  for (uint32_t JI = 0; JI < Jobs.size(); ++JI)
+    for (uint32_t M = 0; M < Jobs[JI].Masks.size(); ++M)
+      Merges.push_back({JI, M});
+  Pool->run(Merges.size(), [&](size_t I, unsigned) {
+    auto [JI, M] = Merges[I];
+    BuildJob &J = Jobs[JI];
+    Tables[J.Pred]->buildIndexFromPartials(
+        J.Masks[M],
+        std::span<Table::PartialIndex>(J.Partials[M].data(),
+                                       J.Partials[M].size()));
+  });
+
+  Stats.IndexBuildTasks += Scans.size() + Merges.size();
 }
 
 void ParallelSolver::buildRound0Tasks(const std::vector<uint32_t> &RuleIds) {
@@ -563,8 +836,21 @@ void ParallelSolver::addChunkedTasks(uint32_t RuleIdx, int32_t Driver,
 
 void ParallelSolver::runEvalPhase() {
   Stats.ParallelTasks += Tasks.size();
-  Pool->run(Tasks.size(),
-            [this](size_t I, unsigned W) { Workers[W]->runTask(Tasks[I]); });
+  // Recycle the spawn arenas (coordinator-only; the pool's phase mutex
+  // publishes the reset to the workers).
+  for (const std::unique_ptr<WorkerCtx> &W : Workers)
+    W->Arena.reset();
+  Pool->run(Tasks.size(), [this](size_t Payload, unsigned W) {
+    if (Payload & SpawnPayloadBit) {
+      unsigned Owner =
+          static_cast<unsigned>((Payload & ~SpawnPayloadBit) >>
+                                SpawnWorkerShift);
+      Workers[W]->runSpawned(
+          Workers[Owner]->Arena.get(Payload & SpawnSlotMask));
+    } else {
+      Workers[W]->runTask(Tasks[Payload]);
+    }
+  });
 }
 
 void ParallelSolver::runMergePhase() {
@@ -605,7 +891,11 @@ SolveStats ParallelSolver::solve() {
       Stats.RuleFirings += W->RuleFirings;
       Stats.FactsDerived += W->FactsDerived;
       Stats.MergeCollisions += W->MergeCollisions;
+      Stats.SpawnedSubtasks += W->SpawnedSubtasks;
+      Stats.MaxFanout = std::max(Stats.MaxFanout, W->MaxFanout);
+      Stats.IndexFallbacks += W->IndexFallbacks;
       W->RuleFirings = W->FactsDerived = W->MergeCollisions = 0;
+      W->SpawnedSubtasks = W->MaxFanout = W->IndexFallbacks = 0;
     }
     Stats.ParallelSteals = Pool->steals();
     Stats.Seconds =
@@ -649,6 +939,10 @@ SolveStats ParallelSolver::solve() {
         F.tuple(std::span<const Value>(Fa.Key.data(), Fa.Key.size()));
     Tables[Fa.Pred]->join(KeyT, Fa.LatValue);
   }
+
+  // Fact loading above ran with no secondary indexes to maintain; build
+  // them all now, in parallel through the pool.
+  buildStaticIndexes();
 
   // Note: Strategy::Naive is answered with semi-naive evaluation — the
   // minimal model is identical (the naive strategy exists only as a

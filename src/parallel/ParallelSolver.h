@@ -19,7 +19,13 @@
 ///      work-stealing ThreadPool. Workers evaluate rule bodies against the
 ///      tables as an immutable snapshot (read-only probes, no in-place
 ///      update) and accumulate derivations (PredId, key, lattice value)
-///      in thread-local buffers, pre-sharded by hash(pred, key).
+///      in thread-local buffers, pre-sharded by hash(pred, key). When one
+///      atom's index bucket or full scan exceeds
+///      SolverOptions::SpillThreshold rows, the worker captures its
+///      bound-env prefix into a *sub-task* continuation and spawns the
+///      tail onto its deque, so a single hot driver row's fan-out is
+///      itself stolen and split across workers (intra-rule parallelism;
+///      counted in SolveStats::SpawnedSubtasks / MaxFanout).
 ///   2. *Merge phase.* A barrier, then two parallel sub-phases: per-shard
 ///      ⊔-compaction of same-cell derivations (counted as MergeCollisions),
 ///      followed by per-predicate joins into the head tables, producing
@@ -102,7 +108,15 @@ private:
 
   struct WorkerCtx;
 
-  void prepareStaticIndexes();
+  /// Simulates every (rule, driver) evaluation order to collect the
+  /// (pred, mask) access paths the workers will probe (plus index hints).
+  std::vector<std::pair<PredId, uint64_t>> computeWantedIndexes() const;
+  /// Pre-builds those indexes through the pool: per-(pred, row-chunk)
+  /// partial scans, then per-(pred, mask) merges via
+  /// Table::buildIndexFromPartials. Runs in solve() after fact loading
+  /// (the tables are empty before that), replacing the old sequential
+  /// constructor-time build.
+  void buildStaticIndexes();
   void buildRound0Tasks(const std::vector<uint32_t> &RuleIds);
   void buildDeltaTasks(const std::vector<uint32_t> &RuleIds);
   void addChunkedTasks(uint32_t RuleIdx, int32_t Driver,

@@ -6,20 +6,24 @@
 ///
 /// \file
 /// A fixed-size pool of worker threads executing *phases* of tasks with
-/// Chase–Lev-style work-stealing deques. The coordinator preloads each
-/// worker's deque with a contiguous slice of the phase's task indices and
-/// releases the workers; each worker pops from the bottom of its own
-/// deque (LIFO) and, when empty, steals from the top of a victim's deque
-/// (FIFO) with a CAS on the top cursor — the Chase–Lev protocol.
+/// Chase–Lev work-stealing deques. The coordinator preloads each worker's
+/// deque with a contiguous slice of the phase's task payloads and releases
+/// the workers; each worker pops from the bottom of its own deque (LIFO)
+/// and, when empty, steals from the top of a victim's deque (FIFO) with a
+/// CAS on the top cursor — the Chase–Lev protocol.
 ///
-/// Two simplifications relative to the full Chase–Lev deque, both enabled
-/// by the fixpoint engine's round structure (all of a round's tasks are
-/// known before the round starts and no task spawns further tasks):
-/// the buffer never grows concurrently, so there is no circular-array
-/// republication, and top never wraps, so there is no ABA hazard. What
-/// remains is the owner-bottom / thief-top discipline with its seq_cst
-/// fence race resolution, which is the part that matters for scalability:
-/// the owner's hot path never executes an atomic RMW.
+/// Tasks may spawn further tasks mid-phase through spawn(): the executing
+/// worker pushes the new payload onto the bottom of its own deque, where
+/// idle workers can steal it. This is what lets the fixpoint engine split
+/// a single hot join fan-out across workers (intra-rule parallelism)
+/// instead of serializing it on one worker. Because the owner can now push
+/// during a phase, the deque uses the full Chase–Lev circular-array
+/// discipline: a power-of-two ring of relaxed-atomic slots that is grown
+/// by publishing a copied, doubled buffer; retired buffers are kept alive
+/// until the next phase so a racing thief never reads freed memory. Top
+/// still never wraps within a phase (it is reset between phases), so there
+/// is no ABA hazard, and the owner's hot path never executes an atomic
+/// RMW except on the last element.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -38,7 +43,9 @@ namespace flix {
 
 /// A persistent pool of \p NumWorkers threads executing one phase of
 /// tasks at a time. Not itself thread-safe: one coordinator thread calls
-/// run(); the pool may be reused for any number of phases.
+/// run(); the pool may be reused for any number of phases. spawn() is the
+/// one member that worker threads may call, and only from inside the
+/// phase function on their own worker index.
 class ThreadPool {
 public:
   explicit ThreadPool(unsigned NumWorkers);
@@ -51,31 +58,61 @@ public:
   /// into the Workers vector.
   unsigned numWorkers() const { return static_cast<unsigned>(Deques.size()); }
 
-  /// Executes Fn(TaskIndex, WorkerIndex) for every TaskIndex in
-  /// [0, NumTasks), distributed over the workers with work stealing.
-  /// Blocks the calling thread until every task has finished; the
-  /// happens-before edges run through the phase start/finish latches, so
-  /// non-atomic state written by tasks is visible to the coordinator (and
-  /// to all tasks of subsequent phases) without further synchronization.
+  /// Executes Fn(Payload, WorkerIndex) for every payload in [0, NumTasks),
+  /// plus any payloads spawned mid-phase, distributed over the workers
+  /// with work stealing. Blocks the calling thread until every task
+  /// (including spawned ones) has finished; the happens-before edges run
+  /// through the phase start/finish latches, so non-atomic state written
+  /// by tasks is visible to the coordinator (and to all tasks of
+  /// subsequent phases) without further synchronization.
   void run(size_t NumTasks, const std::function<void(size_t, unsigned)> &Fn);
+
+  /// Enqueues a dynamically spawned task payload onto worker \p Me's own
+  /// deque. May only be called from inside the phase function, by the
+  /// worker currently executing as index \p Me; the payload is passed to
+  /// the same phase function when it runs (possibly on another worker).
+  void spawn(unsigned Me, size_t Payload);
 
   /// Total tasks obtained by stealing (rather than from the thief's own
   /// deque) since construction.
   uint64_t steals() const;
 
 private:
-  /// Chase–Lev-style deque over the phase's task indices. The owner works
-  /// [Top, Bottom) from the bottom; thieves CAS Top upward. Tasks holds
-  /// the phase-global task indices and is written only between phases.
+  /// Chase–Lev deque over task payloads. The owner works [Top, Bottom)
+  /// from the bottom and may push at the bottom mid-phase; thieves CAS
+  /// Top upward. Slots are relaxed atomics inside a circular buffer that
+  /// the owner grows by publishing a doubled copy (Le et al., "Correct
+  /// and Efficient Work-Stealing for Weak Memory Models").
   struct alignas(64) Deque {
+    struct Buffer {
+      explicit Buffer(size_t Cap)
+          : Capacity(Cap), Slots(new std::atomic<size_t>[Cap]) {}
+      size_t get(int64_t I) const {
+        return Slots[static_cast<size_t>(I) & (Capacity - 1)].load(
+            std::memory_order_relaxed);
+      }
+      void put(int64_t I, size_t V) {
+        Slots[static_cast<size_t>(I) & (Capacity - 1)].store(
+            V, std::memory_order_relaxed);
+      }
+      const size_t Capacity; ///< power of two
+      std::unique_ptr<std::atomic<size_t>[]> Slots;
+    };
+
     std::atomic<int64_t> Top{0};
     std::atomic<int64_t> Bottom{0};
-    std::vector<size_t> Tasks;
+    /// Current buffer, loaded by thieves; Buffers owns it plus any
+    /// buffers retired by mid-phase growth (freed between phases, when
+    /// no thief can hold a stale pointer).
+    std::atomic<Buffer *> Buf{nullptr};
+    std::vector<std::unique_ptr<Buffer>> Buffers;
     uint64_t Steals = 0; ///< owner-private steal counter
 
     static constexpr size_t Empty = SIZE_MAX;
     size_t take();
     size_t steal();
+    void push(size_t Payload);
+    Buffer *grow(Buffer *Old, int64_t T, int64_t B);
   };
 
   void workerMain(unsigned Me);
@@ -84,8 +121,9 @@ private:
   std::vector<std::thread> Workers;
 
   // Phase control. Generation is bumped (under Mu) to release workers;
-  // Remaining counts unexecuted tasks; Active counts workers still inside
-  // the phase. The coordinator waits for Active == 0.
+  // Remaining counts unexecuted tasks (including spawned ones); Active
+  // counts workers still inside the phase. The coordinator waits for
+  // Active == 0.
   std::mutex Mu;
   std::condition_variable WakeWorkers;
   std::condition_variable PhaseDone;

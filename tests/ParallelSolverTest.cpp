@@ -75,9 +75,13 @@ TEST_P(ParallelSeedTest, MatchesSequentialAtAllThreadCounts) {
   for (unsigned Threads : {1u, 2u, 8u}) {
     SolverOptions PO;
     PO.NumThreads = Threads;
+    // Every (pred, mask) the workers probe must have been pre-built by
+    // the static index analysis — trip the debug assert if not.
+    PO.StrictIndexCoverage = true;
     ParallelSolver Par(*B.Prog, PO);
     SolveStats St = Par.solve();
     ASSERT_TRUE(St.ok()) << St.Error;
+    EXPECT_EQ(St.IndexFallbacks, 0u) << "threads=" << Threads;
     EXPECT_EQ(modelOf(*B.Prog, Par), Expected)
         << "threads=" << Threads << "\nprogram:\n"
         << B.Prog->dump();
@@ -215,6 +219,158 @@ TEST(ParallelSolverTest, TimeoutAborts) {
   ParallelSolver S(P, Opts);
   SolveStats St = S.solve();
   EXPECT_EQ(St.St, SolveStats::Status::Timeout);
+}
+
+/// Transitive closure over a star graph: hub node 0 has \p Fanout
+/// outgoing edges plus a few feeder nodes pointing at it, so delta rounds
+/// funnel through one hot Edge bucket — the skew the intra-rule spill
+/// path exists to break up.
+struct SkewedWorkload {
+  ValueFactory F;
+  Program P{F};
+  PredId Edge, Path;
+
+  explicit SkewedWorkload(int Fanout) {
+    Edge = P.relation("Edge", 2);
+    Path = P.relation("Path", 2);
+    RuleBuilder().head(Path, {"x", "y"}).atom(Edge, {"x", "y"}).addTo(P);
+    RuleBuilder()
+        .head(Path, {"x", "z"})
+        .atom(Path, {"x", "y"})
+        .atom(Edge, {"y", "z"})
+        .addTo(P);
+    for (int I = 1; I <= Fanout; ++I)
+      P.addFact(Edge, {F.integer(0), F.integer(I)});
+    for (int Feeder = 0; Feeder < 4; ++Feeder)
+      P.addFact(Edge, {F.integer(1000 + Feeder), F.integer(0)});
+  }
+};
+
+TEST(ParallelSolverTest, SkewedWorkloadSpawnsSubtasksAndMatchesSequential) {
+  constexpr int Fanout = 400;
+  SkewedWorkload W(Fanout);
+
+  Solver Seq(W.P);
+  ASSERT_TRUE(Seq.solve().ok());
+  Interpretation Expected = modelOf(W.P, Seq);
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    SolverOptions PO;
+    PO.NumThreads = Threads;
+    PO.SpillThreshold = 16; // force splitting on the hub bucket
+    PO.StrictIndexCoverage = true;
+    ParallelSolver Par(W.P, PO);
+    SolveStats St = Par.solve();
+    ASSERT_TRUE(St.ok()) << St.Error;
+    // The hub bucket (Fanout rows, threshold 16) must have been split.
+    EXPECT_GT(St.SpawnedSubtasks, 0u) << "threads=" << Threads;
+    EXPECT_GE(St.MaxFanout, 2u) << "threads=" << Threads;
+    EXPECT_EQ(St.IndexFallbacks, 0u) << "threads=" << Threads;
+    EXPECT_EQ(modelOf(W.P, Par), Expected) << "threads=" << Threads;
+  }
+}
+
+TEST(ParallelSolverTest, SpillThresholdSweepSameModel) {
+  SkewedWorkload W(200);
+  Solver Seq(W.P);
+  ASSERT_TRUE(Seq.solve().ok());
+  Interpretation Expected = modelOf(W.P, Seq);
+
+  for (uint32_t Thresh : {0u, 4u, 64u, 1024u}) {
+    SolverOptions PO;
+    PO.NumThreads = 2;
+    PO.SpillThreshold = Thresh;
+    ParallelSolver Par(W.P, PO);
+    SolveStats St = Par.solve();
+    ASSERT_TRUE(St.ok()) << St.Error;
+    if (Thresh == 0) {
+      EXPECT_EQ(St.SpawnedSubtasks, 0u) << "spilling disabled";
+    }
+    EXPECT_EQ(modelOf(W.P, Par), Expected) << "threshold=" << Thresh;
+  }
+}
+
+TEST(ParallelSolverTest, SingleRowFanoutBombTimesOut) {
+  // One driver row whose body explodes into a Cartesian product of
+  // 300^3 = 27M matches. Abort checks run per match (not per driver
+  // row), so the solve must stop near the deadline at every thread
+  // count instead of grinding through the product (regression for the
+  // timeout-overshoot bug).
+  constexpr int N = 300;
+  ValueFactory F;
+  Program P(F);
+  PredId S = P.relation("S", 1);
+  PredId A = P.relation("A", 1);
+  PredId B = P.relation("B", 1);
+  PredId C = P.relation("C", 1);
+  PredId Bomb = P.relation("Bomb", 3);
+  RuleBuilder()
+      .head(Bomb, {"x", "y", "z"})
+      .atom(S, {"w"})
+      .atom(A, {"x"})
+      .atom(B, {"y"})
+      .atom(C, {"z"})
+      .addTo(P);
+  P.addFact(S, {F.integer(0)});
+  for (int I = 0; I < N; ++I) {
+    P.addFact(A, {F.integer(I)});
+    P.addFact(B, {F.integer(I)});
+    P.addFact(C, {F.integer(I)});
+  }
+
+  for (unsigned Threads : {1u, 8u}) {
+    SolverOptions Opts;
+    Opts.NumThreads = Threads;
+    Opts.TimeLimitSeconds = 0.05;
+    Opts.SpillThreshold = 64; // also cover abort inside spawned sub-tasks
+    ParallelSolver Sol(P, Opts);
+    SolveStats St = Sol.solve();
+    EXPECT_EQ(St.St, SolveStats::Status::Timeout) << "threads=" << Threads;
+    // Tolerance is generous (sanitizer builds are slow), but far below
+    // the full product's run time.
+    EXPECT_LT(St.Seconds, 5.0) << "threads=" << Threads;
+    EXPECT_LT(St.RuleFirings, uint64_t(N) * N * N) << "threads=" << Threads;
+  }
+}
+
+TEST(ParallelSolverTest, KeyArity64RejectedWithDiagnostic) {
+  // 64 key columns would shift a uint64_t by 64 in the bound-mask
+  // computation (UB); both solvers must reject the program at solve()
+  // with a diagnostic instead (regression for the mask-overflow bug).
+  ValueFactory F;
+  Program P(F);
+  P.relation("Wide", 64);
+
+  SolverOptions PO;
+  PO.NumThreads = 2;
+  ParallelSolver Par(P, PO);
+  SolveStats St = Par.solve();
+  EXPECT_EQ(St.St, SolveStats::Status::Error);
+  EXPECT_NE(St.Error.find("Wide"), std::string::npos);
+  EXPECT_NE(St.Error.find("key arity 64"), std::string::npos);
+
+  Solver Seq(P);
+  SolveStats SeqSt = Seq.solve();
+  EXPECT_EQ(SeqSt.St, SolveStats::Status::Error);
+  EXPECT_NE(SeqSt.Error.find("key arity 64"), std::string::npos);
+}
+
+TEST(ParallelSolverTest, IndexPrebuildRunsThroughPool) {
+  // Edge has rows before the first eval phase, so the static (pred,
+  // mask) indexes must be built by pool tasks (partial scans + merges),
+  // not sequentially — visible as IndexBuildTasks in the stats.
+  SkewedWorkload W(300);
+  SolverOptions PO;
+  PO.NumThreads = 4;
+  PO.StrictIndexCoverage = true;
+  ParallelSolver S(W.P, PO);
+  SolveStats St = S.solve();
+  ASSERT_TRUE(St.ok()) << St.Error;
+  EXPECT_GT(St.IndexBuildTasks, 0u);
+  EXPECT_EQ(St.IndexFallbacks, 0u);
+  // Both rules' non-driver atoms probe partially bound patterns.
+  EXPECT_GE(S.table(W.Edge).numIndexes(), 1u);
+  EXPECT_GE(S.table(W.Path).numIndexes(), 1u);
 }
 
 TEST(ParallelSolverTest, StatsAreReported) {

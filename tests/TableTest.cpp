@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace flix;
 
 namespace {
@@ -105,6 +107,62 @@ TEST_F(TableTest, MemoryAccountingGrows) {
     T.join(key(I, I), L.odd());
   T.probe(0b01, F.tuple({F.integer(0)}));
   EXPECT_GT(T.memoryBytes(), Before);
+}
+
+TEST_F(TableTest, MemoryAccountingCoversBucketCapacity) {
+  // All rows share key column 0, so the mask-0b01 index is one bucket of
+  // N ids. The old flat per-entry estimate ignored the bucket vector's
+  // geometric capacity growth; the fix accounts capacity, so the reported
+  // index memory must bound the payload bytes from below and stay within
+  // a small constant factor of them from above.
+  constexpr int N = 4096;
+  Table T(2, L, F);
+  for (int I = 0; I < N; ++I)
+    T.join(key(7, I), L.odd());
+  size_t RowsOnly = T.memoryBytes();
+  T.probe(0b01, F.tuple({F.integer(7)}));
+  size_t WithIndex = T.memoryBytes();
+  size_t IndexBytes = WithIndex - RowsOnly;
+  // Lower bound: the ids actually stored (capacity >= size).
+  EXPECT_GE(IndexBytes, N * sizeof(uint32_t));
+  // Upper bound: capacity of a doubling vector is < 2x size; node and
+  // map overhead for a single bucket is small. 4x payload is generous.
+  EXPECT_LE(IndexBytes, 4u * N * sizeof(uint32_t));
+}
+
+TEST_F(TableTest, BuildIndexFromPartialsMatchesIncrementalIndex) {
+  // The pool-parallel build path (partial scans + merge) must produce the
+  // same buckets, in the same ascending-id order, as the incremental
+  // ensureIndex path — probeExisting on one must equal probe on the other.
+  constexpr int N = 100;
+  Table Inc(2, L, F), Par(2, L, F);
+  for (int I = 0; I < N; ++I) {
+    Inc.join(key(I % 7, I), L.odd());
+    Par.join(key(I % 7, I), L.odd());
+  }
+
+  uint64_t Mask = 0b01;
+  std::vector<Table::PartialIndex> Parts(3);
+  uint32_t Chunk = (N + 2) / 3;
+  for (uint32_t C = 0; C < 3; ++C)
+    Par.buildPartialIndex(Mask, C * Chunk,
+                          std::min<uint32_t>((C + 1) * Chunk, N), Parts[C]);
+  Par.reserveIndexSlots(std::span<const uint64_t>(&Mask, 1));
+  EXPECT_EQ(Par.numIndexes(), 1u);
+  Par.buildIndexFromPartials(
+      Mask, std::span<Table::PartialIndex>(Parts.data(), Parts.size()));
+
+  for (int A = 0; A < 7; ++A) {
+    Value Proj = F.tuple({F.integer(A)});
+    const std::vector<uint32_t> *B = Par.probeExisting(Mask, Proj);
+    ASSERT_NE(B, nullptr);
+    EXPECT_EQ(*B, Inc.probe(Mask, Proj)) << "column value " << A;
+    EXPECT_TRUE(std::is_sorted(B->begin(), B->end()));
+  }
+  // New rows keep flowing into the merged index afterwards.
+  Par.join(key(3, 999), L.odd());
+  EXPECT_EQ(Par.probeExisting(Mask, F.tuple({F.integer(3)}))->back(),
+            static_cast<uint32_t>(N));
 }
 
 TEST_F(TableTest, RelationalTableViaBoolLattice) {
@@ -233,6 +291,27 @@ TEST(ProgramValidateTest, DetectsRoleMisuse) {
   auto Err = P.validate();
   ASSERT_TRUE(Err.has_value());
   EXPECT_NE(Err->find("not declared Filter"), std::string::npos);
+}
+
+TEST(ProgramValidateTest, RejectsKeyArityAbove63) {
+  // 64 key columns would make `uint64_t(1) << KeyArity` UB in the
+  // solvers' bound-mask computation; validate() must reject the program
+  // with a diagnostic instead (regression for the mask-overflow bug).
+  ValueFactory F;
+  Program P(F);
+  P.relation("Wide", 64);
+  auto Err = P.validate();
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("Wide"), std::string::npos);
+  EXPECT_NE(Err->find("key arity 64"), std::string::npos);
+  EXPECT_NE(Err->find("63"), std::string::npos);
+}
+
+TEST(ProgramValidateTest, KeyArity63IsAccepted) {
+  ValueFactory F;
+  Program P(F);
+  P.relation("JustFits", 63);
+  EXPECT_FALSE(P.validate().has_value());
 }
 
 TEST(ProgramValidateTest, DetectsArityMismatch) {

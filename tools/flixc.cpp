@@ -372,11 +372,15 @@ int main(int Argc, char **Argv) {
                       (1024.0 * 1024.0));
       if (Opts.NumThreads > 0)
         std::printf("parallel: %u threads, %llu tasks, %llu steals, %llu "
-                    "merge collisions\n",
+                    "merge collisions, %llu spawned subtasks (max fanout "
+                    "%llu), %llu index-build tasks\n",
                     Opts.NumThreads,
                     static_cast<unsigned long long>(St.ParallelTasks),
                     static_cast<unsigned long long>(St.ParallelSteals),
-                    static_cast<unsigned long long>(St.MergeCollisions));
+                    static_cast<unsigned long long>(St.MergeCollisions),
+                    static_cast<unsigned long long>(St.SpawnedSubtasks),
+                    static_cast<unsigned long long>(St.MaxFanout),
+                    static_cast<unsigned long long>(St.IndexBuildTasks));
     }
     return 0;
   });
