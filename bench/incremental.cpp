@@ -1,0 +1,403 @@
+//===- bench/incremental.cpp - Incremental-vs-scratch update cost ----------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the incremental evaluation subsystem (DESIGN.md §12) against a
+// from-scratch solve on two workloads:
+//
+//   * graph   — single-source shortest paths over MinCostLattice on the
+//               seeded random digraphs (GraphWorkload); each delta
+//               retracts K random edges and inserts K fresh ones, hitting
+//               both DRed over-delete/re-derive and insertion resumption.
+//   * icfg    — gen/kill reachability over a generated interprocedural
+//               CFG (IcfgWorkload); deltas rewire Cfg edges. Kill is
+//               negated in the program but never mutated, so the updates
+//               stay on the incremental path.
+//
+// Two sweeps per workload:
+//
+//   * delta sweep — fixed database, delta sizes 1..64: update cost should
+//     track the delta (and the cone it touches), not the database.
+//   * db sweep    — fixed delta (4 pairs), database scaled 4x-16x: the
+//     incremental/scratch gap should *widen* with database size.
+//
+// Every measured update is differentially checked: a from-scratch
+// sequential solve of the final fact set must be per-cell lattice-equal
+// to the incremental solver's tables (the JSON records carry model_ok).
+//
+// Options:
+//   --json <file>   write one machine-readable record per measured update
+//
+// Environment overrides:
+//   FLIX_INC_REPS         updates measured per configuration (default 5)
+//   FLIX_INC_GRAPH_NODES  graph nodes for the delta sweep (default 1500)
+//   FLIX_INC_ICFG_PROCS   ICFG procedures for the delta sweep (default 24)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "incremental/IncrementalSolver.h"
+#include "runtime/Lattices.h"
+#include "workload/GraphWorkload.h"
+#include "workload/IcfgWorkload.h"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace flix;
+using namespace flix::bench;
+
+namespace {
+
+double now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-predicate key -> lattice value of live rows; both solvers share a
+/// ValueFactory so handles compare directly.
+using Model = std::vector<std::unordered_map<Value, Value>>;
+
+template <typename SolverT> Model modelOf(const Program &P, const SolverT &S) {
+  Model M(P.predicates().size());
+  for (PredId Pr = 0; Pr < P.predicates().size(); ++Pr) {
+    const Table &T = S.table(Pr);
+    for (const Table::Row &R : T.rows())
+      if (!(R.Lat == T.botValue()))
+        M[Pr].emplace(R.Key, R.Lat);
+  }
+  return M;
+}
+
+bool sameModel(const Model &A, const Model &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t Pr = 0; Pr < A.size(); ++Pr) {
+    if (A[Pr].size() != B[Pr].size())
+      return false;
+    for (const auto &[K, V] : A[Pr]) {
+      auto It = B[Pr].find(K);
+      if (It == B[Pr].end() || !(It->second == V))
+        return false;
+    }
+  }
+  return true;
+}
+
+/// One measured update: staged mutations already applied to the case's
+/// fact set, incremental update() timed, then a from-scratch solve of the
+/// same final fact set timed and compared.
+struct Sample {
+  UpdateStats U;
+  double ScratchSeconds = 0;
+  size_t DbFacts = 0;
+  bool ModelOk = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Workload: shortest paths (lattice)
+//===----------------------------------------------------------------------===//
+
+struct GraphCase {
+  ValueFactory F;
+  MinCostLattice L{F};
+  PredId Edge = 0, Dist = 0;
+  FnId Add = 0;
+  std::set<std::array<int, 3>> Edges;
+  int NumNodes = 0;
+
+  Program build() {
+    Program P(F);
+    Edge = P.relation("Edge", 3);
+    Dist = P.lattice("Dist", 2, &L);
+    Add = P.function("addCost", 2, FnRole::Transfer,
+                     [this](std::span<const Value> A) {
+                       return L.addCost(A[0], A[1].asInt());
+                     });
+    RuleBuilder()
+        .headFn(Dist, {rv("y")}, Add, {rv("d"), rv("c")})
+        .atom(Dist, {"x", "d"})
+        .atom(Edge, {"x", "y", "c"})
+        .addTo(P);
+    P.addLatFact(Dist, {F.integer(0)}, L.cost(0));
+    for (auto [A, B, W] : Edges)
+      P.addFact(Edge, {F.integer(A), F.integer(B), F.integer(W)});
+    return P;
+  }
+
+  void seed(uint64_t Seed, int Nodes) {
+    NumNodes = Nodes;
+    WeightedGraph G = generateGraph(Seed, Nodes, 4.0, 9);
+    Edges.clear();
+    for (auto [A, B, W] : G.Edges)
+      Edges.insert({A, B, W});
+  }
+
+  /// Stages a balanced delta: K retracts of random present edges and K
+  /// inserts of fresh ones, mirrored into Edges.
+  void stageDelta(IncrementalSolver &IS, std::mt19937_64 &Rng, int K) {
+    for (int I = 0; I < K && !Edges.empty(); ++I) {
+      auto It = Edges.begin();
+      std::advance(It, Rng() % Edges.size());
+      IS.retractFact(Edge, {F.integer((*It)[0]), F.integer((*It)[1]),
+                            F.integer((*It)[2])});
+      Edges.erase(It);
+    }
+    for (int I = 0; I < K; ++I) {
+      std::array<int, 3> E = {int(Rng() % NumNodes), int(Rng() % NumNodes),
+                              int(1 + Rng() % 9)};
+      if (!Edges.insert(E).second)
+        continue;
+      IS.addFact(Edge, {F.integer(E[0]), F.integer(E[1]), F.integer(E[2])});
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Workload: ICFG gen/kill reachability (relational, negation present)
+//===----------------------------------------------------------------------===//
+
+struct IcfgCase {
+  ValueFactory F;
+  PredId Cfg = 0, Gen = 0, Kill = 0, Reach = 0;
+  std::set<std::pair<int, int>> CfgE, GenE, KillE;
+  int NumNodes = 0, NumFacts = 0;
+
+  Program build() {
+    Program P(F);
+    Cfg = P.relation("Cfg", 2);
+    Gen = P.relation("Gen", 2);
+    Kill = P.relation("Kill", 2);
+    Reach = P.relation("Reach", 2);
+    RuleBuilder().head(Reach, {"n", "d"}).atom(Gen, {"n", "d"}).addTo(P);
+    RuleBuilder()
+        .head(Reach, {"m", "d"})
+        .atom(Reach, {"n", "d"})
+        .atom(Cfg, {"n", "m"})
+        .negated(Kill, {"m", "d"})
+        .addTo(P);
+    for (auto [A, B] : CfgE)
+      P.addFact(Cfg, {F.integer(A), F.integer(B)});
+    for (auto [N, D] : GenE)
+      P.addFact(Gen, {F.integer(N), F.integer(D)});
+    for (auto [N, D] : KillE)
+      P.addFact(Kill, {F.integer(N), F.integer(D)});
+    return P;
+  }
+
+  void seed(uint64_t Seed, int Procs) {
+    IcfgProgram I = generateIcfg(Seed, Procs, 14, 2 * Procs, 3);
+    NumNodes = I.NumNodes;
+    NumFacts = I.NumFacts;
+    CfgE.clear();
+    GenE.clear();
+    KillE.clear();
+    for (auto [A, B] : I.CfgEdges)
+      CfgE.insert({A, B});
+    for (int N = 0; N < I.NumNodes; ++N) {
+      for (int D : I.Flows[N].Gen)
+        GenE.insert({N, D});
+      for (int D : I.Flows[N].Kill)
+        KillE.insert({N, D});
+    }
+  }
+
+  void stageDelta(IncrementalSolver &IS, std::mt19937_64 &Rng, int K) {
+    for (int I = 0; I < K && !CfgE.empty(); ++I) {
+      auto It = CfgE.begin();
+      std::advance(It, Rng() % CfgE.size());
+      IS.retractFact(Cfg, {F.integer(It->first), F.integer(It->second)});
+      CfgE.erase(It);
+    }
+    for (int I = 0; I < K; ++I) {
+      std::pair<int, int> E = {int(Rng() % NumNodes), int(Rng() % NumNodes)};
+      if (!CfgE.insert(E).second)
+        continue;
+      IS.addFact(Cfg, {F.integer(E.first), F.integer(E.second)});
+    }
+  }
+};
+
+/// Runs Reps measured updates of size Delta against the case, returning
+/// averaged seconds (incremental and scratch) plus the summed counters.
+template <typename Case>
+Sample measure(Case &C, IncrementalSolver &IS, std::mt19937_64 &Rng,
+               int Delta, long Reps) {
+  Sample Avg;
+  for (long R = 0; R < Reps; ++R) {
+    C.stageDelta(IS, Rng, Delta);
+    UpdateStats U = IS.update();
+    if (!U.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", U.Error.c_str());
+      std::exit(1);
+    }
+    Avg.U.Seconds += U.Seconds;
+    Avg.U.FactsAdded += U.FactsAdded;
+    Avg.U.FactsRetracted += U.FactsRetracted;
+    Avg.U.CellsDeleted += U.CellsDeleted;
+    Avg.U.CellsRederived += U.CellsRederived;
+    Avg.U.FactsDerived += U.FactsDerived;
+    Avg.U.RuleFirings += U.RuleFirings;
+    Avg.U.FullResolve = Avg.U.FullResolve || U.FullResolve;
+  }
+  // One from-scratch solve of the final fact set, timed and compared.
+  Program SP = C.build();
+  Avg.DbFacts = SP.facts().size();
+  Solver SS(SP);
+  double T0 = now();
+  SolveStats St = SS.solve();
+  Avg.ScratchSeconds = now() - T0;
+  if (!St.ok()) {
+    std::fprintf(stderr, "scratch solve failed: %s\n", St.Error.c_str());
+    std::exit(1);
+  }
+  Avg.ModelOk = sameModel(modelOf(SP, IS), modelOf(SP, SS));
+  Avg.U.Seconds /= static_cast<double>(Reps);
+  return Avg;
+}
+
+void printRow(const char *Workload, const char *Sweep, size_t DbFacts,
+              int Delta, const Sample &S) {
+  double Speedup =
+      S.U.Seconds > 0 ? S.ScratchSeconds / S.U.Seconds : 0.0;
+  std::printf("%-6s %-6s %8zu %6d %12.6f %12.6f %8.1fx %8llu %8llu %s\n",
+              Workload, Sweep, DbFacts, Delta, S.U.Seconds,
+              S.ScratchSeconds, Speedup,
+              static_cast<unsigned long long>(S.U.CellsDeleted),
+              static_cast<unsigned long long>(S.U.CellsRederived),
+              S.ModelOk ? "ok" : "MISMATCH");
+}
+
+void record(JsonReport &Json, const char *Workload, const char *Sweep,
+            size_t DbFacts, int Delta, const Sample &S) {
+  Json.begin();
+  Json.str("workload", Workload)
+      .str("sweep", Sweep)
+      .integer("db_facts", static_cast<long long>(DbFacts))
+      .integer("delta_size", Delta)
+      .num("incremental_seconds", S.U.Seconds)
+      .num("scratch_seconds", S.ScratchSeconds)
+      .num("speedup",
+           S.U.Seconds > 0 ? S.ScratchSeconds / S.U.Seconds : 0.0)
+      .integer("cells_deleted", static_cast<long long>(S.U.CellsDeleted))
+      .integer("cells_rederived",
+               static_cast<long long>(S.U.CellsRederived))
+      .integer("facts_derived", static_cast<long long>(S.U.FactsDerived))
+      .integer("rule_firings", static_cast<long long>(S.U.RuleFirings))
+      .boolean("full_resolve", S.U.FullResolve)
+      .boolean("model_ok", S.ModelOk);
+  Json.end();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  long Reps = envInt("FLIX_INC_REPS", 5);
+  int GraphNodes = static_cast<int>(envInt("FLIX_INC_GRAPH_NODES", 1500));
+  int IcfgProcs = static_cast<int>(envInt("FLIX_INC_ICFG_PROCS", 24));
+
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: incremental [--json <file>]\n");
+      return 2;
+    }
+  }
+
+  JsonReport Json;
+  bool AllOk = true;
+  std::printf("incremental update vs from-scratch solve (avg of %ld "
+              "updates per row)\n",
+              Reps);
+  std::printf("%-6s %-6s %8s %6s %12s %12s %9s %8s %8s %s\n", "wkld",
+              "sweep", "facts", "delta", "inc-s", "scratch-s", "speedup",
+              "deleted", "rederiv", "check");
+
+  const int DeltaSweep[] = {1, 4, 16, 64};
+
+  // Graph: delta sweep at a fixed database.
+  {
+    GraphCase C;
+    C.seed(0x5eed, GraphNodes);
+    Program P = C.build();
+    IncrementalSolver IS(P);
+    if (!IS.update().ok())
+      return 1;
+    std::mt19937_64 Rng(7);
+    for (int Delta : DeltaSweep) {
+      Sample S = measure(C, IS, Rng, Delta, Reps);
+      printRow("graph", "delta", S.DbFacts, Delta, S);
+      record(Json, "graph", "delta", S.DbFacts, Delta, S);
+      AllOk = AllOk && S.ModelOk;
+    }
+  }
+
+  // Graph: database sweep at a fixed delta.
+  for (int Nodes : {GraphNodes / 4, GraphNodes / 2, GraphNodes,
+                    GraphNodes * 2}) {
+    GraphCase C;
+    C.seed(0xabcd + static_cast<uint64_t>(Nodes), Nodes);
+    Program P = C.build();
+    IncrementalSolver IS(P);
+    if (!IS.update().ok())
+      return 1;
+    std::mt19937_64 Rng(11);
+    Sample S = measure(C, IS, Rng, 4, Reps);
+    printRow("graph", "db", S.DbFacts, 4, S);
+    record(Json, "graph", "db", S.DbFacts, 4, S);
+    AllOk = AllOk && S.ModelOk;
+  }
+
+  // ICFG: delta sweep at a fixed database.
+  {
+    IcfgCase C;
+    C.seed(0x1cf6, IcfgProcs);
+    Program P = C.build();
+    IncrementalSolver IS(P);
+    if (!IS.update().ok())
+      return 1;
+    std::mt19937_64 Rng(17);
+    for (int Delta : DeltaSweep) {
+      Sample S = measure(C, IS, Rng, Delta, Reps);
+      printRow("icfg", "delta", S.DbFacts, Delta, S);
+      record(Json, "icfg", "delta", S.DbFacts, Delta, S);
+      AllOk = AllOk && S.ModelOk;
+    }
+  }
+
+  // ICFG: database sweep at a fixed delta.
+  for (int Procs :
+       {IcfgProcs / 4, IcfgProcs / 2, IcfgProcs, IcfgProcs * 2}) {
+    IcfgCase C;
+    C.seed(0x2cf6 + static_cast<uint64_t>(Procs), Procs);
+    Program P = C.build();
+    IncrementalSolver IS(P);
+    if (!IS.update().ok())
+      return 1;
+    std::mt19937_64 Rng(19);
+    Sample S = measure(C, IS, Rng, 4, Reps);
+    printRow("icfg", "db", S.DbFacts, 4, S);
+    record(Json, "icfg", "db", S.DbFacts, 4, S);
+    AllOk = AllOk && S.ModelOk;
+  }
+
+  if (!JsonPath.empty() && !Json.write(JsonPath))
+    std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+  if (!AllOk) {
+    std::fprintf(stderr, "differential check FAILED\n");
+    return 1;
+  }
+  return 0;
+}

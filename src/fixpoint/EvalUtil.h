@@ -1,0 +1,61 @@
+//===- fixpoint/EvalUtil.h - Shared rule-evaluation helpers ---*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the three rule-evaluation engines — the
+/// sequential Solver, the parallel solver's workers, and the incremental
+/// engine's delta-round workers — which all walk rule bodies with the same
+/// driver-first order and the same binding undo log. Keeping them here
+/// guarantees the engines agree on the evaluation Order contract (the
+/// parallel solver's static index analysis and sub-task continuations both
+/// rely on Order being a pure function of (rule, driver)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_FIXPOINT_EVALUTIL_H
+#define FLIX_FIXPOINT_EVALUTIL_H
+
+#include "fixpoint/Program.h"
+#include "support/SmallVector.h"
+
+#include <utility>
+#include <vector>
+
+namespace flix::eval {
+
+/// Undo log for variable bindings within one body-element match.
+struct BindTrail {
+  SmallVector<std::pair<VarId, std::pair<bool, Value>>, 4> Saved;
+
+  void save(VarId V, bool WasBound, Value Old) {
+    Saved.push_back({V, {WasBound, Old}});
+  }
+  void undo(std::vector<Value> &Env, std::vector<uint8_t> &Bound) {
+    for (size_t I = Saved.size(); I-- > 0;) {
+      Env[Saved[I].first] = Saved[I].second.second;
+      Bound[Saved[I].first] = Saved[I].second.first;
+    }
+    Saved.clear();
+  }
+};
+
+/// The driver-first evaluation Order for rule \p R: position 0 is the
+/// driver body element (when Driver >= 0), the remaining elements keep
+/// their body order. Every engine and the parallel solver's
+/// computeWantedIndexes() simulation must build orders through this one
+/// function so they stay in lockstep.
+inline void buildOrder(const Rule &R, int Driver,
+                       SmallVector<const BodyElem *, 8> &Order) {
+  if (Driver >= 0)
+    Order.push_back(&R.Body[Driver]);
+  for (size_t I = 0; I < R.Body.size(); ++I)
+    if (static_cast<int>(I) != Driver)
+      Order.push_back(&R.Body[I]);
+}
+
+} // namespace flix::eval
+
+#endif // FLIX_FIXPOINT_EVALUTIL_H

@@ -6,10 +6,13 @@
 
 #include "fixpoint/Solver.h"
 
+#include "fixpoint/EvalUtil.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace flix;
+using flix::eval::BindTrail;
 
 Solver::Solver(const Program &P, SolverOptions Opts)
     : P(P), Opts(Opts), F(P.factory()),
@@ -28,6 +31,11 @@ Solver::Solver(const Program &P, SolverOptions Opts)
   NextDelta.resize(P.predicates().size());
   if (Opts.TrackProvenance)
     Provenance.resize(P.predicates().size());
+  if (Opts.TrackSupport)
+    Dependents.resize(P.predicates().size());
+  RulesByHead.resize(P.predicates().size());
+  for (uint32_t RI = 0; RI < Prepared.size(); ++RI)
+    RulesByHead[Prepared[RI].Head.Pred].push_back(RI);
   for (auto [Pred, Mask] : P.indexHints())
     if (Opts.UseIndexes)
       Tables[Pred]->prepareIndex(Mask);
@@ -130,37 +138,13 @@ bool Solver::checkDeadline() {
   return Aborted;
 }
 
-namespace {
-
-/// Undo log for variable bindings within one body-element match.
-struct BindTrail {
-  SmallVector<std::pair<VarId, std::pair<bool, Value>>, 4> Saved;
-
-  void save(VarId V, bool WasBound, Value Old) {
-    Saved.push_back({V, {WasBound, Old}});
-  }
-  void undo(std::vector<Value> &Env, std::vector<uint8_t> &Bound) {
-    for (size_t I = Saved.size(); I-- > 0;) {
-      Env[Saved[I].first] = Saved[I].second.second;
-      Bound[Saved[I].first] = Saved[I].second.first;
-    }
-    Saved.clear();
-  }
-};
-
-} // namespace
-
 void Solver::evalRule(const Rule &R, int Driver,
                       const std::vector<uint32_t> &DriverRows) {
   Env.assign(R.NumVars, Value());
   Bound.assign(R.NumVars, 0);
 
   SmallVector<const BodyElem *, 8> Order;
-  if (Driver >= 0)
-    Order.push_back(&R.Body[Driver]);
-  for (size_t I = 0; I < R.Body.size(); ++I)
-    if (static_cast<int>(I) != Driver)
-      Order.push_back(&R.Body[I]);
+  eval::buildOrder(R, Driver, Order);
 
   CurDriverRows = Driver >= 0 ? &DriverRows : nullptr;
   evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
@@ -327,6 +311,12 @@ void Solver::matchAtomRow(const Rule &R, const BodyAtom &A, uint32_t RowId,
   Table &T = *Tables[A.Pred];
   unsigned KA = D.keyArity();
 
+  // Tombstoned rows (reset to ⊥ by the incremental over-delete) are
+  // logically absent; they are still reachable through indexes and full
+  // scans, so every row-match path must skip them.
+  if (T.isTombstone(RowId))
+    return;
+
   BindTrail Trail;
   bool Ok = true;
   {
@@ -413,6 +403,103 @@ void Solver::deriveHead(const Rule &R) {
     NextDelta[H.Pred].insert(JR.RowId);
     if (Opts.TrackProvenance)
       recordProvenance(R, H.Pred, JR.RowId);
+    if (Opts.TrackSupport)
+      recordSupport(R, H.Pred, JR.RowId);
+  }
+}
+
+void Solver::recordSupport(const Rule &R, PredId HeadPred, uint32_t RowId) {
+  // One support edge per positive body premise of this (changed) join:
+  // premise row -> head cell. The head cell's value is the lub of its
+  // recorded derivations' contributions, so retracting any premise of any
+  // recorded derivation must (and does) over-delete the cell.
+  CellRef Head{HeadPred, RowId};
+  for (const BodyElem &E : R.Body) {
+    const auto *A = std::get_if<BodyAtom>(&E);
+    if (!A || A->Negated)
+      continue;
+    unsigned KA = P.predicate(A->Pred).keyArity();
+    SmallVector<Value, 4> Key;
+    for (unsigned I = 0; I < KA; ++I) {
+      const Term &Tm = A->Terms[I];
+      Key.push_back(Tm.isVar() ? Env[Tm.Variable] : Tm.Constant);
+    }
+    Value KeyT = F.tuple(std::span<const Value>(Key.data(), Key.size()));
+    uint32_t Prem = Tables[A->Pred]->lookupRow(KeyT);
+    if (Prem == Table::NoRow)
+      continue;
+    auto &Rows = Dependents[A->Pred];
+    if (Rows.size() <= Prem)
+      Rows.resize(Prem + 1);
+    auto &Out = Rows[Prem];
+    // Cheap dedup of the common repeat (same premise firing into the same
+    // head cell round after round). Duplicate edges are harmless.
+    if (!Out.empty() && Out.back() == Head)
+      continue;
+    Out.push_back(Head);
+  }
+}
+
+void Solver::rederive(PredId Pred, Value KeyTuple) {
+  std::span<const Value> KeyElems = F.tupleElems(KeyTuple);
+  const PredicateDecl &D = P.predicate(Pred);
+  for (uint32_t RI : RulesByHead[Pred]) {
+    const Rule &R = Prepared[RI];
+    CurRuleIndex = RI;
+    Env.assign(R.NumVars, Value());
+    Bound.assign(R.NumVars, 0);
+    bool Ok = true;
+    auto bindKey = [&](const Term &Tm, Value V) {
+      if (!Tm.isVar()) {
+        Ok &= Tm.Constant == V;
+        return;
+      }
+      if (Bound[Tm.Variable]) {
+        Ok &= Env[Tm.Variable] == V;
+        return;
+      }
+      Env[Tm.Variable] = V;
+      Bound[Tm.Variable] = 1;
+    };
+    for (size_t I = 0; I < R.Head.KeyTerms.size() && Ok; ++I)
+      bindKey(R.Head.KeyTerms[I], KeyElems[I]);
+    // For relational heads the key tuple includes the last column; a
+    // function-valued last column can't be inverted, so it stays free and
+    // the rule may re-derive sibling cells too (idempotent, harmless).
+    if (Ok && D.isRelational() && !R.Head.LastFn)
+      bindKey(R.Head.LastTerm, KeyElems.back());
+    if (!Ok)
+      continue;
+    // Evaluate the most-bound positive atom first (the head-key bindings
+    // usually ground part of it), so the opening access is an indexed
+    // probe instead of a full scan — rederive runs once per deleted cell,
+    // and a leading scan would make retraction cost O(deleted * table).
+    // Moving one atom to the front is the same shape delta rounds use, so
+    // downstream filters/binders still see their inputs bound in order.
+    int BestAtom = -1;
+    size_t BestBound = 0, BestSize = 0;
+    for (size_t BI = 0; BI < R.Body.size(); ++BI) {
+      const auto *A = std::get_if<BodyAtom>(&R.Body[BI]);
+      if (!A || A->Negated)
+        continue;
+      size_t NumBound = 0;
+      for (const Term &Tm : A->Terms)
+        if (!Tm.isVar() || Bound[Tm.Variable])
+          ++NumBound;
+      size_t Size = Tables[A->Pred]->size();
+      if (BestAtom < 0 || NumBound > BestBound ||
+          (NumBound == BestBound && Size < BestSize)) {
+        BestAtom = static_cast<int>(BI);
+        BestBound = NumBound;
+        BestSize = Size;
+      }
+    }
+    SmallVector<const BodyElem *, 8> Order;
+    eval::buildOrder(R, BestAtom, Order);
+    CurDriverRows = nullptr;
+    evalElems(R,
+              std::span<const BodyElem *const>(Order.data(), Order.size()),
+              0);
   }
 }
 
@@ -453,7 +540,9 @@ void Solver::recordProvenance(const Rule &R, PredId HeadPred,
 //===----------------------------------------------------------------------===//
 
 void Solver::loadFacts() {
-  for (const Fact &Fa : P.facts()) {
+  const std::vector<Fact> &Facts = FactsOverride ? *FactsOverride
+                                                 : P.facts();
+  for (const Fact &Fa : Facts) {
     Value KeyT = F.tuple(std::span<const Value>(Fa.Key.data(),
                                                 Fa.Key.size()));
     Tables[Fa.Pred]->join(KeyT, Fa.LatValue);
@@ -490,7 +579,8 @@ SolveStats Solver::solve() {
     Stats.Error = SR.Error;
     return finish();
   }
-  const Stratification &St = *SR.Strat;
+  Strata = std::move(SR.Strat);
+  const Stratification &St = *Strata;
 
   loadFacts();
 
@@ -659,8 +749,10 @@ std::vector<std::vector<Value>> Solver::tuples(PredId Pred) const {
   const PredicateDecl &D = P.predicate(Pred);
   std::vector<std::vector<Value>> Out;
   const Table &T = *Tables[Pred];
-  Out.reserve(T.size());
+  Out.reserve(T.liveSize());
   for (const Table::Row &R : T.rows()) {
+    if (R.Lat == T.botValue())
+      continue; // tombstoned (logically absent)
     std::span<const Value> Key = F.tupleElems(R.Key);
     std::vector<Value> Tup(Key.begin(), Key.end());
     if (!D.isRelational())

@@ -55,6 +55,13 @@ struct SolverOptions {
   /// it, enabling explain() after solving. Costs time and memory; off by
   /// default.
   bool TrackProvenance = false;
+  /// Maintain the support index (per body row, the head cells it helped
+  /// increase) that the incremental engine's Delete/Re-derive pass walks
+  /// on retraction. Unlike TrackProvenance (which keeps only the *last*
+  /// increasing derivation), the support index keeps an edge for *every*
+  /// changed join, so over-deletion is sound. Set by IncrementalSolver;
+  /// off by default.
+  bool TrackSupport = false;
   /// Worker threads for the ParallelSolver (src/parallel). 0 selects the
   /// sequential legacy path (this class); the sequential Solver itself
   /// ignores the field. Callers that accept SolverOptions dispatch on it.
@@ -80,6 +87,18 @@ struct SolverOptions {
   /// SolveStats::IndexFallbacks; with this flag set they also trip an
   /// assert in debug builds. Meaningful only with UseIndexes.
   bool StrictIndexCoverage = false;
+};
+
+/// A cell addressed as (predicate, row id) — the node type of the
+/// incremental engine's support index. Row ids are stable across
+/// tombstoning (Table::resetRow) and revival, so CellRefs stay valid for
+/// the lifetime of a solver.
+struct CellRef {
+  PredId Pred;
+  uint32_t Row;
+  bool operator==(const CellRef &O) const {
+    return Pred == O.Pred && Row == O.Row;
+  }
 };
 
 /// Why a cell holds its value: the rule that last increased it and the
@@ -173,6 +192,7 @@ public:
                             unsigned Depth = 3) const;
 
 private:
+  friend class IncrementalSolver;
   struct Frame;
 
   void loadFacts();
@@ -188,6 +208,14 @@ private:
   bool checkDeadline();
   Rule reorderRule(const Rule &R) const;
   void recordProvenance(const Rule &R, PredId HeadPred, uint32_t RowId);
+  void recordSupport(const Rule &R, PredId HeadPred, uint32_t RowId);
+  /// Head-bound re-derivation (the incremental engine's "Re-derive"): for
+  /// every rule whose head predicate is \p Pred, pre-binds the head key
+  /// terms against \p KeyTuple's elements and evaluates the body over the
+  /// current database, re-joining whatever the surviving derivations
+  /// yield for exactly that cell. Changed joins land in NextDelta as
+  /// usual.
+  void rederive(PredId Pred, Value KeyTuple);
   void renderExplanation(std::string &Out, PredId P, Value KeyTuple,
                          unsigned Depth, unsigned Indent) const;
 
@@ -208,9 +236,28 @@ private:
   /// increasing derivation.
   std::vector<std::vector<Derivation>> Provenance;
 
+  /// Support index (when TrackSupport): per predicate, per row id, the
+  /// head cells whose value a join through this row strictly increased.
+  /// Over-approximates true support (edges are never removed when a
+  /// premise's contribution is superseded), which only causes extra —
+  /// sound — over-deletion in the incremental engine.
+  std::vector<std::vector<SmallVector<CellRef, 2>>> Dependents;
+
+  /// When non-null, loadFacts() reads this fact set instead of
+  /// P.facts() — the incremental engine's materialized fact store.
+  const std::vector<Fact> *FactsOverride = nullptr;
+
+  /// Rule indexes (into Prepared) grouped by head predicate, for
+  /// rederive().
+  std::vector<std::vector<uint32_t>> RulesByHead;
+
   // Delta bookkeeping (SemiNaive).
   std::vector<std::vector<uint32_t>> Delta;
   std::vector<std::unordered_set<uint32_t>> NextDelta;
+
+  /// The stratification computed by solve(), kept for the incremental
+  /// engine's per-stratum update rounds.
+  std::optional<Stratification> Strata;
 
   // Run state.
   SolveStats Stats;

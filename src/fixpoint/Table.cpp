@@ -40,11 +40,13 @@ Table::JoinResult Table::join(Value KeyTuple, Value LatVal) {
            "lub not an upper bound; malformed lattice");
     if (Joined == R.Lat)
       return {It->second, false};
+    if (R.Lat == Bot)
+      --NumTombstones; // tombstoned row revived in place
     R.Lat = Joined;
     return {It->second, true};
   }
   // New cell. ⊥ cells are not materialized.
-  if (LatVal == Lat.bot())
+  if (LatVal == Bot)
     return {NoRow, false};
   uint32_t Id = static_cast<uint32_t>(Rows.size());
   Rows.push_back({KeyTuple, LatVal});
@@ -56,14 +58,27 @@ Table::JoinResult Table::join(Value KeyTuple, Value LatVal) {
   return {Id, true};
 }
 
+void Table::resetRow(uint32_t Id) {
+  assert(Id < Rows.size());
+  Row &R = Rows[Id];
+  if (R.Lat == Bot)
+    return;
+  R.Lat = Bot;
+  ++NumTombstones;
+}
+
 const Value *Table::lookup(Value KeyTuple) const {
   auto It = Primary.find(KeyTuple);
-  return It == Primary.end() ? nullptr : &Rows[It->second].Lat;
+  if (It == Primary.end() || Rows[It->second].Lat == Bot)
+    return nullptr;
+  return &Rows[It->second].Lat;
 }
 
 uint32_t Table::lookupRow(Value KeyTuple) const {
   auto It = Primary.find(KeyTuple);
-  return It == Primary.end() ? NoRow : It->second;
+  if (It == Primary.end() || Rows[It->second].Lat == Bot)
+    return NoRow;
+  return It->second;
 }
 
 Value Table::projectKey(std::span<const Value> KeyElems,

@@ -43,7 +43,7 @@ public:
   /// rejects such predicates before any solver evaluates them, so a Table
   /// with KeyArity > 63 may be constructed but never probed or joined.
   Table(unsigned KeyArity, const Lattice &Lat, ValueFactory &F)
-      : KeyArity(KeyArity), Lat(Lat), F(F) {}
+      : KeyArity(KeyArity), Lat(Lat), F(F), Bot(Lat.bot()) {}
 
   unsigned keyArity() const { return KeyArity; }
   const Lattice &lattice() const { return Lat; }
@@ -51,6 +51,23 @@ public:
   size_t size() const { return Rows.size(); }
   const Row &row(uint32_t Id) const { return Rows[Id]; }
   const std::vector<Row> &rows() const { return Rows; }
+
+  /// The lattice's ⊥ element (cached; handle comparison against it is how
+  /// tombstoned rows are recognized — hash-consing makes that exact).
+  Value botValue() const { return Bot; }
+
+  /// True if row \p Id has been reset to ⊥ by the incremental engine's
+  /// over-delete pass. Tombstoned rows keep their id and stay in every
+  /// index so they can be revived in place, but all lookups and the
+  /// solvers' scan/probe paths treat them as absent.
+  bool isTombstone(uint32_t Id) const { return Rows[Id].Lat == Bot; }
+
+  /// Rows whose cell is currently present (size() minus tombstones).
+  size_t liveSize() const { return Rows.size() - NumTombstones; }
+
+  /// Resets row \p Id to ⊥ (the incremental over-delete). The row id stays
+  /// valid and indexed; a later join() on its key revives it in place.
+  void resetRow(uint32_t Id);
 
   /// Key columns of row \p Id.
   std::span<const Value> rowKey(uint32_t Id) const {
@@ -71,10 +88,11 @@ public:
   JoinResult join(Value KeyTuple, Value LatVal);
 
   /// Returns the lattice value of the cell \p KeyTuple, or nullptr if the
-  /// cell is absent (i.e. implicitly ⊥).
+  /// cell is absent (i.e. implicitly ⊥, including tombstoned rows).
   const Value *lookup(Value KeyTuple) const;
 
-  /// Returns the row id of cell \p KeyTuple, or NoRow if absent.
+  /// Returns the row id of cell \p KeyTuple, or NoRow if absent (including
+  /// tombstoned rows, which are logically ⊥).
   uint32_t lookupRow(Value KeyTuple) const;
 
   /// Probes the secondary index for \p BoundMask (bit i set = key column i
@@ -150,6 +168,8 @@ private:
   unsigned KeyArity;
   const Lattice &Lat;
   ValueFactory &F;
+  Value Bot;
+  size_t NumTombstones = 0;
 
   std::vector<Row> Rows;
   std::unordered_map<Value, uint32_t> Primary;

@@ -1,0 +1,947 @@
+//===- incremental/IncrementalSolver.cpp - Batch fact updates -------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "incremental/IncrementalSolver.h"
+
+#include "fixpoint/EvalUtil.h"
+#include "parallel/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <set>
+
+using namespace flix;
+using flix::eval::BindTrail;
+
+//===----------------------------------------------------------------------===//
+// Parallel round machinery
+//===----------------------------------------------------------------------===//
+
+/// One (rule, driver, delta-chunk) evaluation task of a parallel round.
+struct IncrementalSolver::Task {
+  uint32_t RuleIdx;
+  int32_t Driver;
+  uint32_t Begin, End;
+  const std::vector<uint32_t> *Rows;
+};
+
+/// Per-worker evaluation state for parallel delta rounds. Mirrors the
+/// sequential Solver's rule evaluation with two differences: tables are
+/// read through const paths only (probeExisting, never probe), and
+/// instead of joining derivations in place the worker buffers them —
+/// together with the row ids of the matched positive premises, captured
+/// on a match stack — for the coordinator to join (and record support /
+/// provenance for) single-threaded after the phase barrier. That keeps
+/// every table, support-index and provenance write outside the pool
+/// phases, so the path is race-free by construction.
+struct IncrementalSolver::WorkerCtx {
+  /// One buffered derivation: head cell content plus the premise rows
+  /// that produced it.
+  struct Deriv {
+    PredId Pred;
+    Value Key;
+    Value Lat;
+    uint32_t RuleIdx;
+    SmallVector<CellRef, 4> Premises;
+  };
+
+  IncrementalSolver &IS;
+  Solver *Sol = nullptr; ///< refreshed per task (fullSolve replaces it)
+  std::vector<Value> Env;
+  std::vector<uint8_t> Bound;
+  SmallVector<CellRef, 8> PremStack; ///< premises of the open match frames
+  std::vector<Deriv> Buffer;
+  const Task *Cur = nullptr;
+  uint32_t CurRuleIdx = 0;
+  uint64_t RuleFirings = 0;
+  uint64_t IndexFallbacks = 0;
+
+  explicit WorkerCtx(IncrementalSolver &IS) : IS(IS) {}
+
+  Value callExtern(FnId Fn, std::span<const Value> Args) {
+    const ExternFn &FD = IS.P.functionDecl(Fn);
+    if (!IS.Opts.SerializeExternals)
+      return FD.Impl(Args);
+    std::lock_guard<std::mutex> G(IS.ExternMu);
+    return FD.Impl(Args);
+  }
+
+  void runTask(const Task &T);
+  void evalElems(const Rule &R, std::span<const BodyElem *const> Order,
+                 size_t Pos);
+  void evalAtom(const Rule &R, const BodyAtom &A,
+                std::span<const BodyElem *const> Order, size_t Pos);
+  void matchAtomRow(const Rule &R, const BodyAtom &A, uint32_t RowId,
+                    std::span<const BodyElem *const> Order, size_t Pos);
+  void deriveHead(const Rule &R);
+};
+
+void IncrementalSolver::WorkerCtx::runTask(const Task &T) {
+  Sol = IS.S.get();
+  const Rule &R = Sol->Prepared[T.RuleIdx];
+  Env.assign(R.NumVars, Value());
+  Bound.assign(R.NumVars, 0);
+  PremStack.clear();
+
+  SmallVector<const BodyElem *, 8> Order;
+  eval::buildOrder(R, T.Driver, Order);
+
+  Cur = &T;
+  CurRuleIdx = T.RuleIdx;
+  evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
+            0);
+  Cur = nullptr;
+}
+
+void IncrementalSolver::WorkerCtx::evalElems(
+    const Rule &R, std::span<const BodyElem *const> Order, size_t Pos) {
+  if (Pos == Order.size()) {
+    deriveHead(R);
+    return;
+  }
+  const BodyElem &E = *Order[Pos];
+
+  auto termValue = [&](const Term &T) -> Value {
+    if (!T.isVar())
+      return T.Constant;
+    assert(Bound[T.Variable] && "unbound variable; validation missed it");
+    return Env[T.Variable];
+  };
+
+  if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
+    SmallVector<Value, 4> Args;
+    for (const Term &T : Fl->Args)
+      Args.push_back(termValue(T));
+    Value Res =
+        callExtern(Fl->Fn, std::span<const Value>(Args.data(), Args.size()));
+    assert(Res.isBool() && "filter function must return Bool");
+    if (Res.asBool())
+      evalElems(R, Order, Pos + 1);
+    return;
+  }
+
+  if (const auto *B = std::get_if<BodyBinder>(&E)) {
+    SmallVector<Value, 4> Args;
+    for (const Term &T : B->Args)
+      Args.push_back(termValue(T));
+    Value Res =
+        callExtern(B->Fn, std::span<const Value>(Args.data(), Args.size()));
+    assert(Res.isSet() && "binder function must return a Set");
+    for (Value Elem : IS.F.setElems(Res)) {
+      BindTrail Trail;
+      bool Ok = true;
+      auto bindOne = [&](VarId V, Value Val) {
+        if (Bound[V]) {
+          Ok = Env[V] == Val;
+          return;
+        }
+        Trail.save(V, false, Env[V]);
+        Env[V] = Val;
+        Bound[V] = 1;
+      };
+      if (B->Pattern.size() == 1) {
+        bindOne(B->Pattern[0], Elem);
+      } else {
+        if (!Elem.isTuple() ||
+            IS.F.tupleElems(Elem).size() != B->Pattern.size()) {
+          Ok = false;
+        } else {
+          std::span<const Value> Elems = IS.F.tupleElems(Elem);
+          for (size_t I = 0; I < B->Pattern.size() && Ok; ++I)
+            bindOne(B->Pattern[I], Elems[I]);
+        }
+      }
+      if (Ok)
+        evalElems(R, Order, Pos + 1);
+      Trail.undo(Env, Bound);
+    }
+    return;
+  }
+
+  evalAtom(R, std::get<BodyAtom>(E), Order, Pos);
+}
+
+void IncrementalSolver::WorkerCtx::evalAtom(
+    const Rule &R, const BodyAtom &A, std::span<const BodyElem *const> Order,
+    size_t Pos) {
+  const PredicateDecl &D = IS.P.predicate(A.Pred);
+  const Table &T = *Sol->Tables[A.Pred];
+  unsigned KA = D.keyArity();
+
+  auto termValue = [&](const Term &Tm) -> Value {
+    if (!Tm.isVar())
+      return Tm.Constant;
+    assert(Bound[Tm.Variable] && "unbound variable in ground context");
+    return Env[Tm.Variable];
+  };
+
+  if (A.Negated) {
+    SmallVector<Value, 4> Key;
+    for (unsigned I = 0; I < KA; ++I)
+      Key.push_back(termValue(A.Terms[I]));
+    Value KeyT = IS.F.tuple(std::span<const Value>(Key.data(), Key.size()));
+    if (!T.lookup(KeyT))
+      evalElems(R, Order, Pos + 1);
+    return;
+  }
+
+  // Driver atom: iterate this task's chunk of the delta rows.
+  if (Pos == 0 && Cur && Cur->Driver >= 0) {
+    const std::vector<uint32_t> &Rows = *Cur->Rows;
+    for (uint32_t I = Cur->Begin; I != Cur->End; ++I)
+      matchAtomRow(R, A, Rows[I], Order, Pos);
+    return;
+  }
+
+  uint64_t Mask = 0;
+  SmallVector<Value, 4> Proj;
+  for (unsigned I = 0; I < KA; ++I) {
+    const Term &Tm = A.Terms[I];
+    if (!Tm.isVar()) {
+      Mask |= uint64_t(1) << I;
+      Proj.push_back(Tm.Constant);
+    } else if (Bound[Tm.Variable]) {
+      Mask |= uint64_t(1) << I;
+      Proj.push_back(Env[Tm.Variable]);
+    }
+  }
+  uint64_t Full = KA == 0 ? 0 : (uint64_t(1) << KA) - 1;
+
+  if (Mask == Full) {
+    Value KeyT = IS.F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
+    uint32_t Id = T.lookupRow(KeyT);
+    if (Id != Table::NoRow)
+      matchAtomRow(R, A, Id, Order, Pos);
+    return;
+  }
+
+  if (Mask != 0 && IS.Opts.UseIndexes) {
+    Value ProjT = IS.F.tuple(std::span<const Value>(Proj.data(), Proj.size()));
+    // Tables are immutable during an eval phase, so the bucket cannot
+    // grow under us; no copy needed (unlike the sequential solver).
+    if (const std::vector<uint32_t> *Bucket = T.probeExisting(Mask, ProjT)) {
+      for (uint32_t Id : *Bucket)
+        matchAtomRow(R, A, Id, Order, Pos);
+      return;
+    }
+    ++IndexFallbacks;
+    assert(!IS.Opts.StrictIndexCoverage &&
+           "probeExisting miss: (pred, mask) not pre-built by "
+           "prepareWorkerIndexes");
+  }
+
+  for (uint32_t Id = 0, E = static_cast<uint32_t>(T.size()); Id != E; ++Id)
+    matchAtomRow(R, A, Id, Order, Pos);
+}
+
+void IncrementalSolver::WorkerCtx::matchAtomRow(
+    const Rule &R, const BodyAtom &A, uint32_t RowId,
+    std::span<const BodyElem *const> Order, size_t Pos) {
+  const PredicateDecl &D = IS.P.predicate(A.Pred);
+  const Table &T = *Sol->Tables[A.Pred];
+  unsigned KA = D.keyArity();
+
+  // Tombstoned rows are logically absent (see Solver::matchAtomRow).
+  if (T.isTombstone(RowId))
+    return;
+
+  BindTrail Trail;
+  bool Ok = true;
+  {
+    std::span<const Value> KeyElems = T.rowKey(RowId);
+    for (unsigned I = 0; I < KA && Ok; ++I) {
+      const Term &Tm = A.Terms[I];
+      if (!Tm.isVar()) {
+        Ok = Tm.Constant == KeyElems[I];
+        continue;
+      }
+      if (Bound[Tm.Variable]) {
+        Ok = Env[Tm.Variable] == KeyElems[I];
+        continue;
+      }
+      Trail.save(Tm.Variable, false, Env[Tm.Variable]);
+      Env[Tm.Variable] = KeyElems[I];
+      Bound[Tm.Variable] = 1;
+    }
+  }
+
+  if (Ok && !D.isRelational()) {
+    const Term &Lt = A.Terms[KA];
+    Value RowVal = T.row(RowId).Lat;
+    if (!Lt.isVar()) {
+      Ok = D.Lat->leq(Lt.Constant, RowVal);
+    } else if (!Bound[Lt.Variable]) {
+      Trail.save(Lt.Variable, false, Env[Lt.Variable]);
+      Env[Lt.Variable] = RowVal;
+      Bound[Lt.Variable] = 1;
+    } else {
+      Value G = D.Lat->glb(Env[Lt.Variable], RowVal);
+      Trail.save(Lt.Variable, true, Env[Lt.Variable]);
+      Env[Lt.Variable] = G;
+    }
+  }
+
+  if (Ok) {
+    PremStack.push_back({A.Pred, RowId});
+    evalElems(R, Order, Pos + 1);
+    PremStack.pop_back();
+  }
+  Trail.undo(Env, Bound);
+}
+
+void IncrementalSolver::WorkerCtx::deriveHead(const Rule &R) {
+  const HeadAtom &H = R.Head;
+  const PredicateDecl &D = IS.P.predicate(H.Pred);
+
+  auto termValue = [&](const Term &Tm) -> Value {
+    if (!Tm.isVar())
+      return Tm.Constant;
+    assert(Bound[Tm.Variable] && "unbound head variable");
+    return Env[Tm.Variable];
+  };
+
+  SmallVector<Value, 4> Key;
+  for (const Term &Tm : H.KeyTerms)
+    Key.push_back(termValue(Tm));
+
+  Value LatVal;
+  if (H.LastFn) {
+    SmallVector<Value, 4> Args;
+    for (const Term &Tm : H.FnArgs)
+      Args.push_back(termValue(Tm));
+    LatVal = callExtern(*H.LastFn,
+                        std::span<const Value>(Args.data(), Args.size()));
+  } else {
+    LatVal = termValue(H.LastTerm);
+  }
+
+  if (D.isRelational()) {
+    Key.push_back(LatVal);
+    LatVal = IS.F.boolean(true);
+  }
+
+  ++RuleFirings;
+  // ⊥ derivations can never change a cell; drop them before the merge.
+  if (!D.isRelational() && LatVal == D.Lat->bot())
+    return;
+  Value KeyT = IS.F.tuple(std::span<const Value>(Key.data(), Key.size()));
+  Deriv Dv;
+  Dv.Pred = H.Pred;
+  Dv.Key = KeyT;
+  Dv.Lat = LatVal;
+  Dv.RuleIdx = CurRuleIdx;
+  for (CellRef C : PremStack)
+    Dv.Premises.push_back(C);
+  Buffer.push_back(std::move(Dv));
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and staging
+//===----------------------------------------------------------------------===//
+
+IncrementalSolver::IncrementalSolver(const Program &P, SolverOptions Opts)
+    : P(P), Opts(Opts), F(P.factory()) {
+  size_t NumPreds = P.predicates().size();
+  FactStore.resize(NumPreds);
+  UpdateChanged.resize(NumPreds);
+  FeedsNeg.assign(NumPreds, 0);
+
+  // Seed the fact store from the program's facts.
+  for (const Fact &Fa : P.facts()) {
+    Value KeyT = keyTupleOf(Fa);
+    auto &Vals = FactStore[Fa.Pred][KeyT];
+    bool Dup = false;
+    for (Value V : Vals)
+      if (V == Fa.LatValue) {
+        Dup = true;
+        break;
+      }
+    if (!Dup)
+      Vals.push_back(Fa.LatValue);
+  }
+
+  // FeedsNeg: predicates from which some negated predicate is reachable
+  // in the rule dependency graph (every body atom of a rule — positive
+  // or negated — feeds the rule's head). A change to such a predicate
+  // could change a negated predicate's table, which the incremental path
+  // must never allow (stratified negation is non-monotone), so batches
+  // touching them fall back to a full re-solve.
+  std::vector<PredId> Work;
+  for (const Rule &R : P.rules())
+    for (const BodyElem &E : R.Body)
+      if (const auto *A = std::get_if<BodyAtom>(&E);
+          A && A->Negated && !FeedsNeg[A->Pred]) {
+        FeedsNeg[A->Pred] = 1;
+        Work.push_back(A->Pred);
+      }
+  while (!Work.empty()) {
+    PredId Q = Work.back();
+    Work.pop_back();
+    for (const Rule &R : P.rules()) {
+      if (R.Head.Pred != Q)
+        continue;
+      for (const BodyElem &E : R.Body)
+        if (const auto *A = std::get_if<BodyAtom>(&E); A && !FeedsNeg[A->Pred]) {
+          FeedsNeg[A->Pred] = 1;
+          Work.push_back(A->Pred);
+        }
+    }
+  }
+}
+
+IncrementalSolver::~IncrementalSolver() = default;
+
+Value IncrementalSolver::keyTupleOf(const Fact &Fa) const {
+  return F.tuple(std::span<const Value>(Fa.Key.data(), Fa.Key.size()));
+}
+
+void IncrementalSolver::addFact(PredId Pred, std::span<const Value> Tuple) {
+  assert(P.predicate(Pred).isRelational() &&
+         "addFact() is for relational predicates; use addLatFact()");
+  Fact Fa;
+  Fa.Pred = Pred;
+  for (Value V : Tuple)
+    Fa.Key.push_back(V);
+  Fa.LatValue = F.boolean(true);
+  PendingAdds.push_back(std::move(Fa));
+}
+
+void IncrementalSolver::addLatFact(PredId Pred, std::span<const Value> Key,
+                                   Value LatVal) {
+  assert(!P.predicate(Pred).isRelational() &&
+         "addLatFact() is for lattice predicates; use addFact()");
+  Fact Fa;
+  Fa.Pred = Pred;
+  for (Value V : Key)
+    Fa.Key.push_back(V);
+  Fa.LatValue = LatVal;
+  PendingAdds.push_back(std::move(Fa));
+}
+
+void IncrementalSolver::retractFact(PredId Pred,
+                                    std::span<const Value> Tuple) {
+  assert(P.predicate(Pred).isRelational() &&
+         "retractFact() is for relational predicates");
+  Fact Fa;
+  Fa.Pred = Pred;
+  for (Value V : Tuple)
+    Fa.Key.push_back(V);
+  Fa.LatValue = F.boolean(true);
+  PendingRetracts.push_back(std::move(Fa));
+}
+
+void IncrementalSolver::retractLatFact(PredId Pred,
+                                       std::span<const Value> Key,
+                                       Value LatVal) {
+  assert(!P.predicate(Pred).isRelational() &&
+         "retractLatFact() is for lattice predicates");
+  Fact Fa;
+  Fa.Pred = Pred;
+  for (Value V : Key)
+    Fa.Key.push_back(V);
+  Fa.LatValue = LatVal;
+  PendingRetracts.push_back(std::move(Fa));
+}
+
+void IncrementalSolver::addFacts(PredId Pred,
+                                 std::span<const std::vector<Value>> Rows) {
+  bool Rel = P.predicate(Pred).isRelational();
+  for (const std::vector<Value> &Row : Rows) {
+    if (Rel) {
+      addFact(Pred, std::span<const Value>(Row.data(), Row.size()));
+    } else {
+      assert(!Row.empty() && "lattice fact row needs key columns + value");
+      addLatFact(Pred, std::span<const Value>(Row.data(), Row.size() - 1),
+                 Row.back());
+    }
+  }
+}
+
+void IncrementalSolver::retractFacts(
+    PredId Pred, std::span<const std::vector<Value>> Rows) {
+  bool Rel = P.predicate(Pred).isRelational();
+  for (const std::vector<Value> &Row : Rows) {
+    if (Rel) {
+      retractFact(Pred, std::span<const Value>(Row.data(), Row.size()));
+    } else {
+      assert(!Row.empty() && "lattice fact row needs key columns + value");
+      retractLatFact(Pred,
+                     std::span<const Value>(Row.data(), Row.size() - 1),
+                     Row.back());
+    }
+  }
+}
+
+std::vector<Fact> IncrementalSolver::currentFacts() const {
+  std::vector<Fact> Out;
+  for (PredId Pr = 0; Pr < FactStore.size(); ++Pr) {
+    for (const auto &[KeyT, Vals] : FactStore[Pr]) {
+      for (Value LV : Vals) {
+        Fact Fa;
+        Fa.Pred = Pr;
+        for (Value K : F.tupleElems(KeyT))
+          Fa.Key.push_back(K);
+        Fa.LatValue = LV;
+        Out.push_back(std::move(Fa));
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// update()
+//===----------------------------------------------------------------------===//
+
+bool IncrementalSolver::touchesNegation() const {
+  for (const Fact &Fa : PendingAdds)
+    if (FeedsNeg[Fa.Pred])
+      return true;
+  for (const Fact &Fa : PendingRetracts)
+    if (FeedsNeg[Fa.Pred])
+      return true;
+  return false;
+}
+
+void IncrementalSolver::noteChanged(PredId Pred, uint32_t Row) {
+  S->NextDelta[Pred].insert(Row);
+  UpdateChanged[Pred].insert(Row);
+}
+
+void IncrementalSolver::recordSupportEdge(CellRef Prem, CellRef Head) {
+  auto &Rows = S->Dependents[Prem.Pred];
+  if (Rows.size() <= Prem.Row)
+    Rows.resize(Prem.Row + 1);
+  auto &Out = Rows[Prem.Row];
+  if (!Out.empty() && Out.back() == Head)
+    return;
+  Out.push_back(Head);
+}
+
+void IncrementalSolver::fullSolve(UpdateStats &U) {
+  // Apply staged mutations to the store only: a fresh solve reads the
+  // materialized store. Retractions first, then additions — a batch that
+  // both retracts and adds the same fact leaves it present.
+  for (const Fact &Fa : PendingRetracts) {
+    Value KeyT = keyTupleOf(Fa);
+    auto It = FactStore[Fa.Pred].find(KeyT);
+    if (It == FactStore[Fa.Pred].end())
+      continue;
+    auto &Vals = It->second;
+    for (size_t I = 0; I < Vals.size(); ++I) {
+      if (Vals[I] == Fa.LatValue) {
+        Vals[I] = Vals.back();
+        Vals.pop_back();
+        ++U.FactsRetracted;
+        break;
+      }
+    }
+    if (Vals.empty())
+      FactStore[Fa.Pred].erase(It);
+  }
+  PendingRetracts.clear();
+  for (const Fact &Fa : PendingAdds) {
+    Value KeyT = keyTupleOf(Fa);
+    auto &Vals = FactStore[Fa.Pred][KeyT];
+    bool Dup = false;
+    for (Value V : Vals)
+      if (V == Fa.LatValue) {
+        Dup = true;
+        break;
+      }
+    if (Dup)
+      continue;
+    Vals.push_back(Fa.LatValue);
+    ++U.FactsAdded;
+  }
+  PendingAdds.clear();
+
+  OverrideFacts = currentFacts();
+  SolverOptions SO = Opts;
+  SO.TrackSupport = true;
+  SO.NumThreads = 0; // the inner Solver is sequential
+  S = std::make_unique<Solver>(P, SO);
+  S->FactsOverride = &OverrideFacts;
+  SolveStats St = S->solve();
+  static_cast<SolveStats &>(U) = St;
+  // A replaced solver has fresh tables: re-prepare the worker indexes if
+  // parallel rounds are in use.
+  if (ParallelReady && Opts.UseIndexes)
+    prepareWorkerIndexes();
+}
+
+// Pre-builds every (pred, mask) secondary index the workers' fixed
+// delta-driven evaluation orders can probe, so read-only probeExisting
+// never misses (mirrors ParallelSolver::computeWantedIndexes, restricted
+// to delta drivers — rederive runs sequentially and may build indexes
+// lazily through Table::probe).
+void IncrementalSolver::prepareWorkerIndexes() {
+  std::set<std::pair<PredId, uint64_t>> Wanted;
+  for (const Rule &R : S->Prepared) {
+    SmallVector<int, 8> Drivers;
+    for (size_t I = 0; I < R.Body.size(); ++I)
+      if (const auto *A = std::get_if<BodyAtom>(&R.Body[I]);
+          A && !A->Negated)
+        Drivers.push_back(static_cast<int>(I));
+
+    for (int Driver : Drivers) {
+      std::vector<uint8_t> BoundVar(R.NumVars, 0);
+      SmallVector<const BodyElem *, 8> Order;
+      eval::buildOrder(R, Driver, Order);
+
+      for (size_t Pos = 0; Pos < Order.size(); ++Pos) {
+        const BodyElem &E = *Order[Pos];
+        if (const auto *A = std::get_if<BodyAtom>(&E)) {
+          if (A->Negated)
+            continue; // negated atoms use the primary map
+          unsigned KA = P.predicate(A->Pred).keyArity();
+          if (Pos != 0) {
+            uint64_t Mask = 0;
+            for (unsigned I = 0; I < KA; ++I) {
+              const Term &Tm = A->Terms[I];
+              if (!Tm.isVar() || BoundVar[Tm.Variable])
+                Mask |= uint64_t(1) << I;
+            }
+            uint64_t Full = KA == 0 ? 0 : (uint64_t(1) << KA) - 1;
+            if (Mask != 0 && Mask != Full)
+              Wanted.insert({A->Pred, Mask});
+          }
+          for (const Term &Tm : A->Terms)
+            if (Tm.isVar())
+              BoundVar[Tm.Variable] = 1;
+        } else if (const auto *B = std::get_if<BodyBinder>(&E)) {
+          for (VarId V : B->Pattern)
+            BoundVar[V] = 1;
+        }
+        // Filters bind nothing.
+      }
+    }
+  }
+  for (auto [Pred, Mask] : Wanted)
+    S->Tables[Pred]->prepareIndex(Mask);
+}
+
+void IncrementalSolver::ensureParallel() {
+  if (ParallelReady)
+    return;
+  ParallelReady = true;
+  unsigned NumWorkers = std::max(1u, Opts.NumThreads);
+  F.enableConcurrentInterning();
+  Pool = std::make_unique<ThreadPool>(NumWorkers);
+  Workers.reserve(NumWorkers);
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Workers.push_back(std::make_unique<WorkerCtx>(*this));
+  if (Opts.UseIndexes)
+    prepareWorkerIndexes();
+}
+
+void IncrementalSolver::runParallelRound(
+    const std::vector<uint32_t> &RuleIds) {
+  Solver &Sol = *S;
+  unsigned NumWorkers = Pool->numWorkers();
+  Tasks.clear();
+  for (uint32_t RI : RuleIds) {
+    const Rule &R = Sol.Prepared[RI];
+    for (size_t BI = 0; BI < R.Body.size(); ++BI) {
+      const auto *A = std::get_if<BodyAtom>(&R.Body[BI]);
+      if (!A || A->Negated)
+        continue;
+      const std::vector<uint32_t> &Rows = Sol.Delta[A->Pred];
+      if (Rows.empty())
+        continue;
+      uint32_t N = static_cast<uint32_t>(Rows.size());
+      uint32_t Chunk = static_cast<uint32_t>(std::max<size_t>(
+          16, (N + NumWorkers * 8 - 1) / (NumWorkers * 8)));
+      for (uint32_t B = 0; B < N; B += Chunk)
+        Tasks.push_back({RI, static_cast<int32_t>(BI), B,
+                         std::min(N, B + Chunk), &Rows});
+    }
+  }
+  if (Tasks.empty())
+    return;
+  Sol.Stats.ParallelTasks += Tasks.size();
+  Pool->run(Tasks.size(), [this](size_t TI, unsigned W) {
+    Workers[W]->runTask(Tasks[TI]);
+  });
+  mergeWorkerDerivs();
+}
+
+void IncrementalSolver::mergeWorkerDerivs() {
+  Solver &Sol = *S;
+  for (const std::unique_ptr<WorkerCtx> &W : Workers) {
+    for (const WorkerCtx::Deriv &D : W->Buffer) {
+      Table &T = *Sol.Tables[D.Pred];
+      Table::JoinResult JR = T.join(D.Key, D.Lat);
+      if (!JR.Changed)
+        continue;
+      ++Sol.Stats.FactsDerived;
+      noteChanged(D.Pred, JR.RowId);
+      CellRef Head{D.Pred, JR.RowId};
+      for (CellRef Prem : D.Premises)
+        recordSupportEdge(Prem, Head);
+      if (Opts.TrackProvenance) {
+        Derivation Der;
+        Der.RuleIndex = D.RuleIdx;
+        for (CellRef Prem : D.Premises) {
+          const Table &PT = *Sol.Tables[Prem.Pred];
+          Derivation::Premise Pr;
+          Pr.Pred = Prem.Pred;
+          Pr.Key = PT.row(Prem.Row).Key;
+          // The premise's current value (its value at match time or a lub
+          // above it — the derivation stays valid since rules are
+          // monotone). Premises appear in evaluation order, not body
+          // order.
+          Pr.LatValue = PT.row(Prem.Row).Lat;
+          Der.Premises.push_back(std::move(Pr));
+        }
+        std::vector<Derivation> &Rows = Sol.Provenance[D.Pred];
+        if (Rows.size() <= JR.RowId)
+          Rows.resize(JR.RowId + 1);
+        Rows[JR.RowId] = std::move(Der);
+      }
+    }
+    Sol.Stats.RuleFirings += W->RuleFirings;
+    Sol.Stats.IndexFallbacks += W->IndexFallbacks;
+    W->RuleFirings = 0;
+    W->IndexFallbacks = 0;
+    W->Buffer.clear();
+  }
+}
+
+void IncrementalSolver::incrementalUpdate(UpdateStats &U) {
+  Solver &Sol = *S;
+  SolveStats Before = Sol.Stats;
+  size_t NumPreds = P.predicates().size();
+
+  // The inner solver's run state must be clean for re-entry; incremental
+  // updates are not subject to TimeLimitSeconds/MaxIterations.
+  Sol.Aborted = false;
+  Sol.DL = Deadline();
+  Sol.Stats.St = SolveStats::Status::Fixpoint;
+  for (auto &Ch : UpdateChanged)
+    Ch.clear();
+  for (auto &ND : Sol.NextDelta)
+    ND.clear();
+
+  //--- Phase R: retractions + over-delete closure -----------------------
+  std::vector<std::vector<uint8_t>> DeletedMark(NumPreds);
+  auto markDeleted = [&](PredId Pr, uint32_t Row) -> bool {
+    std::vector<uint8_t> &M = DeletedMark[Pr];
+    if (M.size() <= Row)
+      M.resize(Sol.Tables[Pr]->size(), 0);
+    if (M[Row])
+      return false;
+    M[Row] = 1;
+    return true;
+  };
+
+  std::vector<CellRef> Work;
+  for (const Fact &Fa : PendingRetracts) {
+    Value KeyT = keyTupleOf(Fa);
+    auto It = FactStore[Fa.Pred].find(KeyT);
+    if (It == FactStore[Fa.Pred].end())
+      continue;
+    auto &Vals = It->second;
+    bool Removed = false;
+    for (size_t I = 0; I < Vals.size(); ++I) {
+      if (Vals[I] == Fa.LatValue) {
+        Vals[I] = Vals.back();
+        Vals.pop_back();
+        Removed = true;
+        break;
+      }
+    }
+    if (Vals.empty())
+      FactStore[Fa.Pred].erase(It);
+    if (!Removed)
+      continue;
+    ++U.FactsRetracted;
+    // Seed the closure with the fact's cell (if materialized): its value
+    // may depend on the retracted contribution.
+    uint32_t Row = Sol.Tables[Fa.Pred]->lookupRow(KeyT);
+    if (Row != Table::NoRow && markDeleted(Fa.Pred, Row))
+      Work.push_back({Fa.Pred, Row});
+  }
+  PendingRetracts.clear();
+
+  // Over-delete: everything transitively supported by a deleted cell.
+  // The support index over-approximates true support, so this deletes a
+  // superset of what actually depends on the retracted facts — sound,
+  // since re-derivation restores every cell still derivable.
+  std::vector<std::vector<uint32_t>> DeletedByPred(NumPreds);
+  while (!Work.empty()) {
+    CellRef C = Work.back();
+    Work.pop_back();
+    DeletedByPred[C.Pred].push_back(C.Row);
+    auto &Dep = Sol.Dependents[C.Pred];
+    if (C.Row < Dep.size()) {
+      for (CellRef D : Dep[C.Row])
+        if (markDeleted(D.Pred, D.Row))
+          Work.push_back(D);
+      // Out-edges of a deleted cell are stale; re-derivation re-records
+      // the ones that still hold.
+      Dep[C.Row].clear();
+    }
+  }
+
+  // Reset every deleted cell to ⊥ first (a later reset must not clobber
+  // an earlier re-join), then re-join the surviving input-fact
+  // contributions of exactly those cells — O(deleted), not O(facts).
+  for (PredId Pr = 0; Pr < NumPreds; ++Pr) {
+    for (uint32_t Row : DeletedByPred[Pr]) {
+      Sol.Tables[Pr]->resetRow(Row);
+      ++U.CellsDeleted;
+      if (Opts.TrackProvenance && Row < Sol.Provenance[Pr].size())
+        Sol.Provenance[Pr][Row] = Derivation(); // back to FromFact
+    }
+  }
+  for (PredId Pr = 0; Pr < NumPreds; ++Pr) {
+    for (uint32_t Row : DeletedByPred[Pr]) {
+      Value KeyT = Sol.Tables[Pr]->row(Row).Key;
+      auto It = FactStore[Pr].find(KeyT);
+      if (It == FactStore[Pr].end())
+        continue;
+      for (Value LV : It->second) {
+        Table::JoinResult JR = Sol.Tables[Pr]->join(KeyT, LV);
+        if (JR.Changed)
+          noteChanged(Pr, JR.RowId);
+      }
+    }
+  }
+
+  //--- Phase A: additions ----------------------------------------------
+  for (const Fact &Fa : PendingAdds) {
+    Value KeyT = keyTupleOf(Fa);
+    auto &Vals = FactStore[Fa.Pred][KeyT];
+    bool Dup = false;
+    for (Value V : Vals)
+      if (V == Fa.LatValue) {
+        Dup = true;
+        break;
+      }
+    if (Dup)
+      continue;
+    Vals.push_back(Fa.LatValue);
+    ++U.FactsAdded;
+    Table::JoinResult JR = Sol.Tables[Fa.Pred]->join(KeyT, Fa.LatValue);
+    if (JR.Changed) {
+      noteChanged(Fa.Pred, JR.RowId);
+      if (Opts.TrackProvenance) {
+        std::vector<Derivation> &Rows = Sol.Provenance[Fa.Pred];
+        if (Rows.size() <= JR.RowId)
+          Rows.resize(JR.RowId + 1);
+        Rows[JR.RowId] = Derivation(); // the last increase is the fact
+      }
+    }
+  }
+  PendingAdds.clear();
+
+  //--- Phase D: re-derive + delta rounds, stratum by stratum ------------
+  assert(Sol.Strata && "inner solver solved, stratification available");
+  const Stratification &St = *Sol.Strata;
+  bool Parallel = Opts.NumThreads > 0;
+  if (Parallel)
+    ensureParallel();
+
+  for (uint32_t Str = 0; Str < St.numStrata(); ++Str) {
+    // (a) Head-bound re-derivation of this stratum's deleted cells over
+    // the surviving database. Order within the stratum is irrelevant: a
+    // derivation missed because another deleted cell is still ⊥ is
+    // re-fired by the delta rounds once that cell comes back.
+    for (PredId Pr = 0; Pr < NumPreds; ++Pr) {
+      if (DeletedByPred[Pr].empty() || St.PredStratum[Pr] != Str)
+        continue;
+      for (uint32_t Row : DeletedByPred[Pr])
+        Sol.rederive(Pr, Sol.Tables[Pr]->row(Row).Key);
+    }
+
+    // (b) Seed this stratum's rounds with every row changed so far in
+    // this update — the incremental replacement for round-0 full
+    // evaluation. Re-firing rows already processed by lower strata is
+    // sound (joins are idempotent) and cheap (deltas are small).
+    for (PredId PI = 0; PI < NumPreds; ++PI)
+      for (uint32_t Row : UpdateChanged[PI])
+        Sol.NextDelta[PI].insert(Row);
+
+    // (c) Semi-naive delta rounds restricted to this stratum's rules.
+    const std::vector<uint32_t> &RuleIds = St.RulesByStratum[Str];
+    while (true) {
+      bool AnyDelta = false;
+      for (size_t PI = 0; PI < NumPreds; ++PI) {
+        Sol.Delta[PI].assign(Sol.NextDelta[PI].begin(),
+                             Sol.NextDelta[PI].end());
+        std::sort(Sol.Delta[PI].begin(), Sol.Delta[PI].end());
+        for (uint32_t Row : Sol.NextDelta[PI])
+          UpdateChanged[PI].insert(Row);
+        Sol.NextDelta[PI].clear();
+        AnyDelta |= !Sol.Delta[PI].empty();
+      }
+      if (!AnyDelta)
+        break;
+      ++Sol.Stats.Iterations;
+      if (RuleIds.empty())
+        continue; // nothing to fire; the loop drains the delta
+      if (Parallel) {
+        runParallelRound(RuleIds);
+        continue;
+      }
+      for (uint32_t RI : RuleIds) {
+        const Rule &R = Sol.Prepared[RI];
+        Sol.CurRuleIndex = RI;
+        for (size_t BI = 0; BI < R.Body.size(); ++BI) {
+          const auto *A = std::get_if<BodyAtom>(&R.Body[BI]);
+          if (!A || A->Negated)
+            continue;
+          if (Sol.Delta[A->Pred].empty())
+            continue;
+          Sol.evalRule(R, static_cast<int>(BI), Sol.Delta[A->Pred]);
+        }
+      }
+    }
+  }
+
+  for (PredId Pr = 0; Pr < NumPreds; ++Pr)
+    for (uint32_t Row : DeletedByPred[Pr])
+      if (!Sol.Tables[Pr]->isTombstone(Row))
+        ++U.CellsRederived;
+
+  U.St = Sol.Stats.St;
+  U.Iterations = Sol.Stats.Iterations - Before.Iterations;
+  U.RuleFirings = Sol.Stats.RuleFirings - Before.RuleFirings;
+  U.FactsDerived = Sol.Stats.FactsDerived - Before.FactsDerived;
+  U.ParallelTasks = Sol.Stats.ParallelTasks - Before.ParallelTasks;
+  U.IndexFallbacks = Sol.Stats.IndexFallbacks - Before.IndexFallbacks;
+  if (Pool)
+    U.ParallelSteals = Pool->steals() - StealsBase;
+}
+
+UpdateStats IncrementalSolver::update() {
+  UpdateStats U;
+  auto Start = std::chrono::steady_clock::now();
+  if (Pool)
+    StealsBase = Pool->steals();
+
+  bool NeedFull = !SolvedOnce || Degraded || touchesNegation();
+  if (NeedFull) {
+    U.FullResolve = SolvedOnce;
+    fullSolve(U);
+    SolvedOnce = true;
+  } else if (PendingAdds.empty() && PendingRetracts.empty()) {
+    // Trivial update: the model is already the fixpoint.
+  } else {
+    incrementalUpdate(U);
+  }
+  Degraded = !U.ok();
+
+  U.Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  U.MemoryBytes = F.memoryBytes();
+  for (PredId Pr = 0; Pr < P.predicates().size(); ++Pr)
+    U.MemoryBytes += S->table(Pr).memoryBytes();
+  return U;
+}

@@ -1,0 +1,231 @@
+//===- incremental/IncrementalSolver.h - Batch fact updates ---*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental evaluation subsystem: batch fact insertions and
+/// retractions between solves, reusing the fixed-point state instead of
+/// restarting (DESIGN.md §12).
+///
+/// Insertions are the easy direction on lattices — values only go up, so
+/// newly joined cells seed ΔP directly and semi-naive iteration resumes.
+/// Retractions use a Delete/Re-derive (DRed-style) pass generalized to
+/// lattices: the solver maintains a support index (Solver::Dependents,
+/// SolverOptions::TrackSupport) recording, for every body row, the head
+/// cells it helped increase; retraction over-deletes the transitive
+/// closure of the retracted cells through that index, resets the deleted
+/// cells to ⊥ in place (Table::resetRow tombstones), re-joins their
+/// surviving input-fact contributions, re-derives each deleted cell with
+/// head-bound rule evaluation over the surviving database, and finally
+/// resumes semi-naive delta rounds per stratum until the fixed point is
+/// restored.
+///
+/// Updates that could change a negated predicate's table (the touched
+/// predicates reach a negated predicate in the rule dependency graph)
+/// fall back to a from-scratch solve — stratified negation is
+/// non-monotone, so DRed's "over-delete then re-derive upward" argument
+/// does not apply across a negation edge. UpdateStats::FullResolve
+/// reports when this happened.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_INCREMENTAL_INCREMENTALSOLVER_H
+#define FLIX_INCREMENTAL_INCREMENTALSOLVER_H
+
+#include "fixpoint/Solver.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace flix {
+
+class ThreadPool;
+
+/// Per-update() outcome: the usual solve counters (covering just this
+/// update's work) plus the incremental-specific ones.
+struct UpdateStats : SolveStats {
+  uint64_t FactsAdded = 0;     ///< fact pairs inserted (duplicates skipped)
+  uint64_t FactsRetracted = 0; ///< fact pairs removed (unknown ones skipped)
+  uint64_t CellsDeleted = 0;   ///< cells reset to ⊥ by over-deletion
+  uint64_t CellsRederived = 0; ///< deleted cells re-derived to non-⊥
+  bool FullResolve = false;    ///< update fell back to a from-scratch solve
+};
+
+/// Wraps the sequential semi-naive Solver with a mutable input-fact store
+/// and an update() that advances the model to the new fact set's least
+/// fixed point without recomputing it from scratch.
+///
+/// Usage: construct over a Program (its facts seed the store), optionally
+/// stage more adds/retracts, then call update() — the first call runs the
+/// initial full solve (with support tracking on). After any update() the
+/// query API below reflects the current model. Staged mutations are
+/// buffered until the next update().
+///
+/// With SolverOptions::NumThreads > 0 the delta rounds of an update run
+/// on a work-stealing pool: workers evaluate rule bodies read-only and
+/// buffer their derivations; the coordinator joins them — and records
+/// support/provenance — single-threaded between rounds, so the support
+/// index write path is trivially race-free. Retraction closure and
+/// re-derivation are sequential in all configurations.
+///
+/// SolverOptions caveats: TimeLimitSeconds/MaxIterations apply only to
+/// the initial (and fallback) full solves, not to incremental updates;
+/// Strategy::Naive affects only the initial solve (updates are always
+/// delta-driven).
+class IncrementalSolver {
+public:
+  explicit IncrementalSolver(const Program &P,
+                             SolverOptions Opts = SolverOptions());
+  IncrementalSolver(const IncrementalSolver &) = delete;
+  IncrementalSolver &operator=(const IncrementalSolver &) = delete;
+  ~IncrementalSolver();
+
+  /// Stages one relational fact (full tuple).
+  void addFact(PredId Pred, std::span<const Value> Tuple);
+  void addFact(PredId Pred, std::initializer_list<Value> Tuple) {
+    addFact(Pred, std::span<const Value>(Tuple.begin(), Tuple.size()));
+  }
+  /// Stages one lattice fact: cell \p Key gains the contribution
+  /// \p LatVal (the cell's value is the lub of its contributions).
+  void addLatFact(PredId Pred, std::span<const Value> Key, Value LatVal);
+  void addLatFact(PredId Pred, std::initializer_list<Value> Key,
+                  Value LatVal) {
+    addLatFact(Pred, std::span<const Value>(Key.begin(), Key.size()),
+               LatVal);
+  }
+  /// Stages removal of one relational fact. Retracting a fact that was
+  /// never added is a no-op (not counted in FactsRetracted).
+  void retractFact(PredId Pred, std::span<const Value> Tuple);
+  void retractFact(PredId Pred, std::initializer_list<Value> Tuple) {
+    retractFact(Pred, std::span<const Value>(Tuple.begin(), Tuple.size()));
+  }
+  /// Stages removal of one lattice fact contribution; the pair
+  /// (\p Key, \p LatVal) must match an earlier addLatFact / program fact
+  /// to have an effect.
+  void retractLatFact(PredId Pred, std::span<const Value> Key, Value LatVal);
+  void retractLatFact(PredId Pred, std::initializer_list<Value> Key,
+                      Value LatVal) {
+    retractLatFact(Pred, std::span<const Value>(Key.begin(), Key.size()),
+                   LatVal);
+  }
+
+  /// Batch forms. Each row is a full tuple: for relational predicates all
+  /// columns; for lattice predicates the key columns followed by the
+  /// lattice value.
+  void addFacts(PredId Pred, std::span<const std::vector<Value>> Rows);
+  void retractFacts(PredId Pred, std::span<const std::vector<Value>> Rows);
+
+  /// Applies every staged mutation and advances the model to the least
+  /// fixed point of the updated fact set. The first call performs the
+  /// initial full solve.
+  UpdateStats update();
+
+  /// Number of staged (not yet applied) mutations.
+  size_t pendingMutations() const {
+    return PendingAdds.size() + PendingRetracts.size();
+  }
+
+  // -- Query API (valid after the first update()) --------------------
+  const Solver &solver() const { return *S; }
+  const Table &table(PredId Pred) const { return S->table(Pred); }
+  bool contains(PredId Pred, std::span<const Value> Tuple) const {
+    return S->contains(Pred, Tuple);
+  }
+  bool contains(PredId Pred, std::initializer_list<Value> Tuple) const {
+    return S->contains(Pred, Tuple);
+  }
+  Value latValue(PredId Pred, std::span<const Value> Key) const {
+    return S->latValue(Pred, Key);
+  }
+  Value latValue(PredId Pred, std::initializer_list<Value> Key) const {
+    return S->latValue(Pred, Key);
+  }
+  std::vector<std::vector<Value>> tuples(PredId Pred) const {
+    return S->tuples(Pred);
+  }
+  const Derivation *explain(PredId Pred, std::span<const Value> Key) const {
+    return S->explain(Pred, Key);
+  }
+  const Derivation *explain(PredId Pred,
+                            std::initializer_list<Value> Key) const {
+    return S->explain(Pred,
+                      std::span<const Value>(Key.begin(), Key.size()));
+  }
+  std::string explainString(PredId Pred, std::span<const Value> Key,
+                            unsigned Depth = 3) const {
+    return S->explainString(Pred, Key, Depth);
+  }
+  std::string explainString(PredId Pred, std::initializer_list<Value> Key,
+                            unsigned Depth = 3) const {
+    return S->explainString(
+        Pred, std::span<const Value>(Key.begin(), Key.size()), Depth);
+  }
+
+  /// The current input fact set, materialized (e.g. for a from-scratch
+  /// differential check). Staged mutations are not included.
+  std::vector<Fact> currentFacts() const;
+
+private:
+  struct WorkerCtx;
+  struct Task;
+
+  Value keyTupleOf(const Fact &Fa) const;
+  void fullSolve(UpdateStats &U);
+  void incrementalUpdate(UpdateStats &U);
+  void noteChanged(PredId Pred, uint32_t Row);
+  void recordSupportEdge(CellRef Prem, CellRef Head);
+  bool touchesNegation() const;
+  void ensureParallel();
+  void prepareWorkerIndexes();
+  void runParallelRound(const std::vector<uint32_t> &RuleIds);
+  void mergeWorkerDerivs();
+
+  const Program &P;
+  SolverOptions Opts;
+  ValueFactory &F;
+
+  std::unique_ptr<Solver> S;
+  bool SolvedOnce = false;
+  /// Set when the last solve did not end at a clean fixpoint (error /
+  /// timeout / iteration limit): the table state is not a model, so the
+  /// next update() re-solves from scratch instead of patching it.
+  bool Degraded = false;
+
+  /// The mutable input fact multiset: per predicate, key tuple → the
+  /// distinct lattice contributions added for that cell (boolean(true)
+  /// for relational predicates). The model is always the LFP of this
+  /// store plus the rules.
+  std::vector<std::unordered_map<Value, SmallVector<Value, 2>>> FactStore;
+
+  std::vector<Fact> PendingAdds;
+  std::vector<Fact> PendingRetracts;
+  /// Materialization of FactStore handed to the inner Solver through
+  /// Solver::FactsOverride for full solves; kept alive for its lifetime.
+  std::vector<Fact> OverrideFacts;
+
+  /// Per predicate: true if a change to it can reach a negated predicate
+  /// (including being one) through the rule dependency graph — updates
+  /// touching these fall back to a full re-solve.
+  std::vector<uint8_t> FeedsNeg;
+
+  /// Rows changed so far in the current update(), per predicate; seeds
+  /// every stratum's delta rounds (replacing full round-0 evaluation).
+  std::vector<std::unordered_set<uint32_t>> UpdateChanged;
+
+  // Parallel round machinery (lazily set up on first parallel update).
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<std::unique_ptr<WorkerCtx>> Workers;
+  std::vector<Task> Tasks;
+  std::mutex ExternMu;
+  bool ParallelReady = false;
+  /// Pool steal counter at the start of the current update(), for the
+  /// per-update ParallelSteals delta.
+  uint64_t StealsBase = 0;
+};
+
+} // namespace flix
+
+#endif // FLIX_INCREMENTAL_INCREMENTALSOLVER_H

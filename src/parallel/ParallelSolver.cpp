@@ -6,6 +6,7 @@
 
 #include "parallel/ParallelSolver.h"
 
+#include "fixpoint/EvalUtil.h"
 #include "support/Hashing.h"
 #include "support/SmallVector.h"
 
@@ -21,24 +22,10 @@ using namespace flix;
 // Worker-local evaluation context
 //===----------------------------------------------------------------------===//
 
+using flix::eval::BindTrail;
+using flix::eval::buildOrder;
+
 namespace {
-
-/// Undo log for variable bindings within one body-element match (same
-/// shape as the sequential solver's trail).
-struct BindTrail {
-  SmallVector<std::pair<VarId, std::pair<bool, Value>>, 4> Saved;
-
-  void save(VarId V, bool WasBound, Value Old) {
-    Saved.push_back({V, {WasBound, Old}});
-  }
-  void undo(std::vector<Value> &Env, std::vector<uint8_t> &Bound) {
-    for (size_t I = Saved.size(); I-- > 0;) {
-      Env[Saved[I].first] = Saved[I].second.second;
-      Bound[Saved[I].first] = Saved[I].second.first;
-    }
-    Saved.clear();
-  }
-};
 
 /// Map key for per-shard ⊔-compaction: one cell of one predicate.
 struct CellKey {
@@ -208,18 +195,6 @@ struct ParallelSolver::WorkerCtx {
   void compactShard(size_t Sh);
   void joinPred(PredId Pred);
 };
-
-// The driver-first evaluation Order for rule \p R; must stay in lockstep
-// with the simulation in computeWantedIndexes(), and is the contract that
-// lets SubTasks carry only (RuleIdx, Driver) instead of the Order itself.
-static void buildOrder(const Rule &R, int32_t Driver,
-                       SmallVector<const BodyElem *, 8> &Order) {
-  if (Driver >= 0)
-    Order.push_back(&R.Body[Driver]);
-  for (size_t I = 0; I < R.Body.size(); ++I)
-    if (static_cast<int>(I) != Driver)
-      Order.push_back(&R.Body[I]);
-}
 
 void ParallelSolver::WorkerCtx::runTask(const Task &T) {
   const Rule &R = S.Prepared[T.RuleIdx];

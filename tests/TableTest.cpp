@@ -1,10 +1,10 @@
-//===- tests/TableTest.cpp - Table and stratification unit tests -----------===//
+//===- tests/TableTest.cpp - Table unit tests ------------------------------===//
 //
 // Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
 //
 //===----------------------------------------------------------------------===//
 
-#include "fixpoint/Stratify.h"
+#include "fixpoint/Program.h"
 #include "fixpoint/Table.h"
 
 #include "runtime/Lattices.h"
@@ -173,75 +173,6 @@ TEST_F(TableTest, RelationalTableViaBoolLattice) {
   auto R2 = T.join(key(1, 2), F.boolean(true));
   EXPECT_FALSE(R2.Changed); // duplicate tuple
   EXPECT_EQ(T.size(), 1u);
-}
-
-//===----------------------------------------------------------------------===//
-// Stratification
-//===----------------------------------------------------------------------===//
-
-TEST(StratifyTest, PositiveProgramIsOneStratum) {
-  ValueFactory F;
-  Program P(F);
-  PredId A = P.relation("A", 1);
-  PredId B = P.relation("B", 1);
-  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).addTo(P);
-  RuleBuilder().head(A, {"x"}).atom(B, {"x"}).addTo(P);
-  StratifyResult R = stratify(P);
-  ASSERT_TRUE(R.ok()) << R.Error;
-  EXPECT_EQ(R.Strat->numStrata(), 1u);
-}
-
-TEST(StratifyTest, NegationForcesHigherStratum) {
-  ValueFactory F;
-  Program P(F);
-  PredId A = P.relation("A", 1);
-  PredId B = P.relation("B", 1);
-  PredId C = P.relation("C", 1);
-  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).addTo(P);
-  RuleBuilder().head(C, {"x"}).atom(A, {"x"}).negated(B, {"x"}).addTo(P);
-  StratifyResult R = stratify(P);
-  ASSERT_TRUE(R.ok());
-  EXPECT_GT(R.Strat->PredStratum[C], R.Strat->PredStratum[B]);
-  // Rules are grouped by head stratum.
-  EXPECT_EQ(R.Strat->RulesByStratum[R.Strat->PredStratum[C]].size(), 1u);
-}
-
-TEST(StratifyTest, ChainOfNegationsBuildsStrata) {
-  ValueFactory F;
-  Program P(F);
-  PredId A = P.relation("A", 1);
-  PredId B = P.relation("B", 1);
-  PredId C = P.relation("C", 1);
-  PredId D = P.relation("D", 1);
-  RuleBuilder().head(B, {"x"}).atom(A, {"x"}).negated(A, {"x"}).addTo(P);
-  RuleBuilder().head(C, {"x"}).atom(A, {"x"}).negated(B, {"x"}).addTo(P);
-  RuleBuilder().head(D, {"x"}).atom(A, {"x"}).negated(C, {"x"}).addTo(P);
-  StratifyResult R = stratify(P);
-  ASSERT_TRUE(R.ok());
-  EXPECT_LT(R.Strat->PredStratum[B], R.Strat->PredStratum[C]);
-  EXPECT_LT(R.Strat->PredStratum[C], R.Strat->PredStratum[D]);
-}
-
-TEST(StratifyTest, NegativeCycleRejected) {
-  ValueFactory F;
-  Program P(F);
-  PredId A = P.relation("A", 1);
-  PredId B = P.relation("B", 1);
-  PredId N = P.relation("N", 1);
-  RuleBuilder().head(A, {"x"}).atom(N, {"x"}).negated(B, {"x"}).addTo(P);
-  RuleBuilder().head(B, {"x"}).atom(N, {"x"}).negated(A, {"x"}).addTo(P);
-  StratifyResult R = stratify(P);
-  EXPECT_FALSE(R.ok());
-  EXPECT_NE(R.Error.find("not stratifiable"), std::string::npos);
-}
-
-TEST(StratifyTest, NegativeSelfLoopRejected) {
-  ValueFactory F;
-  Program P(F);
-  PredId A = P.relation("A", 1);
-  PredId N = P.relation("N", 1);
-  RuleBuilder().head(A, {"x"}).atom(N, {"x"}).negated(A, {"x"}).addTo(P);
-  EXPECT_FALSE(stratify(P).ok());
 }
 
 //===----------------------------------------------------------------------===//

@@ -13,9 +13,16 @@
 //   --reorder          greedily reorder rule bodies
 //   --threads <n>      solve with the parallel engine on <n> worker
 //                      threads (0 = sequential solver, the default)
+//   --spill-threshold <n>  split index buckets / scans longer than <n>
+//                      rows into stealable sub-tasks (parallel engine;
+//                      0 disables intra-rule splitting)
+//   --strict-index-coverage  assert (debug builds) that no worker probe
+//                      falls back to a full table scan
 //   --time-limit <s>   abort after <s> seconds
 //   --facts <dir>      load input facts from <dir>/<Pred>.facts files
 //                      (tab-separated, one tuple per line)
+//   --update-script <file>  after the initial solve, replay incremental
+//                      fact updates from <file> (see below)
 //   --dump-program     print the lowered fixpoint program and exit
 //   --print <pred>     print all tuples of one predicate (repeatable)
 //   --explain <pred>   print derivation trees for a predicate's rows
@@ -29,8 +36,21 @@
 // are parsed according to the predicate's declared attribute types (Int,
 // Str, Bool, or a nullary enum tag written Enum.Case).
 //
+// Update scripts drive the incremental engine (src/incremental). Each
+// line is whitespace-separated tokens:
+//
+//   add <Pred> <col>...       stage a fact insertion
+//   retract <Pred> <col>...   stage a fact retraction
+//   update                    apply staged mutations incrementally
+//   # ...                     comment
+//
+// For lattice predicates the last column is the lattice value. A final
+// `update` is implied if mutations remain staged at end of file. The
+// model printed at exit reflects the last update.
+//
 //===----------------------------------------------------------------------===//
 
+#include "incremental/IncrementalSolver.h"
 #include "lang/Compiler.h"
 #include "parallel/Dispatch.h"
 
@@ -53,8 +73,14 @@ static void printUsage() {
       "  --reorder          greedily reorder rule bodies\n"
       "  --threads <n>      parallel engine with <n> workers (0 = "
       "sequential)\n"
+      "  --spill-threshold <n>  intra-rule split threshold (parallel "
+      "engine; 0 = off)\n"
+      "  --strict-index-coverage  assert full static index coverage "
+      "(debug builds)\n"
       "  --time-limit <s>   abort after <s> seconds\n"
       "  --facts <dir>      load input facts from <dir>/<Pred>.facts\n"
+      "  --update-script <file>  replay incremental add/retract/update "
+      "commands\n"
       "  --dump-program     print the lowered fixpoint program and exit\n"
       "  --print <pred>     print all tuples of one predicate\n"
       "  --explain <pred>   print derivation trees for a predicate's rows\n"
@@ -169,8 +195,11 @@ template <typename SolverT>
 static void printPredicate(const Program &P, const SolverT &S, PredId Id) {
   const PredicateDecl &D = P.predicate(Id);
   const ValueFactory &F = P.factory();
-  std::printf("%s (%zu rows)\n", D.Name.c_str(), S.table(Id).size());
-  for (const auto &Row : S.tuples(Id)) {
+  // Count via tuples(): the incremental engine's tables may hold
+  // tombstoned (logically absent) rows that size() would include.
+  std::vector<std::vector<Value>> Rows = S.tuples(Id);
+  std::printf("%s (%zu rows)\n", D.Name.c_str(), Rows.size());
+  for (const auto &Row : Rows) {
     std::printf("  %s(", D.Name.c_str());
     for (size_t I = 0; I < Row.size(); ++I) {
       if (I)
@@ -185,6 +214,175 @@ static void printPredicate(const Program &P, const SolverT &S, PredId Id) {
   }
 }
 
+static void printUpdateStats(unsigned UpdateNo, const UpdateStats &U) {
+  std::printf("update %u: +%llu -%llu facts, %llu cells deleted, %llu "
+              "rederived, %llu derived, %llu firings, %.4f s%s\n",
+              UpdateNo, static_cast<unsigned long long>(U.FactsAdded),
+              static_cast<unsigned long long>(U.FactsRetracted),
+              static_cast<unsigned long long>(U.CellsDeleted),
+              static_cast<unsigned long long>(U.CellsRederived),
+              static_cast<unsigned long long>(U.FactsDerived),
+              static_cast<unsigned long long>(U.RuleFirings), U.Seconds,
+              U.FullResolve ? " (full re-solve)" : "");
+}
+
+/// Replays an update script (see the file comment) against the
+/// incremental engine, then prints the final model like the one-shot
+/// path. Returns the process exit code.
+static int runUpdateScript(FlixCompiler &C, ValueFactory &F,
+                           const SolverOptions &Opts,
+                           const std::string &ScriptPath,
+                           const std::vector<std::string> &PrintPreds,
+                           const std::vector<std::string> &ExplainPreds,
+                           bool Stats) {
+  std::ifstream Script(ScriptPath);
+  if (!Script) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", ScriptPath.c_str());
+    return 1;
+  }
+
+  const Program &P = C.program();
+  const CheckedModule &CM = C.checkedModule();
+  IncrementalSolver IS(P, Opts);
+
+  unsigned UpdateNo = 0;
+  auto runUpdate = [&]() -> bool {
+    UpdateStats U = IS.update();
+    if (U.St == SolveStats::Status::Error) {
+      std::fprintf(stderr, "error: %s\n", U.Error.c_str());
+      return false;
+    }
+    if (C.interp().hasError()) {
+      std::fprintf(stderr, "runtime error: %s\n",
+                   C.interp().error().c_str());
+      return false;
+    }
+    if (U.St != SolveStats::Status::Fixpoint)
+      std::fprintf(stderr, "warning: update %u did not reach a fixpoint; "
+                           "the next update re-solves from scratch\n",
+                   UpdateNo);
+    if (Stats)
+      printUpdateStats(UpdateNo, U);
+    ++UpdateNo;
+    return true;
+  };
+
+  // The initial solve (update 0) establishes the support index.
+  if (!runUpdate())
+    return 1;
+
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Script, Line)) {
+    ++LineNo;
+    std::istringstream Toks(Line);
+    std::vector<std::string> Tok;
+    for (std::string T; Toks >> T;)
+      Tok.push_back(std::move(T));
+    if (Tok.empty() || Tok[0][0] == '#')
+      continue;
+
+    if (Tok[0] == "update") {
+      if (!runUpdate())
+        return 1;
+      continue;
+    }
+    bool IsAdd = Tok[0] == "add";
+    if (!IsAdd && Tok[0] != "retract") {
+      std::fprintf(stderr,
+                   "%s:%u: error: expected add/retract/update, got '%s'\n",
+                   ScriptPath.c_str(), LineNo, Tok[0].c_str());
+      return 1;
+    }
+    if (Tok.size() < 2) {
+      std::fprintf(stderr, "%s:%u: error: %s needs a predicate name\n",
+                   ScriptPath.c_str(), LineNo, Tok[0].c_str());
+      return 1;
+    }
+    auto Id = C.predicate(Tok[1]);
+    auto InfoIt = CM.Preds.find(Tok[1]);
+    if (!Id || InfoIt == CM.Preds.end()) {
+      std::fprintf(stderr, "%s:%u: error: unknown predicate '%s'\n",
+                   ScriptPath.c_str(), LineNo, Tok[1].c_str());
+      return 1;
+    }
+    const PredInfo &Info = InfoIt->second;
+    if (Tok.size() - 2 != Info.AttrTypes.size()) {
+      std::fprintf(stderr, "%s:%u: error: %s expects %zu columns, got "
+                           "%zu\n",
+                   ScriptPath.c_str(), LineNo, Tok[1].c_str(),
+                   Info.AttrTypes.size(), Tok.size() - 2);
+      return 1;
+    }
+    std::vector<Value> Vals(Info.AttrTypes.size());
+    for (size_t I = 0; I < Vals.size(); ++I) {
+      std::string Err;
+      if (!parseColumn(F, Info.AttrTypes[I], Tok[I + 2], Vals[I], Err)) {
+        std::fprintf(stderr, "%s:%u: error: column %zu: %s\n",
+                     ScriptPath.c_str(), LineNo, I + 1, Err.c_str());
+        return 1;
+      }
+    }
+    bool IsLat = Info.Decl->IsLat;
+    std::span<const Value> Key(Vals.data(),
+                               IsLat ? Vals.size() - 1 : Vals.size());
+    if (IsAdd) {
+      if (IsLat)
+        IS.addLatFact(*Id, Key, Vals.back());
+      else
+        IS.addFact(*Id, Key);
+    } else {
+      if (IsLat)
+        IS.retractLatFact(*Id, Key, Vals.back());
+      else
+        IS.retractFact(*Id, Key);
+    }
+  }
+  if (IS.pendingMutations() > 0 && !runUpdate())
+    return 1;
+
+  if (!PrintPreds.empty()) {
+    for (const std::string &Name : PrintPreds) {
+      auto Id = C.predicate(Name);
+      if (!Id) {
+        std::fprintf(stderr, "error: unknown predicate '%s'\n",
+                     Name.c_str());
+        return 1;
+      }
+      printPredicate(P, IS, *Id);
+    }
+  } else {
+    for (PredId Id = 0; Id < P.predicates().size(); ++Id) {
+      if (IS.table(Id).liveSize() <= 50)
+        printPredicate(P, IS, Id);
+      else
+        std::printf("%s (%zu rows, use --print %s to list)\n",
+                    P.predicate(Id).Name.c_str(), IS.table(Id).liveSize(),
+                    P.predicate(Id).Name.c_str());
+    }
+  }
+
+  for (const std::string &Name : ExplainPreds) {
+    auto Id = C.predicate(Name);
+    if (!Id) {
+      std::fprintf(stderr, "error: unknown predicate '%s'\n", Name.c_str());
+      return 1;
+    }
+    std::printf("derivations of %s:\n", Name.c_str());
+    size_t Shown = 0;
+    for (const auto &Row : IS.tuples(*Id)) {
+      std::span<const Value> Key(Row.data(), P.predicate(*Id).keyArity());
+      std::printf("%s", IS.explainString(*Id, Key).c_str());
+      if (++Shown >= 20) {
+        std::printf("  ... (%zu more rows)\n",
+                    IS.table(*Id).liveSize() - Shown);
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
 int main(int Argc, char **Argv) {
   SolverOptions Opts;
   bool DumpProgram = false;
@@ -193,6 +391,7 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> ExplainPreds;
   std::string InputPath;
   std::string FactsDir;
+  std::string UpdateScriptPath;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -213,6 +412,26 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Opts.NumThreads = static_cast<unsigned>(N);
+    } else if (Arg == "--spill-threshold") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --spill-threshold needs a value\n");
+        return 1;
+      }
+      long N = std::atol(Argv[I]);
+      if (N < 0) {
+        std::fprintf(stderr,
+                     "error: --spill-threshold needs a value >= 0\n");
+        return 1;
+      }
+      Opts.SpillThreshold = static_cast<uint32_t>(N);
+    } else if (Arg == "--strict-index-coverage") {
+      Opts.StrictIndexCoverage = true;
+    } else if (Arg == "--update-script") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --update-script needs a file\n");
+        return 1;
+      }
+      UpdateScriptPath = Argv[I];
     } else if (Arg == "--time-limit") {
       if (++I >= Argc) {
         std::fprintf(stderr, "error: --time-limit needs a value\n");
@@ -257,7 +476,10 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 1;
   }
-  if (Opts.NumThreads > 0 && !ExplainPreds.empty()) {
+  // The incremental engine's inner solver is sequential (workers only
+  // evaluate read-only), so --explain composes with --threads there.
+  if (Opts.NumThreads > 0 && !ExplainPreds.empty() &&
+      UpdateScriptPath.empty()) {
     std::fprintf(stderr, "error: --explain requires the sequential solver; "
                          "drop --threads or use --threads 0\n");
     return 1;
@@ -298,6 +520,10 @@ int main(int Argc, char **Argv) {
 
   if (Opts.NumThreads > 0)
     C.interp().enableThreadSafe();
+
+  if (!UpdateScriptPath.empty())
+    return runUpdateScript(C, F, Opts, UpdateScriptPath, PrintPreds,
+                           ExplainPreds, Stats);
 
   return solveWith(C.program(), Opts, [&](const auto &S,
                                           const SolveStats &St) -> int {
