@@ -18,6 +18,11 @@
 //   * trivial flow functions (engine-bound): isolates the pure overhead
 //     of the generic engine over the bare worklist algorithm.
 //
+// A plan/memo ablation section then re-runs the declarative solver in
+// the four {CompilePlans, EnableMemo} configurations and reports ns per
+// rule firing (firings are identical across regimes, so this normalizes
+// out workload size); the JSON records carry regime "plan_memo".
+//
 // Options:
 //   --threads <csv>    also run the declarative solver through the
 //                      parallel engine at each listed worker count
@@ -191,6 +196,86 @@ void runScaling(const std::vector<unsigned> &Threads, int TransferWork,
   std::printf("\n");
 }
 
+/// The four plan/memo configurations, legacy first.
+struct AblationRegime {
+  const char *Name;
+  bool Plans, Memo;
+};
+constexpr AblationRegime PlanMemoRegimes[] = {
+    {"legacy", false, false},
+    {"plans", true, false},
+    {"memo", false, true},
+    {"plans+memo", true, true},
+};
+
+/// Plan/memo ablation on the declarative solver (sequential engine).
+/// Reports ns per rule firing — the normalization the acceptance check
+/// uses, since firings are identical across regimes on the same input.
+void runPlanMemoAblation(int TransferWork, long Reps, JsonReport *Json) {
+  std::printf("Plan/memo ablation (sequential declarative solver; ns per "
+              "rule firing):\n");
+  std::printf("%-10s", "Program");
+  for (const AblationRegime &Reg : PlanMemoRegimes)
+    std::printf(" %12s", Reg.Name);
+  std::printf("\n");
+  std::printf("%.*s\n", 62,
+              "------------------------------------------------------------"
+              "--------------------");
+
+  for (const DacapoPreset &Preset : dacapoPresets()) {
+    IcfgProgram G = generateIcfg(/*Seed=*/2016, Preset.NumProcs,
+                                 Preset.NodesPerProc, Preset.FactsTotal,
+                                 Preset.CallsPerProc);
+    G.TransferWork = TransferWork;
+    IfdsProblem Prob = G.toIfdsProblem();
+    IfdsResult Reference = runIfdsImperative(Prob);
+
+    std::printf("%-10s", Preset.Name.c_str());
+    for (const AblationRegime &Reg : PlanMemoRegimes) {
+      SolverOptions Opts;
+      Opts.CompilePlans = Reg.Plans;
+      Opts.EnableMemo = Reg.Memo;
+      IfdsResult R;
+      double Time = median(Reps, [&] {
+        R = runIfdsFlix(Prob, Opts);
+        return R.Seconds;
+      });
+      bool Ok = R.Ok && R.sameResult(Reference);
+      if (!Ok)
+        std::printf("\nWARNING: %s regime disagrees with imperative on "
+                    "%s!\n",
+                    Reg.Name, Preset.Name.c_str());
+      double NsPerFiring =
+          Time * 1e9 / std::max<uint64_t>(R.Stats.RuleFirings, 1);
+      std::printf(" %12.1f", NsPerFiring);
+      if (Json) {
+        Json->begin();
+        Json->str("bench", "table2_ifds")
+            .str("regime", "plan_memo")
+            .str("config", Reg.Name)
+            .str("program", Preset.Name)
+            .boolean("plans", Reg.Plans)
+            .boolean("memo", Reg.Memo)
+            .integer("threads", 0)
+            .num("seconds", Time)
+            .integer("rule_firings",
+                     static_cast<long long>(R.Stats.RuleFirings))
+            .num("ns_per_firing", NsPerFiring)
+            .integer("plan_steps",
+                     static_cast<long long>(R.Stats.PlanSteps))
+            .integer("memo_hits", static_cast<long long>(R.Stats.MemoHits))
+            .integer("memo_misses",
+                     static_cast<long long>(R.Stats.MemoMisses))
+            .boolean("ok", Ok);
+        Json->end();
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -230,6 +315,7 @@ int main(int Argc, char **Argv) {
               "realistic", Work, Reps, /*CheckAgainstPaper=*/true, JsonP);
   runRegime("Trivial flow functions (pure engine overhead):", "trivial", 0,
             Reps, false, JsonP);
+  runPlanMemoAblation(Work, Reps, JsonP);
   if (!Threads.empty())
     runScaling(Threads, Work, Reps, JsonP);
 

@@ -186,6 +186,7 @@ IdeResult flix::runIdeFlix(const IdeProblem &In, SolverOptions Opts) {
   return solveWith(P, Opts, [&](const auto &S, const SolveStats &St) {
     IdeResult R;
     R.Seconds = St.Seconds;
+    R.Stats = St;
     if (!St.ok()) {
       R.Error = St.Error.empty() ? "solver did not reach a fixpoint"
                                  : St.Error;

@@ -75,6 +75,9 @@ struct IdeResult {
   size_t NumJumpFns = 0;
   size_t NumSummaries = 0;
   double Seconds = 0;
+  /// Full engine counters of the declarative run — benchmarks report
+  /// RuleFirings, PlanSteps, MemoHits/Misses etc.
+  SolveStats Stats;
 
   /// Reachable (node, fact) pairs — JumpFn edges with non-⊥ functions,
   /// for comparison against an IFDS run (§4.3: IDE computes the same

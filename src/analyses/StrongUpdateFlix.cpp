@@ -272,10 +272,8 @@ flix::runStrongUpdateFlixSource(const PointerProgram &In,
   }
 
   // All lattice operations and externals of a compiled program run
-  // through the interpreter; serialize it before letting the parallel
-  // solver's workers call into it.
-  if (Opts.NumThreads > 0)
-    C.interp().enableThreadSafe();
+  // through the interpreter, which is intrinsically thread-safe (Interp.h)
+  // — the parallel solver's workers call into it with no outer lock.
   return solveWith(C.program(), Opts,
                    [&](const auto &S, const SolveStats &St) {
     fillStatus(R, St);

@@ -1,0 +1,250 @@
+//===- fixpoint/Plan.cpp - Rule plan compilation --------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fixpoint/Plan.h"
+
+#include <cassert>
+
+using namespace flix;
+using namespace flix::plan;
+
+namespace {
+
+Operand operandOf(const Term &T) {
+  Operand O;
+  O.IsConst = !T.isVar();
+  if (O.IsConst)
+    O.Const = T.Constant;
+  else
+    O.Var = T.Variable;
+  return O;
+}
+
+/// Compiles one (rule, driver) plan. \p PreBound marks variables bound
+/// before the body starts (the rederive family's head-key variables).
+/// \p DriverIsDelta selects a StepKind::Driver opening step (delta rounds)
+/// vs a normal access path for the fronted atom (rederive).
+///
+/// Boundness is simulated exactly as the legacy recursive walk (and the
+/// parallel/incremental index analyses) evolve it: positive atoms bind all
+/// their variable terms including the lattice column, binder patterns
+/// bind, negated atoms and filters bind nothing. Along a fixed order that
+/// simulation is exact, so every runtime Bound[] check of the legacy walk
+/// becomes a compile-time ColOp/LatOp choice.
+RulePlan compilePlan(const Program &P, const Rule &R, uint32_t RuleIdx,
+                     int Driver, const std::vector<bool> &PreBound,
+                     bool DriverIsDelta, bool UseIndexes) {
+  RulePlan Pl;
+  Pl.RuleIdx = RuleIdx;
+  Pl.Driver = Driver;
+  Pl.NumVars = R.NumVars;
+  Pl.Valid = true;
+
+  std::vector<bool> BoundVar = PreBound;
+  BoundVar.resize(R.NumVars, false);
+
+  SmallVector<const BodyElem *, 8> Order;
+  eval::buildOrder(R, Driver, Order);
+
+  for (size_t Pos = 0; Pos < Order.size(); ++Pos) {
+    const BodyElem &E = *Order[Pos];
+
+    if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
+      // Fuse onto the preceding step: it runs at the same point of the
+      // search tree (after that step's candidate matched), and validation
+      // guarantees its arguments are bound there. A leading filter gets a
+      // one-shot step of its own.
+      Guard G;
+      G.Fn = Fl->Fn;
+      for (const Term &T : Fl->Args)
+        G.Args.push_back(operandOf(T));
+      if (Pl.Steps.empty()) {
+        Step S;
+        S.Kind = StepKind::Filter;
+        S.Guards.push_back(std::move(G));
+        Pl.Steps.push_back(std::move(S));
+      } else {
+        Pl.Steps.back().Guards.push_back(std::move(G));
+      }
+      continue;
+    }
+
+    if (const auto *B = std::get_if<BodyBinder>(&E)) {
+      Step S;
+      S.Kind = StepKind::Binder;
+      S.Fn = B->Fn;
+      for (const Term &T : B->Args)
+        S.Args.push_back(operandOf(T));
+      for (size_t I = 0; I < B->Pattern.size(); ++I) {
+        VarId V = B->Pattern[I];
+        ColTest Ct;
+        Ct.Col = static_cast<uint8_t>(I);
+        Ct.Var = V;
+        if (BoundVar[V]) {
+          Ct.Op = ColOp::CheckVar;
+        } else {
+          Ct.Op = ColOp::Bind;
+          BoundVar[V] = true; // later duplicate slots become checks
+        }
+        S.Pattern.push_back(Ct);
+      }
+      Pl.Steps.push_back(std::move(S));
+      continue;
+    }
+
+    const auto &A = std::get<BodyAtom>(E);
+    const PredicateDecl &D = P.predicate(A.Pred);
+    unsigned KA = D.keyArity();
+
+    if (A.Negated) {
+      // Ground by validation; binds nothing (lockstep with the analyses).
+      Step S;
+      S.Kind = StepKind::Negation;
+      S.Pred = A.Pred;
+      for (unsigned I = 0; I < KA; ++I)
+        S.ProjOps.push_back(operandOf(A.Terms[I]));
+      Pl.Steps.push_back(std::move(S));
+      continue;
+    }
+
+    Step S;
+    S.Pred = A.Pred;
+    S.Lat = D.isRelational() ? nullptr : D.Lat;
+
+    // Full column tests with sequential in-atom boundness: the first
+    // occurrence of a variable binds, later occurrences (in this atom)
+    // check — exactly the legacy matchAtomRow behavior.
+    {
+      std::vector<bool> InAtom = BoundVar;
+      for (unsigned I = 0; I < KA; ++I) {
+        const Term &Tm = A.Terms[I];
+        ColTest Ct;
+        Ct.Col = static_cast<uint8_t>(I);
+        if (!Tm.isVar()) {
+          Ct.Op = ColOp::CheckConst;
+          Ct.Const = Tm.Constant;
+        } else if (InAtom[Tm.Variable]) {
+          Ct.Op = ColOp::CheckVar;
+          Ct.Var = Tm.Variable;
+        } else {
+          Ct.Op = ColOp::Bind;
+          Ct.Var = Tm.Variable;
+          InAtom[Tm.Variable] = true;
+        }
+        S.Cols.push_back(Ct);
+      }
+      if (!D.isRelational()) {
+        // The lattice column sees the key columns' binds (legacy order).
+        const Term &Lt = A.Terms[KA];
+        if (!Lt.isVar()) {
+          S.LOp = LatOp::CheckConstLeq;
+          S.LatConst = Lt.Constant;
+        } else if (InAtom[Lt.Variable]) {
+          S.LOp = LatOp::GlbRebind;
+          S.LatVar = Lt.Variable;
+        } else {
+          S.LOp = LatOp::BindVar;
+          S.LatVar = Lt.Variable;
+        }
+      }
+    }
+
+    if (Pos == 0 && Driver >= 0 && DriverIsDelta) {
+      S.Kind = StepKind::Driver;
+    } else {
+      // Access-path mask from pre-atom boundness — identical to the
+      // legacy evalAtom mask and the static index analyses.
+      uint64_t Mask = 0;
+      for (unsigned I = 0; I < KA; ++I) {
+        const Term &Tm = A.Terms[I];
+        if (!Tm.isVar() || BoundVar[Tm.Variable]) {
+          Mask |= uint64_t(1) << I;
+          S.ProjOps.push_back(operandOf(Tm));
+        }
+      }
+      uint64_t Full = KA == 0 ? 0 : (uint64_t(1) << KA) - 1;
+      S.Mask = Mask;
+      if (Mask == Full) {
+        S.Kind = StepKind::Lookup; // exact key: no residual column tests
+      } else if (Mask != 0 && UseIndexes) {
+        S.Kind = StepKind::Probe;
+        // Bucket rows match the masked columns exactly (the projection
+        // tuple is hash-consed), so the probe path only runs the tests of
+        // unmasked columns.
+        for (const ColTest &Ct : S.Cols)
+          if (!(Mask & (uint64_t(1) << Ct.Col)))
+            S.Binds.push_back(Ct);
+      } else {
+        S.Kind = StepKind::Scan;
+        S.Mask = 0;
+        S.ProjOps.clear();
+      }
+    }
+    Pl.Steps.push_back(std::move(S));
+
+    // After the atom, all its variable terms (including the lattice
+    // column) are bound.
+    for (const Term &Tm : A.Terms)
+      if (Tm.isVar())
+        BoundVar[Tm.Variable] = true;
+  }
+
+  const HeadAtom &H = R.Head;
+  Pl.Head.Pred = H.Pred;
+  Pl.Head.Relational = P.predicate(H.Pred).isRelational();
+  for (const Term &T : H.KeyTerms)
+    Pl.Head.KeyOps.push_back(operandOf(T));
+  if (H.LastFn) {
+    Pl.Head.HasFn = true;
+    Pl.Head.Fn = *H.LastFn;
+    for (const Term &T : H.FnArgs)
+      Pl.Head.FnArgs.push_back(operandOf(T));
+  } else {
+    Pl.Head.LastOp = operandOf(H.LastTerm);
+  }
+  return Pl;
+}
+
+} // namespace
+
+PlanLibrary::PlanLibrary(const Program &P, const std::vector<Rule> &Prepared,
+                         bool UseIndexes) {
+  Normal.resize(Prepared.size());
+  HeadBound.resize(Prepared.size());
+  for (uint32_t RI = 0; RI < Prepared.size(); ++RI) {
+    const Rule &R = Prepared[RI];
+    Normal[RI].resize(R.Body.size() + 1);
+    HeadBound[RI].resize(R.Body.size() + 1);
+
+    // The rederive family's pre-bound set: variables the head key tuple
+    // grounds. For relational heads the key includes the last column
+    // (unless it is function-computed, which cannot be inverted).
+    std::vector<bool> NoBound;
+    std::vector<bool> HeadVars(R.NumVars, false);
+    for (const Term &T : R.Head.KeyTerms)
+      if (T.isVar())
+        HeadVars[T.Variable] = true;
+    if (P.predicate(R.Head.Pred).isRelational() && !R.Head.LastFn &&
+        R.Head.LastTerm.isVar())
+      HeadVars[R.Head.LastTerm.Variable] = true;
+
+    for (int Driver = -1; Driver < static_cast<int>(R.Body.size());
+         ++Driver) {
+      if (Driver >= 0) {
+        const auto *A = std::get_if<BodyAtom>(&R.Body[Driver]);
+        if (!A || A->Negated)
+          continue; // only positive atoms drive
+      }
+      RulePlan &N = Normal[RI][static_cast<size_t>(Driver + 1)];
+      RulePlan &HB = HeadBound[RI][static_cast<size_t>(Driver + 1)];
+      N = compilePlan(P, R, RI, Driver, NoBound,
+                      /*DriverIsDelta=*/Driver >= 0, UseIndexes);
+      HB = compilePlan(P, R, RI, Driver, HeadVars,
+                       /*DriverIsDelta=*/false, UseIndexes);
+      TotalSteps += N.Steps.size() + HB.Steps.size();
+    }
+  }
+}

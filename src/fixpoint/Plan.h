@@ -1,0 +1,677 @@
+//===- fixpoint/Plan.h - Compiled rule join plans -------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ahead-of-time compilation of rule bodies into flat, array-based join
+/// plans, plus a memo cache for pure external functions. Together they
+/// attack the two §4.5 hot spots that remain after hash-consing: the
+/// per-row interpretive dispatch of the recursive
+/// evalElems/evalAtom/matchAtomRow walk, and repeated re-evaluation of
+/// pure transfer/filter functions.
+///
+/// A RulePlan is compiled once per (prepared rule, driver position) after
+/// body reordering. Each Step pre-resolves everything the recursive walk
+/// recomputed per row: the access path (primary lookup, indexed probe with
+/// its bound-column mask, or full scan), per-column operations (constant
+/// test, bound-variable test, or first-occurrence bind), the lattice-
+/// column operation (ground ⊑ test, bind, or ⊓-rebind), and filter guards
+/// fused onto the step after which their arguments are bound. Boundness is
+/// *static* along an evaluation order — the same simulation the parallel
+/// solver's index analysis runs — so every per-row branch of the legacy
+/// walk becomes a precomputed opcode.
+///
+/// PlanExecutor runs a plan with an explicit cursor stack instead of
+/// recursion. It is templated over a small engine policy so the sequential
+/// Solver (in-place joins), the parallel workers (buffered derivations,
+/// sub-task spilling) and the incremental workers (premise capture)
+/// share one executor; see the engine concept below.
+///
+/// ExternMemo caches pure external-function results keyed on hash-consed
+/// Value handles. Soundness: the paper requires transfer and filter
+/// functions to be pure (§2.3 "compositions of monotone and pure
+/// functions"), so f(args) is uniquely determined by the argument handles
+/// and caching cannot change the least fixed point. The cache is
+/// lock-sharded; a racing miss may compute the same result twice, which is
+/// benign for a pure function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_FIXPOINT_PLAN_H
+#define FLIX_FIXPOINT_PLAN_H
+
+#include "fixpoint/EvalUtil.h"
+#include "fixpoint/Program.h"
+#include "fixpoint/Table.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace flix::plan {
+
+/// Per-key-column operation of one step, decided at compile time from the
+/// static boundness of the column's term.
+enum class ColOp : uint8_t {
+  CheckConst, ///< row column must equal Const
+  CheckVar,   ///< row column must equal Env[Var]
+  Bind,       ///< first occurrence: bind Env[Var] to the row column
+};
+
+struct ColTest {
+  ColOp Op;
+  uint8_t Col; ///< key column index
+  VarId Var = 0;
+  Value Const;
+};
+
+/// Lattice-column operation (non-relational atoms only).
+enum class LatOp : uint8_t {
+  None,          ///< relational atom: no lattice column
+  CheckConstLeq, ///< ground term c: require c ⊑ row value (§3.2 truth)
+  BindVar,       ///< statically unbound var: bind to the row value
+  GlbRebind,     ///< statically bound var: rebind to Env[v] ⊓ row value
+};
+
+/// A pre-resolved argument: a constant or an environment slot.
+struct Operand {
+  bool IsConst;
+  VarId Var = 0;
+  Value Const;
+};
+
+/// A filter application fused onto the step after which its arguments are
+/// all bound (its position in the evaluation order).
+struct Guard {
+  FnId Fn;
+  SmallVector<Operand, 4> Args;
+};
+
+enum class StepKind : uint8_t {
+  Driver,   ///< rows supplied by the engine (ΔP scan); full column tests
+  Lookup,   ///< all key columns bound: one primary lookup
+  Probe,    ///< partial mask: indexed probe, full-scan fallback
+  Scan,     ///< nothing usable bound (or indexes disabled): full scan
+  Negation, ///< ground negated atom: succeed once iff the cell is absent
+  Binder,   ///< `pat <- f(args)`: iterate the returned set
+  Filter,   ///< leading filter with no preceding step to fuse onto
+};
+
+struct Step {
+  StepKind Kind;
+  PredId Pred = 0;
+  /// Bound-column mask for Lookup/Probe (the same mask the static index
+  /// analyses register, so probes always hit pre-built indexes).
+  uint64_t Mask = 0;
+  /// Lattice of the atom's value column; nullptr for relational atoms.
+  const Lattice *Lat = nullptr;
+  /// Full per-column tests, used on paths that see arbitrary rows: driver
+  /// rows, full scans, and the probe fallback.
+  SmallVector<ColTest, 4> Cols;
+  /// Reduced tests for the indexed-probe path: bucket rows match the
+  /// masked columns exactly (the projection tuple is hash-consed), so only
+  /// unmasked columns need work. Empty for Lookup — the row was found by
+  /// its exact key.
+  SmallVector<ColTest, 4> Binds;
+  LatOp LOp = LatOp::None;
+  VarId LatVar = 0;
+  Value LatConst;
+  /// Operands of the probe projection / lookup key / negation key, in
+  /// column order.
+  SmallVector<Operand, 4> ProjOps;
+  /// Binder payload: Fn(Args) returning a set destructured into Pattern
+  /// (ColOp::Bind / CheckVar per slot; Col is the tuple element index).
+  FnId Fn = 0;
+  SmallVector<Operand, 4> Args;
+  SmallVector<ColTest, 2> Pattern;
+  /// Filters to run after this step matches (in body order).
+  SmallVector<Guard, 1> Guards;
+};
+
+/// Precomputed head derivation: key/argument slots resolved to operands.
+struct HeadPlan {
+  PredId Pred = 0;
+  bool Relational = false;
+  SmallVector<Operand, 4> KeyOps;
+  bool HasFn = false;
+  FnId Fn = 0;
+  SmallVector<Operand, 4> FnArgs;
+  Operand LastOp{};
+};
+
+/// One compiled (rule, driver) evaluation: the flat step array replacing
+/// the recursive body walk, plus the head recipe.
+struct RulePlan {
+  uint32_t RuleIdx = 0;
+  int32_t Driver = -1;
+  bool Valid = false; ///< false for driver slots that are not positive atoms
+  uint32_t NumVars = 0;
+  SmallVector<Step, 8> Steps;
+  HeadPlan Head;
+};
+
+/// Compiles and owns the plans of one prepared rule set. Two families:
+///
+///   * plan(RuleIdx, Driver): the normal delta-driven family. Driver == -1
+///     is plain first-to-last evaluation (round 0 / naive); Driver >= 0
+///     makes that body atom a StepKind::Driver step fed by the engine.
+///   * headBoundPlan(RuleIdx, Driver): the incremental engine's rederive
+///     family, compiled with every head-key variable pre-bound; Driver
+///     >= 0 moves that atom first but opens with a normal access path
+///     (lookup/probe/scan), not a Driver step.
+///
+/// The compiler runs the same boundness simulation as the parallel
+/// solver's computeWantedIndexes / the incremental solver's
+/// prepareWorkerIndexes (negated atoms bind nothing, positive atoms bind
+/// every variable term including the lattice column, binder patterns bind,
+/// filters bind nothing), so the probe masks of the compiled steps are
+/// exactly the masks those analyses pre-build.
+class PlanLibrary {
+public:
+  PlanLibrary(const Program &P, const std::vector<Rule> &Prepared,
+              bool UseIndexes);
+
+  const RulePlan &plan(uint32_t RuleIdx, int Driver) const {
+    const RulePlan &Pl = Normal[RuleIdx][static_cast<size_t>(Driver + 1)];
+    assert(Pl.Valid && "no plan for this driver position");
+    return Pl;
+  }
+  const RulePlan &headBoundPlan(uint32_t RuleIdx, int Driver) const {
+    const RulePlan &Pl = HeadBound[RuleIdx][static_cast<size_t>(Driver + 1)];
+    assert(Pl.Valid && "no head-bound plan for this driver position");
+    return Pl;
+  }
+
+  /// Total compiled steps over all valid plans of both families
+  /// (SolveStats::PlanSteps).
+  uint64_t totalSteps() const { return TotalSteps; }
+
+private:
+  std::vector<std::vector<RulePlan>> Normal;
+  std::vector<std::vector<RulePlan>> HeadBound;
+  uint64_t TotalSteps = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// ExternMemo
+//===----------------------------------------------------------------------===//
+
+/// Lock-sharded memo cache for pure external functions, keyed on the
+/// hash-consed argument handles (see file comment for the soundness
+/// argument). One instance per solver run; shared by all workers.
+class ExternMemo {
+public:
+  /// Returns the cached result of Fn(Args), computing it via \p Compute on
+  /// a miss. Compute runs outside the shard lock: a racing thread may
+  /// compute the same pure call twice, but never blocks on it.
+  template <typename ComputeFn>
+  Value call(FnId Fn, std::span<const Value> Args, ComputeFn Compute) {
+    uint64_t H = hashKey(Fn, Args);
+    Shard &Sh = Shards[H % NumShards];
+    {
+      std::lock_guard<std::mutex> Lock(Sh.Mu);
+      auto It = Sh.Map.find(Key{Fn, H, {Args.begin(), Args.end()}});
+      if (It != Sh.Map.end()) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return It->second;
+      }
+    }
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    Value Res = Compute();
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    auto [It, Inserted] =
+        Sh.Map.try_emplace(Key{Fn, H, {Args.begin(), Args.end()}}, Res);
+    if (Inserted)
+      Sh.Bytes += entryBytes(Args.size());
+    return It->second;
+  }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+  /// Approximate heap footprint (SolveStats::MemoryBytes accounting).
+  size_t memoryBytes() const {
+    size_t Total = 0;
+    for (const Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Lock(Sh.Mu);
+      Total += Sh.Bytes + Sh.Map.bucket_count() * sizeof(void *);
+    }
+    return Total;
+  }
+
+private:
+  struct Key {
+    FnId Fn;
+    uint64_t Hash;
+    SmallVector<Value, 4> Args;
+    bool operator==(const Key &O) const {
+      if (Fn != O.Fn || Args.size() != O.Args.size())
+        return false;
+      for (size_t I = 0; I < Args.size(); ++I)
+        if (Args[I] != O.Args[I])
+          return false;
+      return true;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.Hash; }
+  };
+
+  static uint64_t hashKey(FnId Fn, std::span<const Value> Args) {
+    uint64_t H = hashValues(static_cast<uint64_t>(Fn), Args.size());
+    for (const Value &V : Args)
+      H = hashCombine(H, V.hash());
+    return H;
+  }
+  static size_t entryBytes(size_t NumArgs) {
+    size_t B = sizeof(Key) + sizeof(Value) + 2 * sizeof(void *);
+    if (NumArgs > 4) // SmallVector<Value, 4> spilled to the heap
+      B += NumArgs * sizeof(Value);
+    return B;
+  }
+
+  static constexpr size_t NumShards = 64;
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<Key, Value, KeyHash> Map;
+    size_t Bytes = 0;
+  };
+  std::array<Shard, NumShards> Shards;
+  std::atomic<uint64_t> Hits{0}, Misses{0};
+};
+
+//===----------------------------------------------------------------------===//
+// PlanExecutor
+//===----------------------------------------------------------------------===//
+
+/// Resolves an operand against the engine's environment.
+template <typename EngineT>
+inline Value opValue(EngineT &E, const Operand &O) {
+  return O.IsConst ? O.Const : E.env()[O.Var];
+}
+
+/// Computes the head cell of a full match and hands (KeyT, LatVal) to the
+/// engine (relational heads fold the last column into the key, §3.2).
+template <typename EngineT>
+inline void deriveWithPlan(EngineT &E, ValueFactory &F, const RulePlan &Pl) {
+  const HeadPlan &H = Pl.Head;
+  SmallVector<Value, 4> Key;
+  for (const Operand &O : H.KeyOps)
+    Key.push_back(opValue(E, O));
+  Value LatVal;
+  if (H.HasFn) {
+    SmallVector<Value, 4> Args;
+    for (const Operand &O : H.FnArgs)
+      Args.push_back(opValue(E, O));
+    LatVal = E.callExtern(H.Fn,
+                          std::span<const Value>(Args.data(), Args.size()));
+  } else {
+    LatVal = opValue(E, H.LastOp);
+  }
+  if (H.Relational) {
+    Key.push_back(LatVal);
+    LatVal = F.boolean(true);
+  }
+  Value KeyT = F.tuple(std::span<const Value>(Key.data(), Key.size()));
+  E.onDerived(Pl, KeyT, LatVal);
+}
+
+/// Non-recursive plan executor. \p EngineT supplies the per-engine policy:
+///
+///   std::vector<Value> &env();            // variable environment
+///   std::vector<uint8_t> &bound();        // runtime bound flags (undo log)
+///   ValueFactory &factory();
+///   Table &table(PredId);
+///   bool checkRow();                      // true => abort the evaluation
+///   Value callExtern(FnId, std::span<const Value>);
+///   // Indexed probe; returns nullptr to request the full-scan fallback
+///   // (counting/asserting per engine policy). CopyStorage is scratch the
+///   // sequential engine copies its (mutable) bucket into.
+///   const std::vector<uint32_t> *probeBucket(const Step &, Value ProjT,
+///                                            std::vector<uint32_t> &Copy);
+///   // Intra-rule spilling hook (parallel workers): may capture
+///   // [Begin, End) of Rows (nullptr = raw row-id range) as sub-tasks and
+///   // return the new Begin. Others return Begin unchanged.
+///   uint32_t maybeSpill(const RulePlan &, uint32_t StepIdx,
+///                       const std::vector<uint32_t> *Rows,
+///                       uint32_t Begin, uint32_t End);
+///   void onRow(PredId, uint32_t RowId);   // positive-atom premise push
+///   void popRow();                        //   ... and pop (incremental)
+///   void onDerived(const RulePlan &, Value KeyT, Value LatVal);
+///   // Driver rows of the current task (StepKind::Driver).
+///   const std::vector<uint32_t> *driverRows(uint32_t &Begin, uint32_t &End);
+template <typename EngineT> class PlanExecutor {
+public:
+  explicit PlanExecutor(EngineT &E) : E(E) {}
+
+  /// Evaluates \p Pl from step 0 over an empty environment prefix (the
+  /// caller has already sized env/bound, and pre-bound any head-bound
+  /// variables for rederive plans).
+  void run(const RulePlan &Pl) {
+    if (Pl.Steps.empty()) {
+      deriveWithPlan(E, E.factory(), Pl);
+      return;
+    }
+    prepare(Pl);
+    exec(Pl, /*Base=*/0, /*SeedEntering=*/true);
+  }
+
+  /// Resumes \p Pl at \p StepIdx over rows [\p Begin, \p End) of \p Rows
+  /// (nullptr = raw row ids) — the parallel sub-task continuation. The
+  /// caller restored env/bound to the captured prefix. Rows-vs-nullptr
+  /// selects the reduced-bind (index bucket) vs full-column (scan) tests,
+  /// matching what the spilling step was iterating.
+  void runFrom(const RulePlan &Pl, uint32_t StepIdx,
+               const std::vector<uint32_t> *Rows, uint32_t Begin,
+               uint32_t End) {
+    prepare(Pl);
+    Cursor &C = Cursors[StepIdx];
+    C = Cursor();
+    const Step &S = Pl.Steps[StepIdx];
+    Begin = E.maybeSpill(Pl, StepIdx, Rows, Begin, End);
+    C.RowList = Rows;
+    C.Idx = Begin;
+    C.End = End;
+    // A resumed index bucket needs only the reduced tests; raw row-id
+    // ranges (scans, probe fallbacks) and driver rows need the full ones.
+    C.UseFullCols = Rows == nullptr || S.Kind == StepKind::Driver;
+    exec(Pl, /*Base=*/StepIdx, /*SeedEntering=*/false);
+  }
+
+private:
+  struct Cursor {
+    const std::vector<uint32_t> *RowList = nullptr; ///< null: raw id range
+    uint32_t Idx = 0, End = 0;
+    std::vector<uint32_t> Copy; ///< sequential engine's bucket snapshot
+    std::span<const Value> SetElems;
+    uint32_t SIdx = 0;
+    bool Done = false;        ///< one-shot steps (Filter, Negation)
+    bool UseFullCols = false; ///< probe fell back to a full scan
+    bool HasPremise = false;
+    eval::BindTrail Trail;
+  };
+
+  void prepare(const RulePlan &Pl) {
+    if (Cursors.size() < Pl.Steps.size())
+      Cursors.resize(Pl.Steps.size());
+  }
+
+  /// The backtracking loop. Cursors[Base..Pos] hold the active prefix;
+  /// entering a step initializes its cursor, advancing yields its next
+  /// match (undoing the previous candidate's bindings first).
+  void exec(const RulePlan &Pl, size_t Base, bool SeedEntering) {
+    const size_t N = Pl.Steps.size();
+    size_t Pos = Base;
+    bool Entering = SeedEntering;
+    for (;;) {
+      Cursor &C = Cursors[Pos];
+      if (Entering)
+        initCursor(Pl, Pl.Steps[Pos], C, static_cast<uint32_t>(Pos));
+      if (!advance(Pl.Steps[Pos], C)) {
+        if (Pos == Base)
+          return;
+        --Pos;
+        Entering = false;
+        continue;
+      }
+      if (Pos + 1 == N) {
+        deriveWithPlan(E, E.factory(), Pl);
+        Entering = false; // stay: next candidate of the last step
+        continue;
+      }
+      ++Pos;
+      Entering = true;
+    }
+  }
+
+  void initCursor(const RulePlan &Pl, const Step &S, Cursor &C,
+                  uint32_t StepIdx) {
+    if (C.HasPremise) { // stale from an aborted deeper pass
+      C.HasPremise = false;
+    }
+    C.Trail.Saved.clear();
+    C.RowList = nullptr;
+    C.Idx = C.End = 0;
+    C.SIdx = 0;
+    C.SetElems = {};
+    C.Done = false;
+    C.UseFullCols = false;
+
+    switch (S.Kind) {
+    case StepKind::Driver: {
+      C.RowList = E.driverRows(C.Idx, C.End);
+      C.UseFullCols = true;
+      return;
+    }
+    case StepKind::Lookup: {
+      Value KeyT = projTuple(S);
+      uint32_t Id = E.table(S.Pred).lookupRow(KeyT);
+      if (Id != Table::NoRow) {
+        C.Idx = Id;
+        C.End = Id + 1;
+      }
+      return;
+    }
+    case StepKind::Probe: {
+      Value ProjT = projTuple(S);
+      if (const std::vector<uint32_t> *Bucket =
+              E.probeBucket(S, ProjT, C.Copy)) {
+        uint32_t Begin = E.maybeSpill(
+            Pl, StepIdx, Bucket, 0, static_cast<uint32_t>(Bucket->size()));
+        C.RowList = Bucket;
+        C.Idx = Begin;
+        C.End = static_cast<uint32_t>(Bucket->size());
+        return;
+      }
+      // No index for this mask: full scan with the full column tests.
+      C.UseFullCols = true;
+      uint32_t End = static_cast<uint32_t>(E.table(S.Pred).size());
+      C.Idx = E.maybeSpill(Pl, StepIdx, nullptr, 0, End);
+      C.End = End;
+      return;
+    }
+    case StepKind::Scan: {
+      C.UseFullCols = true;
+      uint32_t End = static_cast<uint32_t>(E.table(S.Pred).size());
+      C.Idx = E.maybeSpill(Pl, StepIdx, nullptr, 0, End);
+      C.End = End;
+      return;
+    }
+    case StepKind::Binder: {
+      SmallVector<Value, 4> Args;
+      for (const Operand &O : S.Args)
+        Args.push_back(opValue(E, O));
+      Value Res = E.callExtern(
+          S.Fn, std::span<const Value>(Args.data(), Args.size()));
+      assert(Res.isSet() && "binder function must return a Set");
+      C.SetElems = E.factory().setElems(Res);
+      return;
+    }
+    case StepKind::Negation:
+    case StepKind::Filter:
+      return; // one-shot; Done gates advance()
+    }
+  }
+
+  /// Yields the step's next candidate match into env/bound, or false when
+  /// exhausted (or aborting). Always undoes the previous candidate first.
+  bool advance(const Step &S, Cursor &C) {
+    if (C.HasPremise) {
+      E.popRow();
+      C.HasPremise = false;
+    }
+    C.Trail.undo(E.env(), E.bound());
+
+    switch (S.Kind) {
+    case StepKind::Driver:
+    case StepKind::Lookup:
+    case StepKind::Probe:
+    case StepKind::Scan: {
+      Table &T = E.table(S.Pred);
+      while (C.Idx < C.End) {
+        if (E.checkRow())
+          return false;
+        uint32_t RowId = C.RowList ? (*C.RowList)[C.Idx] : C.Idx;
+        ++C.Idx;
+        if (T.isTombstone(RowId))
+          continue;
+        if (!matchRow(S, C, T, RowId)) {
+          C.Trail.undo(E.env(), E.bound());
+          continue;
+        }
+        E.onRow(S.Pred, RowId);
+        C.HasPremise = true;
+        return true;
+      }
+      return false;
+    }
+    case StepKind::Binder: {
+      while (C.SIdx < C.SetElems.size()) {
+        if (E.checkRow())
+          return false;
+        Value Elem = C.SetElems[C.SIdx++];
+        if (!bindPattern(S, C, Elem)) {
+          C.Trail.undo(E.env(), E.bound());
+          continue;
+        }
+        if (!runGuards(S)) {
+          C.Trail.undo(E.env(), E.bound());
+          continue;
+        }
+        return true;
+      }
+      return false;
+    }
+    case StepKind::Negation: {
+      if (C.Done)
+        return false;
+      C.Done = true;
+      Value KeyT = projTuple(S);
+      if (E.table(S.Pred).lookup(KeyT))
+        return false;
+      return runGuards(S);
+    }
+    case StepKind::Filter: {
+      if (C.Done)
+        return false;
+      C.Done = true;
+      return runGuards(S);
+    }
+    }
+    return false; // unreachable
+  }
+
+  /// Row tests of one atom candidate: column ops, the lattice op, then the
+  /// fused guards. Bindings go through the cursor's trail.
+  bool matchRow(const Step &S, Cursor &C, Table &T, uint32_t RowId) {
+    std::vector<Value> &Env = E.env();
+    std::vector<uint8_t> &Bound = E.bound();
+    const auto &Tests = C.UseFullCols ? S.Cols : S.Binds;
+    if (!Tests.empty()) {
+      std::span<const Value> KeyElems = T.rowKey(RowId);
+      for (const ColTest &Ct : Tests) {
+        Value RowV = KeyElems[Ct.Col];
+        switch (Ct.Op) {
+        case ColOp::CheckConst:
+          if (!(Ct.Const == RowV))
+            return false;
+          break;
+        case ColOp::CheckVar:
+          if (!(Env[Ct.Var] == RowV))
+            return false;
+          break;
+        case ColOp::Bind:
+          C.Trail.save(Ct.Var, false, Env[Ct.Var]);
+          Env[Ct.Var] = RowV;
+          Bound[Ct.Var] = 1;
+          break;
+        }
+      }
+    }
+    if (S.LOp != LatOp::None) {
+      Value RowVal = T.row(RowId).Lat;
+      switch (S.LOp) {
+      case LatOp::CheckConstLeq:
+        if (!S.Lat->leq(S.LatConst, RowVal))
+          return false;
+        break;
+      case LatOp::BindVar:
+        C.Trail.save(S.LatVar, false, Env[S.LatVar]);
+        Env[S.LatVar] = RowVal;
+        Bound[S.LatVar] = 1;
+        break;
+      case LatOp::GlbRebind: {
+        Value G = S.Lat->glb(Env[S.LatVar], RowVal);
+        C.Trail.save(S.LatVar, true, Env[S.LatVar]);
+        Env[S.LatVar] = G;
+        break;
+      }
+      case LatOp::None:
+        break;
+      }
+    }
+    return runGuards(S);
+  }
+
+  bool bindPattern(const Step &S, Cursor &C, Value Elem) {
+    std::vector<Value> &Env = E.env();
+    std::vector<uint8_t> &Bound = E.bound();
+    if (S.Pattern.size() == 1) {
+      const ColTest &Ct = S.Pattern[0];
+      if (Ct.Op == ColOp::CheckVar)
+        return Env[Ct.Var] == Elem;
+      C.Trail.save(Ct.Var, false, Env[Ct.Var]);
+      Env[Ct.Var] = Elem;
+      Bound[Ct.Var] = 1;
+      return true;
+    }
+    ValueFactory &F = E.factory();
+    if (!Elem.isTuple() || F.tupleElems(Elem).size() != S.Pattern.size())
+      return false;
+    std::span<const Value> Elems = F.tupleElems(Elem);
+    for (const ColTest &Ct : S.Pattern) {
+      Value V = Elems[Ct.Col];
+      if (Ct.Op == ColOp::CheckVar) {
+        if (!(Env[Ct.Var] == V))
+          return false;
+        continue;
+      }
+      C.Trail.save(Ct.Var, false, Env[Ct.Var]);
+      Env[Ct.Var] = V;
+      Bound[Ct.Var] = 1;
+    }
+    return true;
+  }
+
+  bool runGuards(const Step &S) {
+    for (const Guard &G : S.Guards) {
+      SmallVector<Value, 4> Args;
+      for (const Operand &O : G.Args)
+        Args.push_back(opValue(E, O));
+      Value Res = E.callExtern(
+          G.Fn, std::span<const Value>(Args.data(), Args.size()));
+      assert(Res.isBool() && "filter function must return Bool");
+      if (!Res.asBool())
+        return false;
+    }
+    return true;
+  }
+
+  Value projTuple(const Step &S) {
+    SmallVector<Value, 4> Proj;
+    for (const Operand &O : S.ProjOps)
+      Proj.push_back(opValue(E, O));
+    return E.factory().tuple(
+        std::span<const Value>(Proj.data(), Proj.size()));
+  }
+
+  EngineT &E;
+  std::vector<Cursor> Cursors;
+};
+
+} // namespace flix::plan
+
+#endif // FLIX_FIXPOINT_PLAN_H

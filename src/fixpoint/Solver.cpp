@@ -7,12 +7,65 @@
 #include "fixpoint/Solver.h"
 
 #include "fixpoint/EvalUtil.h"
+#include "fixpoint/Plan.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace flix;
 using flix::eval::BindTrail;
+
+/// The sequential Solver's policy for the shared plan executor: in-place
+/// joins with immediate delta updates, bucket snapshots (recursive
+/// derivations grow buckets mid-iteration), no spilling, no premise
+/// capture. See the engine concept in fixpoint/Plan.h.
+struct Solver::PlanEngine {
+  Solver &S;
+  explicit PlanEngine(Solver &S) : S(S) {}
+
+  std::vector<Value> &env() { return S.Env; }
+  std::vector<uint8_t> &bound() { return S.Bound; }
+  ValueFactory &factory() { return S.F; }
+  Table &table(PredId P) { return *S.Tables[P]; }
+  bool checkRow() { return S.checkDeadline(); }
+  Value callExtern(FnId Fn, std::span<const Value> Args) {
+    return S.callExtern(Fn, Args);
+  }
+  const std::vector<uint32_t> *probeBucket(const plan::Step &St, Value ProjT,
+                                           std::vector<uint32_t> &Copy) {
+    // Snapshot the bucket: derivations made while iterating may join new
+    // rows into this table and grow the bucket (in-place update).
+    const std::vector<uint32_t> &B =
+        S.Tables[St.Pred]->probe(St.Mask, ProjT);
+    Copy.assign(B.begin(), B.end());
+    return &Copy;
+  }
+  uint32_t maybeSpill(const plan::RulePlan &, uint32_t,
+                      const std::vector<uint32_t> *, uint32_t Begin,
+                      uint32_t) {
+    return Begin;
+  }
+  void onRow(PredId, uint32_t) {}
+  void popRow() {}
+  void onDerived(const plan::RulePlan &Pl, Value KeyT, Value LatVal) {
+    ++S.Stats.RuleFirings;
+    Table::JoinResult JR = S.Tables[Pl.Head.Pred]->join(KeyT, LatVal);
+    if (JR.Changed) {
+      ++S.Stats.FactsDerived;
+      S.NextDelta[Pl.Head.Pred].insert(JR.RowId);
+      const Rule &R = S.Prepared[Pl.RuleIdx];
+      if (S.Opts.TrackProvenance)
+        S.recordProvenance(R, Pl.Head.Pred, JR.RowId);
+      if (S.Opts.TrackSupport)
+        S.recordSupport(R, Pl.Head.Pred, JR.RowId);
+    }
+  }
+  const std::vector<uint32_t> *driverRows(uint32_t &Begin, uint32_t &End) {
+    Begin = 0;
+    End = static_cast<uint32_t>(S.CurDriverRows->size());
+    return S.CurDriverRows;
+  }
+};
 
 Solver::Solver(const Program &P, SolverOptions Opts)
     : P(P), Opts(Opts), F(P.factory()),
@@ -27,6 +80,11 @@ Solver::Solver(const Program &P, SolverOptions Opts)
   Prepared.reserve(P.rules().size());
   for (const Rule &R : P.rules())
     Prepared.push_back(Opts.ReorderBody ? reorderRule(R) : R);
+  if (Opts.CompilePlans)
+    Plans = std::make_unique<plan::PlanLibrary>(P, Prepared,
+                                                Opts.UseIndexes);
+  if (Opts.EnableMemo)
+    Memo = std::make_unique<plan::ExternMemo>();
   Delta.resize(P.predicates().size());
   NextDelta.resize(P.predicates().size());
   if (Opts.TrackProvenance)
@@ -42,6 +100,13 @@ Solver::Solver(const Program &P, SolverOptions Opts)
 }
 
 Solver::~Solver() = default;
+
+Value Solver::callExtern(FnId Fn, std::span<const Value> Args) {
+  const ExternFn &D = P.functionDecl(Fn);
+  if (Memo)
+    return Memo->call(Fn, Args, [&] { return D.Impl(Args); });
+  return D.Impl(Args);
+}
 
 //===----------------------------------------------------------------------===//
 // Body reordering (ablation of the paper's left-to-right strategy, §4.5)
@@ -143,12 +208,18 @@ void Solver::evalRule(const Rule &R, int Driver,
   Env.assign(R.NumVars, Value());
   Bound.assign(R.NumVars, 0);
 
-  SmallVector<const BodyElem *, 8> Order;
-  eval::buildOrder(R, Driver, Order);
-
   CurDriverRows = Driver >= 0 ? &DriverRows : nullptr;
-  evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
-            0);
+  if (Plans) {
+    PlanEngine Eng(*this);
+    plan::PlanExecutor<PlanEngine> Ex(Eng);
+    Ex.run(Plans->plan(CurRuleIndex, Driver));
+  } else {
+    SmallVector<const BodyElem *, 8> Order;
+    eval::buildOrder(R, Driver, Order);
+    evalElems(R,
+              std::span<const BodyElem *const>(Order.data(), Order.size()),
+              0);
+  }
   CurDriverRows = nullptr;
 }
 
@@ -173,8 +244,8 @@ void Solver::evalElems(const Rule &R,
     SmallVector<Value, 4> Args;
     for (const Term &T : Fl->Args)
       Args.push_back(termValue(T));
-    Value Res = P.functionDecl(Fl->Fn).Impl(
-        std::span<const Value>(Args.data(), Args.size()));
+    Value Res = callExtern(
+        Fl->Fn, std::span<const Value>(Args.data(), Args.size()));
     assert(Res.isBool() && "filter function must return Bool");
     if (Res.asBool())
       evalElems(R, Order, Pos + 1);
@@ -185,8 +256,8 @@ void Solver::evalElems(const Rule &R,
     SmallVector<Value, 4> Args;
     for (const Term &T : B->Args)
       Args.push_back(termValue(T));
-    Value Res = P.functionDecl(B->Fn).Impl(
-        std::span<const Value>(Args.data(), Args.size()));
+    Value Res = callExtern(
+        B->Fn, std::span<const Value>(Args.data(), Args.size()));
     assert(Res.isSet() && "binder function must return a Set");
     for (Value Elem : F.setElems(Res)) {
       if (checkDeadline())
@@ -384,8 +455,8 @@ void Solver::deriveHead(const Rule &R) {
     SmallVector<Value, 4> Args;
     for (const Term &Tm : H.FnArgs)
       Args.push_back(termValue(Tm));
-    LatVal = P.functionDecl(*H.LastFn)
-                 .Impl(std::span<const Value>(Args.data(), Args.size()));
+    LatVal = callExtern(
+        *H.LastFn, std::span<const Value>(Args.data(), Args.size()));
   } else {
     LatVal = termValue(H.LastTerm);
   }
@@ -432,12 +503,25 @@ void Solver::recordSupport(const Rule &R, PredId HeadPred, uint32_t RowId) {
     if (Rows.size() <= Prem)
       Rows.resize(Prem + 1);
     auto &Out = Rows[Prem];
-    // Cheap dedup of the common repeat (same premise firing into the same
-    // head cell round after round). Duplicate edges are harmless.
-    if (!Out.empty() && Out.back() == Head)
+    // Keep each premise's edge list sorted and unique: long update
+    // streams re-fire the same (premise, head) pairs every cycle, and
+    // without full dedup the lists grow without bound. Lists are tiny
+    // (median 1-2 edges), so ordered insertion beats a hash set.
+    auto It = std::lower_bound(Out.begin(), Out.end(), Head);
+    if (It != Out.end() && *It == Head)
       continue;
-    Out.push_back(Head);
+    size_t Idx = static_cast<size_t>(It - Out.begin());
+    Out.push_back(Head); // may reallocate; reposition via the index
+    std::rotate(Out.begin() + Idx, Out.end() - 1, Out.end());
   }
+}
+
+size_t Solver::supportEdgeCount() const {
+  size_t Count = 0;
+  for (const auto &Rows : Dependents)
+    for (const auto &Out : Rows)
+      Count += Out.size();
+  return Count;
 }
 
 void Solver::rederive(PredId Pred, Value KeyTuple) {
@@ -494,12 +578,21 @@ void Solver::rederive(PredId Pred, Value KeyTuple) {
         BestSize = Size;
       }
     }
-    SmallVector<const BodyElem *, 8> Order;
-    eval::buildOrder(R, BestAtom, Order);
     CurDriverRows = nullptr;
-    evalElems(R,
-              std::span<const BodyElem *const>(Order.data(), Order.size()),
-              0);
+    if (Plans) {
+      // The head-bound plan family is compiled with exactly the variables
+      // bindKey just bound; the fronted atom opens with a normal access
+      // path (lookup/probe/scan), not a driver step.
+      PlanEngine Eng(*this);
+      plan::PlanExecutor<PlanEngine> Ex(Eng);
+      Ex.run(Plans->headBoundPlan(RI, BestAtom));
+    } else {
+      SmallVector<const BodyElem *, 8> Order;
+      eval::buildOrder(R, BestAtom, Order);
+      evalElems(
+          R, std::span<const BodyElem *const>(Order.data(), Order.size()),
+          0);
+    }
   }
 }
 
@@ -539,6 +632,30 @@ void Solver::recordProvenance(const Rule &R, PredId HeadPred,
 // Driver loops
 //===----------------------------------------------------------------------===//
 
+size_t Solver::memoryFootprint() const {
+  size_t Bytes = F.memoryBytes();
+  for (const auto &T : Tables)
+    Bytes += T->memoryBytes();
+  // Provenance: one Derivation per recorded row, plus premise vectors
+  // that spilled their inline storage (SmallVector<Premise, 4>).
+  for (const auto &Rows : Provenance) {
+    Bytes += Rows.capacity() * sizeof(Derivation);
+    for (const Derivation &D : Rows)
+      if (D.Premises.capacity() > 4)
+        Bytes += D.Premises.capacity() * sizeof(Derivation::Premise);
+  }
+  // Support index: per-premise edge lists (SmallVector<CellRef, 2>).
+  for (const auto &Rows : Dependents) {
+    Bytes += Rows.capacity() * sizeof(SmallVector<CellRef, 2>);
+    for (const auto &Out : Rows)
+      if (Out.capacity() > 2)
+        Bytes += Out.capacity() * sizeof(CellRef);
+  }
+  if (Memo)
+    Bytes += Memo->memoryBytes();
+  return Bytes;
+}
+
 void Solver::loadFacts() {
   const std::vector<Fact> &Facts = FactsOverride ? *FactsOverride
                                                  : P.facts();
@@ -561,9 +678,13 @@ SolveStats Solver::solve() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
-    Stats.MemoryBytes = F.memoryBytes();
-    for (const auto &T : Tables)
-      Stats.MemoryBytes += T->memoryBytes();
+    Stats.MemoryBytes = memoryFootprint();
+    if (Plans)
+      Stats.PlanSteps = Plans->totalSteps();
+    if (Memo) {
+      Stats.MemoHits = Memo->hits();
+      Stats.MemoMisses = Memo->misses();
+    }
     return Stats;
   };
 

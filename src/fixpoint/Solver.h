@@ -35,6 +35,11 @@
 
 namespace flix {
 
+namespace plan {
+class PlanLibrary;
+class ExternMemo;
+} // namespace plan
+
 /// Evaluation strategy (see file comment).
 enum class Strategy { Naive, SemiNaive };
 
@@ -87,6 +92,16 @@ struct SolverOptions {
   /// SolveStats::IndexFallbacks; with this flag set they also trip an
   /// assert in debug builds. Meaningful only with UseIndexes.
   bool StrictIndexCoverage = false;
+  /// Compile each (rule, driver) into a flat join plan executed by a
+  /// non-recursive loop (src/fixpoint/Plan.h) instead of the recursive
+  /// evalElems/evalAtom walk. Same minimal model either way; off is the
+  /// legacy-recursion ablation.
+  bool CompilePlans = true;
+  /// Memoize external-function calls on their hash-consed argument
+  /// handles. Sound because the paper requires transfer/filter functions
+  /// to be pure (§2.3); turn off to ablate, or if an extern violates the
+  /// purity contract.
+  bool EnableMemo = true;
 };
 
 /// A cell addressed as (predicate, row id) — the node type of the
@@ -98,6 +113,9 @@ struct CellRef {
   uint32_t Row;
   bool operator==(const CellRef &O) const {
     return Pred == O.Pred && Row == O.Row;
+  }
+  bool operator<(const CellRef &O) const {
+    return Pred != O.Pred ? Pred < O.Pred : Row < O.Row;
   }
 };
 
@@ -124,7 +142,15 @@ struct SolveStats {
   uint64_t RuleFirings = 0;  ///< successful full body matches
   uint64_t FactsDerived = 0; ///< joins that strictly increased a cell
   double Seconds = 0;
-  size_t MemoryBytes = 0; ///< tables + indexes + value arena
+  /// Tables + indexes + value arena + provenance + support index + memo
+  /// cache — everything the solver keeps alive.
+  size_t MemoryBytes = 0;
+
+  // Plan/memo counters (SolverOptions::CompilePlans / EnableMemo).
+  uint64_t PlanSteps = 0;  ///< compiled plan steps over all (rule, driver)
+                           ///< plans (0 when plans are disabled)
+  uint64_t MemoHits = 0;   ///< extern calls answered from the memo cache
+  uint64_t MemoMisses = 0; ///< extern calls computed then cached
 
   // Parallel-engine counters (zero for the sequential solver).
   uint64_t ParallelTasks = 0;   ///< (rule, driver, chunk) tasks executed
@@ -191,9 +217,15 @@ public:
   std::string explainString(PredId P, std::span<const Value> Key,
                             unsigned Depth = 3) const;
 
+  /// Total edges currently stored in the support index (0 unless
+  /// TrackSupport); exposed so tests can bound edge growth over long
+  /// update streams.
+  size_t supportEdgeCount() const;
+
 private:
   friend class IncrementalSolver;
   struct Frame;
+  struct PlanEngine;
 
   void loadFacts();
   void evalRule(const Rule &R, int Driver,
@@ -206,6 +238,10 @@ private:
                 std::span<const BodyElem *const> Order, size_t Pos);
   void deriveHead(const Rule &R);
   bool checkDeadline();
+  /// External-function dispatch: through the memo cache when EnableMemo,
+  /// else straight to the implementation. Both the legacy recursive walk
+  /// and the plan executor call externs through here.
+  Value callExtern(FnId Fn, std::span<const Value> Args);
   Rule reorderRule(const Rule &R) const;
   void recordProvenance(const Rule &R, PredId HeadPred, uint32_t RowId);
   void recordSupport(const Rule &R, PredId HeadPred, uint32_t RowId);
@@ -218,6 +254,10 @@ private:
   void rederive(PredId Pred, Value KeyTuple);
   void renderExplanation(std::string &Out, PredId P, Value KeyTuple,
                          unsigned Depth, unsigned Indent) const;
+  /// Everything SolveStats::MemoryBytes accounts for: value arena, tables
+  /// + indexes, provenance, the support index, and the memo cache. Also
+  /// used by the incremental engine's per-update stats.
+  size_t memoryFootprint() const;
 
   const Program &P;
   SolverOptions Opts;
@@ -225,6 +265,11 @@ private:
   std::unique_ptr<BoolLattice> RelLattice;
   std::vector<std::unique_ptr<Table>> Tables;
   std::vector<Rule> Prepared; ///< rules, possibly reordered
+
+  /// Compiled join plans (when CompilePlans) and the extern memo cache
+  /// (when EnableMemo); see src/fixpoint/Plan.h.
+  std::unique_ptr<plan::PlanLibrary> Plans;
+  std::unique_ptr<plan::ExternMemo> Memo;
 
   // Per-rule-evaluation state.
   std::vector<Value> Env;

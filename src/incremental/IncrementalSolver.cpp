@@ -7,6 +7,7 @@
 #include "incremental/IncrementalSolver.h"
 
 #include "fixpoint/EvalUtil.h"
+#include "fixpoint/Plan.h"
 #include "parallel/ThreadPool.h"
 
 #include <algorithm>
@@ -64,11 +65,77 @@ struct IncrementalSolver::WorkerCtx {
 
   Value callExtern(FnId Fn, std::span<const Value> Args) {
     const ExternFn &FD = IS.P.functionDecl(Fn);
-    if (!IS.Opts.SerializeExternals)
+    auto Compute = [&]() -> Value {
+      if (!IS.Opts.SerializeExternals)
+        return FD.Impl(Args);
+      std::lock_guard<std::mutex> G(IS.ExternMu);
       return FD.Impl(Args);
-    std::lock_guard<std::mutex> G(IS.ExternMu);
-    return FD.Impl(Args);
+    };
+    // Route through the inner solver's memo so incremental rounds share
+    // the cache its full solves populated.
+    if (Sol && Sol->Memo)
+      return Sol->Memo->call(Fn, Args, Compute);
+    return Compute();
   }
+
+  //===--------------------------------------------------------------------===//
+  // PlanExecutor engine policy (Plan.h): snapshot reads, buffered
+  // derivations with premise rows captured through onRow/popRow.
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Value> &env() { return Env; }
+  std::vector<uint8_t> &bound() { return Bound; }
+  ValueFactory &factory() { return IS.F; }
+  Table &table(PredId P) { return *Sol->Tables[P]; }
+  bool checkRow() { return false; } // updates have no deadline
+
+  const std::vector<uint32_t> *probeBucket(const plan::Step &St, Value ProjT,
+                                           std::vector<uint32_t> &) {
+    if (const std::vector<uint32_t> *Bucket =
+            Sol->Tables[St.Pred]->probeExisting(St.Mask, ProjT))
+      return Bucket;
+    ++IndexFallbacks;
+    assert(!IS.Opts.StrictIndexCoverage &&
+           "probeExisting miss: plan mask not pre-built by "
+           "prepareWorkerIndexes");
+    return nullptr;
+  }
+
+  uint32_t maybeSpill(const plan::RulePlan &, uint32_t,
+                      const std::vector<uint32_t> *, uint32_t Begin,
+                      uint32_t) {
+    return Begin; // incremental workers never spill sub-tasks
+  }
+
+  void onRow(PredId Pred, uint32_t RowId) {
+    PremStack.push_back({Pred, RowId});
+  }
+  void popRow() { PremStack.pop_back(); }
+
+  void onDerived(const plan::RulePlan &Pl, Value KeyT, Value LatVal) {
+    ++RuleFirings;
+    // ⊥ derivations can never change a cell; drop them before the merge.
+    if (!Pl.Head.Relational &&
+        LatVal == IS.P.predicate(Pl.Head.Pred).Lat->bot())
+      return;
+    Deriv Dv;
+    Dv.Pred = Pl.Head.Pred;
+    Dv.Key = KeyT;
+    Dv.Lat = LatVal;
+    Dv.RuleIdx = CurRuleIdx;
+    for (CellRef C : PremStack)
+      Dv.Premises.push_back(C);
+    Buffer.push_back(std::move(Dv));
+  }
+
+  const std::vector<uint32_t> *driverRows(uint32_t &Begin, uint32_t &End) {
+    Begin = Cur->Begin;
+    End = Cur->End;
+    return Cur->Rows;
+  }
+
+  /// Persistent plan executor (cursor storage reused across tasks).
+  plan::PlanExecutor<WorkerCtx> Exec{*this};
 
   void runTask(const Task &T);
   void evalElems(const Rule &R, std::span<const BodyElem *const> Order,
@@ -87,11 +154,16 @@ void IncrementalSolver::WorkerCtx::runTask(const Task &T) {
   Bound.assign(R.NumVars, 0);
   PremStack.clear();
 
-  SmallVector<const BodyElem *, 8> Order;
-  eval::buildOrder(R, T.Driver, Order);
-
   Cur = &T;
   CurRuleIdx = T.RuleIdx;
+  if (Sol->Plans) {
+    Exec.run(Sol->Plans->plan(T.RuleIdx, T.Driver));
+    Cur = nullptr;
+    return;
+  }
+
+  SmallVector<const BodyElem *, 8> Order;
+  eval::buildOrder(R, T.Driver, Order);
   evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
             0);
   Cur = nullptr;
@@ -517,9 +589,16 @@ void IncrementalSolver::recordSupportEdge(CellRef Prem, CellRef Head) {
   if (Rows.size() <= Prem.Row)
     Rows.resize(Prem.Row + 1);
   auto &Out = Rows[Prem.Row];
-  if (!Out.empty() && Out.back() == Head)
+  // Sorted-unique insertion, matching Solver::recordSupport — both write
+  // the same Dependents structure, so the invariant must hold across
+  // writers. Dedup bounds the index at one edge per (premise row, head
+  // cell) no matter how many times the pair co-occurs across updates.
+  auto It = std::lower_bound(Out.begin(), Out.end(), Head);
+  if (It != Out.end() && *It == Head)
     return;
+  size_t Idx = static_cast<size_t>(It - Out.begin());
   Out.push_back(Head);
+  std::rotate(Out.begin() + Idx, Out.end() - 1, Out.end());
 }
 
 void IncrementalSolver::fullSolve(UpdateStats &U) {
@@ -940,8 +1019,16 @@ UpdateStats IncrementalSolver::update() {
   U.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)
                   .count();
-  U.MemoryBytes = F.memoryBytes();
-  for (PredId Pr = 0; Pr < P.predicates().size(); ++Pr)
-    U.MemoryBytes += S->table(Pr).memoryBytes();
+  // Full footprint including provenance, the support index and the memo
+  // cache — the components the old tables-only sum under-reported.
+  U.MemoryBytes = S->memoryFootprint();
+  if (S->Plans)
+    U.PlanSteps = S->Plans->totalSteps();
+  if (S->Memo) {
+    // Cumulative over the inner solver's lifetime (the cache is shared
+    // across updates), not per-update deltas.
+    U.MemoHits = S->Memo->hits();
+    U.MemoMisses = S->Memo->misses();
+  }
   return U;
 }

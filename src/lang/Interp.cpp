@@ -11,8 +11,11 @@
 using namespace flix;
 using namespace flix::ast;
 
+thread_local unsigned Interp::CallDepth = 0;
+
 Value Interp::fail(SourceLoc Loc, const std::string &Msg) {
   (void)Loc;
+  std::lock_guard<std::mutex> Lock(ErrMu);
   if (ErrorMsg.empty())
     ErrorMsg = Msg;
   return F.unit();
@@ -24,12 +27,6 @@ Value Interp::makeTag(const std::string &EnumName,
 }
 
 Value Interp::call(const std::string &Fn, std::span<const Value> Args) {
-  // Serialize whole calls in thread-safe mode: eval() mutates CallDepth,
-  // ErrorMsg and per-call environments. Recursive, because a native can
-  // re-enter call() on the same thread.
-  std::unique_lock<std::recursive_mutex> Lock;
-  if (ThreadSafe)
-    Lock = std::unique_lock<std::recursive_mutex>(CallMu);
   auto It = CM.Defs.find(Fn);
   if (It == CM.Defs.end())
     return fail(SourceLoc::invalid(), "call to unknown function '" + Fn +

@@ -44,16 +44,19 @@ public:
     Natives[Name] = std::move(Fn);
   }
 
-  /// Calls a top-level function by name.
+  /// Calls a top-level function by name. Thread-safe by construction
+  /// once ValueFactory::enableConcurrentInterning() is on: per-call
+  /// environments are stack-local, the call-depth guard is thread-local,
+  /// the Defs/Natives tables are read-only after setup, and the error
+  /// slot is mutex-guarded. The parallel solver's workers may therefore
+  /// call into a shared Interp concurrently with no outer lock.
   Value call(const std::string &Fn, std::span<const Value> Args);
 
-  /// Makes call() safe to invoke from multiple threads by serializing
-  /// every top-level call behind one recursive mutex (recursive because
-  /// natives may call back into the interpreter). This is the single
-  /// chokepoint through which all lattice operations and external
-  /// functions of a compiled FLIX program flow, so locking here makes the
-  /// whole compiled program safe for the parallel solver. One-way.
-  void enableThreadSafe() { ThreadSafe = true; }
+  /// Historical no-op, kept for source compatibility: call() used to need
+  /// a global recursive mutex, which this switched on. The interpreter is
+  /// now intrinsically thread-safe (see call()), so there is nothing to
+  /// enable.
+  void enableThreadSafe() {}
 
   /// Evaluates an expression under the given variable bindings.
   Value eval(const ast::Expr &E, const std::map<std::string, Value> &Env);
@@ -62,9 +65,17 @@ public:
   Value makeTag(const std::string &EnumName, const std::string &CaseName,
                 Value Payload);
 
-  bool hasError() const { return !ErrorMsg.empty(); }
+  bool hasError() const {
+    std::lock_guard<std::mutex> Lock(ErrMu);
+    return !ErrorMsg.empty();
+  }
+  /// First recorded fault. Call after solving (single-threaded); the
+  /// reference is not stable against a concurrent fail().
   const std::string &error() const { return ErrorMsg; }
-  void clearError() { ErrorMsg.clear(); }
+  void clearError() {
+    std::lock_guard<std::mutex> Lock(ErrMu);
+    ErrorMsg.clear();
+  }
 
 private:
   Value fail(SourceLoc Loc, const std::string &Msg);
@@ -74,11 +85,12 @@ private:
   const CheckedModule &CM;
   ValueFactory &F;
   std::map<std::string, NativeFn> Natives;
+  mutable std::mutex ErrMu; ///< guards ErrorMsg (first fault wins)
   std::string ErrorMsg;
-  unsigned CallDepth = 0;
+  /// Runaway-recursion guard. Thread-local (shared across instances on a
+  /// thread) so concurrent workers track their own stacks.
+  static thread_local unsigned CallDepth;
   static constexpr unsigned MaxCallDepth = 512;
-  bool ThreadSafe = false;
-  std::recursive_mutex CallMu;
 };
 
 } // namespace flix

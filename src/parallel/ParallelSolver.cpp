@@ -7,6 +7,7 @@
 #include "parallel/ParallelSolver.h"
 
 #include "fixpoint/EvalUtil.h"
+#include "fixpoint/Plan.h"
 #include "support/Hashing.h"
 #include "support/SmallVector.h"
 
@@ -60,12 +61,15 @@ constexpr size_t SpawnSlotMask = (size_t(1) << SpawnWorkerShift) - 1;
 /// atomic flag so one worker's timeout stops all of them.
 struct ParallelSolver::WorkerCtx {
   /// A captured continuation of one in-flight rule evaluation: re-run the
-  /// scan at Order position Pos over row range [Begin, End) — ids from
-  /// *Rows (an index bucket, immutable during the phase) or, when Rows is
-  /// null, raw table ids — under the bound-env prefix (Env, Bound) that
-  /// was live when the owning worker decided to split. The evaluation
-  /// Order is not stored: it is a pure function of (RuleIdx, Driver), so
-  /// the executor rebuilds it exactly as runTask does.
+  /// scan at position Pos over row range [Begin, End) — ids from *Rows
+  /// (an index bucket, immutable during the phase) or, when Rows is null,
+  /// raw table ids — under the bound-env prefix (Env, Bound) that was
+  /// live when the owning worker decided to split. Pos is a plan-step
+  /// index when compiled plans are active, otherwise an Order position;
+  /// the interpretation is uniform within a run because CompilePlans is
+  /// fixed for the solve. The plan / evaluation Order is not stored: it
+  /// is a pure function of (RuleIdx, Driver), so the executor re-fetches
+  /// or rebuilds it exactly as runTask does.
   struct SubTask {
     uint32_t RuleIdx;
     int32_t Driver;
@@ -150,6 +154,10 @@ struct ParallelSolver::WorkerCtx {
   /// phase can compact each shard without cross-shard synchronization.
   std::vector<std::vector<Deriv>> Buffers;
 
+  /// Persistent per-worker plan executor (cursor storage survives across
+  /// tasks, so steady-state evaluation allocates nothing).
+  plan::PlanExecutor<WorkerCtx> Exec{*this};
+
   // Counters drained into SolveStats by the coordinator between phases.
   uint64_t RuleFirings = 0;
   uint64_t FactsDerived = 0;
@@ -174,11 +182,80 @@ struct ParallelSolver::WorkerCtx {
 
   Value callExtern(FnId Fn, std::span<const Value> Args) {
     const ExternImpl &Impl = S.P.functionDecl(Fn).Impl;
-    if (S.Opts.SerializeExternals) {
-      std::lock_guard<std::mutex> Lock(S.ExternMu);
+    auto Compute = [&]() -> Value {
+      if (S.Opts.SerializeExternals) {
+        std::lock_guard<std::mutex> Lock(S.ExternMu);
+        return Impl(Args);
+      }
       return Impl(Args);
-    }
-    return Impl(Args);
+    };
+    // The memo shard lock never wraps the compute (Plan.h), so memoized
+    // calls still honor SerializeExternals on the miss path without
+    // nesting ExternMu inside a shard mutex.
+    if (S.Memo)
+      return S.Memo->call(Fn, Args, Compute);
+    return Compute();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // PlanExecutor engine policy (Plan.h). WorkerCtx is its own engine: the
+  // executor's hooks map 1:1 onto the worker's snapshot-read, buffered-
+  // write, sub-task-spilling evaluation discipline.
+  //===--------------------------------------------------------------------===//
+
+  std::vector<Value> &env() { return Env; }
+  std::vector<uint8_t> &bound() { return Bound; }
+  ValueFactory &factory() { return S.F; }
+  Table &table(PredId P) { return *S.Tables[P]; }
+  bool checkRow() { return checkAbort(); }
+
+  /// Buckets are immutable during an eval phase, so no copy is taken (the
+  /// scratch vector stays untouched) and the returned pointer is a stable
+  /// spill target. A miss means the static index analysis and the plan
+  /// compiler disagreed on a mask — counted, fatal under
+  /// StrictIndexCoverage, and answered with a full-scan fallback.
+  const std::vector<uint32_t> *probeBucket(const plan::Step &St, Value ProjT,
+                                           std::vector<uint32_t> &) {
+    if (const std::vector<uint32_t> *Bucket =
+            S.Tables[St.Pred]->probeExisting(St.Mask, ProjT))
+      return Bucket;
+    ++IndexFallbacks;
+    assert(!S.Opts.StrictIndexCoverage &&
+           "probeExisting miss: plan mask not pre-built by the static "
+           "index analysis");
+    return nullptr;
+  }
+
+  /// Intra-rule spilling: identical policy to the legacy walk, with the
+  /// plan-step index in SubTask::Pos.
+  uint32_t maybeSpill(const plan::RulePlan &, uint32_t StepIdx,
+                      const std::vector<uint32_t> *Rows, uint32_t Begin,
+                      uint32_t End) {
+    return trySpill(StepIdx, Rows, Begin, End);
+  }
+
+  void onRow(PredId, uint32_t) {}
+  void popRow() {}
+
+  void onDerived(const plan::RulePlan &Pl, Value KeyT, Value LatVal) {
+    ++RuleFirings;
+    // Same ⊥-drop as the legacy deriveHead: x ⊔ ⊥ = x can never change a
+    // cell, so don't ship it through the merge.
+    if (!Pl.Head.Relational &&
+        LatVal == S.P.predicate(Pl.Head.Pred).Lat->bot())
+      return;
+    size_t Sh = hashValues(static_cast<uint64_t>(Pl.Head.Pred),
+                           KeyT.hash()) &
+                (NumMergeShards - 1);
+    Buffers[Sh].push_back({Pl.Head.Pred, KeyT, LatVal});
+  }
+
+  /// Driver rows of the running task (only reachable from runTask: spawned
+  /// continuations never re-enter a Driver step from the top).
+  const std::vector<uint32_t> *driverRows(uint32_t &Begin, uint32_t &End) {
+    Begin = Cur->Begin;
+    End = Cur->End;
+    return Cur->Rows;
   }
 
   void runTask(const Task &T);
@@ -201,12 +278,17 @@ void ParallelSolver::WorkerCtx::runTask(const Task &T) {
   Env.assign(R.NumVars, Value());
   Bound.assign(R.NumVars, 0);
 
-  SmallVector<const BodyElem *, 8> Order;
-  buildOrder(R, T.Driver, Order);
-
   Cur = &T;
   CurRuleIdx = T.RuleIdx;
   CurDriver = T.Driver;
+  if (S.Plans) {
+    Exec.run(S.Plans->plan(T.RuleIdx, T.Driver));
+    Cur = nullptr;
+    return;
+  }
+
+  SmallVector<const BodyElem *, 8> Order;
+  buildOrder(R, T.Driver, Order);
   evalElems(R, std::span<const BodyElem *const>(Order.data(), Order.size()),
             0);
   Cur = nullptr;
@@ -219,6 +301,15 @@ void ParallelSolver::WorkerCtx::runSpawned(const SubTask &T) {
   const Rule &R = S.Prepared[T.RuleIdx];
   Env = T.Env;
   Bound = T.Bound;
+
+  if (S.Plans) {
+    // Cur stays null; plan resumption never re-enters the Driver step.
+    CurRuleIdx = T.RuleIdx;
+    CurDriver = T.Driver;
+    Exec.runFrom(S.Plans->plan(T.RuleIdx, T.Driver), T.Pos, T.Rows, T.Begin,
+                 T.End);
+    return;
+  }
 
   SmallVector<const BodyElem *, 8> Order;
   buildOrder(R, T.Driver, Order);
@@ -608,6 +699,10 @@ ParallelSolver::ParallelSolver(const Program &P, SolverOptions Opts)
   Prepared.reserve(P.rules().size());
   for (const Rule &R : P.rules())
     Prepared.push_back(Opts.ReorderBody ? reorderRuleGreedy(R) : R);
+  if (Opts.CompilePlans)
+    Plans = std::make_unique<plan::PlanLibrary>(P, Prepared, Opts.UseIndexes);
+  if (Opts.EnableMemo)
+    Memo = std::make_unique<plan::ExternMemo>();
   Delta.resize(P.predicates().size());
   NextDelta.resize(P.predicates().size());
   AllRows.resize(P.predicates().size());
@@ -880,6 +975,13 @@ SolveStats ParallelSolver::solve() {
     Stats.MemoryBytes = F.memoryBytes();
     for (const std::unique_ptr<Table> &T : Tables)
       Stats.MemoryBytes += T->memoryBytes();
+    if (Plans)
+      Stats.PlanSteps = Plans->totalSteps();
+    if (Memo) {
+      Stats.MemoHits = Memo->hits();
+      Stats.MemoMisses = Memo->misses();
+      Stats.MemoryBytes += Memo->memoryBytes();
+    }
     return Stats;
   };
 

@@ -131,6 +131,16 @@ private:
   std::vector<std::unique_ptr<Table>> Tables;
   std::vector<Rule> Prepared; ///< rules, possibly reordered
 
+  /// Compiled join plans (SolverOptions::CompilePlans): workers run the
+  /// shared non-recursive PlanExecutor instead of the recursive
+  /// evalElems/evalAtom walk, with sub-task spilling mapped onto the
+  /// executor's maybeSpill hook. Null when plans are disabled.
+  std::unique_ptr<plan::PlanLibrary> Plans;
+  /// Shared memo cache for pure external functions
+  /// (SolverOptions::EnableMemo); all workers' extern calls route through
+  /// it. Null when memoization is disabled.
+  std::unique_ptr<plan::ExternMemo> Memo;
+
   unsigned NumWorkers;
   /// Merge shards: cell (pred, key) is owned by shard
   /// hash(pred, key) mod NumMergeShards. A multiple of plausible worker

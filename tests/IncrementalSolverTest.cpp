@@ -209,6 +209,35 @@ TEST(IncrementalSolverTest, UnknownRetractionAndDuplicateAddAreNoops) {
   EXPECT_TRUE(IS.contains(C.Path, {C.F.integer(1), C.F.integer(2)}));
 }
 
+TEST(IncrementalSolverTest, SupportEdgesStayBoundedAcrossUpdateCycles) {
+  // Both support-index writers (Solver::recordSupport and the
+  // incremental rederive path) keep each cell's Dependents list
+  // sorted-unique, so repeating the same add/retract churn must not grow
+  // the index: re-deriving a cell through the same join re-records the
+  // same edge, which is dropped as a duplicate. Without dedup this count
+  // grows on every cycle.
+  TcCase C;
+  C.Edges = {{1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  Program P = C.build();
+  IncrementalSolver IS(P);
+  ASSERT_TRUE(IS.update().ok());
+
+  auto churn = [&] {
+    IS.addFact(C.Edge, {C.F.integer(5), C.F.integer(6)});
+    ASSERT_TRUE(IS.update().ok());
+    IS.retractFact(C.Edge, {C.F.integer(5), C.F.integer(6)});
+    ASSERT_TRUE(IS.update().ok());
+  };
+  churn();
+  size_t Baseline = IS.solver().supportEdgeCount();
+  ASSERT_GT(Baseline, 0u);
+
+  for (int Cycle = 0; Cycle < 5; ++Cycle)
+    churn();
+  EXPECT_EQ(IS.solver().supportEdgeCount(), Baseline);
+  expectMatchesScratch(IS, [&] { return C.build(); });
+}
+
 TEST(IncrementalSolverTest, EmptyUpdateIsTrivial) {
   TcCase C;
   C.Edges = {{1, 2}};

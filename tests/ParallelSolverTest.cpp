@@ -387,6 +387,8 @@ TEST(ParallelSolverTest, StatsAreReported) {
   EXPECT_GT(St.ParallelTasks, 0u);
   EXPECT_GT(St.Iterations, 0u);
   EXPECT_GT(St.Seconds, 0.0);
+  // Compiled plans are on by default and every rule lowers to >= 1 step.
+  EXPECT_GT(St.PlanSteps, 0u);
 }
 
 TEST(ParallelSolverTest, ConcurrentSolversSharedFactory) {
@@ -465,6 +467,43 @@ TEST(ParallelCaseStudyTest, StrongUpdateInterpretedSource) {
   ASSERT_TRUE(Seq.ok()) << Seq.Error;
   SolverOptions Opts;
   Opts.NumThreads = 2;
+  StrongUpdateResult Par = runStrongUpdateFlixSource(In, Opts);
+  ASSERT_TRUE(Par.ok()) << Par.Error;
+  EXPECT_TRUE(Par.samePointsTo(Seq));
+}
+
+TEST(ParallelCaseStudyTest, StrongUpdateInterpretedSourceUnserialized) {
+  // Regression: compiled-FLIX programs used to need SerializeExternals
+  // (one global lock around every external call) to run on the parallel
+  // solver, because the interpreter kept per-call state in members. The
+  // interpreter is now intrinsically thread-safe, so workers may call a
+  // shared Interp concurrently with no lock. Memoization is disabled so
+  // every lattice operation actually re-enters the interpreter instead
+  // of being absorbed by the cache.
+  PointerProgram In = generatePointerProgram(41, 800);
+  StrongUpdateResult Seq = runStrongUpdateFlixSource(In, SolverOptions());
+  ASSERT_TRUE(Seq.ok()) << Seq.Error;
+  for (unsigned Threads : {2u, 8u}) {
+    SolverOptions Opts;
+    Opts.NumThreads = Threads;
+    Opts.SerializeExternals = false;
+    Opts.EnableMemo = false;
+    StrongUpdateResult Par = runStrongUpdateFlixSource(In, Opts);
+    ASSERT_TRUE(Par.ok()) << Par.Error;
+    EXPECT_TRUE(Par.samePointsTo(Seq)) << "threads=" << Threads;
+  }
+}
+
+TEST(ParallelCaseStudyTest, StrongUpdateInterpretedSourceMemoized) {
+  // Same pipeline with the memo cache on: concurrent workers populate
+  // and hit the sharded cache, the model is unchanged, and the solve
+  // reports cache traffic in the stats.
+  PointerProgram In = generatePointerProgram(41, 800);
+  StrongUpdateResult Seq = runStrongUpdateFlixSource(In, SolverOptions());
+  ASSERT_TRUE(Seq.ok()) << Seq.Error;
+  SolverOptions Opts;
+  Opts.NumThreads = 8;
+  Opts.SerializeExternals = false;
   StrongUpdateResult Par = runStrongUpdateFlixSource(In, Opts);
   ASSERT_TRUE(Par.ok()) << Par.Error;
   EXPECT_TRUE(Par.samePointsTo(Seq));

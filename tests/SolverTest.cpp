@@ -621,6 +621,60 @@ TEST(SolverStatsTest, SemiNaiveDoesLessWorkThanNaive) {
   EXPECT_GT(StN.RuleFirings, 4 * StS.RuleFirings);
 }
 
+TEST(SolverStatsTest, MemoryAccountingCoversAuxiliaryStructures) {
+  // SolveStats::MemoryBytes must cover everything the solver holds: it
+  // is bounded below by the tables plus the interned values, and each
+  // auxiliary structure — memo cache, provenance, support index — must
+  // show up in it (regression for the under-accounting that ignored all
+  // three).
+  auto build = [](ValueFactory &F, Program &P) {
+    PredId Edge = P.relation("Edge", 2);
+    PredId Path = P.relation("Path", 2);
+    FnId Ok = P.function("ok", 1, FnRole::Filter,
+                         [&F](std::span<const Value> A) {
+                           (void)A;
+                           return F.boolean(true);
+                         });
+    RuleBuilder().head(Path, {"x", "y"}).atom(Edge, {"x", "y"}).addTo(P);
+    RuleBuilder()
+        .head(Path, {"x", "z"})
+        .atom(Path, {"x", "y"})
+        .atom(Edge, {"y", "z"})
+        .filter(Ok, {"z"})
+        .addTo(P);
+    for (int I = 0; I < 40; ++I)
+      P.addFact(Edge, {F.integer(I), F.integer(I + 1)});
+  };
+
+  auto footprint = [&](bool Memo, bool Prov, bool Support) {
+    ValueFactory F;
+    Program P(F);
+    build(F, P);
+    SolverOptions O;
+    O.EnableMemo = Memo;
+    O.TrackProvenance = Prov;
+    O.TrackSupport = Support;
+    Solver S(P, O);
+    SolveStats St = S.solve();
+    EXPECT_TRUE(St.ok()) << St.Error;
+    size_t TableBytes = F.memoryBytes();
+    for (PredId Pr = 0; Pr < P.predicates().size(); ++Pr)
+      TableBytes += S.table(Pr).memoryBytes();
+    EXPECT_GE(St.MemoryBytes, TableBytes);
+    return St.MemoryBytes;
+  };
+
+  size_t Bare = footprint(false, false, false);
+  size_t WithMemo = footprint(true, false, false);
+  size_t WithProv = footprint(true, true, false);
+  size_t WithSupport = footprint(true, true, true);
+  // The solves are deterministic and differ only in the structures
+  // switched on, so each step adds strictly positive footprint.
+  EXPECT_GT(WithMemo, Bare);
+  EXPECT_GT(WithProv, WithMemo);
+  EXPECT_GT(WithSupport, WithProv);
+}
+
 TEST(SolverStatsTest, IndexesAreCreatedOnDemand) {
   ValueFactory F;
   Program P(F);

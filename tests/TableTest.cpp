@@ -109,6 +109,19 @@ TEST_F(TableTest, MemoryAccountingGrows) {
   EXPECT_GT(T.memoryBytes(), Before);
 }
 
+TEST_F(TableTest, MemoryAccountingMonotoneUnderJoins) {
+  // Joins only ever add rows or lub existing cells in place, so the
+  // reported footprint must never decrease across a join sequence.
+  Table T(2, L, F);
+  size_t Prev = T.memoryBytes();
+  for (int I = 0; I < 256; ++I) {
+    T.join(key(I % 16, I), L.odd());
+    size_t Now = T.memoryBytes();
+    EXPECT_GE(Now, Prev) << "at join " << I;
+    Prev = Now;
+  }
+}
+
 TEST_F(TableTest, MemoryAccountingCoversBucketCapacity) {
   // All rows share key column 0, so the mask-0b01 index is one bucket of
   // N ids. The old flat per-entry estimate ignored the bucket vector's

@@ -10,6 +10,9 @@
 //
 //   --naive            use naive instead of semi-naive evaluation
 //   --no-index         disable automatic secondary indexes
+//   --no-plans         interpret rule bodies recursively instead of
+//                      running compiled join plans
+//   --no-memo          disable the pure-function memo cache
 //   --reorder          greedily reorder rule bodies
 //   --threads <n>      solve with the parallel engine on <n> worker
 //                      threads (0 = sequential solver, the default)
@@ -28,6 +31,9 @@
 //   --explain <pred>   print derivation trees for a predicate's rows
 //                      (sequential solver only)
 //   --stats            print solver statistics
+//   --json             print solver statistics as one JSON object on
+//                      stdout (one object per update in update-script
+//                      mode) and suppress the default model dump
 //
 // With no --print option, prints every predicate's row count and the full
 // contents of predicates with at most 50 rows.
@@ -70,6 +76,9 @@ static void printUsage() {
       "usage: flixc [options] <file.flix>\n"
       "  --naive            use naive instead of semi-naive evaluation\n"
       "  --no-index         disable automatic secondary indexes\n"
+      "  --no-plans         disable compiled join plans (recursive "
+      "interpreter)\n"
+      "  --no-memo          disable the pure-function memo cache\n"
       "  --reorder          greedily reorder rule bodies\n"
       "  --threads <n>      parallel engine with <n> workers (0 = "
       "sequential)\n"
@@ -84,7 +93,9 @@ static void printUsage() {
       "  --dump-program     print the lowered fixpoint program and exit\n"
       "  --print <pred>     print all tuples of one predicate\n"
       "  --explain <pred>   print derivation trees for a predicate's rows\n"
-      "  --stats            print solver statistics\n");
+      "  --stats            print solver statistics\n"
+      "  --json             print statistics as JSON; suppresses the "
+      "default model dump\n");
 }
 
 /// Parses one fact-file column according to its declared type. Returns
@@ -226,6 +237,44 @@ static void printUpdateStats(unsigned UpdateNo, const UpdateStats &U) {
               U.FullResolve ? " (full re-solve)" : "");
 }
 
+static const char *statusName(SolveStats::Status St) {
+  switch (St) {
+  case SolveStats::Status::Fixpoint:
+    return "fixpoint";
+  case SolveStats::Status::Timeout:
+    return "timeout";
+  case SolveStats::Status::IterationLimit:
+    return "iteration_limit";
+  case SolveStats::Status::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+/// One flat JSON object of solver statistics — the --json output. One
+/// line per solve (or per update in update-script mode) so scripts can
+/// stream-parse.
+static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
+  std::printf(
+      "{\"status\": \"%s\", \"threads\": %u, \"plans\": %s, "
+      "\"memo\": %s, \"iterations\": %llu, \"rule_firings\": %llu, "
+      "\"facts_derived\": %llu, \"plan_steps\": %llu, "
+      "\"memo_hits\": %llu, \"memo_misses\": %llu, "
+      "\"index_fallbacks\": %llu, \"seconds\": %.6f, "
+      "\"memory_bytes\": %llu}\n",
+      statusName(St.St), Opts.NumThreads,
+      Opts.CompilePlans ? "true" : "false",
+      Opts.EnableMemo ? "true" : "false",
+      static_cast<unsigned long long>(St.Iterations),
+      static_cast<unsigned long long>(St.RuleFirings),
+      static_cast<unsigned long long>(St.FactsDerived),
+      static_cast<unsigned long long>(St.PlanSteps),
+      static_cast<unsigned long long>(St.MemoHits),
+      static_cast<unsigned long long>(St.MemoMisses),
+      static_cast<unsigned long long>(St.IndexFallbacks), St.Seconds,
+      static_cast<unsigned long long>(St.MemoryBytes));
+}
+
 /// Replays an update script (see the file comment) against the
 /// incremental engine, then prints the final model like the one-shot
 /// path. Returns the process exit code.
@@ -234,7 +283,7 @@ static int runUpdateScript(FlixCompiler &C, ValueFactory &F,
                            const std::string &ScriptPath,
                            const std::vector<std::string> &PrintPreds,
                            const std::vector<std::string> &ExplainPreds,
-                           bool Stats) {
+                           bool Stats, bool Json) {
   std::ifstream Script(ScriptPath);
   if (!Script) {
     std::fprintf(stderr, "error: cannot open '%s'\n", ScriptPath.c_str());
@@ -263,6 +312,8 @@ static int runUpdateScript(FlixCompiler &C, ValueFactory &F,
                    UpdateNo);
     if (Stats)
       printUpdateStats(UpdateNo, U);
+    if (Json)
+      printJsonStats(U, Opts);
     ++UpdateNo;
     return true;
   };
@@ -351,7 +402,7 @@ static int runUpdateScript(FlixCompiler &C, ValueFactory &F,
       }
       printPredicate(P, IS, *Id);
     }
-  } else {
+  } else if (!Json) {
     for (PredId Id = 0; Id < P.predicates().size(); ++Id) {
       if (IS.table(Id).liveSize() <= 50)
         printPredicate(P, IS, Id);
@@ -387,6 +438,7 @@ int main(int Argc, char **Argv) {
   SolverOptions Opts;
   bool DumpProgram = false;
   bool Stats = false;
+  bool Json = false;
   std::vector<std::string> PrintPreds;
   std::vector<std::string> ExplainPreds;
   std::string InputPath;
@@ -399,6 +451,10 @@ int main(int Argc, char **Argv) {
       Opts.Strat = Strategy::Naive;
     } else if (Arg == "--no-index") {
       Opts.UseIndexes = false;
+    } else if (Arg == "--no-plans") {
+      Opts.CompilePlans = false;
+    } else if (Arg == "--no-memo") {
+      Opts.EnableMemo = false;
     } else if (Arg == "--reorder") {
       Opts.ReorderBody = true;
     } else if (Arg == "--threads") {
@@ -448,6 +504,8 @@ int main(int Argc, char **Argv) {
       DumpProgram = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--json") {
+      Json = true;
     } else if (Arg == "--print") {
       if (++I >= Argc) {
         std::fprintf(stderr, "error: --print needs a predicate name\n");
@@ -518,12 +576,12 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  if (Opts.NumThreads > 0)
-    C.interp().enableThreadSafe();
+  // No interpreter serialization: Interp is intrinsically thread-safe
+  // (Interp.h), so compiled programs run parallel with no outer lock.
 
   if (!UpdateScriptPath.empty())
     return runUpdateScript(C, F, Opts, UpdateScriptPath, PrintPreds,
-                           ExplainPreds, Stats);
+                           ExplainPreds, Stats, Json);
 
   return solveWith(C.program(), Opts, [&](const auto &S,
                                           const SolveStats &St) -> int {
@@ -551,7 +609,7 @@ int main(int Argc, char **Argv) {
         }
         printPredicate(P, S, *Id);
       }
-    } else {
+    } else if (!Json) {
       for (PredId Id = 0; Id < P.predicates().size(); ++Id) {
         if (S.table(Id).size() <= 50)
           printPredicate(P, S, Id);
@@ -596,6 +654,11 @@ int main(int Argc, char **Argv) {
                   St.Seconds,
                   static_cast<double>(St.MemoryBytes) /
                       (1024.0 * 1024.0));
+      std::printf("plans: %llu compiled steps; memo: %llu hits, %llu "
+                  "misses\n",
+                  static_cast<unsigned long long>(St.PlanSteps),
+                  static_cast<unsigned long long>(St.MemoHits),
+                  static_cast<unsigned long long>(St.MemoMisses));
       if (Opts.NumThreads > 0)
         std::printf("parallel: %u threads, %llu tasks, %llu steals, %llu "
                     "merge collisions, %llu spawned subtasks (max fanout "
@@ -608,6 +671,8 @@ int main(int Argc, char **Argv) {
                     static_cast<unsigned long long>(St.MaxFanout),
                     static_cast<unsigned long long>(St.IndexBuildTasks));
     }
+    if (Json)
+      printJsonStats(St, Opts);
     return 0;
   });
 }
