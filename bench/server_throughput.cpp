@@ -1,0 +1,168 @@
+//===- bench/server_throughput.cpp - flixd sustained-load benchmark -------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the server subsystem (DESIGN.md S14) end to end: an in-process
+// flixd Server on an ephemeral loopback port, driven by the same
+// concurrent load driver flixbench_client uses. Each record is one
+// client-count regime over the incremental shortest-paths workload
+// (add/retract Edge batches interleaved with snapshot Dist queries) and
+// carries sustained throughput plus p50/p99 request latency — the
+// acceptance numbers for the write-coalescing and snapshot-isolation
+// design.
+//
+// Options:
+//   --json PATH    write the records as a JSON array (default stdout table)
+//   --seconds S    drive duration per regime (default 3; CI smoke uses 0.5)
+//   --clients A,B  comma list of client counts (default 1,4,8)
+//   --rows N       fact rows per mutation request (default 16)
+//   --keyspace N   graph node bound (default 512)
+//
+// Environment overrides (CI knobs): FLIX_SERVER_BENCH_SECONDS,
+// FLIX_SERVER_BENCH_CLIENTS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/LoadDriver.h"
+#include "server/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace flix;
+using namespace flix::server;
+
+namespace {
+
+std::vector<unsigned> parseClientList(const std::string &Spec) {
+  std::vector<unsigned> Out;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    int N = std::atoi(Spec.substr(Pos, Comma - Pos).c_str());
+    if (N > 0)
+      Out.push_back(unsigned(N));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  double Seconds = 3.0;
+  std::vector<unsigned> ClientCounts = {1, 4, 8};
+  unsigned Rows = 16;
+  unsigned KeySpace = 512;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto needValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "server_throughput: %s needs a value\n",
+                     A.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--json")
+      JsonPath = needValue();
+    else if (A == "--seconds")
+      Seconds = std::atof(needValue());
+    else if (A == "--clients")
+      ClientCounts = parseClientList(needValue());
+    else if (A == "--rows")
+      Rows = unsigned(std::atoi(needValue()));
+    else if (A == "--keyspace")
+      KeySpace = unsigned(std::atoi(needValue()));
+    else {
+      std::fprintf(stderr, "server_throughput: unknown option '%s'\n",
+                   A.c_str());
+      return 2;
+    }
+  }
+  if (const char *S = std::getenv("FLIX_SERVER_BENCH_SECONDS"))
+    Seconds = std::atof(S);
+  if (const char *S = std::getenv("FLIX_SERVER_BENCH_CLIENTS"))
+    ClientCounts = parseClientList(S);
+  if (ClientCounts.empty() || Seconds <= 0) {
+    std::fprintf(stderr, "server_throughput: degenerate options\n");
+    return 2;
+  }
+
+  Json Records = Json::array();
+  bool AllOk = true;
+
+  for (unsigned Clients : ClientCounts) {
+    // A fresh server per regime so counters and the database start
+    // clean; ephemeral port, loopback only.
+    ServerOptions SO;
+    SO.Port = 0;
+    Server Srv(SO);
+    std::string Err;
+    if (!Srv.start(Err)) {
+      std::fprintf(stderr, "server_throughput: start failed: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+
+    LoadOptions LO;
+    LO.Port = Srv.port();
+    LO.Clients = Clients;
+    LO.Seconds = Seconds;
+    LO.RowsPerRequest = Rows;
+    LO.KeySpace = KeySpace;
+    LO.Seed = 1;
+    LoadReport Rep = runLoad(LO);
+    Srv.stop();
+    Srv.wait();
+
+    AllOk = AllOk && Rep.Ok;
+    Json R = Rep.toJson();
+    // Prepend the bench identity fields the schema check keys on.
+    Json Rec = Json::object();
+    Rec.set("bench", Json::str("server_throughput"));
+    Rec.set("transport", Json::str("tcp-loopback"));
+    Rec.set("rows_per_request", Json::integer(int64_t(Rows)));
+    Rec.set("keyspace", Json::integer(int64_t(KeySpace)));
+    for (auto &[Name, Val] : R.Obj)
+      Rec.set(Name, std::move(Val));
+    Records.Arr.push_back(std::move(Rec));
+
+    std::fprintf(stderr,
+                 "clients %2u: %7.0f mut/s %7.0f rows/s %7.0f qry/s  "
+                 "mut p50/p99 %6.2f/%6.2f ms  qry p50/p99 %6.3f/%6.3f ms"
+                 "  batches %llu (coalesced %llu)%s\n",
+                 Clients, Rep.MutationsPerSec, Rep.RowsPerSec,
+                 Rep.QueriesPerSec, Rep.MutationP50Ms, Rep.MutationP99Ms,
+                 Rep.QueryP50Ms, Rep.QueryP99Ms,
+                 (unsigned long long)Rep.UpdateBatches,
+                 (unsigned long long)Rep.CoalescedRequests,
+                 Rep.Ok ? "" : "  ERROR");
+    if (!Rep.Ok)
+      std::fprintf(stderr, "  first error: %s\n", Rep.Error.c_str());
+  }
+
+  std::string Out = writeJson(Records);
+  if (JsonPath.empty()) {
+    std::printf("%s\n", Out.c_str());
+  } else {
+    std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "server_throughput: cannot write %s\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(F, "%s\n", Out.c_str());
+    std::fclose(F);
+  }
+  return AllOk ? 0 : 1;
+}

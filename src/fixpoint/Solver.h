@@ -149,6 +149,13 @@ struct SolveStats {
   // Plan/memo counters (SolverOptions::CompilePlans / EnableMemo).
   uint64_t PlanSteps = 0;  ///< compiled plan steps over all (rule, driver)
                            ///< plans (0 when plans are disabled)
+  /// Incremental-engine escape hatches taken so far: update() batches
+  /// that fell back to a from-scratch solve because a staged fact reaches
+  /// a negated predicate (or a prior update left the tables degraded).
+  /// Cumulative over the IncrementalSolver's lifetime so operators can
+  /// watch it grow (flixc --stats / --json, the daemon's `stats` reply);
+  /// always 0 for a plain one-shot Solver run.
+  uint64_t FallbackSolves = 0;
   uint64_t MemoHits = 0;   ///< extern calls answered from the memo cache
   uint64_t MemoMisses = 0; ///< extern calls computed then cached
 

@@ -601,7 +601,7 @@ void IncrementalSolver::recordSupportEdge(CellRef Prem, CellRef Head) {
   std::rotate(Out.begin() + Idx, Out.end() - 1, Out.end());
 }
 
-void IncrementalSolver::fullSolve(UpdateStats &U) {
+void IncrementalSolver::fullSolve(UpdateStats &U, Deadline DL) {
   // Apply staged mutations to the store only: a fresh solve reads the
   // materialized store. Retractions first, then additions — a batch that
   // both retracts and adds the same fact leaves it present.
@@ -643,10 +643,21 @@ void IncrementalSolver::fullSolve(UpdateStats &U) {
   SolverOptions SO = Opts;
   SO.TrackSupport = true;
   SO.NumThreads = 0; // the inner Solver is sequential
+  // A request deadline tighter than the configured time limit wins: the
+  // remaining budget becomes this solve's limit.
+  if (DL.active()) {
+    double Remaining = DL.remainingSeconds();
+    if (SO.TimeLimitSeconds <= 0 || Remaining < SO.TimeLimitSeconds)
+      SO.TimeLimitSeconds = Remaining > 0 ? Remaining : 1e-9;
+  }
   S = std::make_unique<Solver>(P, SO);
   S->FactsOverride = &OverrideFacts;
   SolveStats St = S->solve();
   static_cast<SolveStats &>(U) = St;
+  // Every predicate's table was rebuilt from nothing.
+  U.ChangedPreds.clear();
+  for (PredId Pr = 0; Pr < P.predicates().size(); ++Pr)
+    U.ChangedPreds.push_back(Pr);
   // A replaced solver has fresh tables: re-prepare the worker indexes if
   // parallel rounds are in use.
   if (ParallelReady && Opts.UseIndexes)
@@ -791,15 +802,20 @@ void IncrementalSolver::mergeWorkerDerivs() {
   }
 }
 
-void IncrementalSolver::incrementalUpdate(UpdateStats &U) {
+void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   Solver &Sol = *S;
   SolveStats Before = Sol.Stats;
   size_t NumPreds = P.predicates().size();
 
   // The inner solver's run state must be clean for re-entry; incremental
-  // updates are not subject to TimeLimitSeconds/MaxIterations.
+  // updates are not subject to TimeLimitSeconds/MaxIterations, but they
+  // do honor a caller-supplied cancellation deadline: the sequential
+  // eval paths (rederive and delta rounds) check it per matched row and
+  // abort with Status::Timeout, after which update() marks the state
+  // Degraded so the next batch recovers via a full solve. Parallel
+  // worker rounds do not observe it (WorkerCtx::checkRow).
   Sol.Aborted = false;
-  Sol.DL = Deadline();
+  Sol.DL = DL;
   Sol.Stats.St = SolveStats::Status::Fixpoint;
   for (auto &Ch : UpdateChanged)
     Ch.clear();
@@ -926,12 +942,12 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U) {
   if (Parallel)
     ensureParallel();
 
-  for (uint32_t Str = 0; Str < St.numStrata(); ++Str) {
+  for (uint32_t Str = 0; Str < St.numStrata() && !Sol.Aborted; ++Str) {
     // (a) Head-bound re-derivation of this stratum's deleted cells over
     // the surviving database. Order within the stratum is irrelevant: a
     // derivation missed because another deleted cell is still ⊥ is
     // re-fired by the delta rounds once that cell comes back.
-    for (PredId Pr = 0; Pr < NumPreds; ++Pr) {
+    for (PredId Pr = 0; Pr < NumPreds && !Sol.Aborted; ++Pr) {
       if (DeletedByPred[Pr].empty() || St.PredStratum[Pr] != Str)
         continue;
       for (uint32_t Row : DeletedByPred[Pr])
@@ -948,7 +964,7 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U) {
 
     // (c) Semi-naive delta rounds restricted to this stratum's rules.
     const std::vector<uint32_t> &RuleIds = St.RulesByStratum[Str];
-    while (true) {
+    while (!Sol.Aborted) {
       bool AnyDelta = false;
       for (size_t PI = 0; PI < NumPreds; ++PI) {
         Sol.Delta[PI].assign(Sol.NextDelta[PI].begin(),
@@ -988,6 +1004,14 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U) {
       if (!Sol.Tables[Pr]->isTombstone(Row))
         ++U.CellsRederived;
 
+  // Snapshot-read hook: the predicates this update touched (changed rows
+  // or deletions — a tombstoned-and-not-revived cell changes the model
+  // too). Everything else is untouched and snapshot readers can keep
+  // sharing their copies of it.
+  for (PredId Pr = 0; Pr < NumPreds; ++Pr)
+    if (!UpdateChanged[Pr].empty() || !DeletedByPred[Pr].empty())
+      U.ChangedPreds.push_back(Pr);
+
   U.St = Sol.Stats.St;
   U.Iterations = Sol.Stats.Iterations - Before.Iterations;
   U.RuleFirings = Sol.Stats.RuleFirings - Before.RuleFirings;
@@ -998,7 +1022,7 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U) {
     U.ParallelSteals = Pool->steals() - StealsBase;
 }
 
-UpdateStats IncrementalSolver::update() {
+UpdateStats IncrementalSolver::update(Deadline DL) {
   UpdateStats U;
   auto Start = std::chrono::steady_clock::now();
   if (Pool)
@@ -1007,14 +1031,17 @@ UpdateStats IncrementalSolver::update() {
   bool NeedFull = !SolvedOnce || Degraded || touchesNegation();
   if (NeedFull) {
     U.FullResolve = SolvedOnce;
-    fullSolve(U);
+    if (U.FullResolve)
+      ++CumFallbackSolves;
+    fullSolve(U, DL);
     SolvedOnce = true;
   } else if (PendingAdds.empty() && PendingRetracts.empty()) {
     // Trivial update: the model is already the fixpoint.
   } else {
-    incrementalUpdate(U);
+    incrementalUpdate(U, DL);
   }
   Degraded = !U.ok();
+  U.FallbackSolves = CumFallbackSolves;
 
   U.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)

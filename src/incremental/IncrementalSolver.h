@@ -52,6 +52,12 @@ struct UpdateStats : SolveStats {
   uint64_t CellsDeleted = 0;   ///< cells reset to ⊥ by over-deletion
   uint64_t CellsRederived = 0; ///< deleted cells re-derived to non-⊥
   bool FullResolve = false;    ///< update fell back to a from-scratch solve
+  /// Predicates whose table changed in this update (every predicate on a
+  /// full solve). The snapshot-read hook: readers that maintain
+  /// per-predicate immutable copies of the model (the server's query
+  /// snapshots) rebuild exactly these and share the rest, so snapshot
+  /// maintenance cost tracks the affected cone like the update itself.
+  std::vector<PredId> ChangedPreds;
 };
 
 /// Wraps the sequential semi-naive Solver with a mutable input-fact store
@@ -121,7 +127,25 @@ public:
   /// Applies every staged mutation and advances the model to the least
   /// fixed point of the updated fact set. The first call performs the
   /// initial full solve.
-  UpdateStats update();
+  UpdateStats update() { return update(Deadline()); }
+
+  /// update() with a cancellation deadline. Expiry aborts the in-flight
+  /// work at the next per-row check (full/fallback solves get the
+  /// remaining budget as their time limit; sequential delta rounds and
+  /// re-derivation check the deadline per matched row). An aborted update
+  /// returns Status::Timeout and leaves the tables a sound
+  /// under-approximation that is *not* a fixpoint — the solver remembers
+  /// this (Degraded) and the next update() re-solves from scratch, so a
+  /// cancelled batch costs recovery work but never a wrong model.
+  /// Parallel delta rounds (NumThreads > 0) do not observe mid-round
+  /// deadlines; only the sequential configuration supports cancellation.
+  UpdateStats update(Deadline DL);
+
+  /// Cumulative number of update() batches that fell back to a
+  /// from-scratch solve (negation-feeding facts or a degraded prior
+  /// update). Mirrored into SolveStats::FallbackSolves of every returned
+  /// UpdateStats; exposed directly for operators polling a live solver.
+  uint64_t fallbackSolves() const { return CumFallbackSolves; }
 
   /// Number of staged (not yet applied) mutations.
   size_t pendingMutations() const {
@@ -173,8 +197,8 @@ private:
   struct Task;
 
   Value keyTupleOf(const Fact &Fa) const;
-  void fullSolve(UpdateStats &U);
-  void incrementalUpdate(UpdateStats &U);
+  void fullSolve(UpdateStats &U, Deadline DL);
+  void incrementalUpdate(UpdateStats &U, Deadline DL);
   void noteChanged(PredId Pred, uint32_t Row);
   void recordSupportEdge(CellRef Prem, CellRef Head);
   bool touchesNegation() const;
@@ -224,6 +248,10 @@ private:
   /// Pool steal counter at the start of the current update(), for the
   /// per-update ParallelSteals delta.
   uint64_t StealsBase = 0;
+  /// Lifetime count of full-solve fallbacks taken by update() (see
+  /// fallbackSolves()); lives here because fullSolve() replaces the inner
+  /// solver and would lose a counter kept in its stats.
+  uint64_t CumFallbackSolves = 0;
 };
 
 } // namespace flix

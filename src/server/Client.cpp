@@ -1,0 +1,145 @@
+//===- server/Client.cpp - Blocking flixd client --------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace flix;
+using namespace flix::server;
+
+bool Client::connectTcp(const std::string &Host, uint16_t Port,
+                        std::string &Err) {
+  close();
+  int S = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (S < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad address '" + Host + "'";
+    ::close(S);
+    return false;
+  }
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Err = std::string("connect(") + Host + ":" + std::to_string(Port) +
+          "): " + std::strerror(errno);
+    ::close(S);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(S, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  Fd = S;
+  return true;
+}
+
+bool Client::connectUnix(const std::string &Path, std::string &Err) {
+  close();
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "unix socket path too long";
+    return false;
+  }
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Err = std::string("connect(") + Path + "): " + std::strerror(errno);
+    ::close(S);
+    return false;
+  }
+  Fd = S;
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+}
+
+bool Client::sendAll(const char *Data, size_t Len, std::string &Err) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Data += N;
+    Len -= size_t(N);
+  }
+  return true;
+}
+
+bool Client::readLine(std::string &Line, std::string &Err) {
+  char Chunk[64 * 1024];
+  while (true) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Line.assign(Buf, 0, Nl);
+      Buf.erase(0, Nl + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      return true;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0) {
+      Err = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Err = "connection closed by server";
+      return false;
+    }
+    Buf.append(Chunk, size_t(N));
+  }
+}
+
+bool Client::call(const Json &Request, Json &Reply, std::string &Err) {
+  return callRaw(writeJson(Request), Reply, Err);
+}
+
+bool Client::callRaw(const std::string &Line, Json &Reply,
+                     std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  std::string Out = Line;
+  Out.push_back('\n');
+  if (!sendAll(Out.data(), Out.size(), Err))
+    return false;
+  std::string ReplyLine;
+  if (!readLine(ReplyLine, Err))
+    return false;
+  if (!parseJson(ReplyLine, Reply, Err)) {
+    Err = "bad reply: " + Err;
+    return false;
+  }
+  return true;
+}

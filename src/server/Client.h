@@ -1,0 +1,65 @@
+//===- server/Client.h - Blocking flixd client ----------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the flixd wire protocol: connect over
+/// TCP or a Unix-domain socket, send one JSON request per line, read one
+/// JSON reply per line. Used by the protocol tests, the flixbench_client
+/// load driver and scripts; it is intentionally synchronous — one
+/// outstanding request per connection — because the server pipelines
+/// across connections, not within one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SERVER_CLIENT_H
+#define FLIX_SERVER_CLIENT_H
+
+#include "server/Json.h"
+
+#include <string>
+
+namespace flix {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&O) noexcept : Fd(O.Fd), Buf(std::move(O.Buf)) {
+    O.Fd = -1;
+  }
+
+  /// Connects to a TCP endpoint (e.g. "127.0.0.1", 7643).
+  bool connectTcp(const std::string &Host, uint16_t Port,
+                  std::string &Err);
+  /// Connects to a Unix-domain socket path.
+  bool connectUnix(const std::string &Path, std::string &Err);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends \p Request as one line and reads one reply line into
+  /// \p Reply. Returns false on transport or reply-parse failure.
+  bool call(const Json &Request, Json &Reply, std::string &Err);
+
+  /// Raw-line variant for malformed-input tests: sends \p Line verbatim
+  /// (a newline is appended) and reads one reply line.
+  bool callRaw(const std::string &Line, Json &Reply, std::string &Err);
+
+private:
+  bool sendAll(const char *Data, size_t Len, std::string &Err);
+  bool readLine(std::string &Line, std::string &Err);
+
+  int Fd = -1;
+  std::string Buf; ///< read-ahead buffer for line framing
+};
+
+} // namespace server
+} // namespace flix
+
+#endif // FLIX_SERVER_CLIENT_H

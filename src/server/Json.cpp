@@ -1,0 +1,400 @@
+//===- server/Json.cpp - Minimal JSON parser and writer -------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace flix;
+using namespace flix::server;
+
+namespace {
+
+/// Strict recursive-descent parser over a string_view. Depth-limited:
+/// request lines come from untrusted clients and a deeply nested array
+/// must not overflow the native stack.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string &Err) : Text(Text), Err(Err) {}
+
+  bool run(Json &Out) {
+    skipWs();
+    if (!value(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing garbage after JSON value");
+    return true;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  std::string_view Text;
+  std::string &Err;
+  size_t Pos = 0;
+
+  bool fail(const char *Msg) {
+    Err = std::string(Msg) + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\r' && C != '\n')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool value(Json &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!literal("null"))
+        return fail("invalid literal");
+      Out = Json::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return fail("invalid literal");
+      Out = Json::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("invalid literal");
+      Out = Json::boolean(false);
+      return true;
+    case '"':
+      Out = Json::str("");
+      return string(Out.Str);
+    case '[':
+      return array(Out, Depth);
+    case '{':
+      return object(Out, Depth);
+    default:
+      return number(Out);
+    }
+  }
+
+  bool number(Json &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail("invalid number");
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    bool IsInt = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsInt = false;
+      ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("digits required after decimal point");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsInt = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("digits required in exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Num(Text.substr(Start, Pos - Start));
+    if (IsInt) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Num.c_str(), &End, 10);
+      // Integers too wide for int64 degrade to double (still a valid
+      // JSON number; fact columns reject non-Int values downstream).
+      if (errno == 0 && End && *End == '\0') {
+        Out = Json::integer(V);
+        return true;
+      }
+    }
+    Out = Json::number(std::strtod(Num.c_str(), nullptr));
+    return true;
+  }
+
+  bool hexDigit(char C, unsigned &V) {
+    if (C >= '0' && C <= '9')
+      V = unsigned(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V = unsigned(C - 'a') + 10;
+    else if (C >= 'A' && C <= 'F')
+      V = unsigned(C - 'A') + 10;
+    else
+      return false;
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          unsigned D;
+          if (!hexDigit(Text[Pos++], D))
+            return fail("invalid hex digit in \\u escape");
+          Code = Code * 16 + D;
+        }
+        // Encode the code point as UTF-8. Surrogate pairs are passed
+        // through as two 3-byte sequences (WTF-8-ish) — fact strings are
+        // opaque bytes to the engine, exact pairing is not worth the
+        // code here.
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool array(Json &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = Json::array();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Json Elem;
+      skipWs();
+      if (!value(Elem, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(Elem));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      char C = Text[Pos];
+      if (C == ',') {
+        ++Pos;
+        continue;
+      }
+      if (C == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool object(Json &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = Json::object();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected string key in object");
+      std::string Key;
+      if (!string(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      Json Val;
+      skipWs();
+      if (!value(Val, Depth + 1))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Val));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      char C = Text[Pos];
+      if (C == ',') {
+        ++Pos;
+        continue;
+      }
+      if (C == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+void writeString(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C & 0xFF);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void write(std::string &Out, const Json &J) {
+  switch (J.K) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += J.B ? "true" : "false";
+    break;
+  case Json::Kind::Int:
+    Out += std::to_string(J.Int);
+    break;
+  case Json::Kind::Double: {
+    if (!std::isfinite(J.Dbl)) {
+      Out += "null";
+      break;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", J.Dbl);
+    Out += Buf;
+    break;
+  }
+  case Json::Kind::Str:
+    writeString(Out, J.Str);
+    break;
+  case Json::Kind::Arr: {
+    Out.push_back('[');
+    bool First = true;
+    for (const Json &E : J.Arr) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      write(Out, E);
+    }
+    Out.push_back(']');
+    break;
+  }
+  case Json::Kind::Obj: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &[Key, Val] : J.Obj) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      writeString(Out, Key);
+      Out.push_back(':');
+      write(Out, Val);
+    }
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+} // namespace
+
+bool flix::server::parseJson(std::string_view Text, Json &Out,
+                             std::string &Err) {
+  return Parser(Text, Err).run(Out);
+}
+
+std::string flix::server::writeJson(const Json &J) {
+  std::string Out;
+  Out.reserve(64);
+  write(Out, J);
+  return Out;
+}

@@ -1,0 +1,130 @@
+//===- server/Json.h - Minimal JSON value, parser, writer -----*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format of the flixd daemon is newline-delimited JSON
+/// (DESIGN.md S14). This is a deliberately small, dependency-free JSON
+/// value type with a strict recursive-descent parser and a writer:
+///
+///   * Integers are kept exact (int64) — fact columns are Int values and
+///     must round-trip without floating-point loss; numbers written with
+///     a fraction or exponent parse as doubles.
+///   * Objects preserve member order and use linear lookup (protocol
+///     objects are small, a hash map per request would cost more than it
+///     saves).
+///   * The parser enforces a nesting-depth limit so a hostile request
+///     line cannot overflow the stack, and reports offset-carrying
+///     errors for the protocol's parse_error replies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SERVER_JSON_H
+#define FLIX_SERVER_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace flix {
+namespace server {
+
+/// One JSON value. A plain tagged struct rather than a variant: protocol
+/// code reads much better with `J.isStr()` / `J.Str` than with
+/// std::get_if chains, and the duplicated storage is irrelevant at
+/// request sizes.
+struct Json {
+  enum class Kind : uint8_t { Null, Bool, Int, Double, Str, Arr, Obj };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t Int = 0;
+  double Dbl = 0;
+  std::string Str;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+
+  Json() = default;
+
+  static Json null() { return Json(); }
+  static Json boolean(bool V) {
+    Json J;
+    J.K = Kind::Bool;
+    J.B = V;
+    return J;
+  }
+  static Json integer(int64_t V) {
+    Json J;
+    J.K = Kind::Int;
+    J.Int = V;
+    return J;
+  }
+  static Json number(double V) {
+    Json J;
+    J.K = Kind::Double;
+    J.Dbl = V;
+    return J;
+  }
+  static Json str(std::string V) {
+    Json J;
+    J.K = Kind::Str;
+    J.Str = std::move(V);
+    return J;
+  }
+  static Json array() {
+    Json J;
+    J.K = Kind::Arr;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Obj;
+    return J;
+  }
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isNum() const { return K == Kind::Int || K == Kind::Double; }
+  bool isStr() const { return K == Kind::Str; }
+  bool isArr() const { return K == Kind::Arr; }
+  bool isObj() const { return K == Kind::Obj; }
+
+  /// Numeric value as a double regardless of Int/Double storage.
+  double num() const { return K == Kind::Int ? double(Int) : Dbl; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json *get(std::string_view Key) const {
+    if (K != Kind::Obj)
+      return nullptr;
+    for (const auto &[Name, Val] : Obj)
+      if (Name == Key)
+        return &Val;
+    return nullptr;
+  }
+
+  /// Appends an object member (no duplicate check; encoders control the
+  /// key set).
+  Json &set(std::string Key, Json Val) {
+    Obj.emplace_back(std::move(Key), std::move(Val));
+    return *this;
+  }
+};
+
+/// Parses exactly one JSON value spanning all of \p Text (trailing
+/// whitespace allowed, trailing garbage is an error). On failure returns
+/// false and fills \p Err with a message carrying the byte offset.
+bool parseJson(std::string_view Text, Json &Out, std::string &Err);
+
+/// Serializes \p J on one line (no newline appended; the wire framing
+/// adds it). Non-finite doubles are written as null per JSON rules.
+std::string writeJson(const Json &J);
+
+} // namespace server
+} // namespace flix
+
+#endif // FLIX_SERVER_JSON_H

@@ -1,0 +1,123 @@
+//===- server/Protocol.cpp - flixd wire protocol ---------------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+using namespace flix;
+using namespace flix::server;
+
+const char *flix::server::errCodeName(ErrCode C) {
+  switch (C) {
+  case ErrCode::ParseError:
+    return "parse_error";
+  case ErrCode::BadRequest:
+    return "bad_request";
+  case ErrCode::UnknownOp:
+    return "unknown_op";
+  case ErrCode::LineTooLong:
+    return "line_too_long";
+  case ErrCode::NoSuchDb:
+    return "no_such_db";
+  case ErrCode::DbExists:
+    return "db_exists";
+  case ErrCode::NoSuchPred:
+    return "no_such_pred";
+  case ErrCode::BadFact:
+    return "bad_fact";
+  case ErrCode::CompileError:
+    return "compile_error";
+  case ErrCode::SolveError:
+    return "solve_error";
+  case ErrCode::Overloaded:
+    return "overloaded";
+  case ErrCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ErrCode::ShuttingDown:
+    return "shutting_down";
+  }
+  return "unknown";
+}
+
+std::optional<Request>
+flix::server::decodeRequest(std::string_view Line, ErrCode &Code,
+                            std::string &Err) {
+  Request R;
+  if (!parseJson(Line, R.Raw, Err)) {
+    Code = ErrCode::ParseError;
+    return std::nullopt;
+  }
+  if (!R.Raw.isObj()) {
+    Code = ErrCode::BadRequest;
+    Err = "request must be a JSON object";
+    return std::nullopt;
+  }
+  if (const Json *Id = R.Raw.get("id"))
+    R.Id = *Id;
+
+  const Json *OpJ = R.Raw.get("op");
+  if (!OpJ || !OpJ->isStr()) {
+    Code = ErrCode::BadRequest;
+    Err = "missing string field 'op'";
+    return std::nullopt;
+  }
+  const std::string &Name = OpJ->Str;
+  if (Name == "load_program")
+    R.Operation = Op::LoadProgram;
+  else if (Name == "add_facts")
+    R.Operation = Op::AddFacts;
+  else if (Name == "retract_facts")
+    R.Operation = Op::RetractFacts;
+  else if (Name == "query")
+    R.Operation = Op::Query;
+  else if (Name == "stats")
+    R.Operation = Op::Stats;
+  else if (Name == "list_dbs")
+    R.Operation = Op::ListDbs;
+  else if (Name == "drop_db")
+    R.Operation = Op::DropDb;
+  else if (Name == "ping")
+    R.Operation = Op::Ping;
+  else if (Name == "shutdown")
+    R.Operation = Op::Shutdown;
+  else {
+    Code = ErrCode::UnknownOp;
+    Err = "unknown op '" + Name + "'";
+    return std::nullopt;
+  }
+
+  if (const Json *DlJ = R.Raw.get("deadline_ms")) {
+    if (!DlJ->isNum()) {
+      Code = ErrCode::BadRequest;
+      Err = "'deadline_ms' must be a number";
+      return std::nullopt;
+    }
+    // Non-positive deadlines are expired on arrival; Deadline::after
+    // treats them as "no deadline", so clamp to an immediately-expired
+    // one instead.
+    double Ms = DlJ->num();
+    R.DL = Deadline::after(Ms > 0 ? Ms / 1000.0 : 1e-9);
+  }
+  return R;
+}
+
+Json flix::server::okReply(const Json &Id) {
+  Json Reply = Json::object();
+  if (!Id.isNull())
+    Reply.set("id", Id);
+  Reply.set("ok", Json::boolean(true));
+  return Reply;
+}
+
+Json flix::server::errorReply(const Json &Id, ErrCode Code,
+                              std::string Message) {
+  Json Reply = Json::object();
+  if (!Id.isNull())
+    Reply.set("id", Id);
+  Reply.set("ok", Json::boolean(false));
+  Reply.set("code", Json::str(errCodeName(Code)));
+  Reply.set("error", Json::str(std::move(Message)));
+  return Reply;
+}

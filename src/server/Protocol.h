@@ -1,0 +1,104 @@
+//===- server/Protocol.h - flixd wire protocol ----------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flixd wire protocol (DESIGN.md S14): one JSON object per line in
+/// each direction. Requests name an operation; replies carry `"ok"` plus
+/// either the result fields or a structured `{"code", "error"}` pair —
+/// the daemon never answers a well-framed request with anything but a
+/// reply line, and never crashes on a malformed one.
+///
+/// Request shape (fields beyond "op" depend on the operation):
+///
+///   {"op": "load_program", "db": "g", "source": "...", "replace": true?}
+///   {"op": "add_facts",     "db": "g", "pred": "Edge",
+///    "rows": [[1, 2, 5], ...]}
+///   {"op": "retract_facts", "db": "g", "pred": "Edge", "rows": [...]}
+///   {"op": "query", "db": "g", "pred": "Dist",
+///    "key": [1]?, "limit": 100?}
+///   {"op": "stats", "db": "g"?}
+///   {"op": "list_dbs"} / {"op": "drop_db", "db": "g"}
+///   {"op": "ping"} / {"op": "shutdown"}
+///
+/// Every request may carry `"id"` (echoed verbatim in the reply, any
+/// JSON value) and `"deadline_ms"` (per-request deadline in milliseconds
+/// from arrival; expiry yields a `deadline_exceeded` error reply).
+///
+/// Fact columns are typed by the predicate declaration: Int columns take
+/// JSON integers, Str columns JSON strings, Bool columns JSON booleans,
+/// and enum columns strings written `"Enum.Case"`. For lattice
+/// predicates the last column of each row is the lattice value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SERVER_PROTOCOL_H
+#define FLIX_SERVER_PROTOCOL_H
+
+#include "server/Json.h"
+#include "support/Deadline.h"
+
+#include <optional>
+
+namespace flix {
+namespace server {
+
+/// Protocol operations. Decoded once at the edge; handlers switch on it.
+enum class Op {
+  LoadProgram,
+  AddFacts,
+  RetractFacts,
+  Query,
+  Stats,
+  ListDbs,
+  DropDb,
+  Ping,
+  Shutdown,
+};
+
+/// Structured error codes carried in `"code"` of an error reply. Stable
+/// strings — clients branch on them, messages are for humans.
+enum class ErrCode {
+  ParseError,       ///< line is not valid JSON
+  BadRequest,       ///< JSON is valid but violates the request shape
+  UnknownOp,        ///< "op" names no operation
+  LineTooLong,      ///< request line exceeded the configured max bytes
+  NoSuchDb,         ///< "db" names no loaded database
+  DbExists,         ///< load_program without replace onto a live name
+  NoSuchPred,       ///< "pred" names no predicate of the db's program
+  BadFact,          ///< a row's shape or column type is wrong
+  CompileError,     ///< FLIX source failed to compile
+  SolveError,       ///< the solve reported an error (e.g. runtime fault)
+  Overloaded,       ///< admission control rejected the request
+  DeadlineExceeded, ///< per-request deadline expired
+  ShuttingDown,     ///< server is stopping
+};
+
+const char *errCodeName(ErrCode C);
+
+/// A decoded request: the operation, the common fields every handler
+/// needs, and the raw object for operation-specific members.
+struct Request {
+  Op Operation = Op::Ping;
+  Json Raw;    ///< full request object
+  Json Id;     ///< "id" member, Null when absent (echoed in replies)
+  Deadline DL; ///< from "deadline_ms"; inactive when absent
+};
+
+/// Decodes one request line. On failure returns nullopt and fills
+/// \p Code / \p Err for the error reply.
+std::optional<Request> decodeRequest(std::string_view Line, ErrCode &Code,
+                                     std::string &Err);
+
+/// An `{"id": ..., "ok": true}` reply skeleton for handlers to extend.
+Json okReply(const Json &Id);
+
+/// An `{"id": ..., "ok": false, "code": ..., "error": ...}` reply.
+Json errorReply(const Json &Id, ErrCode Code, std::string Message);
+
+} // namespace server
+} // namespace flix
+
+#endif // FLIX_SERVER_PROTOCOL_H

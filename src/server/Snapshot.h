@@ -1,0 +1,67 @@
+//===- server/Snapshot.h - Immutable per-db query snapshots ---*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Snapshot isolation for the daemon's query path (DESIGN.md S14):
+/// readers never touch the live solver tables — they read an immutable
+/// DbSnapshot published after each committed update batch. A snapshot
+/// shares per-predicate sub-snapshots with its predecessor for every
+/// predicate the batch did not touch (UpdateStats::ChangedPreds), so
+/// maintaining it costs O(changed predicates' rows), tracking the
+/// affected cone like the incremental update itself, not the database.
+///
+/// Readers resolve a snapshot with one mutex-protected shared_ptr copy
+/// and then run lock-free: point lookups through the per-predicate hash
+/// map, scans over the dense row vector. The Value handles inside are
+/// interned in the session's ValueFactory (concurrent-interning mode),
+/// so dereferencing them while a solve runs is safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_SERVER_SNAPSHOT_H
+#define FLIX_SERVER_SNAPSHOT_H
+
+#include "fixpoint/Table.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace flix {
+namespace server {
+
+/// One predicate's live rows at some generation. Both representations
+/// are kept: ByKey answers point queries in O(1), Rows preserves the
+/// table's insertion order for scans.
+struct PredSnapshot {
+  std::vector<Table::Row> Rows;          ///< live (non-tombstone) cells
+  std::unordered_map<Value, Value> ByKey; ///< key tuple -> lattice value
+
+  static std::shared_ptr<const PredSnapshot> capture(const Table &T) {
+    auto S = std::make_shared<PredSnapshot>();
+    S->Rows.reserve(T.liveSize());
+    S->ByKey.reserve(T.liveSize());
+    for (const Table::Row &R : T.rows()) {
+      if (R.Lat == T.botValue())
+        continue; // tombstoned or never-present
+      S->Rows.push_back(R);
+      S->ByKey.emplace(R.Key, R.Lat);
+    }
+    return S;
+  }
+};
+
+/// The whole database at one committed generation: one PredSnapshot per
+/// predicate, shared with earlier generations where unchanged.
+struct DbSnapshot {
+  uint64_t Generation = 0;
+  std::vector<std::shared_ptr<const PredSnapshot>> Preds;
+};
+
+} // namespace server
+} // namespace flix
+
+#endif // FLIX_SERVER_SNAPSHOT_H

@@ -22,6 +22,7 @@
 #define FLIX_SUPPORT_DEADLINE_H
 
 #include <chrono>
+#include <limits>
 
 namespace flix {
 
@@ -49,6 +50,20 @@ public:
   /// True iff the deadline is active and has passed.
   bool expired() const {
     return Active && std::chrono::steady_clock::now() >= TP;
+  }
+
+  /// Seconds until expiry: 0 if active and already passed, a positive
+  /// count if pending, and +infinity when inactive. Lets callers convert
+  /// a request deadline into a budget for APIs that take
+  /// TimeLimitSeconds-style durations (the server hands the remainder of
+  /// a per-request deadline to the solver this way).
+  double remainingSeconds() const {
+    if (!Active)
+      return std::numeric_limits<double>::infinity();
+    double R = std::chrono::duration<double>(
+                   TP - std::chrono::steady_clock::now())
+                   .count();
+    return R > 0 ? R : 0;
   }
 
 private:

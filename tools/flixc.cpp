@@ -227,13 +227,15 @@ static void printPredicate(const Program &P, const SolverT &S, PredId Id) {
 
 static void printUpdateStats(unsigned UpdateNo, const UpdateStats &U) {
   std::printf("update %u: +%llu -%llu facts, %llu cells deleted, %llu "
-              "rederived, %llu derived, %llu firings, %.4f s%s\n",
+              "rederived, %llu derived, %llu firings, %.4f s, %llu "
+              "fallback solves%s\n",
               UpdateNo, static_cast<unsigned long long>(U.FactsAdded),
               static_cast<unsigned long long>(U.FactsRetracted),
               static_cast<unsigned long long>(U.CellsDeleted),
               static_cast<unsigned long long>(U.CellsRederived),
               static_cast<unsigned long long>(U.FactsDerived),
               static_cast<unsigned long long>(U.RuleFirings), U.Seconds,
+              static_cast<unsigned long long>(U.FallbackSolves),
               U.FullResolve ? " (full re-solve)" : "");
 }
 
@@ -260,8 +262,8 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       "\"memo\": %s, \"iterations\": %llu, \"rule_firings\": %llu, "
       "\"facts_derived\": %llu, \"plan_steps\": %llu, "
       "\"memo_hits\": %llu, \"memo_misses\": %llu, "
-      "\"index_fallbacks\": %llu, \"seconds\": %.6f, "
-      "\"memory_bytes\": %llu}\n",
+      "\"index_fallbacks\": %llu, \"fallback_solves\": %llu, "
+      "\"seconds\": %.6f, \"memory_bytes\": %llu}\n",
       statusName(St.St), Opts.NumThreads,
       Opts.CompilePlans ? "true" : "false",
       Opts.EnableMemo ? "true" : "false",
@@ -271,8 +273,71 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       static_cast<unsigned long long>(St.PlanSteps),
       static_cast<unsigned long long>(St.MemoHits),
       static_cast<unsigned long long>(St.MemoMisses),
-      static_cast<unsigned long long>(St.IndexFallbacks), St.Seconds,
+      static_cast<unsigned long long>(St.IndexFallbacks),
+      static_cast<unsigned long long>(St.FallbackSolves), St.Seconds,
       static_cast<unsigned long long>(St.MemoryBytes));
+}
+
+/// Running totals over an update-script replay, reported with each
+/// per-update JSON line so stream parsers never need to sum themselves.
+struct CumulativeUpdateStats {
+  uint64_t Updates = 0;
+  uint64_t FactsAdded = 0;
+  uint64_t FactsRetracted = 0;
+  uint64_t CellsDeleted = 0;
+  uint64_t CellsRederived = 0;
+  uint64_t RuleFirings = 0;
+  uint64_t FactsDerived = 0;
+  double Seconds = 0;
+
+  void absorb(const UpdateStats &U) {
+    ++Updates;
+    FactsAdded += U.FactsAdded;
+    FactsRetracted += U.FactsRetracted;
+    CellsDeleted += U.CellsDeleted;
+    CellsRederived += U.CellsRederived;
+    RuleFirings += U.RuleFirings;
+    FactsDerived += U.FactsDerived;
+    Seconds += U.Seconds;
+  }
+};
+
+/// The per-update --json line in update-script mode: the flat solve
+/// stats plus the update number, this batch's wall time and mutation
+/// counters, and the running cumulative block.
+static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
+                                 const SolverOptions &Opts,
+                                 const CumulativeUpdateStats &Cum) {
+  std::printf(
+      "{\"status\": \"%s\", \"update\": %u, \"threads\": %u, "
+      "\"batch_seconds\": %.6f, \"facts_added\": %llu, "
+      "\"facts_retracted\": %llu, \"cells_deleted\": %llu, "
+      "\"cells_rederived\": %llu, \"iterations\": %llu, "
+      "\"rule_firings\": %llu, \"facts_derived\": %llu, "
+      "\"full_resolve\": %s, \"fallback_solves\": %llu, "
+      "\"memory_bytes\": %llu, \"cumulative\": {\"updates\": %llu, "
+      "\"seconds\": %.6f, \"facts_added\": %llu, "
+      "\"facts_retracted\": %llu, \"cells_deleted\": %llu, "
+      "\"cells_rederived\": %llu, \"rule_firings\": %llu, "
+      "\"facts_derived\": %llu}}\n",
+      statusName(U.St), UpdateNo, Opts.NumThreads, U.Seconds,
+      static_cast<unsigned long long>(U.FactsAdded),
+      static_cast<unsigned long long>(U.FactsRetracted),
+      static_cast<unsigned long long>(U.CellsDeleted),
+      static_cast<unsigned long long>(U.CellsRederived),
+      static_cast<unsigned long long>(U.Iterations),
+      static_cast<unsigned long long>(U.RuleFirings),
+      static_cast<unsigned long long>(U.FactsDerived),
+      U.FullResolve ? "true" : "false",
+      static_cast<unsigned long long>(U.FallbackSolves),
+      static_cast<unsigned long long>(U.MemoryBytes),
+      static_cast<unsigned long long>(Cum.Updates), Cum.Seconds,
+      static_cast<unsigned long long>(Cum.FactsAdded),
+      static_cast<unsigned long long>(Cum.FactsRetracted),
+      static_cast<unsigned long long>(Cum.CellsDeleted),
+      static_cast<unsigned long long>(Cum.CellsRederived),
+      static_cast<unsigned long long>(Cum.RuleFirings),
+      static_cast<unsigned long long>(Cum.FactsDerived));
 }
 
 /// Replays an update script (see the file comment) against the
@@ -295,6 +360,7 @@ static int runUpdateScript(FlixCompiler &C, ValueFactory &F,
   IncrementalSolver IS(P, Opts);
 
   unsigned UpdateNo = 0;
+  CumulativeUpdateStats Cum;
   auto runUpdate = [&]() -> bool {
     UpdateStats U = IS.update();
     if (U.St == SolveStats::Status::Error) {
@@ -310,10 +376,11 @@ static int runUpdateScript(FlixCompiler &C, ValueFactory &F,
       std::fprintf(stderr, "warning: update %u did not reach a fixpoint; "
                            "the next update re-solves from scratch\n",
                    UpdateNo);
+    Cum.absorb(U);
     if (Stats)
       printUpdateStats(UpdateNo, U);
     if (Json)
-      printJsonStats(U, Opts);
+      printJsonUpdateStats(UpdateNo, U, Opts, Cum);
     ++UpdateNo;
     return true;
   };
@@ -655,10 +722,11 @@ int main(int Argc, char **Argv) {
                   static_cast<double>(St.MemoryBytes) /
                       (1024.0 * 1024.0));
       std::printf("plans: %llu compiled steps; memo: %llu hits, %llu "
-                  "misses\n",
+                  "misses; fallback solves: %llu\n",
                   static_cast<unsigned long long>(St.PlanSteps),
                   static_cast<unsigned long long>(St.MemoHits),
-                  static_cast<unsigned long long>(St.MemoMisses));
+                  static_cast<unsigned long long>(St.MemoMisses),
+                  static_cast<unsigned long long>(St.FallbackSolves));
       if (Opts.NumThreads > 0)
         std::printf("parallel: %u threads, %llu tasks, %llu steals, %llu "
                     "merge collisions, %llu spawned subtasks (max fanout "
