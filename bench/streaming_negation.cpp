@@ -1,0 +1,291 @@
+//===- bench/streaming_negation.cpp - Sustained churn across negation -----===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+//
+// Streams a long sequence of small mixed batches — Cfg rewires, Gen
+// inserts, and (crucially) Kill inserts AND retracts — through the
+// incremental engine on the gen/kill reachability workload, where Kill
+// is under stratified negation:
+//
+//   Reach(n, d) :- Gen(n, d).
+//   Reach(m, d) :- Reach(n, d), Cfg(n, m), !Kill(m, d).
+//
+// Before stratum-local DRed (DESIGN.md S12) every such batch forced a
+// full re-solve, so the sustainable update rate was the scratch-solve
+// rate. This bench reports the streaming rate the incremental path
+// sustains now: updates/sec plus p50/p99/max per-update latency, per
+// thread count. The negation-fallback counter must be zero and every
+// periodic (and the final) differential check against a from-scratch
+// solve must match — either failure exits nonzero.
+//
+// Options:
+//   --json <file>   write one machine-readable record per thread count
+//
+// Environment overrides:
+//   FLIX_STREAM_UPDATES      measured updates per thread count (default 200)
+//   FLIX_STREAM_PROCS        ICFG procedures (default 16)
+//   FLIX_STREAM_BATCH        Cfg ops per batch (default 4)
+//   FLIX_STREAM_CHECK_EVERY  differential check period (default 50)
+//   FLIX_STREAM_THREADS      comma list of thread counts (default "0,8")
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "incremental/IncrementalSolver.h"
+#include "workload/IcfgWorkload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace flix;
+using namespace flix::bench;
+
+namespace {
+
+double now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+using Model = std::vector<std::unordered_map<Value, Value>>;
+
+template <typename SolverT> Model modelOf(const Program &P, const SolverT &S) {
+  Model M(P.predicates().size());
+  for (PredId Pr = 0; Pr < P.predicates().size(); ++Pr) {
+    const Table &T = S.table(Pr);
+    for (const Table::Row &R : T.rows())
+      if (!(R.Lat == T.botValue()))
+        M[Pr].emplace(R.Key, R.Lat);
+  }
+  return M;
+}
+
+bool sameModel(const Model &A, const Model &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t Pr = 0; Pr < A.size(); ++Pr) {
+    if (A[Pr].size() != B[Pr].size())
+      return false;
+    for (const auto &[K, V] : A[Pr]) {
+      auto It = B[Pr].find(K);
+      if (It == B[Pr].end() || !(It->second == V))
+        return false;
+    }
+  }
+  return true;
+}
+
+struct IcfgCase {
+  ValueFactory F;
+  PredId Cfg = 0, Gen = 0, Kill = 0, Reach = 0;
+  std::set<std::pair<int, int>> CfgE, GenE, KillE;
+  int NumNodes = 0, NumFacts = 0;
+
+  Program build() {
+    Program P(F);
+    Cfg = P.relation("Cfg", 2);
+    Gen = P.relation("Gen", 2);
+    Kill = P.relation("Kill", 2);
+    Reach = P.relation("Reach", 2);
+    RuleBuilder().head(Reach, {"n", "d"}).atom(Gen, {"n", "d"}).addTo(P);
+    RuleBuilder()
+        .head(Reach, {"m", "d"})
+        .atom(Reach, {"n", "d"})
+        .atom(Cfg, {"n", "m"})
+        .negated(Kill, {"m", "d"})
+        .addTo(P);
+    for (auto [A, B] : CfgE)
+      P.addFact(Cfg, {F.integer(A), F.integer(B)});
+    for (auto [N, D] : GenE)
+      P.addFact(Gen, {F.integer(N), F.integer(D)});
+    for (auto [N, D] : KillE)
+      P.addFact(Kill, {F.integer(N), F.integer(D)});
+    return P;
+  }
+
+  void seed(uint64_t Seed, int Procs) {
+    IcfgProgram I = generateIcfg(Seed, Procs, 14, 2 * Procs, 3);
+    NumNodes = I.NumNodes;
+    NumFacts = I.NumFacts;
+    CfgE.clear();
+    GenE.clear();
+    KillE.clear();
+    for (auto [A, B] : I.CfgEdges)
+      CfgE.insert({A, B});
+    for (int N = 0; N < I.NumNodes; ++N) {
+      for (int D : I.Flows[N].Gen)
+        GenE.insert({N, D});
+      for (int D : I.Flows[N].Kill)
+        KillE.insert({N, D});
+    }
+  }
+
+  /// One streaming batch: K/2 Cfg retracts + K/2 Cfg inserts, one Gen
+  /// insert, and one Kill op alternating retract/insert so the negated
+  /// predicate churns in both directions every other update.
+  void stageBatch(IncrementalSolver &IS, std::mt19937_64 &Rng, int K,
+                  long UpdateNo) {
+    for (int I = 0; I < K / 2 && !CfgE.empty(); ++I) {
+      auto It = CfgE.begin();
+      std::advance(It, Rng() % CfgE.size());
+      IS.retractFact(Cfg, {F.integer(It->first), F.integer(It->second)});
+      CfgE.erase(It);
+    }
+    for (int I = 0; I < K / 2; ++I) {
+      std::pair<int, int> E = {int(Rng() % NumNodes), int(Rng() % NumNodes)};
+      if (CfgE.insert(E).second)
+        IS.addFact(Cfg, {F.integer(E.first), F.integer(E.second)});
+    }
+    std::pair<int, int> G = {int(Rng() % NumNodes), int(Rng() % NumFacts)};
+    if (GenE.insert(G).second)
+      IS.addFact(Gen, {F.integer(G.first), F.integer(G.second)});
+
+    if (UpdateNo % 2 == 0 && !KillE.empty()) {
+      auto It = KillE.begin();
+      std::advance(It, Rng() % KillE.size());
+      IS.retractFact(Kill, {F.integer(It->first), F.integer(It->second)});
+      KillE.erase(It);
+    } else {
+      std::pair<int, int> KM = {int(Rng() % NumNodes),
+                                int(Rng() % NumFacts)};
+      if (KillE.insert(KM).second)
+        IS.addFact(Kill, {F.integer(KM.first), F.integer(KM.second)});
+    }
+  }
+};
+
+bool checkModel(IcfgCase &C, const IncrementalSolver &IS) {
+  Program SP = C.build();
+  Solver SS(SP);
+  if (!SS.solve().ok())
+    return false;
+  return sameModel(modelOf(SP, IS), modelOf(SP, SS));
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t I = size_t(P * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  long Updates = envInt("FLIX_STREAM_UPDATES", 200);
+  int Procs = static_cast<int>(envInt("FLIX_STREAM_PROCS", 16));
+  int Batch = static_cast<int>(envInt("FLIX_STREAM_BATCH", 4));
+  long CheckEvery = envInt("FLIX_STREAM_CHECK_EVERY", 50);
+  const char *ThreadsEnv = std::getenv("FLIX_STREAM_THREADS");
+  std::vector<unsigned> Threads;
+  if (!parseThreadList(ThreadsEnv ? ThreadsEnv : "0,8", Threads)) {
+    std::fprintf(stderr, "bad FLIX_STREAM_THREADS\n");
+    return 2;
+  }
+
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: streaming_negation [--json <file>]\n");
+      return 2;
+    }
+  }
+
+  JsonReport Json;
+  bool AllOk = true;
+
+  std::printf("streaming negation churn: %ld updates of ~%d ops "
+              "(Cfg/Gen/Kill) on an ICFG of %d procedures\n",
+              Updates, Batch + 2, Procs);
+  std::printf("%7s %9s %12s %10s %10s %10s %9s %6s\n", "threads", "updates",
+              "updates/s", "p50-ms", "p99-ms", "max-ms", "neg-fallb",
+              "check");
+
+  for (unsigned T : Threads) {
+    IcfgCase C;
+    C.seed(0x57e4, Procs);
+    Program P = C.build();
+    SolverOptions Opts;
+    Opts.NumThreads = T;
+    IncrementalSolver IS(P, Opts);
+    if (!IS.update().ok())
+      return 1;
+
+    std::mt19937_64 Rng(23);
+    std::vector<double> LatMs;
+    LatMs.reserve(size_t(Updates));
+    bool Ok = true;
+    uint64_t FullResolves = 0;
+    double T0 = now();
+    for (long U = 0; U < Updates; ++U) {
+      C.stageBatch(IS, Rng, Batch, U);
+      double B0 = now();
+      UpdateStats St = IS.update();
+      LatMs.push_back((now() - B0) * 1e3);
+      if (!St.ok()) {
+        std::fprintf(stderr, "update failed: %s\n", St.Error.c_str());
+        return 1;
+      }
+      FullResolves += St.FullResolve ? 1 : 0;
+      if (CheckEvery > 0 && (U + 1) % CheckEvery == 0)
+        Ok = Ok && checkModel(C, IS);
+    }
+    double Wall = now() - T0;
+    Ok = Ok && checkModel(C, IS);
+
+    std::vector<double> Sorted = LatMs;
+    std::sort(Sorted.begin(), Sorted.end());
+    double P50 = percentile(Sorted, 0.50);
+    double P99 = percentile(Sorted, 0.99);
+    double Max = Sorted.empty() ? 0.0 : Sorted.back();
+    double Rate = Wall > 0 ? double(Updates) / Wall : 0.0;
+    uint64_t NegFallbacks = IS.negationFallbacks();
+    bool NoFallbacks = NegFallbacks == 0;
+
+    std::printf("%7u %9ld %12.1f %10.3f %10.3f %10.3f %9llu %6s\n", T,
+                Updates, Rate, P50, P99, Max,
+                (unsigned long long)NegFallbacks,
+                Ok && NoFallbacks ? "ok" : "FAIL");
+
+    Json.begin();
+    Json.str("workload", "icfg_stream")
+        .integer("threads", T)
+        .integer("updates", Updates)
+        .integer("batch_ops", Batch + 2)
+        .integer("icfg_procs", Procs)
+        .num("wall_seconds", Wall)
+        .num("updates_per_sec", Rate)
+        .num("p50_ms", P50)
+        .num("p99_ms", P99)
+        .num("max_ms", Max)
+        .integer("negation_fallbacks", (long long)NegFallbacks)
+        .integer("degraded_recoveries", (long long)IS.degradedRecoveries())
+        .integer("full_resolves", (long long)FullResolves)
+        .boolean("model_ok", Ok);
+    Json.end();
+
+    AllOk = AllOk && Ok && NoFallbacks;
+  }
+
+  if (!JsonPath.empty() && !Json.write(JsonPath))
+    std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+  if (!AllOk) {
+    std::fprintf(stderr,
+                 "differential or negation-fallback check FAILED\n");
+    return 1;
+  }
+  return 0;
+}

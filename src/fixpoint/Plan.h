@@ -95,7 +95,16 @@ enum class StepKind : uint8_t {
   Lookup,   ///< all key columns bound: one primary lookup
   Probe,    ///< partial mask: indexed probe, full-scan fallback
   Scan,     ///< nothing usable bound (or indexes disabled): full scan
-  Negation, ///< ground negated atom: succeed once iff the cell is absent
+  /// Ground negated atom: succeed once iff the cell is absent. Negation
+  /// steps always probe the *current* table — correct even during the
+  /// incremental engine's stratum-local DRed, because strata are
+  /// processed in order and every negated predicate lives strictly below
+  /// the rules that negate it, so its table is final (all net inserts
+  /// and retracts applied) before any Negation step of this update reads
+  /// it. This is why neither a "pre-batch view" nor a negated-driver
+  /// plan family exists: insertion deltas for `not P` are driven through
+  /// Solver::evalNegationDriven on the legacy recursive path instead.
+  Negation,
   Binder,   ///< `pat <- f(args)`: iterate the returned set
   Filter,   ///< leading filter with no preceding step to fuse onto
 };

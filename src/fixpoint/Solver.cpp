@@ -89,8 +89,10 @@ Solver::Solver(const Program &P, SolverOptions Opts)
   NextDelta.resize(P.predicates().size());
   if (Opts.TrackProvenance)
     Provenance.resize(P.predicates().size());
-  if (Opts.TrackSupport)
+  if (Opts.TrackSupport) {
     Dependents.resize(P.predicates().size());
+    NegDependents.resize(P.predicates().size());
+  }
   RulesByHead.resize(P.predicates().size());
   for (uint32_t RI = 0; RI < Prepared.size(); ++RI)
     RulesByHead[Prepared[RI].Head.Pred].push_back(RI);
@@ -514,12 +516,42 @@ void Solver::recordSupport(const Rule &R, PredId HeadPred, uint32_t RowId) {
     Out.push_back(Head); // may reallocate; reposition via the index
     std::rotate(Out.begin() + Idx, Out.end() - 1, Out.end());
   }
+  // Negated premises: the derivation also depends on `!P(key)` holding,
+  // so record key -> head in the negation index. If that key later
+  // (re)enters P's table the incremental engine over-deletes the head.
+  for (const BodyElem &E : R.Body) {
+    const auto *A = std::get_if<BodyAtom>(&E);
+    if (!A || !A->Negated)
+      continue;
+    unsigned KA = P.predicate(A->Pred).keyArity();
+    SmallVector<Value, 4> Key;
+    for (unsigned I = 0; I < KA; ++I) {
+      const Term &Tm = A->Terms[I];
+      Key.push_back(Tm.isVar() ? Env[Tm.Variable] : Tm.Constant);
+    }
+    Value KeyT = F.tuple(std::span<const Value>(Key.data(), Key.size()));
+    auto &Out = NegDependents[A->Pred][KeyT];
+    auto It = std::lower_bound(Out.begin(), Out.end(), Head);
+    if (It != Out.end() && *It == Head)
+      continue;
+    size_t Idx = static_cast<size_t>(It - Out.begin());
+    Out.push_back(Head);
+    std::rotate(Out.begin() + Idx, Out.end() - 1, Out.end());
+  }
 }
 
 size_t Solver::supportEdgeCount() const {
   size_t Count = 0;
   for (const auto &Rows : Dependents)
     for (const auto &Out : Rows)
+      Count += Out.size();
+  return Count;
+}
+
+size_t Solver::negSupportEdgeCount() const {
+  size_t Count = 0;
+  for (const auto &Keys : NegDependents)
+    for (const auto &[KeyT, Out] : Keys)
       Count += Out.size();
   return Count;
 }
@@ -596,6 +628,49 @@ void Solver::rederive(PredId Pred, Value KeyTuple) {
   }
 }
 
+void Solver::evalNegationDriven(uint32_t RI, PredId NegPred,
+                                Value KeyTuple) {
+  const Rule &R = Prepared[RI];
+  std::span<const Value> Key = F.tupleElems(KeyTuple);
+  unsigned KA = P.predicate(NegPred).keyArity();
+  // A rule may negate NegPred in several atoms; each is a distinct driver
+  // position (the others are probed as ordinary ground negations — the
+  // probe re-checks the now-true negation, which is merely redundant).
+  for (size_t BI = 0; BI < R.Body.size(); ++BI) {
+    const auto *A = std::get_if<BodyAtom>(&R.Body[BI]);
+    if (!A || !A->Negated || A->Pred != NegPred)
+      continue;
+    CurRuleIndex = RI;
+    Env.assign(R.NumVars, Value());
+    Bound.assign(R.NumVars, 0);
+    bool Ok = true;
+    for (unsigned I = 0; I < KA && Ok; ++I) {
+      const Term &Tm = A->Terms[I];
+      if (!Tm.isVar()) {
+        Ok = Tm.Constant == Key[I];
+        continue;
+      }
+      if (Bound[Tm.Variable]) {
+        Ok = Env[Tm.Variable] == Key[I];
+        continue;
+      }
+      Env[Tm.Variable] = Key[I];
+      Bound[Tm.Variable] = 1;
+    }
+    if (!Ok)
+      continue;
+    // Legacy recursive walk with the negated atom fronted: the plan
+    // library has no negated-driver family (see fixpoint/Plan.h), and
+    // this path runs once per retired key, off the per-row hot loop.
+    CurDriverRows = nullptr;
+    SmallVector<const BodyElem *, 8> Order;
+    eval::buildOrder(R, static_cast<int>(BI), Order);
+    evalElems(R,
+              std::span<const BodyElem *const>(Order.data(), Order.size()),
+              0);
+  }
+}
+
 void Solver::recordProvenance(const Rule &R, PredId HeadPred,
                               uint32_t RowId) {
   std::vector<Derivation> &Rows = Provenance[HeadPred];
@@ -648,6 +723,15 @@ size_t Solver::memoryFootprint() const {
   for (const auto &Rows : Dependents) {
     Bytes += Rows.capacity() * sizeof(SmallVector<CellRef, 2>);
     for (const auto &Out : Rows)
+      if (Out.capacity() > 2)
+        Bytes += Out.capacity() * sizeof(CellRef);
+  }
+  // Negation support index: hash map entries (key + edge list + node
+  // overhead estimate) plus spilled edge storage.
+  for (const auto &Keys : NegDependents) {
+    Bytes += Keys.size() *
+             (sizeof(Value) + sizeof(SmallVector<CellRef, 2>) + 16);
+    for (const auto &[KeyT, Out] : Keys)
       if (Out.capacity() > 2)
         Bytes += Out.capacity() * sizeof(CellRef);
   }

@@ -31,6 +31,7 @@
 #include "support/Deadline.h"
 
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace flix {
@@ -150,12 +151,21 @@ struct SolveStats {
   uint64_t PlanSteps = 0;  ///< compiled plan steps over all (rule, driver)
                            ///< plans (0 when plans are disabled)
   /// Incremental-engine escape hatches taken so far: update() batches
-  /// that fell back to a from-scratch solve because a staged fact reaches
-  /// a negated predicate (or a prior update left the tables degraded).
-  /// Cumulative over the IncrementalSolver's lifetime so operators can
-  /// watch it grow (flixc --stats / --json, the daemon's `stats` reply);
-  /// always 0 for a plain one-shot Solver run.
+  /// that fell back to a from-scratch solve. Always the sum of the two
+  /// reason counters below; kept as the headline total operators already
+  /// watch (flixc --stats / --json, the daemon's `stats` reply). Always 0
+  /// for a plain one-shot Solver run. Cumulative over the
+  /// IncrementalSolver's lifetime.
   uint64_t FallbackSolves = 0;
+  /// Fallbacks taken because a staged fact reached a negated predicate.
+  /// This escape hatch was retired — negation-touching batches now run
+  /// stratum-local DRed incrementally — so the counter is an operator-
+  /// visible invariant: it must stay 0 (tests assert it).
+  uint64_t NegationFallbacks = 0;
+  /// Recovery solves after a degraded update (deadline / iteration limit
+  /// hit mid-batch left the tables a sound under-approximation, not a
+  /// fixpoint; the next update() rebuilds from the fact store).
+  uint64_t DegradedRecoveries = 0;
   uint64_t MemoHits = 0;   ///< extern calls answered from the memo cache
   uint64_t MemoMisses = 0; ///< extern calls computed then cached
 
@@ -229,6 +239,11 @@ public:
   /// update streams.
   size_t supportEdgeCount() const;
 
+  /// Total edges in the negation support index (NegDependents): one per
+  /// (negated key, head cell) pair currently recorded. Same purpose as
+  /// supportEdgeCount() — bounding index growth in tests.
+  size_t negSupportEdgeCount() const;
+
 private:
   friend class IncrementalSolver;
   struct Frame;
@@ -259,6 +274,17 @@ private:
   /// yield for exactly that cell. Changed joins land in NextDelta as
   /// usual.
   void rederive(PredId Pred, Value KeyTuple);
+  /// Negation-driven evaluation (the incremental engine's insert-delta
+  /// for `not P`): for every negated atom on \p NegPred in rule \p RI,
+  /// pre-binds that atom's key terms against \p KeyTuple — a key whose
+  /// row just left \p NegPred's table, making the ground negation true —
+  /// and evaluates the rest of the body over the current database with
+  /// the negated atom fronted as the driver. Always takes the legacy
+  /// recursive path (the plan library compiles no negated-driver family);
+  /// derivations land in NextDelta as usual. Sound because the engine
+  /// calls this only after NegPred's stratum has settled, when its table
+  /// is final for the update.
+  void evalNegationDriven(uint32_t RI, PredId NegPred, Value KeyTuple);
   void renderExplanation(std::string &Out, PredId P, Value KeyTuple,
                          unsigned Depth, unsigned Indent) const;
   /// Everything SolveStats::MemoryBytes accounts for: value arena, tables
@@ -294,6 +320,16 @@ private:
   /// premise's contribution is superseded), which only causes extra —
   /// sound — over-deletion in the incremental engine.
   std::vector<std::vector<SmallVector<CellRef, 2>>> Dependents;
+
+  /// Negation support index (when TrackSupport): per negated predicate,
+  /// key tuple → the head cells derived through `!P(key)` succeeding
+  /// while that key was absent. Keyed by tuple, not row id, because the
+  /// negated key typically has no row at all. When a key (re)enters the
+  /// table, the incremental engine over-deletes exactly these cells and
+  /// consumes (erases) the entry; re-derivation re-records whichever
+  /// edges still hold. Same over-approximation discipline as Dependents.
+  std::vector<std::unordered_map<Value, SmallVector<CellRef, 2>>>
+      NegDependents;
 
   /// When non-null, loadFacts() reads this fact set instead of
   /// P.facts() — the incremental engine's materialized fact store.

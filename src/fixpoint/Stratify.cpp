@@ -48,8 +48,31 @@ StratifyResult flix::stratify(const Program &P) {
   Stratification St;
   St.PredStratum = std::move(Stratum);
   St.RulesByStratum.resize(MaxStratum + 1);
-  for (uint32_t RI = 0; RI < P.rules().size(); ++RI)
-    St.RulesByStratum[St.PredStratum[P.rules()[RI].Head.Pred]].push_back(RI);
+  St.NegUsesByStratum.resize(MaxStratum + 1);
+  St.PredNegated.assign(NumPreds, 0);
+  for (uint32_t RI = 0; RI < P.rules().size(); ++RI) {
+    const Rule &R = P.rules()[RI];
+    uint32_t Str = St.PredStratum[R.Head.Pred];
+    St.RulesByStratum[Str].push_back(RI);
+    // Negation edges, deduped per (rule, predicate). Body order is
+    // irrelevant here — consumers locate the actual atoms in the
+    // (possibly reordered) prepared rule themselves.
+    for (const BodyElem &E : R.Body) {
+      const auto *A = std::get_if<BodyAtom>(&E);
+      if (!A || !A->Negated)
+        continue;
+      St.PredNegated[A->Pred] = 1;
+      auto &Uses = St.NegUsesByStratum[Str];
+      bool Dup = false;
+      for (const NegUse &U : Uses)
+        if (U.RuleIdx == RI && U.Pred == A->Pred) {
+          Dup = true;
+          break;
+        }
+      if (!Dup)
+        Uses.push_back({RI, A->Pred});
+    }
+  }
 
   StratifyResult Res;
   Res.Strat = std::move(St);

@@ -24,12 +24,36 @@
 
 namespace flix {
 
+/// One use of a negated predicate by a rule: rule \p RuleIdx has at least
+/// one negated body atom on \p Pred. Deduplicated per (rule, predicate) —
+/// a rule negating the same predicate in two atoms yields one entry; the
+/// consumer re-scans the rule body for every matching atom.
+struct NegUse {
+  uint32_t RuleIdx;
+  PredId Pred;
+};
+
 /// Assignment of predicates and rules to evaluation strata. Strata are
 /// evaluated in increasing order; each stratum is solved to fixpoint
 /// before the next begins.
+///
+/// The negation-edge views (NegUsesByStratum, PredNegated) exist for the
+/// incremental engine's stratum-local DRed: when a batch changes a
+/// negated predicate, the engine converts the net presence changes of
+/// that predicate — computed once its own stratum has settled — into
+/// deletion seeds and re-derivation drivers for exactly the higher-
+/// stratum rules that negate it. Stratification guarantees every rule
+/// negating P sits in a stratum strictly above P's, so by the time those
+/// rules run, P's table is final for this update.
 struct Stratification {
   std::vector<uint32_t> PredStratum;               ///< per PredId
   std::vector<std::vector<uint32_t>> RulesByStratum; ///< rule indices
+  /// Per stratum: the (rule, negated predicate) pairs of that stratum's
+  /// rules. Entry order follows rule order; pairs are unique.
+  std::vector<std::vector<NegUse>> NegUsesByStratum;
+  /// Per PredId: true iff some rule negates it. Always a strictly lower
+  /// stratum than every negating rule's head.
+  std::vector<uint8_t> PredNegated;
   uint32_t numStrata() const {
     return static_cast<uint32_t>(RulesByStratum.size());
   }

@@ -41,13 +41,16 @@ struct IncrementalSolver::Task {
 /// phases, so the path is race-free by construction.
 struct IncrementalSolver::WorkerCtx {
   /// One buffered derivation: head cell content plus the premise rows
-  /// that produced it.
+  /// that produced it, and — for rules with negated atoms — the
+  /// (predicate, key tuple) pairs the match went through `!P(key)` on,
+  /// so the coordinator can record negation support edges.
   struct Deriv {
     PredId Pred;
     Value Key;
     Value Lat;
     uint32_t RuleIdx;
     SmallVector<CellRef, 4> Premises;
+    SmallVector<std::pair<PredId, Value>, 2> NegKeys;
   };
 
   IncrementalSolver &IS;
@@ -125,7 +128,32 @@ struct IncrementalSolver::WorkerCtx {
     Dv.RuleIdx = CurRuleIdx;
     for (CellRef C : PremStack)
       Dv.Premises.push_back(C);
+    captureNegKeys(Dv);
     Buffer.push_back(std::move(Dv));
+  }
+
+  /// Captures the negated keys a full match went through, read from the
+  /// (fully bound at derivation time) environment. Interning the key
+  /// tuple from a worker is safe: parallel mode switches the factory to
+  /// concurrent interning before the first round.
+  void captureNegKeys(Deriv &Dv) {
+    if (!IS.RuleHasNeg[CurRuleIdx])
+      return;
+    const Rule &R = Sol->Prepared[CurRuleIdx];
+    for (const BodyElem &E : R.Body) {
+      const auto *A = std::get_if<BodyAtom>(&E);
+      if (!A || !A->Negated)
+        continue;
+      unsigned KA = IS.P.predicate(A->Pred).keyArity();
+      SmallVector<Value, 4> Key;
+      for (unsigned I = 0; I < KA; ++I) {
+        const Term &Tm = A->Terms[I];
+        Key.push_back(Tm.isVar() ? Env[Tm.Variable] : Tm.Constant);
+      }
+      Dv.NegKeys.push_back(
+          {A->Pred,
+           IS.F.tuple(std::span<const Value>(Key.data(), Key.size()))});
+    }
   }
 
   const std::vector<uint32_t> *driverRows(uint32_t &Begin, uint32_t &End) {
@@ -408,6 +436,7 @@ void IncrementalSolver::WorkerCtx::deriveHead(const Rule &R) {
   Dv.RuleIdx = CurRuleIdx;
   for (CellRef C : PremStack)
     Dv.Premises.push_back(C);
+  captureNegKeys(Dv);
   Buffer.push_back(std::move(Dv));
 }
 
@@ -420,7 +449,7 @@ IncrementalSolver::IncrementalSolver(const Program &P, SolverOptions Opts)
   size_t NumPreds = P.predicates().size();
   FactStore.resize(NumPreds);
   UpdateChanged.resize(NumPreds);
-  FeedsNeg.assign(NumPreds, 0);
+  NegTombstones.resize(NumPreds);
 
   // Seed the fact store from the program's facts.
   for (const Fact &Fa : P.facts()) {
@@ -436,33 +465,15 @@ IncrementalSolver::IncrementalSolver(const Program &P, SolverOptions Opts)
       Vals.push_back(Fa.LatValue);
   }
 
-  // FeedsNeg: predicates from which some negated predicate is reachable
-  // in the rule dependency graph (every body atom of a rule — positive
-  // or negated — feeds the rule's head). A change to such a predicate
-  // could change a negated predicate's table, which the incremental path
-  // must never allow (stratified negation is non-monotone), so batches
-  // touching them fall back to a full re-solve.
-  std::vector<PredId> Work;
-  for (const Rule &R : P.rules())
-    for (const BodyElem &E : R.Body)
-      if (const auto *A = std::get_if<BodyAtom>(&E);
-          A && A->Negated && !FeedsNeg[A->Pred]) {
-        FeedsNeg[A->Pred] = 1;
-        Work.push_back(A->Pred);
+  // Body reordering never adds or removes atoms, so rule indexes into
+  // P.rules() and the inner solver's Prepared agree on this flag.
+  RuleHasNeg.assign(P.rules().size(), 0);
+  for (uint32_t RI = 0; RI < P.rules().size(); ++RI)
+    for (const BodyElem &E : P.rules()[RI].Body)
+      if (const auto *A = std::get_if<BodyAtom>(&E); A && A->Negated) {
+        RuleHasNeg[RI] = 1;
+        break;
       }
-  while (!Work.empty()) {
-    PredId Q = Work.back();
-    Work.pop_back();
-    for (const Rule &R : P.rules()) {
-      if (R.Head.Pred != Q)
-        continue;
-      for (const BodyElem &E : R.Body)
-        if (const auto *A = std::get_if<BodyAtom>(&E); A && !FeedsNeg[A->Pred]) {
-          FeedsNeg[A->Pred] = 1;
-          Work.push_back(A->Pred);
-        }
-    }
-  }
 }
 
 IncrementalSolver::~IncrementalSolver() = default;
@@ -569,16 +580,6 @@ std::vector<Fact> IncrementalSolver::currentFacts() const {
 // update()
 //===----------------------------------------------------------------------===//
 
-bool IncrementalSolver::touchesNegation() const {
-  for (const Fact &Fa : PendingAdds)
-    if (FeedsNeg[Fa.Pred])
-      return true;
-  for (const Fact &Fa : PendingRetracts)
-    if (FeedsNeg[Fa.Pred])
-      return true;
-  return false;
-}
-
 void IncrementalSolver::noteChanged(PredId Pred, uint32_t Row) {
   S->NextDelta[Pred].insert(Row);
   UpdateChanged[Pred].insert(Row);
@@ -593,6 +594,19 @@ void IncrementalSolver::recordSupportEdge(CellRef Prem, CellRef Head) {
   // the same Dependents structure, so the invariant must hold across
   // writers. Dedup bounds the index at one edge per (premise row, head
   // cell) no matter how many times the pair co-occurs across updates.
+  auto It = std::lower_bound(Out.begin(), Out.end(), Head);
+  if (It != Out.end() && *It == Head)
+    return;
+  size_t Idx = static_cast<size_t>(It - Out.begin());
+  Out.push_back(Head);
+  std::rotate(Out.begin() + Idx, Out.end() - 1, Out.end());
+}
+
+void IncrementalSolver::recordNegSupportEdge(PredId Pred, Value KeyT,
+                                             CellRef Head) {
+  // Sorted-unique insertion, matching Solver::recordSupport's negated
+  // branch — both write Solver::NegDependents.
+  auto &Out = S->NegDependents[Pred][KeyT];
   auto It = std::lower_bound(Out.begin(), Out.end(), Head);
   if (It != Out.end() && *It == Head)
     return;
@@ -652,6 +666,11 @@ void IncrementalSolver::fullSolve(UpdateStats &U, Deadline DL) {
   }
   S = std::make_unique<Solver>(P, SO);
   S->FactsOverride = &OverrideFacts;
+  // The replaced solver's tables are rebuilt tombstone-free, so the
+  // persistent pre-batch presence record must start empty too — this is
+  // what keeps degraded recovery consistent after an aborted update.
+  for (auto &Tomb : NegTombstones)
+    Tomb.clear();
   SolveStats St = S->solve();
   static_cast<SolveStats &>(U) = St;
   // Every predicate's table was rebuilt from nothing.
@@ -773,6 +792,8 @@ void IncrementalSolver::mergeWorkerDerivs() {
       CellRef Head{D.Pred, JR.RowId};
       for (CellRef Prem : D.Premises)
         recordSupportEdge(Prem, Head);
+      for (const auto &[NegPred, NegKey] : D.NegKeys)
+        recordNegSupportEdge(NegPred, NegKey, Head);
       if (Opts.TrackProvenance) {
         Derivation Der;
         Der.RuleIndex = D.RuleIdx;
@@ -822,6 +843,17 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   for (auto &ND : Sol.NextDelta)
     ND.clear();
 
+  assert(Sol.Strata && "inner solver solved, stratification available");
+  const Stratification &St = *Sol.Strata;
+
+  // Pre-batch table sizes of the negated predicates: a touched row is
+  // present "before" iff it existed below this watermark and was not
+  // tombstoned at the end of the last update (NegTombstones).
+  std::vector<uint32_t> PreSize(NumPreds, 0);
+  for (PredId Pr = 0; Pr < NumPreds; ++Pr)
+    if (Pr < St.PredNegated.size() && St.PredNegated[Pr])
+      PreSize[Pr] = static_cast<uint32_t>(Sol.Tables[Pr]->size());
+
   //--- Phase R: retractions + over-delete closure -----------------------
   std::vector<std::vector<uint8_t>> DeletedMark(NumPreds);
   auto markDeleted = [&](PredId Pr, uint32_t Row) -> bool {
@@ -832,6 +864,57 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
       return false;
     M[Row] = 1;
     return true;
+  };
+
+  std::vector<std::vector<uint32_t>> DeletedByPred(NumPreds);
+
+  // Over-delete one seed set: everything transitively supported by a
+  // seed cell through the support index, which over-approximates true
+  // support — sound, since re-derivation restores every cell still
+  // derivable. Resets every closure cell to ⊥ first (a later reset must
+  // not clobber an earlier re-join), then re-joins the surviving
+  // input-fact contributions of exactly those cells — O(deleted), not
+  // O(facts). Runs once for the retraction seeds and once per stratum
+  // boundary for negation-invalidated heads; cells land in DeletedByPred
+  // so the re-derive pass of their own (later) stratum picks them up.
+  auto overDeleteBatch = [&](std::vector<CellRef> &Work) {
+    std::vector<CellRef> Batch;
+    while (!Work.empty()) {
+      CellRef C = Work.back();
+      Work.pop_back();
+      Batch.push_back(C);
+      DeletedByPred[C.Pred].push_back(C.Row);
+      auto &Dep = Sol.Dependents[C.Pred];
+      if (C.Row < Dep.size()) {
+        for (CellRef D : Dep[C.Row])
+          // Rows already tombstoned are logically absent — the edge is
+          // stale (left from before their deletion); deleting them again
+          // would only inflate the batch with no-op resets.
+          if (!Sol.Tables[D.Pred]->isTombstone(D.Row) &&
+              markDeleted(D.Pred, D.Row))
+            Work.push_back(D);
+        // Out-edges of a deleted cell are stale; re-derivation re-records
+        // the ones that still hold.
+        Dep[C.Row].clear();
+      }
+    }
+    for (CellRef C : Batch) {
+      Sol.Tables[C.Pred]->resetRow(C.Row);
+      ++U.CellsDeleted;
+      if (Opts.TrackProvenance && C.Row < Sol.Provenance[C.Pred].size())
+        Sol.Provenance[C.Pred][C.Row] = Derivation(); // back to FromFact
+    }
+    for (CellRef C : Batch) {
+      Value KeyT = Sol.Tables[C.Pred]->row(C.Row).Key;
+      auto It = FactStore[C.Pred].find(KeyT);
+      if (It == FactStore[C.Pred].end())
+        continue;
+      for (Value LV : It->second) {
+        Table::JoinResult JR = Sol.Tables[C.Pred]->join(KeyT, LV);
+        if (JR.Changed)
+          noteChanged(C.Pred, JR.RowId);
+      }
+    }
   };
 
   std::vector<CellRef> Work;
@@ -862,51 +945,7 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
       Work.push_back({Fa.Pred, Row});
   }
   PendingRetracts.clear();
-
-  // Over-delete: everything transitively supported by a deleted cell.
-  // The support index over-approximates true support, so this deletes a
-  // superset of what actually depends on the retracted facts — sound,
-  // since re-derivation restores every cell still derivable.
-  std::vector<std::vector<uint32_t>> DeletedByPred(NumPreds);
-  while (!Work.empty()) {
-    CellRef C = Work.back();
-    Work.pop_back();
-    DeletedByPred[C.Pred].push_back(C.Row);
-    auto &Dep = Sol.Dependents[C.Pred];
-    if (C.Row < Dep.size()) {
-      for (CellRef D : Dep[C.Row])
-        if (markDeleted(D.Pred, D.Row))
-          Work.push_back(D);
-      // Out-edges of a deleted cell are stale; re-derivation re-records
-      // the ones that still hold.
-      Dep[C.Row].clear();
-    }
-  }
-
-  // Reset every deleted cell to ⊥ first (a later reset must not clobber
-  // an earlier re-join), then re-join the surviving input-fact
-  // contributions of exactly those cells — O(deleted), not O(facts).
-  for (PredId Pr = 0; Pr < NumPreds; ++Pr) {
-    for (uint32_t Row : DeletedByPred[Pr]) {
-      Sol.Tables[Pr]->resetRow(Row);
-      ++U.CellsDeleted;
-      if (Opts.TrackProvenance && Row < Sol.Provenance[Pr].size())
-        Sol.Provenance[Pr][Row] = Derivation(); // back to FromFact
-    }
-  }
-  for (PredId Pr = 0; Pr < NumPreds; ++Pr) {
-    for (uint32_t Row : DeletedByPred[Pr]) {
-      Value KeyT = Sol.Tables[Pr]->row(Row).Key;
-      auto It = FactStore[Pr].find(KeyT);
-      if (It == FactStore[Pr].end())
-        continue;
-      for (Value LV : It->second) {
-        Table::JoinResult JR = Sol.Tables[Pr]->join(KeyT, LV);
-        if (JR.Changed)
-          noteChanged(Pr, JR.RowId);
-      }
-    }
-  }
+  overDeleteBatch(Work);
 
   //--- Phase A: additions ----------------------------------------------
   for (const Fact &Fa : PendingAdds) {
@@ -936,11 +975,15 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   PendingAdds.clear();
 
   //--- Phase D: re-derive + delta rounds, stratum by stratum ------------
-  assert(Sol.Strata && "inner solver solved, stratification available");
-  const Stratification &St = *Sol.Strata;
   bool Parallel = Opts.NumThreads > 0;
   if (Parallel)
     ensureParallel();
+
+  // Keys that net-left a negated predicate's table this update, filled
+  // at that predicate's stratum boundary (d) and consumed as insertion
+  // deltas for `not P` by every higher stratum's rules (b'). Kept for
+  // the whole update — several strata may negate the same predicate.
+  std::vector<std::vector<Value>> NegDeleted(NumPreds);
 
   for (uint32_t Str = 0; Str < St.numStrata() && !Sol.Aborted; ++Str) {
     // (a) Head-bound re-derivation of this stratum's deleted cells over
@@ -952,6 +995,18 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
         continue;
       for (uint32_t Row : DeletedByPred[Pr])
         Sol.rederive(Pr, Sol.Tables[Pr]->row(Row).Key);
+    }
+
+    // (b') Negation-driven evaluation: every key that net-left a
+    // lower-stratum negated predicate is an insertion delta for its
+    // negated occurrences — drive this stratum's rules that negate it
+    // with the now-true `!P(key)` fronted. Lower strata settled before
+    // their boundary ran, so the probes below read final tables.
+    for (const NegUse &NU : St.NegUsesByStratum[Str]) {
+      if (Sol.Aborted)
+        break;
+      for (Value KeyT : NegDeleted[NU.Pred])
+        Sol.evalNegationDriven(NU.RuleIdx, NU.Pred, KeyT);
     }
 
     // (b) Seed this stratum's rounds with every row changed so far in
@@ -997,6 +1052,64 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
         }
       }
     }
+
+    // (d) Stratum boundary: this stratum's negated predicates are now
+    // final for the update (no higher-stratum rule writes them). Convert
+    // their net presence changes into negation deltas: a key that left
+    // the table feeds (b') of the higher strata; a key that (re)entered
+    // it invalidates every head recorded under it in the negation
+    // support index, which the shared over-delete machinery retracts (and
+    // the head's own stratum later re-derives). Also syncs NegTombstones
+    // so the next update reconstructs pre-batch presence correctly.
+    std::vector<CellRef> NegSeeds;
+    for (PredId Pr = 0; Pr < NumPreds && !Sol.Aborted; ++Pr) {
+      if (Pr >= St.PredNegated.size() || !St.PredNegated[Pr] ||
+          St.PredStratum[Pr] != Str)
+        continue;
+      Table &T = *Sol.Tables[Pr];
+      auto &Tomb = NegTombstones[Pr];
+      // Only touched rows can have flipped presence: every insertion or
+      // revival goes through a changed join (-> UpdateChanged) and every
+      // deletion through the over-delete reset (-> DeletedByPred).
+      std::vector<uint32_t> Touched(UpdateChanged[Pr].begin(),
+                                    UpdateChanged[Pr].end());
+      Touched.insert(Touched.end(), DeletedByPred[Pr].begin(),
+                     DeletedByPred[Pr].end());
+      std::sort(Touched.begin(), Touched.end());
+      Touched.erase(std::unique(Touched.begin(), Touched.end()),
+                    Touched.end());
+      for (uint32_t Row : Touched) {
+        bool Before = Row < PreSize[Pr] && !Tomb.count(Row);
+        bool Now = !T.isTombstone(Row);
+        // Sync the tombstone record even when presence did not net-flip
+        // (e.g. a row appended and deleted within this update).
+        if (Now)
+          Tomb.erase(Row);
+        else
+          Tomb.insert(Row);
+        if (Before == Now)
+          continue;
+        Value KeyT = T.row(Row).Key;
+        if (!Now) {
+          NegDeleted[Pr].push_back(KeyT);
+          continue;
+        }
+        // Net insert: consume the key's negation support entry. Heads
+        // already tombstoned, or already deleted this update (a Phase R
+        // revival carries a fact-only value until its own stratum runs,
+        // and facts never depend on a negation), need no second pass.
+        auto It = Sol.NegDependents[Pr].find(KeyT);
+        if (It == Sol.NegDependents[Pr].end())
+          continue;
+        for (CellRef D : It->second)
+          if (!Sol.Tables[D.Pred]->isTombstone(D.Row) &&
+              markDeleted(D.Pred, D.Row))
+            NegSeeds.push_back(D);
+        Sol.NegDependents[Pr].erase(It);
+      }
+    }
+    if (!NegSeeds.empty())
+      overDeleteBatch(NegSeeds);
   }
 
   for (PredId Pr = 0; Pr < NumPreds; ++Pr)
@@ -1028,11 +1141,14 @@ UpdateStats IncrementalSolver::update(Deadline DL) {
   if (Pool)
     StealsBase = Pool->steals();
 
-  bool NeedFull = !SolvedOnce || Degraded || touchesNegation();
+  // Negation no longer forces a full solve: negation-touching batches
+  // run stratum-local DRed inside incrementalUpdate(). Only the first
+  // solve and degraded recovery rebuild from scratch.
+  bool NeedFull = !SolvedOnce || Degraded;
   if (NeedFull) {
     U.FullResolve = SolvedOnce;
     if (U.FullResolve)
-      ++CumFallbackSolves;
+      ++CumDegradedRecoveries;
     fullSolve(U, DL);
     SolvedOnce = true;
   } else if (PendingAdds.empty() && PendingRetracts.empty()) {
@@ -1041,7 +1157,9 @@ UpdateStats IncrementalSolver::update(Deadline DL) {
     incrementalUpdate(U, DL);
   }
   Degraded = !U.ok();
-  U.FallbackSolves = CumFallbackSolves;
+  U.FallbackSolves = CumNegationFallbacks + CumDegradedRecoveries;
+  U.NegationFallbacks = CumNegationFallbacks;
+  U.DegradedRecoveries = CumDegradedRecoveries;
 
   U.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)

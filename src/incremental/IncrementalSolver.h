@@ -22,12 +22,19 @@
 /// resumes semi-naive delta rounds per stratum until the fixed point is
 /// restored.
 ///
-/// Updates that could change a negated predicate's table (the touched
-/// predicates reach a negated predicate in the rule dependency graph)
-/// fall back to a from-scratch solve — stratified negation is
-/// non-monotone, so DRed's "over-delete then re-derive upward" argument
-/// does not apply across a negation edge. UpdateStats::FullResolve
-/// reports when this happened.
+/// Stratified negation is handled without an escape hatch: strata are
+/// processed in order, and at each stratum boundary the net presence
+/// changes of that stratum's negated predicates are converted into
+/// deltas for the higher-stratum rules that negate them. A key that
+/// left the table drives those rules with the now-true `!P(key)`
+/// fronted (Solver::evalNegationDriven); a key that (re)entered it
+/// over-deletes the heads recorded in the negation support index
+/// (Solver::NegDependents), which the normal Delete/Re-derive machinery
+/// then restores. Stratification guarantees a negated table is final
+/// for the update before any rule that negates it runs, so negated
+/// probes always read current tables (see fixpoint/Plan.h). The only
+/// remaining full re-solves are degraded recoveries after an aborted
+/// update; SolveStats::NegationFallbacks must stay 0.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace flix {
 
@@ -51,7 +59,10 @@ struct UpdateStats : SolveStats {
   uint64_t FactsRetracted = 0; ///< fact pairs removed (unknown ones skipped)
   uint64_t CellsDeleted = 0;   ///< cells reset to ⊥ by over-deletion
   uint64_t CellsRederived = 0; ///< deleted cells re-derived to non-⊥
-  bool FullResolve = false;    ///< update fell back to a from-scratch solve
+  /// Update fell back to a from-scratch solve. Post stratum-local DRed
+  /// this happens only for degraded recovery (the prior update aborted);
+  /// negation never causes it.
+  bool FullResolve = false;
   /// Predicates whose table changed in this update (every predicate on a
   /// full solve). The snapshot-read hook: readers that maintain
   /// per-predicate immutable copies of the model (the server's query
@@ -142,10 +153,17 @@ public:
   UpdateStats update(Deadline DL);
 
   /// Cumulative number of update() batches that fell back to a
-  /// from-scratch solve (negation-feeding facts or a degraded prior
-  /// update). Mirrored into SolveStats::FallbackSolves of every returned
-  /// UpdateStats; exposed directly for operators polling a live solver.
-  uint64_t fallbackSolves() const { return CumFallbackSolves; }
+  /// from-scratch solve, split by reason. Mirrored into the
+  /// FallbackSolves / NegationFallbacks / DegradedRecoveries fields of
+  /// every returned UpdateStats; exposed directly for operators polling
+  /// a live solver. negationFallbacks() is a retired escape hatch and
+  /// must stay 0 (tests assert it); degradedRecoveries() counts rebuilds
+  /// after an aborted (deadline / iteration-limit) update.
+  uint64_t fallbackSolves() const {
+    return CumNegationFallbacks + CumDegradedRecoveries;
+  }
+  uint64_t negationFallbacks() const { return CumNegationFallbacks; }
+  uint64_t degradedRecoveries() const { return CumDegradedRecoveries; }
 
   /// Number of staged (not yet applied) mutations.
   size_t pendingMutations() const {
@@ -201,7 +219,7 @@ private:
   void incrementalUpdate(UpdateStats &U, Deadline DL);
   void noteChanged(PredId Pred, uint32_t Row);
   void recordSupportEdge(CellRef Prem, CellRef Head);
-  bool touchesNegation() const;
+  void recordNegSupportEdge(PredId Pred, Value KeyT, CellRef Head);
   void ensureParallel();
   void prepareWorkerIndexes();
   void runParallelRound(const std::vector<uint32_t> &RuleIds);
@@ -230,10 +248,20 @@ private:
   /// Solver::FactsOverride for full solves; kept alive for its lifetime.
   std::vector<Fact> OverrideFacts;
 
-  /// Per predicate: true if a change to it can reach a negated predicate
-  /// (including being one) through the rule dependency graph — updates
-  /// touching these fall back to a full re-solve.
-  std::vector<uint8_t> FeedsNeg;
+  /// Rows of each negated predicate that are tombstoned (row id exists
+  /// but the cell is logically absent) as of the end of the last
+  /// update(). Combined with the table size captured at update start,
+  /// this reconstructs any touched row's pre-batch presence at a stratum
+  /// boundary — the inputs of the net insert/retract delta conversion
+  /// for `not P`. Empty for predicates no rule negates; cleared by
+  /// fullSolve() (a replaced inner solver has fresh, tombstone-free
+  /// tables).
+  std::vector<std::unordered_set<uint32_t>> NegTombstones;
+
+  /// Per rule index: true iff the rule has a negated body atom. Workers
+  /// consult it to decide whether a buffered derivation must capture the
+  /// negated keys it matched through (WorkerCtx::Deriv::NegKeys).
+  std::vector<uint8_t> RuleHasNeg;
 
   /// Rows changed so far in the current update(), per predicate; seeds
   /// every stratum's delta rounds (replacing full round-0 evaluation).
@@ -248,10 +276,12 @@ private:
   /// Pool steal counter at the start of the current update(), for the
   /// per-update ParallelSteals delta.
   uint64_t StealsBase = 0;
-  /// Lifetime count of full-solve fallbacks taken by update() (see
-  /// fallbackSolves()); lives here because fullSolve() replaces the inner
-  /// solver and would lose a counter kept in its stats.
-  uint64_t CumFallbackSolves = 0;
+  /// Lifetime counts of full-solve fallbacks taken by update(), by
+  /// reason (see fallbackSolves()); they live here because fullSolve()
+  /// replaces the inner solver and would lose counters kept in its
+  /// stats. CumNegationFallbacks is a retired path and must stay 0.
+  uint64_t CumNegationFallbacks = 0;
+  uint64_t CumDegradedRecoveries = 0;
 };
 
 } // namespace flix

@@ -203,6 +203,9 @@ Json LoadReport::toJson() const {
   J.set("coalesced_requests",
         Json::integer(int64_t(CoalescedRequests)));
   J.set("fallback_solves", Json::integer(int64_t(FallbackSolves)));
+  J.set("negation_fallbacks", Json::integer(int64_t(NegationFallbacks)));
+  J.set("degraded_recoveries",
+        Json::integer(int64_t(DegradedRecoveries)));
   J.set("final_generation", Json::integer(int64_t(FinalGeneration)));
   J.set("mutations_per_sec", Json::number(MutationsPerSec));
   J.set("rows_per_sec", Json::number(RowsPerSec));
@@ -297,6 +300,8 @@ LoadReport flix::server::runLoad(const LoadOptions &O) {
         Rep.UpdateBatches = getInt("update_batches");
         Rep.CoalescedRequests = getInt("coalesced_requests");
         Rep.FallbackSolves = getInt("fallback_solves");
+        Rep.NegationFallbacks = getInt("negation_fallbacks");
+        Rep.DegradedRecoveries = getInt("degraded_recoveries");
         Rep.FinalGeneration = getInt("generation");
       }
     }

@@ -444,6 +444,10 @@ Json Session::statsJson() {
   S.set("update_seconds_total", Json::number(TotalUpdateSeconds));
   S.set("fallback_solves",
         Json::integer(int64_t(LastUpdate.FallbackSolves)));
+  S.set("negation_fallbacks",
+        Json::integer(int64_t(LastUpdate.NegationFallbacks)));
+  S.set("degraded_recoveries",
+        Json::integer(int64_t(LastUpdate.DegradedRecoveries)));
   S.set("memory_bytes", Json::integer(int64_t(LastUpdate.MemoryBytes)));
 
   Json Last = Json::object();

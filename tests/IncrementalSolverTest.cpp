@@ -376,7 +376,7 @@ TEST(IncrementalSolverTest, ProvenanceFollowsRederivedCell) {
 }
 
 //===----------------------------------------------------------------------===//
-// Units: negation fallback
+// Units: stratum-local DRed across negation
 //===----------------------------------------------------------------------===//
 
 struct NegCase {
@@ -401,36 +401,77 @@ struct NegCase {
   }
 };
 
-TEST(IncrementalSolverTest, NegationFeederFallsBackToFullSolve) {
+TEST(IncrementalSolverTest, NegatedPredicateUpdatesStayIncremental) {
+  // The old engine re-solved from scratch whenever a batch could reach a
+  // negated predicate. Stratum-local DRed retires that escape hatch:
+  // both directions of Blocked churn are patched in place, FullResolve
+  // stays false and the negation fallback counter stays zero.
   NegCase C;
-  Program P = C.build({1, 2, 3}, {2});
+  std::set<int> Nodes = {1, 2, 3}, Block = {2};
+  Program P = C.build(Nodes, Block);
   IncrementalSolver IS(P);
   ASSERT_TRUE(IS.update().ok());
   EXPECT_TRUE(IS.contains(C.Active, {C.F.integer(1)}));
   EXPECT_FALSE(IS.contains(C.Active, {C.F.integer(2)}));
 
-  // Adding to the negated predicate must NOT be patched incrementally —
-  // it removes Active(3), a non-monotone change.
+  // Adding to the negated predicate removes Active(3) — the non-monotone
+  // direction: the key's negation support entry over-deletes the head.
   IS.addFact(C.Blocked, {C.F.integer(3)});
   UpdateStats U = IS.update();
   ASSERT_TRUE(U.ok());
-  EXPECT_TRUE(U.FullResolve);
+  EXPECT_FALSE(U.FullResolve);
+  EXPECT_EQ(U.NegationFallbacks, 0u);
   EXPECT_FALSE(IS.contains(C.Active, {C.F.integer(3)}));
+  Block.insert(3);
+  expectMatchesScratch(IS, [&] { return C.build(Nodes, Block); });
 
-  // Retracting from it re-solves too, and restores the tuple.
+  // Retracting from it restores the tuple: the retired key drives the
+  // rule through the now-true `!Blocked(2)`.
   IS.retractFact(C.Blocked, {C.F.integer(2)});
   U = IS.update();
   ASSERT_TRUE(U.ok());
-  EXPECT_TRUE(U.FullResolve);
+  EXPECT_FALSE(U.FullResolve);
+  EXPECT_EQ(U.NegationFallbacks, 0u);
   EXPECT_TRUE(IS.contains(C.Active, {C.F.integer(2)}));
+  Block.erase(2);
+  expectMatchesScratch(IS, [&] { return C.build(Nodes, Block); });
 
-  // Node feeds only Active (which nothing negates): Node updates stay
-  // incremental even though the rule *mentions* negation.
+  // Positive-side updates were always incremental; still are.
   IS.addFact(C.Node, {C.F.integer(4)});
   U = IS.update();
   ASSERT_TRUE(U.ok());
   EXPECT_FALSE(U.FullResolve);
   EXPECT_TRUE(IS.contains(C.Active, {C.F.integer(4)}));
+  EXPECT_EQ(IS.fallbackSolves(), 0u);
+  EXPECT_EQ(IS.negationFallbacks(), 0u);
+  EXPECT_EQ(IS.degradedRecoveries(), 0u);
+}
+
+TEST(IncrementalSolverTest, NegSupportEdgesStayBoundedAcrossUpdateCycles) {
+  // The negation support index must not grow under repeated churn: a net
+  // insert consumes the key's entry; the retract-side re-derivation
+  // re-records it sorted-unique, so each cycle returns to the baseline.
+  NegCase C;
+  std::set<int> Nodes = {1, 2, 3, 4, 5}, Block = {2};
+  Program P = C.build(Nodes, Block);
+  IncrementalSolver IS(P);
+  ASSERT_TRUE(IS.update().ok());
+
+  auto churn = [&] {
+    IS.addFact(C.Blocked, {C.F.integer(3)});
+    ASSERT_TRUE(IS.update().ok());
+    IS.retractFact(C.Blocked, {C.F.integer(3)});
+    ASSERT_TRUE(IS.update().ok());
+  };
+  churn();
+  size_t Baseline = IS.solver().negSupportEdgeCount();
+  ASSERT_GT(Baseline, 0u);
+
+  for (int Cycle = 0; Cycle < 5; ++Cycle)
+    churn();
+  EXPECT_EQ(IS.solver().negSupportEdgeCount(), Baseline);
+  EXPECT_EQ(IS.negationFallbacks(), 0u);
+  expectMatchesScratch(IS, [&] { return C.build(Nodes, Block); });
 }
 
 //===----------------------------------------------------------------------===//
@@ -518,6 +559,54 @@ struct IcfgCase {
   }
 };
 
+TEST(IncrementalSolverTest, DeadlineAbortRecoversConsistently) {
+  // A deadline that expires mid-batch aborts Phase D per matched row,
+  // leaving a sound under-approximation plus possibly-stale negation
+  // bookkeeping. The next update() must take a *degraded recovery* (not
+  // a negation fallback), after which incremental updates — including
+  // negated-predicate churn — must match scratch again.
+  IcfgCase C;
+  C.CfgE = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  C.GenE = {{0, 0}, {0, 1}};
+  C.KillE = {{3, 1}};
+  Program P = C.build();
+  IncrementalSolver IS(P); // sequential: only it observes deadlines
+  ASSERT_TRUE(IS.update().ok());
+
+  // A batch that fires rules, run under an already-expired deadline: the
+  // first per-row check aborts with Status::Timeout.
+  IS.addFact(C.Gen, {C.F.integer(5), C.F.integer(2)});
+  IS.addFact(C.Cfg, {C.F.integer(5), C.F.integer(0)});
+  UpdateStats U = IS.update(Deadline::after(1e-9));
+  ASSERT_FALSE(U.ok());
+  EXPECT_EQ(U.St, SolveStats::Status::Timeout);
+  EXPECT_EQ(U.DegradedRecoveries, 0u); // recovery happens on the *next* call
+  C.GenE.insert({5, 2});
+  C.CfgE.insert({5, 0});
+
+  // Recovery: a from-scratch rebuild counted as a degraded recovery.
+  UpdateStats U2 = IS.update();
+  ASSERT_TRUE(U2.ok());
+  EXPECT_TRUE(U2.FullResolve);
+  EXPECT_EQ(U2.DegradedRecoveries, 1u);
+  EXPECT_EQ(U2.NegationFallbacks, 0u);
+  expectMatchesScratch(IS, [&] { return C.build(); });
+
+  // Subsequent updates are incremental again — including the negated
+  // predicate, whose support index and tombstone record the recovery
+  // rebuilt from nothing.
+  IS.retractFact(C.Kill, {C.F.integer(3), C.F.integer(1)});
+  C.KillE.erase({3, 1});
+  IS.addFact(C.Kill, {C.F.integer(2), C.F.integer(0)});
+  C.KillE.insert({2, 0});
+  UpdateStats U3 = IS.update();
+  ASSERT_TRUE(U3.ok());
+  EXPECT_FALSE(U3.FullResolve);
+  EXPECT_EQ(U3.DegradedRecoveries, 1u);
+  EXPECT_EQ(U3.NegationFallbacks, 0u);
+  expectMatchesScratch(IS, [&] { return C.build(); });
+}
+
 TEST_P(IncrementalDifferentialTest, IcfgGenKillReachability) {
   IcfgProgram I = generateIcfg(99, 3, 10, 8, 2);
   IcfgCase C;
@@ -556,15 +645,30 @@ TEST_P(IncrementalDifferentialTest, IcfgGenKillReachability) {
     if (C.GenE.insert(G).second)
       IS.addFact(C.Gen, {C.F.integer(G.first), C.F.integer(G.second)});
 
+    // Churn the negated Kill relation in the same batch: stratum-local
+    // DRed patches it in place alongside the Cfg/Gen changes.
+    if (Round % 2 == 0) {
+      std::pair<int, int> KM = {int(Rng() % I.NumNodes),
+                                int(Rng() % I.NumFacts)};
+      if (C.KillE.insert(KM).second)
+        IS.addFact(C.Kill, {C.F.integer(KM.first), C.F.integer(KM.second)});
+    } else if (!C.KillE.empty()) {
+      auto It = C.KillE.begin();
+      std::advance(It, Rng() % C.KillE.size());
+      IS.retractFact(C.Kill,
+                     {C.F.integer(It->first), C.F.integer(It->second)});
+      C.KillE.erase(It);
+    }
+
     UpdateStats U = IS.update();
     ASSERT_TRUE(U.ok());
-    // Cfg/Gen do not feed the negated Kill predicate.
     EXPECT_FALSE(U.FullResolve);
+    EXPECT_EQ(U.NegationFallbacks, 0u);
     expectMatchesScratch(IS, [&] { return C.build(); });
   }
 
-  // Touching Kill (negated) must fall back to a full re-solve and still
-  // match scratch.
+  // A Kill retraction on its own must also stay incremental: the retired
+  // key drives re-derivation through the now-true negation.
   if (!C.KillE.empty()) {
     auto It = C.KillE.begin();
     IS.retractFact(C.Kill,
@@ -572,9 +676,135 @@ TEST_P(IncrementalDifferentialTest, IcfgGenKillReachability) {
     C.KillE.erase(It);
     UpdateStats U = IS.update();
     ASSERT_TRUE(U.ok());
-    EXPECT_TRUE(U.FullResolve);
+    EXPECT_FALSE(U.FullResolve);
     expectMatchesScratch(IS, [&] { return C.build(); });
   }
+  EXPECT_EQ(IS.negationFallbacks(), 0u);
+}
+
+/// Three strata with negation at both boundaries, the top one feeding a
+/// lattice head:
+///   stratum 0: Down(x) :- Fault(x).   Down(y) :- Down(x), Wire(x, y).
+///   stratum 1: Up(x)   :- Node(x), !Down(x).
+///   stratum 2: Dist(y) <- addCost(d, c) :- Dist(x, d), Link(x, y, c), !Up(y).
+/// Fault churn ripples through two negation boundaries into min-cost
+/// distances — the lattice-hard cascade for stratum-local DRed.
+struct TriStratumCase {
+  ValueFactory F;
+  MinCostLattice L{F};
+  PredId Fault = 0, Wire = 0, Node = 0, Link = 0, Down = 0, Up = 0, Dist = 0;
+  FnId Add = 0;
+  std::set<int> Faults, Nodes;
+  std::set<std::pair<int, int>> Wires;
+  std::set<std::array<int, 3>> Links;
+  int Source = 0;
+
+  Program build() {
+    Program P(F);
+    Fault = P.relation("Fault", 1);
+    Wire = P.relation("Wire", 2);
+    Node = P.relation("Node", 1);
+    Link = P.relation("Link", 3);
+    Down = P.relation("Down", 1);
+    Up = P.relation("Up", 1);
+    Dist = P.lattice("Dist", 2, &L);
+    Add = P.function("addCost", 2, FnRole::Transfer,
+                     [this](std::span<const Value> A) {
+                       return L.addCost(A[0], A[1].asInt());
+                     });
+    RuleBuilder().head(Down, {"x"}).atom(Fault, {"x"}).addTo(P);
+    RuleBuilder()
+        .head(Down, {"y"})
+        .atom(Down, {"x"})
+        .atom(Wire, {"x", "y"})
+        .addTo(P);
+    RuleBuilder()
+        .head(Up, {"x"})
+        .atom(Node, {"x"})
+        .negated(Down, {"x"})
+        .addTo(P);
+    RuleBuilder()
+        .headFn(Dist, {rv("y")}, Add, {rv("d"), rv("c")})
+        .atom(Dist, {"x", "d"})
+        .atom(Link, {"x", "y", "c"})
+        .negated(Up, {"y"})
+        .addTo(P);
+    P.addLatFact(Dist, {F.integer(Source)}, L.cost(0));
+    for (int N : Nodes)
+      P.addFact(Node, {F.integer(N)});
+    for (int Ft : Faults)
+      P.addFact(Fault, {F.integer(Ft)});
+    for (auto [A, B] : Wires)
+      P.addFact(Wire, {F.integer(A), F.integer(B)});
+    for (auto [A, B, W] : Links)
+      P.addFact(Link, {F.integer(A), F.integer(B), F.integer(W)});
+    return P;
+  }
+};
+
+TEST_P(IncrementalDifferentialTest, ThreeStratumNegationIntoLattice) {
+  TriStratumCase C;
+  std::mt19937_64 Rng(0xd1f ^ GetParam());
+  const int N = 24;
+  for (int I = 0; I < N; ++I)
+    C.Nodes.insert(I);
+  for (int I = 0; I < 30; ++I)
+    C.Wires.insert({int(Rng() % N), int(Rng() % N)});
+  for (int I = 0; I < 60; ++I)
+    C.Links.insert({int(Rng() % N), int(Rng() % N), int(1 + Rng() % 9)});
+  for (int I = 0; I < 4; ++I)
+    C.Faults.insert(int(Rng() % N));
+
+  Program P = C.build();
+  IncrementalSolver IS(P, opts());
+  ASSERT_TRUE(IS.update().ok());
+  expectMatchesScratch(IS, [&] { return C.build(); });
+
+  for (int Round = 0; Round < 6; ++Round) {
+    // Fault churn: flips Down closure, which flips Up, which gates Dist.
+    // Retract before add — a batch nets retract-then-add of one key to
+    // present, matching the set bookkeeping below.
+    if (!C.Faults.empty() && (Rng() & 1)) {
+      auto It = C.Faults.begin();
+      std::advance(It, Rng() % C.Faults.size());
+      IS.retractFact(C.Fault, {C.F.integer(*It)});
+      C.Faults.erase(It);
+    }
+    int FA = int(Rng() % N);
+    if (C.Faults.insert(FA).second)
+      IS.addFact(C.Fault, {C.F.integer(FA)});
+    // Wire churn inside stratum 0: moves the Down frontier recursively.
+    std::pair<int, int> W = {int(Rng() % N), int(Rng() % N)};
+    if (C.Wires.insert(W).second) {
+      IS.addFact(C.Wire, {C.F.integer(W.first), C.F.integer(W.second)});
+    } else if (!C.Wires.empty()) {
+      auto It = C.Wires.begin();
+      std::advance(It, Rng() % C.Wires.size());
+      IS.retractFact(C.Wire,
+                     {C.F.integer(It->first), C.F.integer(It->second)});
+      C.Wires.erase(It);
+    }
+    // Link churn in the lattice stratum itself.
+    std::array<int, 3> Lk = {int(Rng() % N), int(Rng() % N),
+                             int(1 + Rng() % 9)};
+    if (C.Links.insert(Lk).second) {
+      IS.addFact(C.Link, {C.F.integer(Lk[0]), C.F.integer(Lk[1]),
+                          C.F.integer(Lk[2])});
+    } else if (!C.Links.empty()) {
+      auto It = C.Links.begin();
+      std::advance(It, Rng() % C.Links.size());
+      IS.retractFact(C.Link, {C.F.integer((*It)[0]), C.F.integer((*It)[1]),
+                              C.F.integer((*It)[2])});
+      C.Links.erase(It);
+    }
+
+    UpdateStats U = IS.update();
+    ASSERT_TRUE(U.ok());
+    EXPECT_FALSE(U.FullResolve);
+    EXPECT_EQ(U.NegationFallbacks, 0u);
+    expectMatchesScratch(IS, [&] { return C.build(); });
+  }
+  EXPECT_EQ(IS.negationFallbacks(), 0u);
 }
 
 /// Recursive Andersen-style points-to over generated pointer programs:

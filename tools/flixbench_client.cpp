@@ -22,6 +22,7 @@
 #include "server/Client.h"
 #include "server/LoadDriver.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +51,40 @@ static void printUsage() {
       "  --json            print the report as one JSON object\n");
 }
 
+/// Parses a decimal integer flag value, rejecting garbage, trailing
+/// junk and out-of-range input (std::atoi silently mapped those to 0,
+/// and `--port 99999` wrapped mod 2^16).
+static long long parseIntFlag(const char *Flag, const char *Text,
+                              long long Min, long long Max) {
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || V < Min || V > Max) {
+    std::fprintf(
+        stderr,
+        "flixbench_client: %s wants an integer in [%lld, %lld], got '%s'\n",
+        Flag, Min, Max, Text);
+    std::exit(2);
+  }
+  return V;
+}
+
+/// Same discipline for floating-point flags (replaces std::atof).
+static double parseFloatFlag(const char *Flag, const char *Text, double Min,
+                             double Max) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || errno == ERANGE || !(V >= Min) ||
+      !(V <= Max)) {
+    std::fprintf(stderr,
+                 "flixbench_client: %s wants a number in [%g, %g], got '%s'\n",
+                 Flag, Min, Max, Text);
+    std::exit(2);
+  }
+  return V;
+}
+
 int main(int argc, char **argv) {
   LoadOptions Opt;
   bool JsonOut = false;
@@ -70,7 +105,7 @@ int main(int argc, char **argv) {
       printUsage();
       return 0;
     } else if (A == "--port") {
-      Opt.Port = uint16_t(std::atoi(needValue(I)));
+      Opt.Port = uint16_t(parseIntFlag("--port", needValue(I), 1, 65535));
     } else if (A == "--host") {
       Opt.Host = needValue(I);
     } else if (A == "--unix") {
@@ -78,19 +113,25 @@ int main(int argc, char **argv) {
     } else if (A == "--db") {
       Opt.Db = needValue(I);
     } else if (A == "--clients") {
-      Opt.Clients = unsigned(std::atoi(needValue(I)));
+      Opt.Clients =
+          unsigned(parseIntFlag("--clients", needValue(I), 1, 4096));
     } else if (A == "--seconds") {
-      Opt.Seconds = std::atof(needValue(I));
+      Opt.Seconds = parseFloatFlag("--seconds", needValue(I), 0.0, 86400.0);
     } else if (A == "--rows") {
-      Opt.RowsPerRequest = unsigned(std::atoi(needValue(I)));
+      Opt.RowsPerRequest =
+          unsigned(parseIntFlag("--rows", needValue(I), 1, 1 << 20));
     } else if (A == "--query-ratio") {
-      Opt.QueryRatio = std::atof(needValue(I));
+      Opt.QueryRatio =
+          parseFloatFlag("--query-ratio", needValue(I), 0.0, 1.0);
     } else if (A == "--keyspace") {
-      Opt.KeySpace = unsigned(std::atoi(needValue(I)));
+      Opt.KeySpace =
+          unsigned(parseIntFlag("--keyspace", needValue(I), 2, 1 << 30));
     } else if (A == "--seed") {
-      Opt.Seed = uint64_t(std::atoll(needValue(I)));
+      Opt.Seed = uint64_t(
+          parseIntFlag("--seed", needValue(I), 0, (1LL << 62) - 1));
     } else if (A == "--deadline-ms") {
-      Opt.DeadlineMs = std::atof(needValue(I));
+      Opt.DeadlineMs =
+          parseFloatFlag("--deadline-ms", needValue(I), 0.0, 1e9);
     } else if (A == "--no-load") {
       Opt.LoadProgram = false;
     } else if (A == "--shutdown") {
@@ -140,10 +181,12 @@ int main(int argc, char **argv) {
     std::printf("  queries     %8llu req (%.0f/s)\n",
                 (unsigned long long)Rep.QueryRequests, Rep.QueriesPerSec);
     std::printf("  update batches %5llu (coalesced %llu requests, "
-                "fallback solves %llu)\n",
+                "fallback solves %llu: %llu degraded, %llu negation)\n",
                 (unsigned long long)Rep.UpdateBatches,
                 (unsigned long long)Rep.CoalescedRequests,
-                (unsigned long long)Rep.FallbackSolves);
+                (unsigned long long)Rep.FallbackSolves,
+                (unsigned long long)Rep.DegradedRecoveries,
+                (unsigned long long)Rep.NegationFallbacks);
     std::printf("  mutation latency p50 %.3fms  p99 %.3fms\n",
                 Rep.MutationP50Ms, Rep.MutationP99Ms);
     std::printf("  query latency    p50 %.3fms  p99 %.3fms\n",

@@ -228,7 +228,7 @@ static void printPredicate(const Program &P, const SolverT &S, PredId Id) {
 static void printUpdateStats(unsigned UpdateNo, const UpdateStats &U) {
   std::printf("update %u: +%llu -%llu facts, %llu cells deleted, %llu "
               "rederived, %llu derived, %llu firings, %.4f s, %llu "
-              "fallback solves%s\n",
+              "fallback solves (%llu degraded, %llu negation)%s\n",
               UpdateNo, static_cast<unsigned long long>(U.FactsAdded),
               static_cast<unsigned long long>(U.FactsRetracted),
               static_cast<unsigned long long>(U.CellsDeleted),
@@ -236,6 +236,8 @@ static void printUpdateStats(unsigned UpdateNo, const UpdateStats &U) {
               static_cast<unsigned long long>(U.FactsDerived),
               static_cast<unsigned long long>(U.RuleFirings), U.Seconds,
               static_cast<unsigned long long>(U.FallbackSolves),
+              static_cast<unsigned long long>(U.DegradedRecoveries),
+              static_cast<unsigned long long>(U.NegationFallbacks),
               U.FullResolve ? " (full re-solve)" : "");
 }
 
@@ -263,6 +265,7 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       "\"facts_derived\": %llu, \"plan_steps\": %llu, "
       "\"memo_hits\": %llu, \"memo_misses\": %llu, "
       "\"index_fallbacks\": %llu, \"fallback_solves\": %llu, "
+      "\"negation_fallbacks\": %llu, \"degraded_recoveries\": %llu, "
       "\"seconds\": %.6f, \"memory_bytes\": %llu}\n",
       statusName(St.St), Opts.NumThreads,
       Opts.CompilePlans ? "true" : "false",
@@ -274,7 +277,9 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       static_cast<unsigned long long>(St.MemoHits),
       static_cast<unsigned long long>(St.MemoMisses),
       static_cast<unsigned long long>(St.IndexFallbacks),
-      static_cast<unsigned long long>(St.FallbackSolves), St.Seconds,
+      static_cast<unsigned long long>(St.FallbackSolves),
+      static_cast<unsigned long long>(St.NegationFallbacks),
+      static_cast<unsigned long long>(St.DegradedRecoveries), St.Seconds,
       static_cast<unsigned long long>(St.MemoryBytes));
 }
 
@@ -315,6 +320,7 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       "\"cells_rederived\": %llu, \"iterations\": %llu, "
       "\"rule_firings\": %llu, \"facts_derived\": %llu, "
       "\"full_resolve\": %s, \"fallback_solves\": %llu, "
+      "\"negation_fallbacks\": %llu, \"degraded_recoveries\": %llu, "
       "\"memory_bytes\": %llu, \"cumulative\": {\"updates\": %llu, "
       "\"seconds\": %.6f, \"facts_added\": %llu, "
       "\"facts_retracted\": %llu, \"cells_deleted\": %llu, "
@@ -330,6 +336,8 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       static_cast<unsigned long long>(U.FactsDerived),
       U.FullResolve ? "true" : "false",
       static_cast<unsigned long long>(U.FallbackSolves),
+      static_cast<unsigned long long>(U.NegationFallbacks),
+      static_cast<unsigned long long>(U.DegradedRecoveries),
       static_cast<unsigned long long>(U.MemoryBytes),
       static_cast<unsigned long long>(Cum.Updates), Cum.Seconds,
       static_cast<unsigned long long>(Cum.FactsAdded),

@@ -21,6 +21,7 @@
 
 #include "server/Server.h"
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +50,37 @@ static void printUsage() {
       "  --max-pending-facts N staged-row bound per db (default 1Mi)\n");
 }
 
+/// Parses a decimal integer flag value, rejecting garbage, trailing
+/// junk and out-of-range input. The std::atoi it replaces silently
+/// turned all of those into 0 — and let `--port 99999` wrap mod 2^16.
+static long long parseIntFlag(const char *Flag, const char *Text,
+                              long long Min, long long Max) {
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || V < Min || V > Max) {
+    std::fprintf(stderr,
+                 "flixd: %s wants an integer in [%lld, %lld], got '%s'\n",
+                 Flag, Min, Max, Text);
+    std::exit(2);
+  }
+  return V;
+}
+
+/// Same discipline for floating-point flags (replaces std::atof).
+static double parseFloatFlag(const char *Flag, const char *Text,
+                             double Min) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || errno == ERANGE || !(V >= Min)) {
+    std::fprintf(stderr, "flixd: %s wants a number >= %g, got '%s'\n",
+                 Flag, Min, Text);
+    std::exit(2);
+  }
+  return V;
+}
+
 int main(int argc, char **argv) {
   ServerOptions Opt;
   Opt.Port = 7643;
@@ -69,7 +101,7 @@ int main(int argc, char **argv) {
       printUsage();
       return 0;
     } else if (A == "--port") {
-      Opt.Port = uint16_t(std::atoi(needValue(I)));
+      Opt.Port = uint16_t(parseIntFlag("--port", needValue(I), 0, 65535));
     } else if (A == "--host") {
       Opt.Host = needValue(I);
     } else if (A == "--unix") {
@@ -86,17 +118,23 @@ int main(int argc, char **argv) {
       }
       Preloads.emplace_back(Spec.substr(0, Eq), Spec.substr(Eq + 1));
     } else if (A == "--threads") {
-      Opt.Solve.NumThreads = unsigned(std::atoi(needValue(I)));
+      Opt.Solve.NumThreads =
+          unsigned(parseIntFlag("--threads", needValue(I), 0, 1024));
     } else if (A == "--update-time-limit") {
-      Opt.UpdateTimeLimitSeconds = std::atof(needValue(I));
+      Opt.UpdateTimeLimitSeconds =
+          parseFloatFlag("--update-time-limit", needValue(I), 0.0);
     } else if (A == "--max-connections") {
-      Opt.MaxConnections = unsigned(std::atoi(needValue(I)));
+      Opt.MaxConnections =
+          unsigned(parseIntFlag("--max-connections", needValue(I), 1, 1 << 20));
     } else if (A == "--max-inflight") {
-      Opt.MaxInflight = unsigned(std::atoi(needValue(I)));
+      Opt.MaxInflight =
+          unsigned(parseIntFlag("--max-inflight", needValue(I), 1, 1 << 20));
     } else if (A == "--max-line-bytes") {
-      Opt.MaxLineBytes = size_t(std::atoll(needValue(I)));
+      Opt.MaxLineBytes = size_t(
+          parseIntFlag("--max-line-bytes", needValue(I), 1, 1LL << 40));
     } else if (A == "--max-pending-facts") {
-      Opt.MaxPendingFactsPerDb = uint64_t(std::atoll(needValue(I)));
+      Opt.MaxPendingFactsPerDb = uint64_t(
+          parseIntFlag("--max-pending-facts", needValue(I), 1, 1LL << 40));
     } else {
       std::fprintf(stderr, "flixd: unknown option '%s'\n", A.c_str());
       printUsage();
