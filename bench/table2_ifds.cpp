@@ -23,6 +23,13 @@
 // rule firing (firings are identical across regimes, so this normalizes
 // out workload size); the JSON records carry regime "plan_memo".
 //
+// A VM-engine ablation section follows (regime "vm_engine",
+// BENCH_vm.json): IFDS registers its flow functions as native C++
+// externs, which the execution engine cannot speed up, so this section
+// solves a FLIX-*source* gen/kill reachability program over the same
+// ICFGs — the lattice operations and the transfer function are FLIX
+// defs, putting the interp-vs-bytecode-VM choice on the solve hot path.
+//
 // Options:
 //   --threads <csv>    also run the declarative solver through the
 //                      parallel engine at each listed worker count
@@ -32,19 +39,27 @@
 //   --json <file>      write one machine-readable record per solver run
 //
 // Environment overrides:
-//   FLIX_TABLE2_REPS   repetitions per row, median reported (default 1)
-//   FLIX_TABLE2_WORK   transfer-function busy-work iterations
-//                      (default 2500 ≈ 5 µs; 0 = trivial regime only)
+//   FLIX_TABLE2_REPS        repetitions per row, median reported
+//                           (default 1)
+//   FLIX_TABLE2_WORK        transfer-function busy-work iterations
+//                           (default 2500 ≈ 5 µs; 0 = trivial regime
+//                           only)
+//   FLIX_TABLE2_VM_PRESETS  DaCapo presets covered by the VM-engine
+//                           ablation, smallest first (default 3; the
+//                           interp lane is the bottleneck)
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include "analyses/Ifds.h"
+#include "lang/Compiler.h"
+#include "parallel/Dispatch.h"
 #include "workload/IcfgWorkload.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -276,6 +291,202 @@ void runPlanMemoAblation(int TransferWork, long Reps, JsonReport *Json) {
   std::printf("\n");
 }
 
+//===--------------------------------------------------------------------===//
+// VM-engine ablation (regime "vm_engine", BENCH_vm.json)
+//===--------------------------------------------------------------------===//
+
+/// Gen/kill reachability over the ICFG supergraph with the lattice
+/// operations and the edge transfer written in FLIX source. Every join
+/// firing calls `step` and every lattice insert calls `lub`/`leq`
+/// through the chosen engine, so the interp-vs-VM difference is on the
+/// hot path (unlike IFDS above, whose flow functions are native C++
+/// externs either way).
+const char *VmAblationSrc = R"flix(
+enum R { case Bot, case Reach }
+
+def leq(a: R, b: R): Bool = match (a, b) with {
+  case (R.Bot, _) => true
+  case (R.Reach, R.Reach) => true
+  case _ => false
+}
+def lub(a: R, b: R): R = match (a, b) with {
+  case (R.Bot, x) => x
+  case (x, R.Bot) => x
+  case _ => R.Reach
+}
+def glb(a: R, b: R): R = match (a, b) with {
+  case (R.Reach, x) => x
+  case (x, R.Reach) => x
+  case _ => R.Bot
+}
+let R<> = (R.Bot, R.Reach, leq, lub, glb);
+
+def step(t: R): R = match t with {
+  case R.Reach => R.Reach
+  case R.Bot => R.Bot
+}
+
+rel Edge(n: Int, m: Int);
+rel Gen(n: Int, d: Int);
+rel Kill(n: Int, d: Int);
+lat Out(n: Int, d: Int, R<>);
+
+Out(n, d, R.Reach) :- Gen(n, d).
+Out(m, d, step(t)) :- Out(n, d, t), Edge(n, m), !Kill(m, d).
+)flix";
+
+/// One solved configuration of the FLIX-source reachability program.
+struct VmRunOutcome {
+  double Seconds = 0;
+  uint64_t RuleFirings = 0;
+  uint64_t VmCalls = 0;
+  uint64_t IcHits = 0;
+  uint64_t Fallbacks = 0;
+  bool Ok = false;
+  /// Rendered (n, d, value) rows for cross-engine identity checking —
+  /// handles are per-run, so rows are compared as strings.
+  std::set<std::string> Model;
+};
+
+VmRunOutcome runVmEngineConfig(const IcfgProgram &G, bool UseVm,
+                               bool Memo) {
+  ValueFactory F;
+  FlixCompiler C(F);
+  C.setUseVm(UseVm);
+  VmRunOutcome Out;
+  if (!C.compile(VmAblationSrc, "vm-ablation.flix")) {
+    std::fprintf(stderr, "vm-ablation compile failed:\n%s",
+                 C.diagnostics().c_str());
+    return Out;
+  }
+
+  auto fact2 = [&](const char *P, int A, int B) {
+    Value T[2] = {F.integer(A), F.integer(B)};
+    C.addFact(P, T);
+  };
+  for (auto [N, M] : G.CfgEdges)
+    fact2("Edge", N, M);
+  for (auto [N, M] : G.CallEdges)
+    fact2("Edge", N, M);
+  for (int N = 0; N < G.NumNodes; ++N) {
+    for (int D : G.Flows[N].Gen)
+      fact2("Gen", N, D);
+    for (int D : G.Flows[N].Kill)
+      fact2("Kill", N, D);
+  }
+
+  SolverOptions Opts;
+  Opts.UseVm = UseVm;
+  Opts.EnableMemo = Memo;
+  return solveWith(C.program(), Opts,
+                   [&](const auto &S, const SolveStats &St) {
+    Out.Seconds = St.Seconds;
+    Out.RuleFirings = St.RuleFirings;
+    Out.VmCalls = St.VmCalls;
+    Out.IcHits = St.VmInlineCacheHits;
+    Out.Fallbacks = St.InterpFallbacks;
+    Out.Ok = St.St == SolveStats::Status::Fixpoint &&
+             !C.interp().hasError();
+    if (Out.Ok)
+      for (const auto &Row : S.tuples(*C.predicate("Out")))
+        Out.Model.insert(std::to_string(Row[0].asInt()) + "," +
+                         std::to_string(Row[1].asInt()) + "," +
+                         F.toString(Row[2]));
+    return Out;
+  });
+}
+
+/// The four engine configurations, interpreter first (the baseline).
+constexpr AblationRegime VmEngineRegimes[] = {
+    {"interp", false, false},
+    {"interp+memo", false, true},
+    {"vm", true, false},
+    {"vm+memo", true, true},
+};
+
+void runVmEngineAblation(long Reps, JsonReport *Json) {
+  long MaxPresets = envInt("FLIX_TABLE2_VM_PRESETS", 3);
+  std::printf("VM-engine ablation (FLIX-source gen/kill reachability, "
+              "sequential solver; ns per rule firing):\n");
+  std::printf("%-10s", "Program");
+  for (const AblationRegime &Reg : VmEngineRegimes)
+    std::printf(" %12s", Reg.Name);
+  std::printf("   vm-spdup\n");
+  std::printf("%.*s\n", 73,
+              "------------------------------------------------------------"
+              "--------------------");
+
+  long Done = 0;
+  for (const DacapoPreset &Preset : dacapoPresets()) {
+    if (Done++ >= MaxPresets)
+      break;
+    IcfgProgram G = generateIcfg(/*Seed=*/2016, Preset.NumProcs,
+                                 Preset.NodesPerProc, Preset.FactsTotal,
+                                 Preset.CallsPerProc);
+
+    std::printf("%-10s", Preset.Name.c_str());
+    VmRunOutcome Baseline;
+    double InterpNs = 0, VmNs = 0;
+    for (const AblationRegime &Reg : VmEngineRegimes) {
+      // Reg.Plans doubles as the UseVm flag here (same struct shape).
+      bool UseVm = Reg.Plans, Memo = Reg.Memo;
+      VmRunOutcome R;
+      double Time = median(Reps, [&] {
+        R = runVmEngineConfig(G, UseVm, Memo);
+        return R.Seconds;
+      });
+      bool Ok = R.Ok;
+      if (Reg.Plans == false && Reg.Memo == false)
+        Baseline = R;
+      else if (Ok && R.Model != Baseline.Model) {
+        Ok = false;
+        std::printf("\nWARNING: %s engine disagrees with the interpreter "
+                    "on %s!\n",
+                    Reg.Name, Preset.Name.c_str());
+      }
+      if (UseVm && R.Fallbacks != 0) {
+        Ok = false;
+        std::printf("\nWARNING: %s took %llu interpreter fallbacks on "
+                    "%s!\n",
+                    Reg.Name,
+                    static_cast<unsigned long long>(R.Fallbacks),
+                    Preset.Name.c_str());
+      }
+      double NsPerFiring =
+          Time * 1e9 / std::max<uint64_t>(R.RuleFirings, 1);
+      if (!UseVm && !Memo)
+        InterpNs = NsPerFiring;
+      if (UseVm && !Memo)
+        VmNs = NsPerFiring;
+      std::printf(" %12.1f", NsPerFiring);
+      if (Json) {
+        Json->begin();
+        Json->str("bench", "table2_ifds")
+            .str("regime", "vm_engine")
+            .str("config", Reg.Name)
+            .str("program", Preset.Name)
+            .boolean("vm", UseVm)
+            .boolean("memo", Memo)
+            .integer("threads", 0)
+            .num("seconds", Time)
+            .integer("rule_firings",
+                     static_cast<long long>(R.RuleFirings))
+            .num("ns_per_firing", NsPerFiring)
+            .integer("vm_calls", static_cast<long long>(R.VmCalls))
+            .integer("vm_inline_cache_hits",
+                     static_cast<long long>(R.IcHits))
+            .integer("interp_fallbacks",
+                     static_cast<long long>(R.Fallbacks))
+            .boolean("ok", Ok);
+        Json->end();
+      }
+    }
+    std::printf("   %6.2fx\n", InterpNs / std::max(VmNs, 1e-9));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -316,6 +527,7 @@ int main(int Argc, char **Argv) {
   runRegime("Trivial flow functions (pure engine overhead):", "trivial", 0,
             Reps, false, JsonP);
   runPlanMemoAblation(Work, Reps, JsonP);
+  runVmEngineAblation(Reps, JsonP);
   if (!Threads.empty())
     runScaling(Threads, Work, Reps, JsonP);
 

@@ -91,6 +91,9 @@ struct StrongUpdateResult {
   double Seconds = 0;
   size_t MemoryBytes = 0;
   uint64_t FactsDerived = 0;
+  /// Full solver statistics (engine counters included), for the
+  /// differential tests' engine assertions.
+  SolveStats Stats;
 
   bool ok() const { return St == Status::Ok; }
   bool samePointsTo(const StrongUpdateResult &O) const {

@@ -16,6 +16,7 @@ namespace {
 
 /// Converts a solver status into the result status.
 void fillStatus(StrongUpdateResult &R, const SolveStats &St) {
+  R.Stats = St;
   R.Seconds = St.Seconds;
   R.MemoryBytes = St.MemoryBytes;
   R.FactsDerived = St.FactsDerived;
@@ -237,6 +238,9 @@ flix::runStrongUpdateFlixSource(const PointerProgram &In,
                                 const SolverOptions &Opts) {
   ValueFactory F;
   FlixCompiler C(F);
+  // Honor the engine choice end to end: with UseVm off the whole run is a
+  // pure-interpreter oracle (no VM is even constructed).
+  C.setUseVm(Opts.UseVm);
   StrongUpdateResult R;
   if (!C.compile(strongUpdateFlixSource(), "strong-update.flix")) {
     R.St = StrongUpdateResult::Status::Error;

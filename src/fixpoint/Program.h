@@ -70,6 +70,16 @@ struct ExternFn {
   unsigned Arity = 0;
   FnRole Role = FnRole::Transfer;
   ExternImpl Impl;
+  /// Bytecode-VM implementation of the same pure function (src/vm),
+  /// attached by the FLIX compiler when lowering succeeded. Engines
+  /// dispatch to it when SolverOptions::UseVm is set and it is present;
+  /// Impl stays authoritative (and is the differential oracle).
+  ExternImpl VmImpl;
+  /// True for interpreted FLIX functions whose bytecode compilation
+  /// failed: dispatching them with UseVm on counts as an
+  /// InterpFallback in SolveStats. Native (C++) externs leave this
+  /// false — falling back to them is not a fallback at all.
+  bool InterpOnly = false;
 };
 
 /// A term: a rule-local variable or a constant value.
@@ -170,6 +180,27 @@ public:
   FnId function(std::string Name, unsigned Arity, FnRole Role,
                 ExternImpl Impl);
 
+  /// Attaches the bytecode-VM implementation of function \p Fn; a null
+  /// \p Impl instead marks the function interpreter-only (its VM
+  /// compilation failed), which UseVm runs report as InterpFallbacks.
+  void setVmImpl(FnId Fn, ExternImpl Impl) {
+    if (Impl) {
+      Fns[Fn].VmImpl = std::move(Impl);
+      Fns[Fn].InterpOnly = false;
+    } else {
+      Fns[Fn].InterpOnly = true;
+    }
+  }
+
+  /// Installs the provider of the VM's cumulative inline-cache hit
+  /// count. Solvers snapshot it around a run to report the per-solve
+  /// delta in SolveStats::VmInlineCacheHits.
+  void setVmIcHitCounter(std::function<uint64_t()> Fn) {
+    VmIcHits = std::move(Fn);
+  }
+  /// Cumulative VM inline-cache hits, or 0 when no VM is attached.
+  uint64_t vmIcHits() const { return VmIcHits ? VmIcHits() : 0; }
+
   /// Adds a finished rule. Asserts basic well-formedness (arities, var
   /// ranges); full validation happens in validate().
   void addRule(Rule R);
@@ -220,6 +251,7 @@ private:
   std::vector<Rule> Rules;
   std::vector<Fact> Facts;
   std::vector<std::pair<PredId, uint64_t>> IndexHints;
+  std::function<uint64_t()> VmIcHits;
 };
 
 /// Convenience builder for rules in the C++ API. Variables are referred to

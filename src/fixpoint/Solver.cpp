@@ -105,9 +105,23 @@ Solver::~Solver() = default;
 
 Value Solver::callExtern(FnId Fn, std::span<const Value> Args) {
   const ExternFn &D = P.functionDecl(Fn);
+  const ExternImpl *Impl = &D.Impl;
+  bool ViaVm = false;
+  if (Opts.UseVm) {
+    if (D.VmImpl) {
+      Impl = &D.VmImpl;
+      ViaVm = true;
+    } else if (D.InterpOnly) {
+      ++Stats.InterpFallbacks;
+    }
+  }
+  auto Compute = [&] {
+    Stats.VmCalls += ViaVm;
+    return (*Impl)(Args);
+  };
   if (Memo)
-    return Memo->call(Fn, Args, [&] { return D.Impl(Args); });
-  return D.Impl(Args);
+    return Memo->call(Fn, Args, Compute);
+  return Compute();
 }
 
 //===----------------------------------------------------------------------===//
@@ -756,6 +770,7 @@ SolveStats Solver::solve() {
 
   auto Start = std::chrono::steady_clock::now();
   DL = Deadline::after(Opts.TimeLimitSeconds);
+  uint64_t IcHitsAtStart = P.vmIcHits();
 
   auto finish = [&]() {
     Stats.Seconds =
@@ -769,6 +784,7 @@ SolveStats Solver::solve() {
       Stats.MemoHits = Memo->hits();
       Stats.MemoMisses = Memo->misses();
     }
+    Stats.VmInlineCacheHits = P.vmIcHits() - IcHitsAtStart;
     return Stats;
   };
 

@@ -103,6 +103,12 @@ struct SolverOptions {
   /// to be pure (§2.3); turn off to ablate, or if an extern violates the
   /// purity contract.
   bool EnableMemo = true;
+  /// Dispatch extern calls to their bytecode-VM implementation
+  /// (ExternFn::VmImpl) when one is attached, instead of the
+  /// tree-walking interpreter closure. The two are value-identical
+  /// (differentially tested); off is the interpreter ablation
+  /// (flixc --no-vm).
+  bool UseVm = true;
 };
 
 /// A cell addressed as (predicate, row id) — the node type of the
@@ -168,6 +174,17 @@ struct SolveStats {
   uint64_t DegradedRecoveries = 0;
   uint64_t MemoHits = 0;   ///< extern calls answered from the memo cache
   uint64_t MemoMisses = 0; ///< extern calls computed then cached
+
+  // Bytecode-VM counters (SolverOptions::UseVm).
+  uint64_t VmCalls = 0; ///< extern dispatches executed by the VM (memo
+                        ///< hits excluded — only actual executions)
+  uint64_t VmInlineCacheHits = 0; ///< tag-dispatch + tuple-check inline
+                                  ///< cache hits during this run
+  /// Extern dispatches that wanted the VM (UseVm on, interpreted FLIX
+  /// function) but had no compiled body and fell back to the
+  /// interpreter. The standard suites assert this stays 0 — the VM
+  /// compiler covers the whole functional sub-language.
+  uint64_t InterpFallbacks = 0;
 
   // Parallel-engine counters (zero for the sequential solver).
   uint64_t ParallelTasks = 0;   ///< (rule, driver, chunk) tasks executed

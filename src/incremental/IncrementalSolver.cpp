@@ -63,16 +63,29 @@ struct IncrementalSolver::WorkerCtx {
   uint32_t CurRuleIdx = 0;
   uint64_t RuleFirings = 0;
   uint64_t IndexFallbacks = 0;
+  uint64_t VmCalls = 0;
+  uint64_t InterpFallbacks = 0;
 
   explicit WorkerCtx(IncrementalSolver &IS) : IS(IS) {}
 
   Value callExtern(FnId Fn, std::span<const Value> Args) {
     const ExternFn &FD = IS.P.functionDecl(Fn);
+    const ExternImpl *Impl = &FD.Impl;
+    bool ViaVm = false;
+    if (IS.Opts.UseVm) {
+      if (FD.VmImpl) {
+        Impl = &FD.VmImpl;
+        ViaVm = true;
+      } else if (FD.InterpOnly) {
+        ++InterpFallbacks;
+      }
+    }
     auto Compute = [&]() -> Value {
+      VmCalls += ViaVm;
       if (!IS.Opts.SerializeExternals)
-        return FD.Impl(Args);
+        return (*Impl)(Args);
       std::lock_guard<std::mutex> G(IS.ExternMu);
-      return FD.Impl(Args);
+      return (*Impl)(Args);
     };
     // Route through the inner solver's memo so incremental rounds share
     // the cache its full solves populated.
@@ -817,8 +830,12 @@ void IncrementalSolver::mergeWorkerDerivs() {
     }
     Sol.Stats.RuleFirings += W->RuleFirings;
     Sol.Stats.IndexFallbacks += W->IndexFallbacks;
+    Sol.Stats.VmCalls += W->VmCalls;
+    Sol.Stats.InterpFallbacks += W->InterpFallbacks;
     W->RuleFirings = 0;
     W->IndexFallbacks = 0;
+    W->VmCalls = 0;
+    W->InterpFallbacks = 0;
     W->Buffer.clear();
   }
 }
@@ -826,6 +843,7 @@ void IncrementalSolver::mergeWorkerDerivs() {
 void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   Solver &Sol = *S;
   SolveStats Before = Sol.Stats;
+  uint64_t IcHitsAtUpdateStart = P.vmIcHits();
   size_t NumPreds = P.predicates().size();
 
   // The inner solver's run state must be clean for re-entry; incremental
@@ -1131,6 +1149,9 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   U.FactsDerived = Sol.Stats.FactsDerived - Before.FactsDerived;
   U.ParallelTasks = Sol.Stats.ParallelTasks - Before.ParallelTasks;
   U.IndexFallbacks = Sol.Stats.IndexFallbacks - Before.IndexFallbacks;
+  U.VmCalls = Sol.Stats.VmCalls - Before.VmCalls;
+  U.InterpFallbacks = Sol.Stats.InterpFallbacks - Before.InterpFallbacks;
+  U.VmInlineCacheHits = P.vmIcHits() - IcHitsAtUpdateStart;
   if (Pool)
     U.ParallelSteals = Pool->steals() - StealsBase;
 }

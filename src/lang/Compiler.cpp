@@ -25,21 +25,40 @@ public:
       : Name(std::move(Name)), Bot(Bot), Top(Top), LeqFn(std::move(Leq)),
         LubFn(std::move(Lub)), GlbFn(std::move(Glb)), I(I) {}
 
+  /// Routes operations whose FLIX functions compiled to bytecode through
+  /// the VM (with its fused ⊥/⊤ prologues); the others stay interpreted.
+  /// Called once by the lowering, before any solving.
+  void attachVm(vm::Vm *V, std::optional<uint32_t> Leq,
+                std::optional<uint32_t> Lub, std::optional<uint32_t> Glb) {
+    Machine = V;
+    LeqIx = Leq;
+    LubIx = Lub;
+    GlbIx = Glb;
+  }
+
   std::string name() const override { return Name; }
   Value bot() const override { return Bot; }
   Value top() const override { return Top; }
 
   bool leq(Value A, Value B) const override {
     Value Args[2] = {A, B};
+    if (Machine && LeqIx) {
+      Value R = Machine->call(*LeqIx, Args);
+      return R.isBool() && R.asBool();
+    }
     Value R = I.call(LeqFn, Args);
     return R.isBool() && R.asBool();
   }
   Value lub(Value A, Value B) const override {
     Value Args[2] = {A, B};
+    if (Machine && LubIx)
+      return Machine->call(*LubIx, Args);
     return I.call(LubFn, Args);
   }
   Value glb(Value A, Value B) const override {
     Value Args[2] = {A, B};
+    if (Machine && GlbIx)
+      return Machine->call(*GlbIx, Args);
     return I.call(GlbFn, Args);
   }
 
@@ -48,6 +67,8 @@ private:
   Value Bot, Top;
   std::string LeqFn, LubFn, GlbFn;
   Interp &I;
+  vm::Vm *Machine = nullptr;
+  std::optional<uint32_t> LeqIx, LubIx, GlbIx;
 };
 
 /// Collects the free rule variables of an expression in first-occurrence
@@ -124,6 +145,16 @@ public:
 
   bool run() {
     lowerLattices();
+    // Defs compile after the lattice ops are marked (so leq/lub/glb get
+    // their fused prologues) and before rule lowering (which compiles a
+    // wrapper per filter/binder/transfer site against them).
+    if (C.VmComp) {
+      C.VmComp->compileDefs();
+      for (const VmLatticeHook &H : VmLattices)
+        H.Lat->attachVm(C.TheVm.get(), C.VmComp->functionIndex(H.Leq),
+                        C.VmComp->functionIndex(H.Lub),
+                        C.VmComp->functionIndex(H.Glb));
+    }
     lowerPredicates();
     if (Diags.hasErrors())
       return false;
@@ -153,10 +184,22 @@ private:
     for (const auto &[Name, Info] : CM.LatticeBinds) {
       Value Bot = constEval(*Info.Decl->Bot);
       Value Top = constEval(*Info.Decl->Top);
-      C.Lattices.push_back(std::make_unique<InterpretedLattice>(
+      auto L = std::make_unique<InterpretedLattice>(
           Name, Bot, Top, Info.Decl->LeqFn, Info.Decl->LubFn,
-          Info.Decl->GlbFn, I));
-      LatticeByName[Name] = C.Lattices.back().get();
+          Info.Decl->GlbFn, I);
+      if (C.VmComp) {
+        C.VmComp->markLatticeOp(Info.Decl->LeqFn,
+                                vm::VmCompiler::LatRole::Leq, Bot, Top);
+        C.VmComp->markLatticeOp(Info.Decl->LubFn,
+                                vm::VmCompiler::LatRole::Lub, Bot, Top);
+        C.VmComp->markLatticeOp(Info.Decl->GlbFn,
+                                vm::VmCompiler::LatRole::Glb, Bot, Top);
+        VmLattices.push_back(VmLatticeHook{L.get(), Info.Decl->LeqFn,
+                                           Info.Decl->LubFn,
+                                           Info.Decl->GlbFn});
+      }
+      LatticeByName[Name] = L.get();
+      C.Lattices.push_back(std::move(L));
     }
   }
 
@@ -206,16 +249,25 @@ private:
   /// Creates an extern function that evaluates \p Exprs under the bindings
   /// of their free variables and combines the results via \p Combine.
   /// Returns the function id and fills \p ArgTerms with the variable terms
-  /// to pass at the call site.
+  /// to pass at the call site. \p VmCallee is the def the wrapper
+  /// forwards to in bytecode (empty for the transfer identity form); a
+  /// compiled twin is attached as the function's VmImpl, else the
+  /// function is marked interpreter-only.
   template <typename CombineFn>
   FnId makeWrapper(const std::string &Name, FnRole Role,
                    std::vector<const Expr *> Exprs,
-                   SmallVector<Term, 4> &ArgTerms, CombineFn Combine) {
+                   SmallVector<Term, 4> &ArgTerms,
+                   const std::string &VmCallee, CombineFn Combine) {
     std::vector<std::string> FreeVars;
     for (const Expr *E : Exprs)
       collectFreeVars(*E, FreeVars);
     for (const std::string &V : FreeVars)
       ArgTerms.push_back(Term::var(varFor(V)));
+
+    std::optional<uint32_t> WrapIx;
+    if (C.VmComp)
+      WrapIx = C.VmComp->compileWrapper(Name, FreeVars, Exprs, VmCallee);
+
     Interp *Ip = &I;
     auto Impl = [Ip, Exprs = std::move(Exprs), FreeVars,
                  Combine](std::span<const Value> Args) -> Value {
@@ -227,8 +279,20 @@ private:
         Vals.push_back(Ip->eval(*E, Env));
       return Combine(*Ip, std::span<const Value>(Vals.data(), Vals.size()));
     };
-    return C.Prog->function(Name, static_cast<unsigned>(FreeVars.size()),
-                            Role, std::move(Impl));
+    FnId Id = C.Prog->function(Name, static_cast<unsigned>(FreeVars.size()),
+                               Role, std::move(Impl));
+    if (C.VmComp) {
+      if (WrapIx) {
+        vm::Vm *V = C.TheVm.get();
+        uint32_t Ix = *WrapIx;
+        C.Prog->setVmImpl(Id, [V, Ix](std::span<const Value> Args) {
+          return V->call(Ix, Args);
+        });
+      } else {
+        C.Prog->setVmImpl(Id, nullptr);
+      }
+    }
+    return Id;
   }
 
   void lowerRule(const RuleAST &R) {
@@ -283,7 +347,7 @@ private:
         std::string FnName = Fl->Fn;
         BF.Fn = makeWrapper(
             "filter:" + FnName, FnRole::Filter, std::move(ArgExprs), BF.Args,
-            [FnName](Interp &Ip, std::span<const Value> Vals) {
+            FnName, [FnName](Interp &Ip, std::span<const Value> Vals) {
               return Ip.call(FnName, Vals);
             });
         Out.Body.emplace_back(std::move(BF));
@@ -297,7 +361,7 @@ private:
       std::string FnName = B.Fn;
       BB.Fn = makeWrapper(
           "binder:" + FnName, FnRole::Binder, std::move(ArgExprs), BB.Args,
-          [FnName](Interp &Ip, std::span<const Value> Vals) {
+          FnName, [FnName](Interp &Ip, std::span<const Value> Vals) {
             return Ip.call(FnName, Vals);
           });
       for (const std::string &V : B.Pattern)
@@ -321,7 +385,7 @@ private:
         SmallVector<Term, 4> ArgTerms;
         Out.Head.LastFn = makeWrapper(
             "transfer:" + C.Prog->predicate(HeadPred).Name,
-            FnRole::Transfer, {&Last}, ArgTerms,
+            FnRole::Transfer, {&Last}, ArgTerms, std::string(),
             [](Interp &, std::span<const Value> Vals) { return Vals[0]; });
         Out.Head.FnArgs = std::move(ArgTerms);
       }
@@ -339,6 +403,14 @@ private:
   Interp &I;
   std::map<std::string, const Lattice *> LatticeByName;
   std::vector<std::string> VarNames;
+
+  /// Lattices awaiting their VM operation indexes (known only once
+  /// compileDefs() has run).
+  struct VmLatticeHook {
+    InterpretedLattice *Lat;
+    std::string Leq, Lub, Glb;
+  };
+  std::vector<VmLatticeHook> VmLattices;
 };
 
 //===----------------------------------------------------------------------===//
@@ -352,6 +424,14 @@ FlixCompiler::FlixCompiler(ValueFactory &F) : F(F) {
 FlixCompiler::~FlixCompiler() = default;
 
 void FlixCompiler::registerNative(const std::string &Name, NativeFn Fn) {
+  if (UseVm) {
+    // Before compile() the VM has no native slots yet; park a copy for
+    // installation at the end of compile().
+    if (TheVm)
+      TheVm->registerNative(Name, Fn);
+    else
+      VmNatives.emplace_back(Name, Fn);
+  }
   if (Interpreter) {
     Interpreter->registerNative(Name, std::move(Fn));
     return;
@@ -379,11 +459,24 @@ bool FlixCompiler::compile(std::string Source, std::string BufferName) {
     return false;
 
   Interpreter = std::make_unique<Interp>(CM, F);
+  Interpreter->setSourceManager(&SM);
   for (auto &[Name, Fn] : PendingNatives)
     Interpreter->registerNative(Name, std::move(Fn));
   PendingNatives.clear();
 
+  if (UseVm) {
+    VmMod = std::make_unique<vm::VmModule>();
+    VmComp = std::make_unique<vm::VmCompiler>(CM, F, &SM, *VmMod);
+    // Faults funnel into the interpreter's first-fault slot so
+    // interp().hasError() observes either engine.
+    TheVm = std::make_unique<vm::Vm>(
+        *VmMod, F,
+        [this](const std::string &Msg) { Interpreter->recordError(Msg); });
+  }
+
   Prog = std::make_unique<Program>(F);
+  if (TheVm)
+    Prog->setVmIcHitCounter([V = TheVm.get()] { return V->icHits(); });
   Lowering L(*this, *Diags);
   if (!L.run()) {
     if (Interpreter->hasError())
@@ -391,6 +484,11 @@ bool FlixCompiler::compile(std::string Source, std::string BufferName) {
                    "lowering failed: " + Interpreter->error());
     return false;
   }
+  // Lowering created the VM's native slots; fill them now.
+  if (TheVm)
+    for (auto &[Name, Fn] : VmNatives)
+      TheVm->registerNative(Name, Fn);
+  VmNatives.clear();
   return true;
 }
 

@@ -30,6 +30,8 @@
 #include "fixpoint/Program.h"
 #include "lang/Interp.h"
 #include "lang/Sema.h"
+#include "vm/Vm.h"
+#include "vm/VmCompiler.h"
 
 #include <memory>
 
@@ -46,8 +48,24 @@ public:
   FlixCompiler &operator=(const FlixCompiler &) = delete;
 
   /// Registers a native implementation for an `ext def`. May be called
-  /// before or after compile(), but before solving.
+  /// before or after compile(), but before solving. Natives reach both
+  /// execution engines (interpreter and bytecode VM).
   void registerNative(const std::string &Name, NativeFn Fn);
+
+  /// Enables or disables the bytecode VM (`flixc --no-vm`). Must be
+  /// called before compile(); disabled, every function runs on the
+  /// interpreter and no VM is constructed.
+  void setUseVm(bool Enabled) { UseVm = Enabled; }
+
+  /// The bytecode VM, or nullptr when disabled or before compile().
+  vm::Vm *vm() { return TheVm.get(); }
+
+  /// VM function index for def \p Name, if the VM is enabled and the
+  /// function compiled (see vm::VmCompiler::functionIndex). Used by the
+  /// differential tests to call the same def on both engines.
+  std::optional<uint32_t> vmFunctionIndex(const std::string &Name) const {
+    return VmComp ? VmComp->functionIndex(Name) : std::nullopt;
+  }
 
   /// Compiles \p Source. Returns false (and records diagnostics) on any
   /// lex/parse/type/lowering error.
@@ -87,6 +105,13 @@ private:
   CheckedModule CM;
   std::unique_ptr<Interp> Interpreter;
   std::vector<std::pair<std::string, NativeFn>> PendingNatives;
+  /// Natives awaiting VM installation: slots exist only after lowering
+  /// compiles the module, so pre-compile registrations park here.
+  std::vector<std::pair<std::string, NativeFn>> VmNatives;
+  bool UseVm = true;
+  std::unique_ptr<vm::VmModule> VmMod;
+  std::unique_ptr<vm::VmCompiler> VmComp;
+  std::unique_ptr<vm::Vm> TheVm;
   std::vector<std::unique_ptr<Lattice>> Lattices;
   std::unique_ptr<Program> Prog;
   std::map<std::string, PredId, std::less<>> PredIds;

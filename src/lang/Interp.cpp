@@ -43,9 +43,18 @@ Value Interp::call(const std::string &Fn, std::span<const Value> Args) {
     return NIt->second(F, Args);
   }
 
-  if (CallDepth >= MaxCallDepth)
-    return fail(D.Decl->Loc, "call depth exceeded in '" + Fn +
-                                 "' (runaway recursion?)");
+  if (CallDepth >= MaxCallDepth) {
+    // Name the function and, when a SourceManager is attached, its
+    // definition site — the VM renders the identical diagnostic.
+    std::string Where = "'" + Fn + "'";
+    if (SM && D.Decl->Loc.isValid()) {
+      LineColumn LC = SM->lineColumn(D.Decl->Loc);
+      Where += " at " + SM->bufferName(D.Decl->Loc.Buffer) + ":" +
+               std::to_string(LC.Line) + ":" + std::to_string(LC.Column);
+    }
+    return fail(D.Decl->Loc, "call depth exceeded in " + Where +
+                                 " (runaway recursion?)");
+  }
   ++CallDepth;
   std::map<std::string, Value> Env;
   for (size_t I = 0; I < Args.size(); ++I)

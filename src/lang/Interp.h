@@ -44,6 +44,11 @@ public:
     Natives[Name] = std::move(Fn);
   }
 
+  /// Attaches the source manager used to render source spans in runtime
+  /// diagnostics (currently the call-depth overflow). Optional; without
+  /// it diagnostics carry the function name only.
+  void setSourceManager(const SourceManager *M) { SM = M; }
+
   /// Calls a top-level function by name. Thread-safe by construction
   /// once ValueFactory::enableConcurrentInterning() is on: per-call
   /// environments are stack-local, the call-depth guard is thread-local,
@@ -65,6 +70,15 @@ public:
   Value makeTag(const std::string &EnumName, const std::string &CaseName,
                 Value Payload);
 
+  /// Records a runtime fault from outside the interpreter (the bytecode
+  /// VM reports through here so both engines share one error slot and
+  /// the compiler's first-fault-wins surfacing). Thread-safe.
+  void recordError(const std::string &Msg) {
+    std::lock_guard<std::mutex> Lock(ErrMu);
+    if (ErrorMsg.empty())
+      ErrorMsg = Msg;
+  }
+
   bool hasError() const {
     std::lock_guard<std::mutex> Lock(ErrMu);
     return !ErrorMsg.empty();
@@ -84,6 +98,7 @@ private:
 
   const CheckedModule &CM;
   ValueFactory &F;
+  const SourceManager *SM = nullptr;
   std::map<std::string, NativeFn> Natives;
   mutable std::mutex ErrMu; ///< guards ErrorMsg (first fault wins)
   std::string ErrorMsg;

@@ -165,6 +165,8 @@ struct ParallelSolver::WorkerCtx {
   uint64_t SpawnedSubtasks = 0;
   uint64_t MaxFanout = 0;
   uint64_t IndexFallbacks = 0;
+  uint64_t VmCalls = 0;
+  uint64_t InterpFallbacks = 0;
 
   WorkerCtx(ParallelSolver &S, unsigned Id) : S(S), Id(Id) {
     Buffers.resize(NumMergeShards);
@@ -181,13 +183,24 @@ struct ParallelSolver::WorkerCtx {
   }
 
   Value callExtern(FnId Fn, std::span<const Value> Args) {
-    const ExternImpl &Impl = S.P.functionDecl(Fn).Impl;
+    const ExternFn &D = S.P.functionDecl(Fn);
+    const ExternImpl *Impl = &D.Impl;
+    bool ViaVm = false;
+    if (S.Opts.UseVm) {
+      if (D.VmImpl) {
+        Impl = &D.VmImpl;
+        ViaVm = true;
+      } else if (D.InterpOnly) {
+        ++InterpFallbacks;
+      }
+    }
     auto Compute = [&]() -> Value {
+      VmCalls += ViaVm;
       if (S.Opts.SerializeExternals) {
         std::lock_guard<std::mutex> Lock(S.ExternMu);
-        return Impl(Args);
+        return (*Impl)(Args);
       }
-      return Impl(Args);
+      return (*Impl)(Args);
     };
     // The memo shard lock never wraps the compute (Plan.h), so memoized
     // calls still honor SerializeExternals on the miss path without
@@ -955,8 +968,10 @@ SolveStats ParallelSolver::solve() {
 
   auto Start = std::chrono::steady_clock::now();
   DL = Deadline::after(Opts.TimeLimitSeconds);
+  uint64_t IcHitsAtStart = P.vmIcHits();
 
   auto finish = [&]() -> SolveStats & {
+    Stats.VmInlineCacheHits = P.vmIcHits() - IcHitsAtStart;
     for (const std::unique_ptr<WorkerCtx> &W : Workers) {
       Stats.RuleFirings += W->RuleFirings;
       Stats.FactsDerived += W->FactsDerived;
@@ -964,8 +979,11 @@ SolveStats ParallelSolver::solve() {
       Stats.SpawnedSubtasks += W->SpawnedSubtasks;
       Stats.MaxFanout = std::max(Stats.MaxFanout, W->MaxFanout);
       Stats.IndexFallbacks += W->IndexFallbacks;
+      Stats.VmCalls += W->VmCalls;
+      Stats.InterpFallbacks += W->InterpFallbacks;
       W->RuleFirings = W->FactsDerived = W->MergeCollisions = 0;
       W->SpawnedSubtasks = W->MaxFanout = W->IndexFallbacks = 0;
+      W->VmCalls = W->InterpFallbacks = 0;
     }
     Stats.ParallelSteals = Pool->steals();
     Stats.Seconds =

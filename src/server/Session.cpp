@@ -448,6 +448,11 @@ Json Session::statsJson() {
         Json::integer(int64_t(LastUpdate.NegationFallbacks)));
   S.set("degraded_recoveries",
         Json::integer(int64_t(LastUpdate.DegradedRecoveries)));
+  S.set("vm_calls", Json::integer(int64_t(LastUpdate.VmCalls)));
+  S.set("vm_inline_cache_hits",
+        Json::integer(int64_t(LastUpdate.VmInlineCacheHits)));
+  S.set("interp_fallbacks",
+        Json::integer(int64_t(LastUpdate.InterpFallbacks)));
   S.set("memory_bytes", Json::integer(int64_t(LastUpdate.MemoryBytes)));
 
   Json Last = Json::object();

@@ -1,0 +1,89 @@
+//===- vm/Vm.h - Bytecode dispatch-loop VM ---------------------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine for vm/Bytecode.h: a direct-threaded dispatch
+/// loop over register frames carved from a per-thread value stack. One
+/// Vm instance is shared by every solver thread — the module is
+/// immutable after compilation, inline caches are single-word atomics,
+/// frames and the call-depth guard are thread-local, and faults funnel
+/// into a mutex-guarded first-fault callback — so the parallel solver's
+/// workers call in concurrently with no outer lock, exactly like the
+/// tree-walking interpreter it replaces.
+///
+/// Fault behavior matches the interpreter bit-for-bit: the VM never
+/// throws, runtime faults (no matching case, division by zero, missing
+/// native, call-depth overflow) report the interpreter's exact message
+/// through the error callback and return Unit, and the call-depth limit
+/// is the same constant, so the differential suites can compare the two
+/// engines on both values and failure text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_VM_VM_H
+#define FLIX_VM_VM_H
+
+#include "vm/Bytecode.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace flix::vm {
+
+class Vm {
+public:
+  /// \p OnError receives each fault message; the host wires it to the
+  /// interpreter's first-fault slot so FlixCompiler::interp().hasError()
+  /// observes faults from either engine. May be invoked concurrently.
+  Vm(VmModule &M, ValueFactory &F,
+     std::function<void(const std::string &)> OnError)
+      : M(M), F(F), OnError(std::move(OnError)) {}
+  Vm(const Vm &) = delete;
+  Vm &operator=(const Vm &) = delete;
+
+  /// Calls compiled function \p FnIx. Thread-safe; returns Unit after
+  /// reporting a fault, like Interp::call.
+  Value call(uint32_t FnIx, std::span<const Value> Args);
+
+  /// Fills the native slot registered under \p Name, if the compiled
+  /// module references it. Call before solving (not thread-safe against
+  /// concurrent call()).
+  void registerNative(const std::string &Name,
+                      std::function<Value(ValueFactory &,
+                                          std::span<const Value>)>
+                          Fn);
+
+  /// Cumulative top-level VM invocations (not inner CallFn frames).
+  uint64_t calls() const { return Calls.load(std::memory_order_relaxed); }
+  /// Cumulative inline-cache hits across tag-dispatch and tuple-check
+  /// sites.
+  uint64_t icHits() const { return IcHits.load(std::memory_order_relaxed); }
+
+  /// Same recursion budget as the interpreter, so the two engines
+  /// overflow on identical inputs with identical diagnostics.
+  static constexpr unsigned MaxCallDepth = 512;
+
+private:
+  struct ExecState;
+
+  Value run(const VmFunction &Fn, Value *Regs, ExecState &St);
+  Value fault(ExecState &St, std::string Msg);
+
+  /// The module is structurally immutable during execution; only the
+  /// inline-cache words and native slots mutate, hence the non-const
+  /// reference.
+  VmModule &M;
+  ValueFactory &F;
+  std::function<void(const std::string &)> OnError;
+  mutable std::mutex ErrMu; ///< serializes OnError (first fault wins)
+
+  std::atomic<uint64_t> Calls{0};
+  std::atomic<uint64_t> IcHits{0};
+};
+
+} // namespace flix::vm
+
+#endif // FLIX_VM_VM_H

@@ -13,6 +13,8 @@
 //   --no-plans         interpret rule bodies recursively instead of
 //                      running compiled join plans
 //   --no-memo          disable the pure-function memo cache
+//   --no-vm            run FLIX functions on the tree-walking
+//                      interpreter instead of the bytecode VM
 //   --reorder          greedily reorder rule bodies
 //   --threads <n>      solve with the parallel engine on <n> worker
 //                      threads (0 = sequential solver, the default)
@@ -79,6 +81,8 @@ static void printUsage() {
       "  --no-plans         disable compiled join plans (recursive "
       "interpreter)\n"
       "  --no-memo          disable the pure-function memo cache\n"
+      "  --no-vm            interpret FLIX functions (disable the bytecode "
+      "VM)\n"
       "  --reorder          greedily reorder rule bodies\n"
       "  --threads <n>      parallel engine with <n> workers (0 = "
       "sequential)\n"
@@ -261,21 +265,28 @@ static const char *statusName(SolveStats::Status St) {
 static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
   std::printf(
       "{\"status\": \"%s\", \"threads\": %u, \"plans\": %s, "
-      "\"memo\": %s, \"iterations\": %llu, \"rule_firings\": %llu, "
+      "\"memo\": %s, \"vm\": %s, \"iterations\": %llu, "
+      "\"rule_firings\": %llu, "
       "\"facts_derived\": %llu, \"plan_steps\": %llu, "
       "\"memo_hits\": %llu, \"memo_misses\": %llu, "
+      "\"vm_calls\": %llu, \"vm_inline_cache_hits\": %llu, "
+      "\"interp_fallbacks\": %llu, "
       "\"index_fallbacks\": %llu, \"fallback_solves\": %llu, "
       "\"negation_fallbacks\": %llu, \"degraded_recoveries\": %llu, "
       "\"seconds\": %.6f, \"memory_bytes\": %llu}\n",
       statusName(St.St), Opts.NumThreads,
       Opts.CompilePlans ? "true" : "false",
       Opts.EnableMemo ? "true" : "false",
+      Opts.UseVm ? "true" : "false",
       static_cast<unsigned long long>(St.Iterations),
       static_cast<unsigned long long>(St.RuleFirings),
       static_cast<unsigned long long>(St.FactsDerived),
       static_cast<unsigned long long>(St.PlanSteps),
       static_cast<unsigned long long>(St.MemoHits),
       static_cast<unsigned long long>(St.MemoMisses),
+      static_cast<unsigned long long>(St.VmCalls),
+      static_cast<unsigned long long>(St.VmInlineCacheHits),
+      static_cast<unsigned long long>(St.InterpFallbacks),
       static_cast<unsigned long long>(St.IndexFallbacks),
       static_cast<unsigned long long>(St.FallbackSolves),
       static_cast<unsigned long long>(St.NegationFallbacks),
@@ -321,6 +332,8 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       "\"rule_firings\": %llu, \"facts_derived\": %llu, "
       "\"full_resolve\": %s, \"fallback_solves\": %llu, "
       "\"negation_fallbacks\": %llu, \"degraded_recoveries\": %llu, "
+      "\"vm_calls\": %llu, \"vm_inline_cache_hits\": %llu, "
+      "\"interp_fallbacks\": %llu, "
       "\"memory_bytes\": %llu, \"cumulative\": {\"updates\": %llu, "
       "\"seconds\": %.6f, \"facts_added\": %llu, "
       "\"facts_retracted\": %llu, \"cells_deleted\": %llu, "
@@ -338,6 +351,9 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       static_cast<unsigned long long>(U.FallbackSolves),
       static_cast<unsigned long long>(U.NegationFallbacks),
       static_cast<unsigned long long>(U.DegradedRecoveries),
+      static_cast<unsigned long long>(U.VmCalls),
+      static_cast<unsigned long long>(U.VmInlineCacheHits),
+      static_cast<unsigned long long>(U.InterpFallbacks),
       static_cast<unsigned long long>(U.MemoryBytes),
       static_cast<unsigned long long>(Cum.Updates), Cum.Seconds,
       static_cast<unsigned long long>(Cum.FactsAdded),
@@ -530,6 +546,8 @@ int main(int Argc, char **Argv) {
       Opts.CompilePlans = false;
     } else if (Arg == "--no-memo") {
       Opts.EnableMemo = false;
+    } else if (Arg == "--no-vm") {
+      Opts.UseVm = false;
     } else if (Arg == "--reorder") {
       Opts.ReorderBody = true;
     } else if (Arg == "--threads") {
@@ -631,6 +649,7 @@ int main(int Argc, char **Argv) {
 
   ValueFactory F;
   FlixCompiler C(F);
+  C.setUseVm(Opts.UseVm);
   if (!C.compile(Buf.str(), InputPath)) {
     std::fprintf(stderr, "%s", C.diagnostics().c_str());
     return 1;
@@ -735,6 +754,12 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(St.MemoHits),
                   static_cast<unsigned long long>(St.MemoMisses),
                   static_cast<unsigned long long>(St.FallbackSolves));
+      std::printf("vm: %s, %llu calls, %llu inline-cache hits, %llu "
+                  "interp fallbacks\n",
+                  Opts.UseVm ? "on" : "off",
+                  static_cast<unsigned long long>(St.VmCalls),
+                  static_cast<unsigned long long>(St.VmInlineCacheHits),
+                  static_cast<unsigned long long>(St.InterpFallbacks));
       if (Opts.NumThreads > 0)
         std::printf("parallel: %u threads, %llu tasks, %llu steals, %llu "
                     "merge collisions, %llu spawned subtasks (max fanout "
