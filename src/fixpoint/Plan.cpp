@@ -1,4 +1,4 @@
-//===- fixpoint/Plan.cpp - Rule plan compilation --------------------------===//
+//===- fixpoint/Plan.cpp - Rule plan compilation and cost model -----------===//
 //
 // Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
 //
@@ -6,7 +6,10 @@
 
 #include "fixpoint/Plan.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 using namespace flix;
 using namespace flix::plan;
@@ -23,20 +26,294 @@ Operand operandOf(const Term &T) {
   return O;
 }
 
-/// Compiles one (rule, driver) plan. \p PreBound marks variables bound
-/// before the body starts (the rederive family's head-key variables).
-/// \p DriverIsDelta selects a StepKind::Driver opening step (delta rounds)
-/// vs a normal access path for the fronted atom (rederive).
+/// The frozen driver-first order (eval::buildOrder) as body indices.
+SmallVector<uint32_t, 8> defaultOrder(const Rule &R, int Driver) {
+  SmallVector<uint32_t, 8> O;
+  if (Driver >= 0)
+    O.push_back(static_cast<uint32_t>(Driver));
+  for (uint32_t I = 0; I < R.Body.size(); ++I)
+    if (static_cast<int>(I) != Driver)
+      O.push_back(I);
+  return O;
+}
+
+bool sameOrder(std::span<const uint32_t> A, std::span<const uint32_t> B) {
+  return A.size() == B.size() && std::equal(A.begin(), A.end(), B.begin());
+}
+
+//===----------------------------------------------------------------------===//
+// Cost-model helpers: order validity, boundness evolution, per-element
+// estimates. The boundness rules are the same ones the compiler simulates
+// (positive atoms bind all their variable terms including the lattice
+// column, binder patterns bind, filters and negations bind nothing), so an
+// order the chooser accepts is exactly an order the compiler can compile.
+//===----------------------------------------------------------------------===//
+
+/// True if \p E can run once the variables in \p BoundVar are bound:
+/// filters and binders need their arguments ground, negated atoms their
+/// key terms; positive atoms can always run (via scan at worst). The
+/// original body order is always a valid placement witness (validation
+/// checked groundness along it), so a chooser that always considers the
+/// earliest unplaced element can never wedge.
+bool placeableElem(const BodyElem &E, const std::vector<bool> &BoundVar) {
+  auto ArgsBound = [&](const auto &Terms) {
+    for (const Term &T : Terms)
+      if (T.isVar() && !BoundVar[T.Variable])
+        return false;
+    return true;
+  };
+  if (const auto *Fl = std::get_if<BodyFilter>(&E))
+    return ArgsBound(Fl->Args);
+  if (const auto *B = std::get_if<BodyBinder>(&E))
+    return ArgsBound(B->Args);
+  const auto &A = std::get<BodyAtom>(E);
+  if (A.Negated)
+    return ArgsBound(A.Terms);
+  return true;
+}
+
+/// Marks the variables \p E binds.
+void bindElem(const BodyElem &E, std::vector<bool> &BoundVar) {
+  if (std::get_if<BodyFilter>(&E))
+    return;
+  if (const auto *B = std::get_if<BodyBinder>(&E)) {
+    for (VarId V : B->Pattern)
+      BoundVar[V] = true;
+    return;
+  }
+  const auto &A = std::get<BodyAtom>(E);
+  if (A.Negated)
+    return;
+  for (const Term &T : A.Terms)
+    if (T.isVar())
+      BoundVar[T.Variable] = true;
+}
+
+/// Cost/fanout of one body element under \p BoundVar. Driver openings are
+/// handled by the caller (their fanout — the delta size — scales every
+/// candidate order of the same (rule, driver) equally, so it cancels).
+AccessEstimate elemEstimate(const Program &P, const BodyElem &E,
+                            const std::vector<bool> &BoundVar,
+                            const StatsVec &Stats, bool UseIndexes) {
+  if (std::get_if<BodyFilter>(&E))
+    return {0.5, 1.0}; // one extern call; only ever prunes
+  if (std::get_if<BodyBinder>(&E))
+    return {4.0, 4.0}; // returned set size is unknowable: small constant
+  const auto &A = std::get<BodyAtom>(E);
+  if (A.Negated)
+    return {1.0, 1.0}; // one primary lookup; passes or fails
+  unsigned KA = P.predicate(A.Pred).keyArity();
+  uint64_t Mask = 0;
+  for (unsigned I = 0; I < KA; ++I) {
+    const Term &Tm = A.Terms[I];
+    if (!Tm.isVar() || BoundVar[Tm.Variable])
+      Mask |= uint64_t(1) << I;
+  }
+  uint64_t Full = KA == 0 ? 0 : (uint64_t(1) << KA) - 1;
+  static const PredStats Empty;
+  const PredStats &St = A.Pred < Stats.size() ? Stats[A.Pred] : Empty;
+  return estimateAccess(St, Mask, Full, UseIndexes);
+}
+
+/// Cost and expected full-match rows of one complete order (Cost = total
+/// step cost, Fanout = product of fanouts = estimated matches).
+AccessEstimate orderEstimate(const Program &P, const Rule &R, int Driver,
+                             bool DriverIsDelta,
+                             std::span<const uint32_t> BodyOrder,
+                             const StatsVec &Stats, bool UseIndexes,
+                             const std::vector<bool> &PreBound) {
+  std::vector<bool> BoundVar = PreBound;
+  BoundVar.resize(R.NumVars, false);
+  double Cost = 0, Mult = 1;
+  for (size_t Pos = 0; Pos < BodyOrder.size(); ++Pos) {
+    const BodyElem &E = R.Body[BodyOrder[Pos]];
+    if (Pos == 0 && Driver >= 0 && DriverIsDelta) {
+      bindElem(E, BoundVar); // delta driver: normalized to fanout 1
+      continue;
+    }
+    AccessEstimate A = elemEstimate(P, E, BoundVar, Stats, UseIndexes);
+    Cost += Mult * A.Cost;
+    Mult *= A.Fanout;
+    bindElem(E, BoundVar);
+  }
+  return {Cost, Mult};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cost model (public surface; unit-tested by PlannerTest on hand-built
+// statistics)
+//===----------------------------------------------------------------------===//
+
+AccessEstimate flix::plan::estimateAccess(const PredStats &St, uint64_t Mask,
+                                          uint64_t Full, bool UseIndexes) {
+  // Optimistic one-row floor: derived predicates are planned before they
+  // hold anything, and a hard zero would zero out every downstream term,
+  // making all orders tie exactly when the initial choose runs.
+  double N = std::max(1.0, St.LiveRows);
+  if (Mask == Full)
+    return {1.0, 1.0}; // primary lookup (covers key arity 0)
+  if (Mask == 0 || !UseIndexes)
+    return {N, N}; // full scan: every row is a candidate
+  if (const Table::IndexStats *IS = St.forMask(Mask)) {
+    // Average bucket size of the existing index: distinct projected keys
+    // are exactly the bucket count the table maintains.
+    double Avg = N / static_cast<double>(std::max<size_t>(IS->Buckets, 1));
+    return {std::max(1.0, Avg), Avg};
+  }
+  // No index (yet) for this mask: assume each bound column cuts the
+  // candidate set by ~sqrt(N). Selective enough that probing a large
+  // relation on a bound key beats scanning it (the old fixed 10% guess
+  // made a 20k-row probe look like a 2k-row fanout, drowning real
+  // wins), pessimistic enough that a measured index beats the guess.
+  double Est = N;
+  for (uint64_t M = Mask; M; M &= M - 1)
+    Est /= std::sqrt(N);
+  return {std::max(1.0, Est), Est};
+}
+
+void flix::plan::gatherStats(std::span<const std::unique_ptr<Table>> Tables,
+                             StatsVec &Out) {
+  Out.clear();
+  Out.resize(Tables.size());
+  for (size_t I = 0; I < Tables.size(); ++I) {
+    if (!Tables[I])
+      continue;
+    Out[I].LiveRows = static_cast<double>(Tables[I]->liveSize());
+    std::vector<Table::IndexStats> Idx;
+    Tables[I]->collectIndexStats(Idx);
+    for (const Table::IndexStats &S : Idx)
+      Out[I].Indexes.push_back(S);
+  }
+}
+
+double flix::plan::orderCost(const Program &P, const Rule &R, int Driver,
+                             bool DriverIsDelta,
+                             std::span<const uint32_t> BodyOrder,
+                             const StatsVec &Stats, bool UseIndexes,
+                             const std::vector<bool> &PreBound) {
+  return orderEstimate(P, R, Driver, DriverIsDelta, BodyOrder, Stats,
+                       UseIndexes, PreBound)
+      .Cost;
+}
+
+SmallVector<uint32_t, 8> flix::plan::chooseOrder(
+    const Program &P, const Rule &R, int Driver, bool DriverIsDelta,
+    const StatsVec &Stats, bool UseIndexes,
+    const std::vector<bool> &PreBound) {
+  SmallVector<uint32_t, 8> Free;
+  for (uint32_t I = 0; I < R.Body.size(); ++I)
+    if (static_cast<int>(I) != Driver)
+      Free.push_back(I);
+
+  std::vector<bool> BoundVar = PreBound;
+  BoundVar.resize(R.NumVars, false);
+
+  SmallVector<uint32_t, 8> Order;
+  double Cost0 = 0, Mult0 = 1;
+  if (Driver >= 0) {
+    Order.push_back(static_cast<uint32_t>(Driver));
+    if (!DriverIsDelta) {
+      // Rederive family: the fronted atom opens with a real access path.
+      AccessEstimate A =
+          elemEstimate(P, R.Body[Driver], BoundVar, Stats, UseIndexes);
+      Cost0 = A.Cost;
+      Mult0 = A.Fanout;
+    }
+    bindElem(R.Body[Driver], BoundVar);
+  }
+
+  if (Free.size() > 6) {
+    // Large body: greedy min-fanout (smallest intermediate result first),
+    // cost then body index as tie-breaks. Strict < keeps the lowest body
+    // index on equal statistics, so the choice is deterministic.
+    std::vector<bool> Used(Free.size(), false);
+    for (size_t Left = Free.size(); Left > 0; --Left) {
+      size_t BestI = SIZE_MAX;
+      AccessEstimate BestA{0, 0};
+      for (size_t I = 0; I < Free.size(); ++I) {
+        if (Used[I])
+          continue;
+        const BodyElem &E = R.Body[Free[I]];
+        if (!placeableElem(E, BoundVar))
+          continue;
+        AccessEstimate A = elemEstimate(P, E, BoundVar, Stats, UseIndexes);
+        if (BestI == SIZE_MAX || A.Fanout < BestA.Fanout ||
+            (A.Fanout == BestA.Fanout && A.Cost < BestA.Cost)) {
+          BestI = I;
+          BestA = A;
+        }
+      }
+      assert(BestI != SIZE_MAX && "no placeable element; validation missed "
+                                  "an unbound filter/binder/negation");
+      Used[BestI] = true;
+      Order.push_back(Free[BestI]);
+      bindElem(R.Body[Free[BestI]], BoundVar);
+    }
+    return Order;
+  }
+
+  // Small body: branch-and-bound over every valid interleaving. DFS visits
+  // candidates in ascending body index and only strict improvements
+  // replace the incumbent, so among cost-ties the lexicographically
+  // smallest order wins — deterministic for equal statistics.
+  SmallVector<uint32_t, 8> Best;
+  double BestCost = std::numeric_limits<double>::infinity();
+  SmallVector<uint32_t, 8> Cur = Order;
+  std::vector<bool> Used(Free.size(), false);
+  auto Rec = [&](auto &&Self, double Cost, double Mult,
+                 std::vector<bool> &BV, size_t Placed) -> void {
+    if (Cost >= BestCost)
+      return; // cost only grows along a prefix
+    if (Placed == Free.size()) {
+      BestCost = Cost;
+      Best = Cur;
+      return;
+    }
+    for (size_t I = 0; I < Free.size(); ++I) {
+      if (Used[I])
+        continue;
+      const BodyElem &E = R.Body[Free[I]];
+      if (!placeableElem(E, BV))
+        continue;
+      AccessEstimate A = elemEstimate(P, E, BV, Stats, UseIndexes);
+      std::vector<bool> BV2 = BV;
+      bindElem(E, BV2);
+      Used[I] = true;
+      Cur.push_back(Free[I]);
+      Self(Self, Cost + Mult * A.Cost, Mult * A.Fanout, BV2, Placed + 1);
+      Cur.pop_back();
+      Used[I] = false;
+    }
+  };
+  Rec(Rec, Cost0, Mult0, BoundVar, 0);
+  assert(Best.size() == R.Body.size() && "no valid order found");
+  return Best;
+}
+
+namespace {
+
+/// Compiles one (rule, driver) plan along \p OrderIdx (body indices; the
+/// driver element first when Driver >= 0). \p PreBound marks variables
+/// bound before the body starts (the rederive family's head-key
+/// variables). \p DriverIsDelta selects a StepKind::Driver opening step
+/// (delta rounds) vs a normal access path for the fronted atom (rederive).
 ///
 /// Boundness is simulated exactly as the legacy recursive walk (and the
-/// parallel/incremental index analyses) evolve it: positive atoms bind all
-/// their variable terms including the lattice column, binder patterns
-/// bind, negated atoms and filters bind nothing. Along a fixed order that
+/// static index analyses) evolve it: positive atoms bind all their
+/// variable terms including the lattice column, binder patterns bind,
+/// negated atoms and filters bind nothing. Along a fixed order that
 /// simulation is exact, so every runtime Bound[] check of the legacy walk
-/// becomes a compile-time ColOp/LatOp choice.
+/// becomes a compile-time ColOp/LatOp choice. Any order in which filters,
+/// binders and negations run only after their arguments are bound
+/// compiles to an equivalent plan: ⊔-confluence (§3.7) makes the fixpoint
+/// independent of join order, which is what the plan-equivalence harness
+/// (PlanDifferentialTest) checks end to end.
 RulePlan compilePlan(const Program &P, const Rule &R, uint32_t RuleIdx,
                      int Driver, const std::vector<bool> &PreBound,
-                     bool DriverIsDelta, bool UseIndexes) {
+                     bool DriverIsDelta, bool UseIndexes,
+                     std::span<const uint32_t> OrderIdx) {
   RulePlan Pl;
   Pl.RuleIdx = RuleIdx;
   Pl.Driver = Driver;
@@ -46,15 +323,21 @@ RulePlan compilePlan(const Program &P, const Rule &R, uint32_t RuleIdx,
   std::vector<bool> BoundVar = PreBound;
   BoundVar.resize(R.NumVars, false);
 
+  assert(OrderIdx.size() == R.Body.size() && "order must cover the body");
+  assert((!(Driver >= 0) || OrderIdx[0] == static_cast<uint32_t>(Driver)) &&
+         "driver element must open the order");
   SmallVector<const BodyElem *, 8> Order;
-  eval::buildOrder(R, Driver, Order);
+  for (uint32_t BI : OrderIdx) {
+    Order.push_back(&R.Body[BI]);
+    Pl.BodyOrder.push_back(BI);
+  }
 
   for (size_t Pos = 0; Pos < Order.size(); ++Pos) {
     const BodyElem &E = *Order[Pos];
 
     if (const auto *Fl = std::get_if<BodyFilter>(&E)) {
       // Fuse onto the preceding step: it runs at the same point of the
-      // search tree (after that step's candidate matched), and validation
+      // search tree (after that step's candidate matched), and placement
       // guarantees its arguments are bound there. A leading filter gets a
       // one-shot step of its own.
       Guard G;
@@ -100,7 +383,7 @@ RulePlan compilePlan(const Program &P, const Rule &R, uint32_t RuleIdx,
     unsigned KA = D.keyArity();
 
     if (A.Negated) {
-      // Ground by validation; binds nothing (lockstep with the analyses).
+      // Ground by placement; binds nothing (lockstep with the analyses).
       Step S;
       S.Kind = StepKind::Negation;
       S.Pred = A.Pred;
@@ -208,12 +491,50 @@ RulePlan compilePlan(const Program &P, const Rule &R, uint32_t RuleIdx,
   return Pl;
 }
 
+/// One (rule, driver, family) replan decision: recompiles \p Pl with the
+/// chosen order when its current cost exceeds Threshold × the best
+/// candidate's. Refreshes the stored estimates either way, so the next
+/// check compares against this snapshot.
+bool replanOne(const Program &P, bool UseIndexes, RulePlan &Pl,
+               const Rule &R, uint32_t RuleIdx, int Driver,
+               bool DriverIsDelta, const std::vector<bool> &PreBound,
+               const StatsVec &Stats, double Threshold) {
+  SmallVector<uint32_t, 8> Best = chooseOrder(
+      P, R, Driver, DriverIsDelta, Stats, UseIndexes, PreBound);
+  std::span<const uint32_t> BestView(Best.data(), Best.size());
+  std::span<const uint32_t> CurView(Pl.BodyOrder.data(),
+                                    Pl.BodyOrder.size());
+  AccessEstimate CurE = orderEstimate(P, R, Driver, DriverIsDelta, CurView,
+                                      Stats, UseIndexes, PreBound);
+  if (sameOrder(BestView, CurView)) {
+    Pl.EstCost = CurE.Cost;
+    Pl.EstRows = CurE.Fanout;
+    return false;
+  }
+  AccessEstimate BestE = orderEstimate(P, R, Driver, DriverIsDelta,
+                                       BestView, Stats, UseIndexes, PreBound);
+  // Hysteresis: keep the current plan unless it is Threshold× worse than
+  // the best candidate (1e-9 guards float ties).
+  if (CurE.Cost <= Threshold * BestE.Cost + 1e-9) {
+    Pl.EstCost = CurE.Cost;
+    Pl.EstRows = CurE.Fanout;
+    return false;
+  }
+  Pl = compilePlan(P, R, RuleIdx, Driver, PreBound, DriverIsDelta,
+                   UseIndexes, BestView);
+  Pl.EstCost = BestE.Cost;
+  Pl.EstRows = BestE.Fanout;
+  return true;
+}
+
 } // namespace
 
 PlanLibrary::PlanLibrary(const Program &P, const std::vector<Rule> &Prepared,
-                         bool UseIndexes) {
+                         bool UseIndexes)
+    : Prog(&P), Rules(&Prepared), UseIndexes(UseIndexes) {
   Normal.resize(Prepared.size());
   HeadBound.resize(Prepared.size());
+  HeadVarsByRule.resize(Prepared.size());
   for (uint32_t RI = 0; RI < Prepared.size(); ++RI) {
     const Rule &R = Prepared[RI];
     Normal[RI].resize(R.Body.size() + 1);
@@ -223,7 +544,8 @@ PlanLibrary::PlanLibrary(const Program &P, const std::vector<Rule> &Prepared,
     // grounds. For relational heads the key includes the last column
     // (unless it is function-computed, which cannot be inverted).
     std::vector<bool> NoBound;
-    std::vector<bool> HeadVars(R.NumVars, false);
+    std::vector<bool> &HeadVars = HeadVarsByRule[RI];
+    HeadVars.assign(R.NumVars, false);
     for (const Term &T : R.Head.KeyTerms)
       if (T.isVar())
         HeadVars[T.Variable] = true;
@@ -240,11 +562,91 @@ PlanLibrary::PlanLibrary(const Program &P, const std::vector<Rule> &Prepared,
       }
       RulePlan &N = Normal[RI][static_cast<size_t>(Driver + 1)];
       RulePlan &HB = HeadBound[RI][static_cast<size_t>(Driver + 1)];
+      SmallVector<uint32_t, 8> Def = defaultOrder(R, Driver);
+      std::span<const uint32_t> DefView(Def.data(), Def.size());
       N = compilePlan(P, R, RI, Driver, NoBound,
-                      /*DriverIsDelta=*/Driver >= 0, UseIndexes);
+                      /*DriverIsDelta=*/Driver >= 0, UseIndexes, DefView);
       HB = compilePlan(P, R, RI, Driver, HeadVars,
-                       /*DriverIsDelta=*/false, UseIndexes);
+                       /*DriverIsDelta=*/false, UseIndexes, DefView);
       TotalSteps += N.Steps.size() + HB.Steps.size();
     }
+  }
+}
+
+PlanLibrary::ReplanResult
+PlanLibrary::replanFromStats(const StatsVec &Stats, double Threshold) {
+  ReplanResult Res;
+  // Drift between this snapshot and the previous one: how far the shapes
+  // the current plans were estimated against have moved
+  // (SolveStats::EstimatedVsActualRows).
+  double Div = 0;
+  for (size_t I = 0; I < Stats.size(); ++I) {
+    double Prev = I < LastStats.size() ? LastStats[I].LiveRows : 0.0;
+    Div += std::fabs(Stats[I].LiveRows - Prev);
+  }
+  Res.RowsDivergence = static_cast<uint64_t>(Div);
+  LastStats = Stats;
+
+  static const std::vector<bool> NoBound;
+  for (uint32_t RI = 0; RI < Rules->size(); ++RI) {
+    const Rule &R = (*Rules)[RI];
+    for (int Driver = -1; Driver < static_cast<int>(R.Body.size());
+         ++Driver) {
+      RulePlan &N = Normal[RI][static_cast<size_t>(Driver + 1)];
+      if (!N.Valid)
+        continue;
+      RulePlan &HB = HeadBound[RI][static_cast<size_t>(Driver + 1)];
+      bool Changed =
+          replanOne(*Prog, UseIndexes, N, R, RI, Driver,
+                    /*DriverIsDelta=*/Driver >= 0, NoBound, Stats, Threshold);
+      Changed |= replanOne(*Prog, UseIndexes, HB, R, RI, Driver,
+                           /*DriverIsDelta=*/false, HeadVarsByRule[RI],
+                           Stats, Threshold);
+      Res.Replanned += Changed;
+    }
+  }
+  if (Res.Replanned)
+    recountDerived();
+  return Res;
+}
+
+void PlanLibrary::recountDerived() {
+  TotalSteps = 0;
+  CostBased = 0;
+  for (uint32_t RI = 0; RI < Normal.size(); ++RI) {
+    const Rule &R = (*Rules)[RI];
+    for (size_t D = 0; D < Normal[RI].size(); ++D) {
+      const RulePlan &N = Normal[RI][D];
+      if (!N.Valid)
+        continue;
+      const RulePlan &HB = HeadBound[RI][D];
+      TotalSteps += N.Steps.size() + HB.Steps.size();
+      SmallVector<uint32_t, 8> Def =
+          defaultOrder(R, static_cast<int>(D) - 1);
+      std::span<const uint32_t> DefView(Def.data(), Def.size());
+      if (!sameOrder({N.BodyOrder.data(), N.BodyOrder.size()}, DefView) ||
+          !sameOrder({HB.BodyOrder.data(), HB.BodyOrder.size()}, DefView))
+        ++CostBased;
+    }
+  }
+}
+
+void PlanLibrary::wantedIndexes(
+    std::vector<std::vector<uint64_t>> &MasksByPred) const {
+  auto Collect = [&](const std::vector<std::vector<RulePlan>> &Family) {
+    for (const std::vector<RulePlan> &PerRule : Family)
+      for (const RulePlan &Pl : PerRule) {
+        if (!Pl.Valid)
+          continue;
+        for (const Step &S : Pl.Steps)
+          if (S.Kind == StepKind::Probe)
+            MasksByPred[S.Pred].push_back(S.Mask);
+      }
+  };
+  Collect(Normal);
+  Collect(HeadBound);
+  for (std::vector<uint64_t> &Masks : MasksByPred) {
+    std::sort(Masks.begin(), Masks.end());
+    Masks.erase(std::unique(Masks.begin(), Masks.end()), Masks.end());
   }
 }

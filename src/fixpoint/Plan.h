@@ -48,6 +48,7 @@
 
 #include <array>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -160,7 +161,78 @@ struct RulePlan {
   uint32_t NumVars = 0;
   SmallVector<Step, 8> Steps;
   HeadPlan Head;
+  /// Body-element evaluation order this plan was compiled with, as body
+  /// indices (the driver element first when Driver >= 0). The frozen
+  /// driver-first order at construction; replanFromStats may replace it.
+  SmallVector<uint32_t, 8> BodyOrder;
+  /// Cost-model estimates recorded at the last (re)plan: total step cost
+  /// and expected full-match rows. Fed back into SolveStats as
+  /// EstimatedVsActualRows drift at the next adaptive check.
+  double EstCost = 0;
+  double EstRows = 0;
 };
+
+//===----------------------------------------------------------------------===//
+// Cost model
+//===----------------------------------------------------------------------===//
+
+/// Per-predicate statistics snapshot the cost model plans against: the
+/// live row count plus the cheap per-index statistics the tables maintain
+/// (bucket counts ≈ distinct projected keys, max bucket size). Gathered at
+/// solve start and between semi-naive rounds; never during an eval phase.
+struct PredStats {
+  double LiveRows = 0;
+  SmallVector<Table::IndexStats, 4> Indexes;
+  const Table::IndexStats *forMask(uint64_t Mask) const {
+    for (const Table::IndexStats &S : Indexes)
+      if (S.Mask == Mask)
+        return &S;
+    return nullptr;
+  }
+};
+using StatsVec = std::vector<PredStats>;
+
+/// Snapshots \p Tables (indexed by PredId) into \p Out.
+void gatherStats(std::span<const std::unique_ptr<Table>> Tables,
+                 StatsVec &Out);
+
+/// Cost/cardinality estimate of one table access: \p Cost is rows touched
+/// to produce the matches, \p Fanout the expected number of matches (the
+/// multiplier applied to every later step).
+struct AccessEstimate {
+  double Cost;
+  double Fanout;
+};
+
+/// Estimates accessing a predicate with \p Mask of its \p Full key columns
+/// bound. Fully bound => primary lookup (cost 1, ≤1 row). Partially bound
+/// with an existing index => average bucket size (LiveRows / buckets).
+/// Partially bound without statistics => each bound column is assumed
+/// ~10× selective. Unbound (or indexes disabled) => full scan.
+AccessEstimate estimateAccess(const PredStats &St, uint64_t Mask,
+                              uint64_t Full, bool UseIndexes);
+
+/// Total estimated cost of evaluating \p R's body in \p BodyOrder (body
+/// indices): Σ over steps of (product of preceding fanouts) × step cost.
+/// When \p Driver >= 0 and \p DriverIsDelta, the fronted driver element
+/// contributes fanout 1 — delta size scales all candidate orders of the
+/// same (rule, driver) equally, so it cancels in comparisons. \p PreBound
+/// marks variables bound before the body starts (rederive plans).
+double orderCost(const Program &P, const Rule &R, int Driver,
+                 bool DriverIsDelta, std::span<const uint32_t> BodyOrder,
+                 const StatsVec &Stats, bool UseIndexes,
+                 const std::vector<bool> &PreBound);
+
+/// Chooses a minimal-cost valid evaluation order for (\p R, \p Driver):
+/// branch-and-bound over all valid interleavings for small bodies,
+/// greedy min-fanout otherwise. The driver element is always first;
+/// filters/binders/negations are only placed once their arguments are
+/// bound. Deterministic: ties break toward the lowest body index, so
+/// equal statistics always reproduce the same order.
+SmallVector<uint32_t, 8> chooseOrder(const Program &P, const Rule &R,
+                                     int Driver, bool DriverIsDelta,
+                                     const StatsVec &Stats, bool UseIndexes,
+                                     const std::vector<bool> &PreBound);
 
 /// Compiles and owns the plans of one prepared rule set. Two families:
 ///
@@ -198,10 +270,52 @@ public:
   /// (SolveStats::PlanSteps).
   uint64_t totalSteps() const { return TotalSteps; }
 
+  /// Outcome of one replanFromStats call: (rule, driver) pairs whose plans
+  /// were recompiled, and the total live-row drift between this statistics
+  /// snapshot and the previous one (SolveStats::EstimatedVsActualRows).
+  struct ReplanResult {
+    unsigned Replanned = 0;
+    uint64_t RowsDivergence = 0;
+  };
+
+  /// Re-evaluates every (rule, driver) pair of both families against
+  /// \p Stats: a pair is recompiled with the cost model's chosen order
+  /// when its current order's estimated cost exceeds \p Threshold × the
+  /// best candidate's (so Threshold 1.0 adopts any strict improvement —
+  /// the initial cost-based choose — and larger thresholds add hysteresis
+  /// for the adaptive between-round checks). Single-threaded callers only:
+  /// plans are replaced in place at round boundaries, never during an eval
+  /// phase.
+  ReplanResult replanFromStats(const StatsVec &Stats, double Threshold);
+
+  /// (rule, driver) pairs whose current order differs from the frozen
+  /// driver-first order (SolveStats::CostBasedPlans).
+  unsigned costBasedPlans() const { return CostBased; }
+
+  /// Appends, per predicate, the bound-column masks of every Probe step in
+  /// any compiled plan of either family (sorted, deduplicated). Because it
+  /// reads the *compiled* plans rather than re-simulating an assumed
+  /// order, it stays correct for any cost-chosen order — the static index
+  /// analyses build exactly these masks, so StrictIndexCoverage cannot
+  /// trip on a reordered plan. \p MasksByPred must be sized to the
+  /// program's predicate count.
+  void wantedIndexes(std::vector<std::vector<uint64_t>> &MasksByPred) const;
+
 private:
+  void recountDerived();
+
+  const Program *Prog = nullptr;
+  const std::vector<Rule> *Rules = nullptr;
+  bool UseIndexes = true;
   std::vector<std::vector<RulePlan>> Normal;
   std::vector<std::vector<RulePlan>> HeadBound;
+  /// Per-rule pre-bound variable sets of the rederive family.
+  std::vector<std::vector<bool>> HeadVarsByRule;
+  /// Statistics snapshot of the last replanFromStats call (divergence
+  /// baseline).
+  StatsVec LastStats;
   uint64_t TotalSteps = 0;
+  unsigned CostBased = 0;
 };
 
 //===----------------------------------------------------------------------===//

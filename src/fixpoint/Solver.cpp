@@ -754,6 +754,20 @@ size_t Solver::memoryFootprint() const {
   return Bytes;
 }
 
+bool Solver::replanPlans(double Threshold, bool CountEvents) {
+  if (!Plans || !Opts.CostBasedPlans)
+    return false;
+  plan::StatsVec St;
+  plan::gatherStats({Tables.data(), Tables.size()}, St);
+  plan::PlanLibrary::ReplanResult R = Plans->replanFromStats(St, Threshold);
+  if (CountEvents) {
+    Stats.ReplanEvents += R.Replanned;
+    Stats.EstimatedVsActualRows += R.RowsDivergence;
+  }
+  Stats.CostBasedPlans = Plans->costBasedPlans();
+  return R.Replanned != 0;
+}
+
 void Solver::loadFacts() {
   const std::vector<Fact> &Facts = FactsOverride ? *FactsOverride
                                                  : P.facts();
@@ -804,6 +818,10 @@ SolveStats Solver::solve() {
   const Stratification &St = *Strata;
 
   loadFacts();
+  // Initial cost-based order choice: plans were compiled against empty
+  // tables, so the first useful statistics exist only now. Threshold 1.0
+  // adopts any strict improvement; not counted as an adaptive replan.
+  replanPlans(1.0, /*CountEvents=*/false);
 
   for (uint32_t S = 0; S < St.numStrata() && !Aborted; ++S) {
     const std::vector<uint32_t> &RuleIds = St.RulesByStratum[S];
@@ -862,6 +880,12 @@ SolveStats Solver::solve() {
         Stats.St = SolveStats::Status::IterationLimit;
         return finish();
       }
+      // Adaptive re-plan at the round boundary: single-threaded here, and
+      // no evaluation is in flight, so swapping plans is safe. The
+      // sequential engine probes via Table::probe (lazy index build), so a
+      // new mask needs no pre-building.
+      if (Opts.ReplanThreshold > 0)
+        replanPlans(Opts.ReplanThreshold, /*CountEvents=*/true);
       for (uint32_t RI : RuleIds) {
         const Rule &R = Prepared[RI];
         CurRuleIndex = RI;

@@ -109,6 +109,20 @@ struct SolverOptions {
   /// (differentially tested); off is the interpreter ablation
   /// (flixc --no-vm).
   bool UseVm = true;
+  /// Choose join orders with the statistics-driven cost model
+  /// (plan::chooseOrder) once facts are loaded, instead of freezing the
+  /// driver-first order at compile time. Identical minimal model either
+  /// way (⊔-confluence, checked by PlanDifferentialTest); off is the
+  /// frozen-greedy ablation (flixc --no-cost-plans). Only meaningful with
+  /// CompilePlans.
+  bool CostBasedPlans = true;
+  /// Adaptive re-planning (CostBasedPlans only): between semi-naive
+  /// rounds, re-plan any (rule, driver) whose current order's estimated
+  /// cost exceeds this factor × the best candidate's under fresh table
+  /// statistics. <= 0 disables the between-round checks (initial
+  /// cost-based choice only). The default keeps enough hysteresis that
+  /// uniform workloads never flip plans mid-solve.
+  double ReplanThreshold = 4.0;
 };
 
 /// A cell addressed as (predicate, row id) — the node type of the
@@ -156,6 +170,19 @@ struct SolveStats {
   // Plan/memo counters (SolverOptions::CompilePlans / EnableMemo).
   uint64_t PlanSteps = 0;  ///< compiled plan steps over all (rule, driver)
                            ///< plans (0 when plans are disabled)
+  // Cost-based planner counters (SolverOptions::CostBasedPlans).
+  uint64_t CostBasedPlans = 0; ///< (rule, driver) pairs whose current
+                               ///< order differs from the frozen
+                               ///< driver-first order
+  uint64_t ReplanEvents = 0;   ///< (rule, driver) pairs re-planned by the
+                               ///< adaptive between-round checks (the
+                               ///< initial cost-based choice not counted)
+  /// Cumulative live-row drift between consecutive planner statistics
+  /// snapshots (Σ per-predicate |rows now − rows at last plan|): how far
+  /// the observed delta shapes moved from what the current plans were
+  /// estimated against. Large values with ReplanEvents == 0 mean the
+  /// hysteresis threshold absorbed the drift.
+  uint64_t EstimatedVsActualRows = 0;
   /// Incremental-engine escape hatches taken so far: update() batches
   /// that fell back to a from-scratch solve. Always the sum of the two
   /// reason counters below; kept as the headline total operators already
@@ -308,6 +335,17 @@ private:
   /// + indexes, provenance, the support index, and the memo cache. Also
   /// used by the incremental engine's per-update stats.
   size_t memoryFootprint() const;
+  /// Cost-based (re)planning: snapshots table statistics and re-plans via
+  /// PlanLibrary::replanFromStats. \p Threshold 1.0 adopts any strict
+  /// improvement (the initial post-loadFacts choice); larger values are
+  /// the adaptive between-round hysteresis. \p CountEvents selects
+  /// whether replans land in SolveStats::ReplanEvents (adaptive checks
+  /// only). No-op unless plans are compiled and CostBasedPlans is set.
+  /// Called only at single-threaded points (solve start, round
+  /// boundaries) — also by the incremental engine between delta rounds.
+  /// Returns true if any plan changed (the incremental engine then
+  /// refreshes its workers' pre-built indexes).
+  bool replanPlans(double Threshold, bool CountEvents);
 
   const Program &P;
   SolverOptions Opts;

@@ -8,6 +8,7 @@
 
 #include "support/SmallVector.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace flix;
@@ -29,6 +30,7 @@ void Table::Index::add(Value Proj, uint32_t Id) {
   B.push_back(Id);
   if (B.capacity() != OldCap)
     Bytes += (B.capacity() - OldCap) * sizeof(uint32_t);
+  MaxBucket = std::max(MaxBucket, B.size());
 }
 
 Table::JoinResult Table::join(Value KeyTuple, Value LatVal) {
@@ -144,8 +146,31 @@ void Table::buildIndexFromPartials(uint64_t Mask,
       B.insert(B.end(), Ids.begin(), Ids.end());
       if (B.capacity() != OldCap)
         Ix->Bytes += (B.capacity() - OldCap) * sizeof(uint32_t);
+      Ix->MaxBucket = std::max(Ix->MaxBucket, B.size());
     }
   }
+}
+
+bool Table::hasIndex(uint64_t Mask) const {
+  for (const Index &Ix : Indexes)
+    if (Ix.Mask == Mask)
+      return true;
+  return false;
+}
+
+bool Table::indexStats(uint64_t Mask, IndexStats &Out) const {
+  for (const Index &Ix : Indexes) {
+    if (Ix.Mask != Mask)
+      continue;
+    Out = {Ix.Mask, Ix.Buckets.size(), Ix.MaxBucket};
+    return true;
+  }
+  return false;
+}
+
+void Table::collectIndexStats(std::vector<IndexStats> &Out) const {
+  for (const Index &Ix : Indexes)
+    Out.push_back({Ix.Mask, Ix.Buckets.size(), Ix.MaxBucket});
 }
 
 const std::vector<uint32_t> &Table::probe(uint64_t BoundMask,

@@ -143,6 +143,27 @@ public:
   /// Number of secondary indexes created so far (for stats/tests).
   size_t numIndexes() const { return Indexes.size(); }
 
+  /// Whether a secondary index (possibly a still-empty reserved slot) on
+  /// \p Mask exists. Used after a re-plan to build only missing indexes.
+  bool hasIndex(uint64_t Mask) const;
+
+  /// Cheap maintained statistics of one secondary index, read by the
+  /// cost-based planner (Plan.cpp): the number of distinct projected keys
+  /// and the largest bucket's row count. Both are maintained by add() and
+  /// the partial-merge builder, so reading them costs nothing.
+  struct IndexStats {
+    uint64_t Mask;
+    size_t Buckets;   ///< distinct projected keys (bucket count)
+    size_t MaxBucket; ///< rows in the largest bucket
+  };
+
+  /// Statistics for the index on \p Mask, or false if no such index
+  /// exists yet (the planner then falls back to an arity-based guess).
+  bool indexStats(uint64_t Mask, IndexStats &Out) const;
+
+  /// Appends statistics for every existing secondary index to \p Out.
+  void collectIndexStats(std::vector<IndexStats> &Out) const;
+
   /// Approximate heap bytes used by rows and indexes. Index cost is
   /// tracked at bucket-vector granularity including unused capacity from
   /// growth, so the estimate no longer drifts low as buckets grow.
@@ -155,6 +176,9 @@ private:
     /// Capacity-aware byte estimate of this index's buckets (vector
     /// capacity + per-bucket map-node overhead), maintained by add().
     size_t Bytes = 0;
+    /// Rows in the largest bucket, maintained by add() and the
+    /// partial-merge builder; read by indexStats() for the cost model.
+    size_t MaxBucket = 0;
 
     /// Appends \p Id to the bucket of \p Proj, keeping Bytes in sync with
     /// actual vector capacity growth.

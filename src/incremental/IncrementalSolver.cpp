@@ -696,12 +696,23 @@ void IncrementalSolver::fullSolve(UpdateStats &U, Deadline DL) {
     prepareWorkerIndexes();
 }
 
-// Pre-builds every (pred, mask) secondary index the workers' fixed
-// delta-driven evaluation orders can probe, so read-only probeExisting
-// never misses (mirrors ParallelSolver::computeWantedIndexes, restricted
-// to delta drivers — rederive runs sequentially and may build indexes
-// lazily through Table::probe).
+// Pre-builds every (pred, mask) secondary index the workers' delta-driven
+// evaluation orders can probe, so read-only probeExisting never misses.
+// With compiled plans the masks come straight off the plans' Probe steps
+// (both families), which stays correct under any body order the
+// cost-based planner picks — including after a mid-update re-plan. The
+// legacy boundness simulation below covers only the plan-free path
+// (rederive runs sequentially and may build indexes lazily through
+// Table::probe).
 void IncrementalSolver::prepareWorkerIndexes() {
+  if (S->Plans) {
+    std::vector<std::vector<uint64_t>> MasksByPred(S->Tables.size());
+    S->Plans->wantedIndexes(MasksByPred);
+    for (PredId Pred = 0; Pred < MasksByPred.size(); ++Pred)
+      for (uint64_t Mask : MasksByPred[Pred])
+        S->Tables[Pred]->prepareIndex(Mask);
+    return;
+  }
   std::set<std::pair<PredId, uint64_t>> Wanted;
   for (const Rule &R : S->Prepared) {
     SmallVector<int, 8> Drivers;
@@ -997,6 +1008,16 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   if (Parallel)
     ensureParallel();
 
+  // Adaptive re-plan against the batch-mutated tables before derivation
+  // starts: an update stream can drift table shapes far from what the
+  // initial solve planned for. Runs between rounds (no evaluation in
+  // flight); a changed plan may probe new masks, so the workers' indexes
+  // must be refreshed before any parallel round.
+  if (Opts.ReplanThreshold > 0 &&
+      Sol.replanPlans(Opts.ReplanThreshold, /*CountEvents=*/true) &&
+      Parallel && Opts.UseIndexes)
+    prepareWorkerIndexes();
+
   // Keys that net-left a negated predicate's table this update, filled
   // at that predicate's stratum boundary (d) and consumed as insertion
   // deltas for `not P` by every higher stratum's rules (b'). Kept for
@@ -1051,6 +1072,13 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
       if (!AnyDelta)
         break;
       ++Sol.Stats.Iterations;
+      // Round-boundary adaptive re-plan, same contract as the batch
+      // solvers: single-threaded here, and workers re-fetch plans by
+      // (rule, driver) each round, so swapping them in place is safe.
+      if (Opts.ReplanThreshold > 0 &&
+          Sol.replanPlans(Opts.ReplanThreshold, /*CountEvents=*/true) &&
+          Parallel && Opts.UseIndexes)
+        prepareWorkerIndexes();
       if (RuleIds.empty())
         continue; // nothing to fire; the loop drains the delta
       if (Parallel) {
@@ -1149,6 +1177,10 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   U.FactsDerived = Sol.Stats.FactsDerived - Before.FactsDerived;
   U.ParallelTasks = Sol.Stats.ParallelTasks - Before.ParallelTasks;
   U.IndexFallbacks = Sol.Stats.IndexFallbacks - Before.IndexFallbacks;
+  U.ReplanEvents = Sol.Stats.ReplanEvents - Before.ReplanEvents;
+  U.EstimatedVsActualRows =
+      Sol.Stats.EstimatedVsActualRows - Before.EstimatedVsActualRows;
+  U.CostBasedPlans = Sol.Stats.CostBasedPlans; // absolute, not a delta
   U.VmCalls = Sol.Stats.VmCalls - Before.VmCalls;
   U.InterpFallbacks = Sol.Stats.InterpFallbacks - Before.InterpFallbacks;
   U.VmInlineCacheHits = P.vmIcHits() - IcHitsAtUpdateStart;
@@ -1188,8 +1220,10 @@ UpdateStats IncrementalSolver::update(Deadline DL) {
   // Full footprint including provenance, the support index and the memo
   // cache — the components the old tables-only sum under-reported.
   U.MemoryBytes = S->memoryFootprint();
-  if (S->Plans)
+  if (S->Plans) {
     U.PlanSteps = S->Plans->totalSteps();
+    U.CostBasedPlans = S->Plans->costBasedPlans();
+  }
   if (S->Memo) {
     // Cumulative over the inner solver's lifetime (the cache is shared
     // across updates), not per-update deltas.

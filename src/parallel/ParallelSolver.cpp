@@ -733,16 +733,28 @@ ParallelSolver::~ParallelSolver() = default;
 
 /// Workers never create indexes (probeExisting is read-only), so every
 /// index they could profit from must exist before the first eval phase.
-/// With the fixed driver-first body order, the set of bound variables at
-/// each atom position is statically known — simulate every (rule, driver)
-/// order once and collect the resulting (pred, mask) pairs. The
-/// sequential solver instead builds these same indexes lazily on first
-/// probe.
+/// With compiled plans the wanted masks are read straight off the plans'
+/// Probe steps — covering whatever body order the planner chose, now or
+/// after a re-plan. Without plans, the fixed driver-first body order makes
+/// the set of bound variables at each atom position statically known, so
+/// simulate every (rule, driver) order once and collect the resulting
+/// (pred, mask) pairs. The sequential solver instead builds these same
+/// indexes lazily on first probe.
 std::vector<std::pair<PredId, uint64_t>>
 ParallelSolver::computeWantedIndexes() const {
   if (!Opts.UseIndexes)
     return {};
   std::set<std::pair<PredId, uint64_t>> Wanted;
+  if (Plans) {
+    std::vector<std::vector<uint64_t>> MasksByPred(Tables.size());
+    Plans->wantedIndexes(MasksByPred);
+    for (PredId Pred = 0; Pred < MasksByPred.size(); ++Pred)
+      for (uint64_t Mask : MasksByPred[Pred])
+        Wanted.insert({Pred, Mask});
+    for (auto [Pred, Mask] : P.indexHints())
+      Wanted.insert({Pred, Mask});
+    return {Wanted.begin(), Wanted.end()};
+  }
   for (const Rule &R : Prepared) {
     SmallVector<int, 8> Drivers;
     Drivers.push_back(-1);
@@ -803,6 +815,11 @@ ParallelSolver::computeWantedIndexes() const {
 /// rows arrive from merge phases.
 void ParallelSolver::buildStaticIndexes() {
   std::vector<std::pair<PredId, uint64_t>> Wanted = computeWantedIndexes();
+  // On a repeat call (after a re-plan) most indexes already exist —
+  // building one twice would corrupt it, so keep only the missing masks.
+  std::erase_if(Wanted, [&](const std::pair<PredId, uint64_t> &W) {
+    return Tables[W.first]->hasIndex(W.second);
+  });
   if (Wanted.empty())
     return;
 
@@ -866,6 +883,20 @@ void ParallelSolver::buildStaticIndexes() {
   });
 
   Stats.IndexBuildTasks += Scans.size() + Merges.size();
+}
+
+bool ParallelSolver::replanPlans(double Threshold, bool CountEvents) {
+  if (!Plans || !Opts.CostBasedPlans)
+    return false;
+  plan::StatsVec St;
+  plan::gatherStats({Tables.data(), Tables.size()}, St);
+  plan::PlanLibrary::ReplanResult R = Plans->replanFromStats(St, Threshold);
+  if (CountEvents) {
+    Stats.ReplanEvents += R.Replanned;
+    Stats.EstimatedVsActualRows += R.RowsDivergence;
+  }
+  Stats.CostBasedPlans = Plans->costBasedPlans();
+  return R.Replanned != 0;
 }
 
 void ParallelSolver::buildRound0Tasks(const std::vector<uint32_t> &RuleIds) {
@@ -1035,6 +1066,13 @@ SolveStats ParallelSolver::solve() {
     Tables[Fa.Pred]->join(KeyT, Fa.LatValue);
   }
 
+  // Initial cost-based order choice: plans were compiled against empty
+  // tables, so the first useful statistics (fact counts) exist only now.
+  // Must precede buildStaticIndexes so the wanted masks reflect the
+  // chosen orders. Threshold 1.0 adopts any strict improvement; not
+  // counted as an adaptive replan.
+  replanPlans(1.0, /*CountEvents=*/false);
+
   // Fact loading above ran with no secondary indexes to maintain; build
   // them all now, in parallel through the pool.
   buildStaticIndexes();
@@ -1071,6 +1109,14 @@ SolveStats ParallelSolver::solve() {
         Stats.St = SolveStats::Status::IterationLimit;
         return finish();
       }
+      // Adaptive re-plan at the round boundary: the coordinator runs this
+      // between phases, when no worker holds a plan pointer (SubTask
+      // continuations store only (rule, driver, pos) and spawn arenas are
+      // reset after each eval phase). Workers probe via probeExisting, so
+      // any newly wanted mask must be built before the next phase.
+      if (Opts.ReplanThreshold > 0 &&
+          replanPlans(Opts.ReplanThreshold, /*CountEvents=*/true))
+        buildStaticIndexes();
       buildDeltaTasks(RuleIds);
       runEvalPhase();
       runMergePhase();

@@ -108,15 +108,25 @@ private:
 
   struct WorkerCtx;
 
-  /// Simulates every (rule, driver) evaluation order to collect the
-  /// (pred, mask) access paths the workers will probe (plus index hints).
+  /// Collects the (pred, mask) access paths the workers will probe (plus
+  /// index hints). With compiled plans the masks are read off the plans'
+  /// own Probe steps — order-independent by construction, so any body
+  /// order the cost-based planner picks is covered. Without plans, falls
+  /// back to simulating every (rule, driver) driver-first order.
   std::vector<std::pair<PredId, uint64_t>> computeWantedIndexes() const;
   /// Pre-builds those indexes through the pool: per-(pred, row-chunk)
   /// partial scans, then per-(pred, mask) merges via
   /// Table::buildIndexFromPartials. Runs in solve() after fact loading
   /// (the tables are empty before that), replacing the old sequential
-  /// constructor-time build.
+  /// constructor-time build. Safe to call again after a re-plan: indexes
+  /// that already exist are skipped, only newly wanted masks are built.
   void buildStaticIndexes();
+  /// Re-chooses join orders from current table statistics (no-op unless
+  /// CostBasedPlans). Coordinator-only: must run between phases, when no
+  /// worker holds a plan pointer. Returns true if any plan changed, in
+  /// which case the caller must re-run buildStaticIndexes() so workers'
+  /// probeExisting finds every newly wanted mask.
+  bool replanPlans(double Threshold, bool CountEvents);
   void buildRound0Tasks(const std::vector<uint32_t> &RuleIds);
   void buildDeltaTasks(const std::vector<uint32_t> &RuleIds);
   void addChunkedTasks(uint32_t RuleIdx, int32_t Driver,

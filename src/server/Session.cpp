@@ -453,10 +453,14 @@ Json Session::statsJson() {
         Json::integer(int64_t(LastUpdate.VmInlineCacheHits)));
   S.set("interp_fallbacks",
         Json::integer(int64_t(LastUpdate.InterpFallbacks)));
+  S.set("cost_based_plans",
+        Json::integer(int64_t(LastUpdate.CostBasedPlans)));
   S.set("memory_bytes", Json::integer(int64_t(LastUpdate.MemoryBytes)));
 
   Json Last = Json::object();
   Last.set("seconds", Json::number(LastUpdate.Seconds));
+  Last.set("replan_events",
+           Json::integer(int64_t(LastUpdate.ReplanEvents)));
   Last.set("iterations", Json::integer(int64_t(LastUpdate.Iterations)));
   Last.set("rule_firings", Json::integer(int64_t(LastUpdate.RuleFirings)));
   Last.set("facts_derived",

@@ -906,6 +906,65 @@ TEST_P(IncrementalDifferentialTest, PointerAnalysis) {
   }
 }
 
+TEST_P(IncrementalDifferentialTest, AdaptiveReplanMidStream) {
+  // Cost-based adaptive planning during an update stream: ReplanThreshold
+  // 1.0 re-plans on any strict estimated improvement, so the growth phase
+  // below (Reach outgrows Cfg by orders of magnitude) forces plan swaps
+  // *between* DRed delta rounds. The differential then checks the two
+  // structures a mid-stream re-plan could silently corrupt: the negation
+  // support index / NegDependents (a Kill insert after the re-plan must
+  // retract exactly the recorded heads) and the rederive family's
+  // head-bound plans (retractions after the re-plan must re-derive
+  // through the replaced plans).
+  SolverOptions O = opts();
+  O.ReplanThreshold = 1.0;
+
+  IcfgCase C;
+  C.CfgE = {{0, 1}, {1, 2}};
+  C.GenE = {{0, 0}};
+  C.KillE = {{2, 0}};
+  Program P = C.build();
+  IncrementalSolver IS(P, O);
+  ASSERT_TRUE(IS.update().ok());
+  expectMatchesScratch(IS, [&] { return C.build(); });
+
+  uint64_t TotalReplans = 0;
+  std::mt19937_64 Rng(17);
+  for (int Round = 0; Round < 6; ++Round) {
+    // Growth phase: bulk-insert Cfg edges and Gen facts so live-row
+    // statistics drift far from what the last plan was chosen against.
+    for (int K = 0; K < 40; ++K)
+      C.CfgE.insert({int(Rng() % 64), int(Rng() % 64)});
+    for (auto [A, B] : C.CfgE)
+      IS.addFact(C.Cfg, {C.F.integer(A), C.F.integer(B)});
+    for (int K = 0; K < 4; ++K)
+      C.GenE.insert({int(Rng() % 64), int(Rng() % 8)});
+    for (auto [N, D] : C.GenE)
+      IS.addFact(C.Gen, {C.F.integer(N), C.F.integer(D)});
+    // Churn the negated predicate across the (possible) re-plan.
+    for (int K = 0; K < 2 && !C.KillE.empty(); ++K) {
+      auto It = C.KillE.begin();
+      std::advance(It, Rng() % C.KillE.size());
+      IS.retractFact(C.Kill, {C.F.integer(It->first), C.F.integer(It->second)});
+      C.KillE.erase(It);
+    }
+    for (int K = 0; K < 3; ++K) {
+      std::pair<int, int> E = {int(Rng() % 64), int(Rng() % 8)};
+      if (C.KillE.insert(E).second)
+        IS.addFact(C.Kill, {C.F.integer(E.first), C.F.integer(E.second)});
+    }
+    UpdateStats U = IS.update();
+    ASSERT_TRUE(U.ok());
+    EXPECT_FALSE(U.FullResolve);
+    EXPECT_EQ(U.NegationFallbacks, 0u);
+    TotalReplans += U.ReplanEvents;
+    expectMatchesScratch(IS, [&] { return C.build(); });
+  }
+  // The growth phase is sized to actually flip plans; a zero here means
+  // the adaptive path went dead and this test stopped testing it.
+  EXPECT_GT(TotalReplans, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, IncrementalDifferentialTest,
                          ::testing::Values(0u, 1u, 8u),
                          [](const auto &Info) {

@@ -62,6 +62,7 @@
 #include "lang/Compiler.h"
 #include "parallel/Dispatch.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +85,10 @@ static void printUsage() {
       "  --no-vm            interpret FLIX functions (disable the bytecode "
       "VM)\n"
       "  --reorder          greedily reorder rule bodies\n"
+      "  --no-cost-plans    freeze driver-first join orders (disable the "
+      "cost-based planner)\n"
+      "  --replan-threshold <x>  adaptive re-plan hysteresis factor "
+      "(0 disables between-round re-planning; default 4)\n"
       "  --threads <n>      parallel engine with <n> workers (0 = "
       "sequential)\n"
       "  --spill-threshold <n>  intra-rule split threshold (parallel "
@@ -100,6 +105,22 @@ static void printUsage() {
       "  --stats            print solver statistics\n"
       "  --json             print statistics as JSON; suppresses the "
       "default model dump\n");
+}
+
+/// Checked float-flag parse (same discipline as flixd's parseFloatFlag):
+/// rejects trailing junk and out-of-range values with exit code 2
+/// instead of silently reading garbage the way std::atof would.
+static double parseFloatFlag(const char *Flag, const char *Text,
+                             double Min) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || errno == ERANGE || !(V >= Min)) {
+    std::fprintf(stderr, "flixc: %s wants a number >= %g, got '%s'\n",
+                 Flag, Min, Text);
+    std::exit(2);
+  }
+  return V;
 }
 
 /// Parses one fact-file column according to its declared type. Returns
@@ -268,6 +289,8 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       "\"memo\": %s, \"vm\": %s, \"iterations\": %llu, "
       "\"rule_firings\": %llu, "
       "\"facts_derived\": %llu, \"plan_steps\": %llu, "
+      "\"cost_based_plans\": %llu, \"replan_events\": %llu, "
+      "\"estimated_vs_actual_rows\": %llu, "
       "\"memo_hits\": %llu, \"memo_misses\": %llu, "
       "\"vm_calls\": %llu, \"vm_inline_cache_hits\": %llu, "
       "\"interp_fallbacks\": %llu, "
@@ -282,6 +305,9 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       static_cast<unsigned long long>(St.RuleFirings),
       static_cast<unsigned long long>(St.FactsDerived),
       static_cast<unsigned long long>(St.PlanSteps),
+      static_cast<unsigned long long>(St.CostBasedPlans),
+      static_cast<unsigned long long>(St.ReplanEvents),
+      static_cast<unsigned long long>(St.EstimatedVsActualRows),
       static_cast<unsigned long long>(St.MemoHits),
       static_cast<unsigned long long>(St.MemoMisses),
       static_cast<unsigned long long>(St.VmCalls),
@@ -334,6 +360,7 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       "\"negation_fallbacks\": %llu, \"degraded_recoveries\": %llu, "
       "\"vm_calls\": %llu, \"vm_inline_cache_hits\": %llu, "
       "\"interp_fallbacks\": %llu, "
+      "\"cost_based_plans\": %llu, \"replan_events\": %llu, "
       "\"memory_bytes\": %llu, \"cumulative\": {\"updates\": %llu, "
       "\"seconds\": %.6f, \"facts_added\": %llu, "
       "\"facts_retracted\": %llu, \"cells_deleted\": %llu, "
@@ -354,6 +381,8 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       static_cast<unsigned long long>(U.VmCalls),
       static_cast<unsigned long long>(U.VmInlineCacheHits),
       static_cast<unsigned long long>(U.InterpFallbacks),
+      static_cast<unsigned long long>(U.CostBasedPlans),
+      static_cast<unsigned long long>(U.ReplanEvents),
       static_cast<unsigned long long>(U.MemoryBytes),
       static_cast<unsigned long long>(Cum.Updates), Cum.Seconds,
       static_cast<unsigned long long>(Cum.FactsAdded),
@@ -550,6 +579,15 @@ int main(int Argc, char **Argv) {
       Opts.UseVm = false;
     } else if (Arg == "--reorder") {
       Opts.ReorderBody = true;
+    } else if (Arg == "--no-cost-plans") {
+      Opts.CostBasedPlans = false;
+    } else if (Arg == "--replan-threshold") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --replan-threshold needs a value\n");
+        return 1;
+      }
+      Opts.ReplanThreshold =
+          parseFloatFlag("--replan-threshold", Argv[I], 0.0);
     } else if (Arg == "--threads") {
       if (++I >= Argc) {
         std::fprintf(stderr, "error: --threads needs a value\n");
@@ -754,6 +792,12 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(St.MemoHits),
                   static_cast<unsigned long long>(St.MemoMisses),
                   static_cast<unsigned long long>(St.FallbackSolves));
+      std::printf("planner: %s, %llu cost-based orders, %llu replan "
+                  "events, %llu est-vs-actual row drift\n",
+                  Opts.CostBasedPlans ? "cost-based" : "greedy",
+                  static_cast<unsigned long long>(St.CostBasedPlans),
+                  static_cast<unsigned long long>(St.ReplanEvents),
+                  static_cast<unsigned long long>(St.EstimatedVsActualRows));
       std::printf("vm: %s, %llu calls, %llu inline-cache hits, %llu "
                   "interp fallbacks\n",
                   Opts.UseVm ? "on" : "off",

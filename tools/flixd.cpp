@@ -43,6 +43,9 @@ static void printUsage() {
       "  --port-file PATH      write the bound TCP port to PATH\n"
       "  --preload DB=FILE     load FILE as database DB before serving\n"
       "  --threads N           solver threads per update batch\n"
+      "  --no-cost-plans       freeze driver-first join orders\n"
+      "  --replan-threshold X  adaptive re-plan hysteresis factor\n"
+      "                        (0 disables between-round re-planning)\n"
       "  --update-time-limit S per-batch solve budget in seconds\n"
       "  --max-connections N   concurrent connection bound (default 64)\n"
       "  --max-inflight N      concurrent request bound (default 256)\n"
@@ -120,6 +123,11 @@ int main(int argc, char **argv) {
     } else if (A == "--threads") {
       Opt.Solve.NumThreads =
           unsigned(parseIntFlag("--threads", needValue(I), 0, 1024));
+    } else if (A == "--no-cost-plans") {
+      Opt.Solve.CostBasedPlans = false;
+    } else if (A == "--replan-threshold") {
+      Opt.Solve.ReplanThreshold =
+          parseFloatFlag("--replan-threshold", needValue(I), 0.0);
     } else if (A == "--update-time-limit") {
       Opt.UpdateTimeLimitSeconds =
           parseFloatFlag("--update-time-limit", needValue(I), 0.0);
