@@ -799,6 +799,9 @@ SolveStats Solver::solve() {
       Stats.MemoMisses = Memo->misses();
     }
     Stats.VmInlineCacheHits = P.vmIcHits() - IcHitsAtStart;
+    Stats.VmInlinedCalls = P.vmPipelineCounters().InlinedCalls;
+    Stats.VmSuperwordHits = P.vmPipelineCounters().SuperwordHits;
+    Stats.VmPassesRemovedInsns = P.vmPipelineCounters().RemovedInsns;
     return Stats;
   };
 

@@ -109,6 +109,13 @@ struct SolverOptions {
   /// (differentially tested); off is the interpreter ablation
   /// (flixc --no-vm).
   bool UseVm = true;
+  /// Bytecode optimization pipeline level the VM compiled under
+  /// (flixc/flixd --vm-opt-level): 0 = off, 1 = local passes,
+  /// 2 = inlining + local passes. Informational at the solver layer —
+  /// the pipeline runs at compile time (FlixCompiler::setVmOptLevel);
+  /// tools carry the flag here so every consumer sees one source of
+  /// truth.
+  int VmOptLevel = 2;
   /// Choose join orders with the statistics-driven cost model
   /// (plan::chooseOrder) once facts are loaded, instead of freezing the
   /// driver-first order at compile time. Identical minimal model either
@@ -212,6 +219,12 @@ struct SolveStats {
   /// interpreter. The standard suites assert this stays 0 — the VM
   /// compiler covers the whole functional sub-language.
   uint64_t InterpFallbacks = 0;
+  // Static pipeline counters (vm/Passes.h), fixed when the module
+  // compiled — identical across runs of the same program, reported so
+  // tools can show what the optimizer did without a recompile.
+  uint64_t VmInlinedCalls = 0;     ///< CallFn sites spliced inline
+  uint64_t VmSuperwordHits = 0;    ///< compare+branch pairs fused
+  uint64_t VmPassesRemovedInsns = 0; ///< instructions removed by passes
 
   // Parallel-engine counters (zero for the sequential solver).
   uint64_t ParallelTasks = 0;   ///< (rule, driver, chunk) tasks executed

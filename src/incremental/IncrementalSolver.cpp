@@ -1184,6 +1184,9 @@ void IncrementalSolver::incrementalUpdate(UpdateStats &U, Deadline DL) {
   U.VmCalls = Sol.Stats.VmCalls - Before.VmCalls;
   U.InterpFallbacks = Sol.Stats.InterpFallbacks - Before.InterpFallbacks;
   U.VmInlineCacheHits = P.vmIcHits() - IcHitsAtUpdateStart;
+  U.VmInlinedCalls = P.vmPipelineCounters().InlinedCalls;
+  U.VmSuperwordHits = P.vmPipelineCounters().SuperwordHits;
+  U.VmPassesRemovedInsns = P.vmPipelineCounters().RemovedInsns;
   if (Pool)
     U.ParallelSteals = Pool->steals() - StealsBase;
 }

@@ -1003,6 +1003,9 @@ SolveStats ParallelSolver::solve() {
 
   auto finish = [&]() -> SolveStats & {
     Stats.VmInlineCacheHits = P.vmIcHits() - IcHitsAtStart;
+    Stats.VmInlinedCalls = P.vmPipelineCounters().InlinedCalls;
+    Stats.VmSuperwordHits = P.vmPipelineCounters().SuperwordHits;
+    Stats.VmPassesRemovedInsns = P.vmPipelineCounters().RemovedInsns;
     for (const std::unique_ptr<WorkerCtx> &W : Workers) {
       Stats.RuleFirings += W->RuleFirings;
       Stats.FactsDerived += W->FactsDerived;

@@ -80,6 +80,10 @@ Session::~Session() = default;
 bool Session::load(const std::string &Source, Deadline DL, ErrCode &Code,
                    std::string &Err) {
   Compiler = std::make_unique<FlixCompiler>(F);
+  // Honor the daemon's engine flags (flixd --no-vm / --vm-opt-level) in
+  // every database this server compiles.
+  Compiler->setUseVm(Opt.Solve.UseVm);
+  Compiler->setVmOptLevel(Opt.Solve.VmOptLevel);
   if (!Compiler->compile(Source, DbName + ".flix")) {
     Code = ErrCode::CompileError;
     Err = Compiler->diagnostics();
@@ -453,6 +457,12 @@ Json Session::statsJson() {
         Json::integer(int64_t(LastUpdate.VmInlineCacheHits)));
   S.set("interp_fallbacks",
         Json::integer(int64_t(LastUpdate.InterpFallbacks)));
+  S.set("vm_inlined_calls",
+        Json::integer(int64_t(LastUpdate.VmInlinedCalls)));
+  S.set("vm_superword_hits",
+        Json::integer(int64_t(LastUpdate.VmSuperwordHits)));
+  S.set("vm_passes_removed_insns",
+        Json::integer(int64_t(LastUpdate.VmPassesRemovedInsns)));
   S.set("cost_based_plans",
         Json::integer(int64_t(LastUpdate.CostBasedPlans)));
   S.set("memory_bytes", Json::integer(int64_t(LastUpdate.MemoryBytes)));

@@ -1,0 +1,1230 @@
+//===- vm/Passes.cpp - Bytecode optimization pipeline ----------------------===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+//
+// See Passes.h for the pipeline overview. Safety rules the passes obey:
+//
+//  * Fault preservation. Faults are observable (first-fault callback +
+//    Unit result), so a potentially-faulting instruction is never
+//    removed, folded, or reordered. Folding only happens when the
+//    static operands prove the instruction cannot fault (e.g. both
+//    operands known Int and the divisor known nonzero); CSE may reuse a
+//    faulting op's result because identical operands fault identically
+//    — if the first occurrence faulted, the second never executes.
+//
+//  * No back edges. The compiler only emits forward jumps (loops exist
+//    only via calls), so pc order is a topological order: one forward
+//    sweep gives exact constant states at every merge point, and one
+//    backward sweep gives exact liveness. The inliner preserves this —
+//    spliced bodies keep all their jumps forward.
+//
+//  * Depth parity. Inlined bodies are bracketed by EnterInline (depth
+//    check + increment, faulting with the callee's pre-rendered
+//    "'name' at file:line:col" exactly like CallFn) and LeaveInline, so
+//    the call-depth-overflow diagnostic stays byte-identical to the
+//    interpreter at any opt level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+using namespace flix;
+using namespace flix::vm;
+
+namespace {
+
+// Mirrors VmCompiler's frame cap; uniform-offset inlining allocates the
+// callee's whole frame above the caller's.
+constexpr uint32_t MaxRegs = 1024;
+// A callee larger than this never inlines (frame setup it would save is
+// noise against a body this long), and a caller never grows past the
+// code cap however many eligible sites it has. 48 admits moderate
+// straight-line bodies (a let/if/match chain lands in the 30s) while
+// still refusing anything whose run time dwarfs the call overhead.
+constexpr size_t InlineCalleeBudget = 48;
+constexpr size_t InlineCallerCap = 768;
+// Bound on nested EnterInline markers a callee may already carry.
+constexpr int InlineNestBudget = 3;
+// LoadConst indexes the pool via Imm but JumpIfNeConst via the 32-bit B;
+// stay under the narrower uint16_t the prologues use for headroom.
+constexpr size_t MaxConsts = 60000;
+
+/// Which fields of an instruction are register reads/writes and whether
+/// Imm is a jump target — the single source of truth for every rewrite
+/// walk below.
+struct Roles {
+  bool DstA = false;   ///< A is a written register
+  bool SrcA = false;   ///< A is a read register
+  bool SrcB = false;   ///< B is a read register
+  bool SrcC = false;   ///< C is a read register
+  bool RangeBC = false; ///< B..B+C-1 is a read register range
+  bool JumpImm = false; ///< Imm is a jump target
+};
+
+Roles roles(Op K) {
+  Roles R;
+  switch (K) {
+  case Op::LoadConst:
+    R.DstA = true;
+    break;
+  case Op::Move:
+  case Op::NegInt:
+  case Op::NotBool:
+  case Op::GetPayload:
+  case Op::GetTupleElem:
+  case Op::AddImm:
+  case Op::SubImm:
+  case Op::MulImm:
+  case Op::DivImm:
+  case Op::RemImm:
+  case Op::CmpLtImm:
+  case Op::CmpLeImm:
+  case Op::CmpGtImm:
+  case Op::CmpGeImm:
+  case Op::CmpEqImm:
+  case Op::CmpNeImm:
+    R.DstA = R.SrcB = true;
+    break;
+  case Op::AddInt:
+  case Op::SubInt:
+  case Op::MulInt:
+  case Op::DivInt:
+  case Op::RemInt:
+  case Op::CmpLt:
+  case Op::CmpLe:
+  case Op::CmpGt:
+  case Op::CmpGe:
+  case Op::CmpEq:
+  case Op::CmpNe:
+    R.DstA = R.SrcB = R.SrcC = true;
+    break;
+  case Op::Jump:
+    R.JumpImm = true;
+    break;
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+  case Op::JumpIfNeConst:
+  case Op::JumpIfNotTag:
+  case Op::JumpIfNotTuple:
+  case Op::TagDispatch:
+    R.SrcA = R.JumpImm = true;
+    break;
+  case Op::Ret:
+  case Op::FailNoMatch:
+    R.SrcA = true;
+    break;
+  case Op::MakeTag:
+    R.DstA = R.SrcC = true;
+    break;
+  case Op::MakeTuple:
+  case Op::MakeSet:
+    R.DstA = R.RangeBC = true;
+    break;
+  case Op::CallFn:
+  case Op::CallNative:
+    R.DstA = R.RangeBC = true;
+    break;
+  case Op::LeqPrologue:
+  case Op::LubPrologue:
+  case Op::GlbPrologue:
+    // Read the two parameter registers implicitly; may return directly.
+    break;
+  case Op::FusedCmpJump:
+    R.SrcA = R.SrcB = R.JumpImm = true;
+    break;
+  case Op::FusedCmpImmJump:
+    R.SrcA = R.JumpImm = true;
+    break;
+  case Op::EnterInline:
+  case Op::LeaveInline:
+  case Op::Nop:
+    break;
+  }
+  return R;
+}
+
+/// Ops whose execution has no effect other than writing Dst and can
+/// never fault — the only ops DCE may delete and CSE may Nop when the
+/// value is already in place. Arithmetic and ordered compares are
+/// excluded: they fault on non-Int operands, and deleting one could
+/// hide a fault the interpreter reports.
+bool isRemovablePure(Op K) {
+  switch (K) {
+  case Op::LoadConst:
+  case Op::Move:
+  case Op::CmpEq:
+  case Op::CmpNe:
+  case Op::CmpEqImm:
+  case Op::CmpNeImm:
+  case Op::MakeTag:
+  case Op::MakeTuple:
+  case Op::MakeSet:
+  case Op::GetPayload:
+  case Op::GetTupleElem:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Ops CSE may reuse: deterministic functions of their register
+/// operands (and static fields) with no effect beyond the Dst write.
+/// Faulting ops qualify — identical operands fault identically, and if
+/// the first occurrence faulted the second never runs.
+bool isCseable(Op K) {
+  switch (K) {
+  case Op::Move:
+  case Op::AddInt:
+  case Op::SubInt:
+  case Op::MulInt:
+  case Op::DivInt:
+  case Op::RemInt:
+  case Op::NegInt:
+  case Op::AddImm:
+  case Op::SubImm:
+  case Op::MulImm:
+  case Op::DivImm:
+  case Op::RemImm:
+  case Op::CmpLtImm:
+  case Op::CmpLeImm:
+  case Op::CmpGtImm:
+  case Op::CmpGeImm:
+  case Op::CmpEqImm:
+  case Op::CmpNeImm:
+  case Op::CmpLt:
+  case Op::CmpLe:
+  case Op::CmpGt:
+  case Op::CmpGe:
+  case Op::CmpEq:
+  case Op::CmpNe:
+  case Op::NotBool:
+  case Op::GetPayload:
+  case Op::GetTupleElem:
+  case Op::MakeTag:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Is control transferred unconditionally (never falls through)?
+bool isTerminator(Op K) {
+  return K == Op::Jump || K == Op::Ret || K == Op::FailNoMatch;
+}
+
+/// Collects every pc that some jump or tag-table entry targets.
+std::vector<uint8_t> jumpTargets(const VmFunction &Fn) {
+  std::vector<uint8_t> IsTarget(Fn.Code.size() + 1, 0);
+  auto Mark = [&](int32_t T) {
+    if (T >= 0 && static_cast<size_t>(T) <= Fn.Code.size())
+      IsTarget[T] = 1;
+  };
+  for (const Instr &I : Fn.Code)
+    if (roles(I.K).JumpImm)
+      Mark(I.Imm);
+  for (const auto &Table : Fn.TagTables)
+    for (const TagTableEntry &TE : Table)
+      Mark(TE.Target);
+  return IsTarget;
+}
+
+int32_t addConst(VmFunction &Fn, Value V) {
+  for (size_t I = 0; I < Fn.Consts.size(); ++I)
+    if (Fn.Consts[I] == V)
+      return static_cast<int32_t>(I);
+  if (Fn.Consts.size() >= MaxConsts)
+    return -1;
+  Fn.Consts.push_back(V);
+  return static_cast<int32_t>(Fn.Consts.size() - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionOptimizer
+//===----------------------------------------------------------------------===//
+
+class FunctionOptimizer {
+public:
+  FunctionOptimizer(VmModule &M, VmFunction &Fn, ValueFactory &F)
+      : M(M), Fn(Fn), F(F) {}
+
+  void localPasses() {
+    sccp();
+    cse();
+    dce();
+    fuseSuperwords();
+    threadJumps();
+    compact();
+  }
+
+  /// Splices eligible call sites; \p Recursive flags functions on a
+  /// call-graph cycle (by module function index). Returns true when at
+  /// least one site was inlined.
+  bool inlineCalls(const std::vector<uint8_t> &Recursive);
+
+  uint64_t Removed = 0;
+  uint64_t Fused = 0;
+  uint64_t Inlined = 0;
+
+private:
+  void sccp();
+  void cse();
+  void dce();
+  void fuseSuperwords();
+  void threadJumps();
+  void compact();
+  bool inlineSite(size_t Pc, const std::vector<uint8_t> &Recursive);
+
+  void nop(size_t Pc) {
+    if (Fn.Code[Pc].K != Op::Nop) {
+      Fn.Code[Pc] = Instr{Op::Nop, 0, 0, 0, 0};
+      ++Removed;
+    }
+  }
+
+  VmModule &M;
+  VmFunction &Fn;
+  ValueFactory &F;
+};
+
+//===----------------------------------------------------------------------===//
+// SCCP: one forward sweep (pc order is topological), exact meet at every
+// merge point, branch folding, unreachable-code elimination.
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Per-register constant state: Known[r] → Val[r] holds r's value on
+/// every path reaching here.
+struct ConstState {
+  std::vector<uint8_t> Known;
+  std::vector<Value> Val;
+
+  explicit ConstState(size_t NumRegs, ValueFactory &F)
+      : Known(NumRegs, 0), Val(NumRegs, F.unit()) {}
+
+  void set(uint16_t R, Value V) {
+    Known[R] = 1;
+    Val[R] = V;
+  }
+  void kill(uint16_t R) { Known[R] = 0; }
+
+  void meet(const ConstState &O) {
+    for (size_t R = 0; R < Known.size(); ++R)
+      if (Known[R] && !(O.Known[R] && O.Val[R] == Val[R]))
+        Known[R] = 0;
+  }
+};
+} // namespace
+
+void FunctionOptimizer::sccp() {
+  size_t N = Fn.Code.size();
+  std::vector<uint8_t> IsTarget = jumpTargets(Fn);
+  // Merged state arriving at each jump target via explicit edges.
+  std::vector<std::unique_ptr<ConstState>> AtTarget(N + 1);
+
+  auto Flow = [&](int32_t T, const ConstState &S) {
+    if (T < 0 || static_cast<size_t>(T) > N)
+      return;
+    if (!AtTarget[T])
+      AtTarget[T] = std::make_unique<ConstState>(S);
+    else
+      AtTarget[T]->meet(S);
+  };
+
+  ConstState Cur(Fn.NumRegs, F);
+  bool CurLive = true; // entry falls into pc 0
+
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    if (IsTarget[Pc]) {
+      if (AtTarget[Pc]) {
+        if (CurLive)
+          AtTarget[Pc]->meet(Cur);
+        Cur = *AtTarget[Pc];
+        CurLive = true;
+      }
+      // else: only the fallthrough edge (live or not) reaches here.
+    }
+    Instr &I = Fn.Code[Pc];
+    if (!CurLive) {
+      nop(Pc);
+      continue;
+    }
+
+    auto FoldTo = [&](uint16_t Dst, Value V) {
+      int32_t Ix = addConst(Fn, V);
+      if (Ix >= 0)
+        I = Instr{Op::LoadConst, Dst, 0, 0, Ix};
+      Cur.set(Dst, V);
+    };
+    auto Have = [&](uint32_t R) { return Cur.Known[R] != 0; };
+    auto Get = [&](uint32_t R) { return Cur.Val[R]; };
+    // Rewrites a decided pattern test / branch into Jump or Nop.
+    auto Decide = [&](bool Taken) {
+      if (Taken) {
+        int32_t T = I.Imm;
+        I = Instr{Op::Jump, 0, 0, 0, T};
+        Flow(T, Cur);
+        CurLive = false;
+      } else {
+        nop(Pc);
+      }
+    };
+
+    switch (I.K) {
+    case Op::LoadConst:
+      Cur.set(I.A, Fn.Consts[I.Imm]);
+      break;
+    case Op::Move:
+      if (Have(I.B))
+        Cur.set(I.A, Get(I.B));
+      else
+        Cur.kill(I.A);
+      break;
+
+    case Op::AddInt:
+    case Op::SubInt:
+    case Op::MulInt:
+    case Op::DivInt:
+    case Op::RemInt:
+    case Op::CmpLt:
+    case Op::CmpLe:
+    case Op::CmpGt:
+    case Op::CmpGe: {
+      if (Have(I.B) && Have(I.C) && Get(I.B).isInt() && Get(I.C).isInt()) {
+        int64_t A = Get(I.B).asInt(), B = Get(I.C).asInt();
+        bool CanFold = true;
+        Value V = F.unit();
+        switch (I.K) {
+        case Op::AddInt:
+          V = F.integer(A + B);
+          break;
+        case Op::SubInt:
+          V = F.integer(A - B);
+          break;
+        case Op::MulInt:
+          V = F.integer(A * B);
+          break;
+        case Op::DivInt:
+          CanFold = B != 0; // a zero divisor must fault at runtime
+          if (CanFold)
+            V = F.integer(A / B);
+          break;
+        case Op::RemInt:
+          CanFold = B != 0;
+          if (CanFold)
+            V = F.integer(A % B);
+          break;
+        case Op::CmpLt:
+          V = F.boolean(A < B);
+          break;
+        case Op::CmpLe:
+          V = F.boolean(A <= B);
+          break;
+        case Op::CmpGt:
+          V = F.boolean(A > B);
+          break;
+        default:
+          V = F.boolean(A >= B);
+          break;
+        }
+        if (CanFold) {
+          FoldTo(I.A, V);
+          break;
+        }
+      }
+      Cur.kill(I.A);
+      break;
+    }
+
+    case Op::AddImm:
+    case Op::SubImm:
+    case Op::MulImm:
+    case Op::DivImm:
+    case Op::RemImm:
+    case Op::CmpLtImm:
+    case Op::CmpLeImm:
+    case Op::CmpGtImm:
+    case Op::CmpGeImm: {
+      if (Have(I.B) && Get(I.B).isInt()) {
+        int64_t A = Get(I.B).asInt(), B = I.Imm;
+        bool CanFold = true;
+        Value V = F.unit();
+        switch (I.K) {
+        case Op::AddImm:
+          V = F.integer(A + B);
+          break;
+        case Op::SubImm:
+          V = F.integer(A - B);
+          break;
+        case Op::MulImm:
+          V = F.integer(A * B);
+          break;
+        case Op::DivImm:
+          CanFold = B != 0;
+          if (CanFold)
+            V = F.integer(A / B);
+          break;
+        case Op::RemImm:
+          CanFold = B != 0;
+          if (CanFold)
+            V = F.integer(A % B);
+          break;
+        case Op::CmpLtImm:
+          V = F.boolean(A < B);
+          break;
+        case Op::CmpLeImm:
+          V = F.boolean(A <= B);
+          break;
+        case Op::CmpGtImm:
+          V = F.boolean(A > B);
+          break;
+        default:
+          V = F.boolean(A >= B);
+          break;
+        }
+        if (CanFold) {
+          FoldTo(I.A, V);
+          break;
+        }
+      }
+      Cur.kill(I.A);
+      break;
+    }
+
+    case Op::CmpEqImm:
+      if (Have(I.B)) {
+        Value V = Get(I.B);
+        FoldTo(I.A, F.boolean(V.isInt() && V.asInt() == I.Imm));
+      } else
+        Cur.kill(I.A);
+      break;
+    case Op::CmpNeImm:
+      if (Have(I.B)) {
+        Value V = Get(I.B);
+        FoldTo(I.A, F.boolean(!V.isInt() || V.asInt() != I.Imm));
+      } else
+        Cur.kill(I.A);
+      break;
+    case Op::NegInt:
+      if (Have(I.B) && Get(I.B).isInt())
+        FoldTo(I.A, F.integer(-Get(I.B).asInt()));
+      else
+        Cur.kill(I.A);
+      break;
+    case Op::CmpEq:
+      if (Have(I.B) && Have(I.C))
+        FoldTo(I.A, F.boolean(Get(I.B) == Get(I.C)));
+      else
+        Cur.kill(I.A);
+      break;
+    case Op::CmpNe:
+      if (Have(I.B) && Have(I.C))
+        FoldTo(I.A, F.boolean(Get(I.B) != Get(I.C)));
+      else
+        Cur.kill(I.A);
+      break;
+    case Op::NotBool:
+      if (Have(I.B) && Get(I.B).isBool())
+        FoldTo(I.A, F.boolean(!Get(I.B).asBool()));
+      else
+        Cur.kill(I.A);
+      break;
+
+    case Op::Jump:
+      Flow(I.Imm, Cur);
+      CurLive = false;
+      break;
+    case Op::JumpIfFalse:
+      if (Have(I.A) && Get(I.A).isBool()) {
+        Decide(!Get(I.A).asBool());
+      } else {
+        Flow(I.Imm, Cur);
+      }
+      break;
+    case Op::JumpIfTrue:
+      if (Have(I.A) && Get(I.A).isBool()) {
+        Decide(Get(I.A).asBool());
+      } else {
+        Flow(I.Imm, Cur);
+      }
+      break;
+    case Op::Ret:
+    case Op::FailNoMatch:
+      CurLive = false;
+      break;
+
+    case Op::JumpIfNeConst:
+      if (Have(I.A))
+        Decide(Get(I.A) != Fn.Consts[I.B]);
+      else
+        Flow(I.Imm, Cur);
+      break;
+    case Op::JumpIfNotTag:
+      if (Have(I.A)) {
+        Value V = Get(I.A);
+        Decide(!V.isTag() || F.tagName(V).Id != I.B);
+      } else
+        Flow(I.Imm, Cur);
+      break;
+    case Op::JumpIfNotTuple:
+      if (Have(I.A)) {
+        Value V = Get(I.A);
+        Decide(!V.isTuple() || F.tupleElems(V).size() != I.B);
+      } else
+        Flow(I.Imm, Cur);
+      break;
+    case Op::TagDispatch:
+      if (Have(I.A)) {
+        Value V = Get(I.A);
+        int32_t T = I.Imm;
+        if (V.isTag()) {
+          uint32_t Sym = F.tagName(V).Id;
+          for (const TagTableEntry &TE : Fn.TagTables[I.B])
+            if (TE.Symbol == Sym) {
+              T = TE.Target;
+              break;
+            }
+        }
+        I = Instr{Op::Jump, 0, 0, 0, T};
+        Flow(T, Cur);
+        CurLive = false;
+      } else {
+        Flow(I.Imm, Cur);
+        for (const TagTableEntry &TE : Fn.TagTables[I.B])
+          Flow(TE.Target, Cur);
+      }
+      break;
+
+    case Op::GetPayload:
+      if (Have(I.B) && Get(I.B).isTag())
+        FoldTo(I.A, F.tagPayload(Get(I.B)));
+      else
+        Cur.kill(I.A);
+      break;
+    case Op::GetTupleElem:
+      if (Have(I.B) && Get(I.B).isTuple() &&
+          I.C < F.tupleElems(Get(I.B)).size())
+        FoldTo(I.A, F.tupleElems(Get(I.B))[I.C]);
+      else
+        Cur.kill(I.A);
+      break;
+
+    case Op::MakeTag:
+      if (Have(I.C))
+        FoldTo(I.A, F.tag(Symbol{I.B}, Get(I.C)));
+      else
+        Cur.kill(I.A);
+      break;
+    case Op::MakeTuple:
+    case Op::MakeSet: {
+      bool AllKnown = true;
+      for (uint32_t R = I.B; R < I.B + I.C; ++R)
+        AllKnown &= Have(R);
+      if (AllKnown) {
+        std::vector<Value> Elems;
+        for (uint32_t R = I.B; R < I.B + I.C; ++R)
+          Elems.push_back(Get(R));
+        FoldTo(I.A, I.K == Op::MakeTuple
+                        ? F.tuple(std::span<const Value>(Elems))
+                        : F.set(std::move(Elems)));
+      } else
+        Cur.kill(I.A);
+      break;
+    }
+
+    case Op::CallFn:
+    case Op::CallNative:
+      Cur.kill(I.A);
+      break;
+
+    case Op::FusedCmpJump: {
+      if (Have(I.A) && Have(I.B) && Get(I.A).isInt() && Get(I.B).isInt()) {
+        int64_t A = Get(I.A).asInt(), B = Get(I.B).asInt();
+        CmpKind Kind = fusedCmpKind(I.C);
+        bool Holds = Kind == CmpKind::Lt   ? A < B
+                     : Kind == CmpKind::Le ? A <= B
+                     : Kind == CmpKind::Gt ? A > B
+                     : Kind == CmpKind::Ge ? A >= B
+                     : Kind == CmpKind::Eq ? Get(I.A) == Get(I.B)
+                                           : Get(I.A) != Get(I.B);
+        Decide(Holds == fusedJumpIfHolds(I.C));
+      } else
+        Flow(I.Imm, Cur);
+      break;
+    }
+    case Op::FusedCmpImmJump: {
+      if (Have(I.A) && Get(I.A).isInt()) {
+        int64_t A = Get(I.A).asInt(), B = static_cast<int32_t>(I.B);
+        CmpKind Kind = fusedCmpKind(I.C);
+        bool Holds = Kind == CmpKind::Lt   ? A < B
+                     : Kind == CmpKind::Le ? A <= B
+                     : Kind == CmpKind::Gt ? A > B
+                     : Kind == CmpKind::Ge ? A >= B
+                     : Kind == CmpKind::Eq ? A == B
+                                           : A != B;
+        Decide(Holds == fusedJumpIfHolds(I.C));
+      } else
+        Flow(I.Imm, Cur);
+      break;
+    }
+
+    case Op::LeqPrologue:
+    case Op::LubPrologue:
+    case Op::GlbPrologue:
+    case Op::EnterInline:
+    case Op::LeaveInline:
+    case Op::Nop:
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Local CSE: per-block availability of pure register computations.
+//===----------------------------------------------------------------------===//
+
+void FunctionOptimizer::cse() {
+  size_t N = Fn.Code.size();
+  std::vector<uint8_t> IsTarget = jumpTargets(Fn);
+  std::vector<uint32_t> Ver(Fn.NumRegs, 0);
+
+  // (op, B, C, Imm, verB, verC) → (dst, verDst at record time).
+  using Key = std::tuple<uint8_t, uint32_t, uint16_t, int32_t, uint32_t,
+                         uint32_t>;
+  std::map<Key, std::pair<uint16_t, uint32_t>> Avail;
+
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    if (IsTarget[Pc])
+      Avail.clear(); // merge point: other paths may differ
+    Instr &I = Fn.Code[Pc];
+    Roles R = roles(I.K);
+    if (!isCseable(I.K) || !R.DstA) {
+      if (R.DstA)
+        ++Ver[I.A];
+      continue;
+    }
+    uint32_t VerB = R.SrcB ? Ver[I.B] : 0;
+    uint32_t VerC = R.SrcC ? Ver[I.C] : 0;
+    Key K{static_cast<uint8_t>(I.K), I.B, I.C, I.Imm, VerB, VerC};
+    auto It = Avail.find(K);
+    if (It != Avail.end() && Ver[It->second.first] == It->second.second) {
+      uint16_t Prev = It->second.first;
+      uint16_t Dst = I.A;
+      if (Prev == Dst) {
+        nop(Pc); // value already in place
+      } else {
+        I = Instr{Op::Move, Dst, Prev, 0, 0};
+        ++Ver[Dst];
+        Avail[K] = {Prev, Ver[Prev]}; // Prev is still canonical
+      }
+      continue;
+    }
+    ++Ver[I.A];
+    Avail[K] = {I.A, Ver[I.A]};
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-register elimination: one exact backward sweep (successor pcs are
+// always greater, so their live-in sets are already final).
+//===----------------------------------------------------------------------===//
+
+void FunctionOptimizer::dce() {
+  size_t N = Fn.Code.size();
+  if (N == 0)
+    return;
+  size_t Words = (Fn.NumRegs + 63) / 64;
+  std::vector<uint64_t> LiveIn(N * Words, 0);
+  std::vector<uint64_t> Out(Words, 0);
+  auto BitSet = [&](std::vector<uint64_t> &B, size_t Base, uint32_t R) {
+    B[Base + R / 64] |= uint64_t(1) << (R % 64);
+  };
+  auto BitClear = [&](std::vector<uint64_t> &B, size_t Base, uint32_t R) {
+    B[Base + R / 64] &= ~(uint64_t(1) << (R % 64));
+  };
+  auto BitTest = [&](const std::vector<uint64_t> &B, size_t Base,
+                     uint32_t R) {
+    return (B[Base + R / 64] >> (R % 64)) & 1;
+  };
+
+  for (size_t Ip = N; Ip-- > 0;) {
+    Instr &I = Fn.Code[Ip];
+    Roles R = roles(I.K);
+
+    // Out = union of successors' live-in.
+    std::fill(Out.begin(), Out.end(), 0);
+    auto Join = [&](int32_t S) {
+      if (S >= 0 && static_cast<size_t>(S) < N)
+        for (size_t W = 0; W < Words; ++W)
+          Out[W] |= LiveIn[S * Words + W];
+    };
+    if (!isTerminator(I.K))
+      Join(static_cast<int32_t>(Ip) + 1);
+    if (R.JumpImm)
+      Join(I.Imm);
+    if (I.K == Op::TagDispatch)
+      for (const TagTableEntry &TE : Fn.TagTables[I.B])
+        Join(TE.Target);
+
+    if (R.DstA && isRemovablePure(I.K) && !BitTest(Out, 0, I.A)) {
+      nop(Ip);
+      std::memcpy(&LiveIn[Ip * Words], Out.data(), Words * sizeof(uint64_t));
+      continue;
+    }
+
+    // LiveIn = (Out - defs) ∪ uses.
+    if (R.DstA)
+      BitClear(Out, 0, I.A);
+    if (R.SrcA)
+      BitSet(Out, 0, I.A);
+    if (R.SrcB)
+      BitSet(Out, 0, I.B);
+    if (R.SrcC)
+      BitSet(Out, 0, I.C);
+    if (R.RangeBC)
+      for (uint32_t Reg = I.B; Reg < I.B + I.C; ++Reg)
+        BitSet(Out, 0, Reg);
+    if (I.K == Op::LeqPrologue || I.K == Op::LubPrologue ||
+        I.K == Op::GlbPrologue) {
+      BitSet(Out, 0, 0);
+      BitSet(Out, 0, 1);
+    }
+    std::memcpy(&LiveIn[Ip * Words], Out.data(), Words * sizeof(uint64_t));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Superword fusion: compare + adjacent branch → one FusedCmp*Jump.
+//===----------------------------------------------------------------------===//
+
+void FunctionOptimizer::fuseSuperwords() {
+  size_t N = Fn.Code.size();
+  if (N < 2)
+    return;
+  std::vector<uint8_t> IsTarget = jumpTargets(Fn);
+
+  // Global read counts: fusing drops the compare's register write, so
+  // the branch must be that register's only reader anywhere.
+  std::vector<uint32_t> Reads(Fn.NumRegs, 0);
+  for (const Instr &I : Fn.Code) {
+    Roles R = roles(I.K);
+    if (R.SrcA)
+      ++Reads[I.A];
+    if (R.SrcB)
+      ++Reads[I.B];
+    if (R.SrcC)
+      ++Reads[I.C];
+    if (R.RangeBC)
+      for (uint32_t Reg = I.B; Reg < I.B + I.C; ++Reg)
+        ++Reads[Reg];
+    if (I.K == Op::LeqPrologue || I.K == Op::LubPrologue ||
+        I.K == Op::GlbPrologue) {
+      ++Reads[0];
+      ++Reads[1];
+    }
+  }
+
+  auto RegCmpKind = [](Op K) -> std::optional<CmpKind> {
+    switch (K) {
+    case Op::CmpLt:
+      return CmpKind::Lt;
+    case Op::CmpLe:
+      return CmpKind::Le;
+    case Op::CmpGt:
+      return CmpKind::Gt;
+    case Op::CmpGe:
+      return CmpKind::Ge;
+    case Op::CmpEq:
+      return CmpKind::Eq;
+    case Op::CmpNe:
+      return CmpKind::Ne;
+    default:
+      return std::nullopt;
+    }
+  };
+  auto ImmCmpKind = [](Op K) -> std::optional<CmpKind> {
+    switch (K) {
+    case Op::CmpLtImm:
+      return CmpKind::Lt;
+    case Op::CmpLeImm:
+      return CmpKind::Le;
+    case Op::CmpGtImm:
+      return CmpKind::Gt;
+    case Op::CmpGeImm:
+      return CmpKind::Ge;
+    case Op::CmpEqImm:
+      return CmpKind::Eq;
+    case Op::CmpNeImm:
+      return CmpKind::Ne;
+    default:
+      return std::nullopt;
+    }
+  };
+
+  for (size_t Pc = 0; Pc + 1 < N; ++Pc) {
+    Instr &Cmp = Fn.Code[Pc];
+    Instr &Br = Fn.Code[Pc + 1];
+    // Only the plain if-condition form (B == 0): the '&&'/'||' variants
+    // keep their result live and carry distinct fault messages.
+    if ((Br.K != Op::JumpIfFalse && Br.K != Op::JumpIfTrue) || Br.B != 0)
+      continue;
+    // A jump landing on the branch would bypass the compare; the
+    // register could hold anything there.
+    if (IsTarget[Pc + 1])
+      continue;
+    bool JumpIfHolds = Br.K == Op::JumpIfTrue;
+    if (auto Kind = RegCmpKind(Cmp.K);
+        Kind && Cmp.A == Br.A && Reads[Cmp.A] == 1) {
+      Br = Instr{Op::FusedCmpJump, static_cast<uint16_t>(Cmp.B), Cmp.C,
+                 packFusedCmp(*Kind, JumpIfHolds), Br.Imm};
+      Fn.Code[Pc] = Instr{Op::Nop, 0, 0, 0, 0};
+      ++Fused;
+    } else if (auto IKind = ImmCmpKind(Cmp.K);
+               IKind && Cmp.A == Br.A && Reads[Cmp.A] == 1) {
+      Br = Instr{Op::FusedCmpImmJump, static_cast<uint16_t>(Cmp.B),
+                 static_cast<uint32_t>(Cmp.Imm),
+                 packFusedCmp(*IKind, JumpIfHolds), Br.Imm};
+      Fn.Code[Pc] = Instr{Op::Nop, 0, 0, 0, 0};
+      ++Fused;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Jump threading + Nop compaction.
+//===----------------------------------------------------------------------===//
+
+void FunctionOptimizer::threadJumps() {
+  size_t N = Fn.Code.size();
+  // First executable pc at or after t (targets may point at Nops).
+  auto SkipNops = [&](int32_t T) {
+    while (T >= 0 && static_cast<size_t>(T) < N &&
+           Fn.Code[T].K == Op::Nop)
+      ++T;
+    return T;
+  };
+  // Resolve t through Nops and Jump chains. Forward-only jumps make the
+  // chase strictly increasing, so it terminates.
+  auto Resolve = [&](int32_t T) {
+    for (;;) {
+      T = SkipNops(T);
+      if (T < 0 || static_cast<size_t>(T) >= N || Fn.Code[T].K != Op::Jump)
+        return T;
+      T = Fn.Code[T].Imm;
+    }
+  };
+
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    Instr &I = Fn.Code[Pc];
+    if (roles(I.K).JumpImm)
+      I.Imm = Resolve(I.Imm);
+    if (I.K == Op::TagDispatch)
+      for (TagTableEntry &TE : Fn.TagTables[I.B])
+        TE.Target = Resolve(TE.Target);
+  }
+  // A Jump to the next executable instruction is a fallthrough.
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    Instr &I = Fn.Code[Pc];
+    if (I.K == Op::Jump && I.Imm == SkipNops(static_cast<int32_t>(Pc) + 1))
+      nop(Pc);
+  }
+}
+
+void FunctionOptimizer::compact() {
+  size_t N = Fn.Code.size();
+  // MapFwd[t] = new pc of the first surviving instruction at ≥ t.
+  std::vector<int32_t> MapFwd(N + 1, 0);
+  int32_t NewPc = 0;
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    MapFwd[Pc] = NewPc;
+    if (Fn.Code[Pc].K != Op::Nop)
+      ++NewPc;
+  }
+  MapFwd[N] = NewPc;
+  if (static_cast<size_t>(NewPc) == N)
+    return; // nothing to squeeze
+
+  std::vector<Instr> NewCode;
+  NewCode.reserve(NewPc);
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    Instr I = Fn.Code[Pc];
+    if (I.K == Op::Nop)
+      continue;
+    if (roles(I.K).JumpImm)
+      I.Imm = MapFwd[std::min<size_t>(std::max(I.Imm, 0), N)];
+    NewCode.push_back(I);
+  }
+  for (auto &Table : Fn.TagTables)
+    for (TagTableEntry &TE : Table)
+      TE.Target = MapFwd[std::min<size_t>(std::max(TE.Target, 0), N)];
+  Fn.Code = std::move(NewCode);
+}
+
+//===----------------------------------------------------------------------===//
+// Bytecode inlining.
+//===----------------------------------------------------------------------===//
+
+namespace {
+bool hasPrologue(const VmFunction &Fn) {
+  for (const Instr &I : Fn.Code)
+    if (I.K == Op::LeqPrologue || I.K == Op::LubPrologue ||
+        I.K == Op::GlbPrologue)
+      return true;
+  return false;
+}
+
+/// Max nesting of EnterInline markers already present in \p Fn.
+int inlineNest(const VmFunction &Fn) {
+  int Cur = 0, Max = 0;
+  for (const Instr &I : Fn.Code) {
+    if (I.K == Op::EnterInline)
+      Max = std::max(Max, ++Cur);
+    else if (I.K == Op::LeaveInline)
+      --Cur;
+  }
+  return Max;
+}
+} // namespace
+
+bool FunctionOptimizer::inlineSite(size_t Pc,
+                                   const std::vector<uint8_t> &Recursive) {
+  const Instr Call = Fn.Code[Pc];
+  uint32_t CalleeIx = static_cast<uint32_t>(Call.Imm);
+  const VmFunction &C = M.Functions[CalleeIx];
+  if (!C.Ok || Recursive[CalleeIx] || C.Code.size() > InlineCalleeBudget ||
+      hasPrologue(C) || inlineNest(C) >= InlineNestBudget)
+    return false;
+  uint32_t NewBase = Fn.NumRegs;
+  if (NewBase + C.NumRegs > MaxRegs)
+    return false;
+  assert(Call.C == C.NumParams && "call arity mismatch");
+
+  // Per-callee-instr emitted length (Ret expands to Move + Jump) and
+  // cumulative offsets for jump-target remapping.
+  std::vector<int32_t> Off(C.Code.size() + 1, 0);
+  for (size_t Ip = 0; Ip < C.Code.size(); ++Ip)
+    Off[Ip + 1] = Off[Ip] + (C.Code[Ip].K == Op::Ret ? 2 : 1);
+  size_t BodyLen = Off[C.Code.size()];
+  size_t InlineLen = 1 + C.NumParams + BodyLen + 1; // Enter + moves + Leave
+  if (Fn.Code.size() - 1 + InlineLen > InlineCallerCap)
+    return false;
+
+  // Fresh inline-cache words for every copied cache site: cached target
+  // pcs (and tuple handles) are site-specific.
+  size_t CachesNeeded = 0;
+  for (const Instr &I : C.Code)
+    if (I.K == Op::JumpIfNotTuple || I.K == Op::TagDispatch)
+      ++CachesNeeded;
+  if (M.Caches.size() + CachesNeeded > UINT16_MAX)
+    return false;
+
+  // Remap the callee's constants into the caller's pool up front so a
+  // pool overflow aborts cleanly before any mutation.
+  std::vector<int32_t> ConstMap(C.Consts.size());
+  for (size_t Ci = 0; Ci < C.Consts.size(); ++Ci) {
+    ConstMap[Ci] = addConst(Fn, C.Consts[Ci]);
+    if (ConstMap[Ci] < 0)
+      return false;
+  }
+
+  int32_t Delta = static_cast<int32_t>(InlineLen) - 1;
+  int32_t At = static_cast<int32_t>(Pc);
+  auto Shift = [&](int32_t T) { return T > At ? T + Delta : T; };
+
+  // Shift every existing target past the splice point.
+  for (Instr &I : Fn.Code)
+    if (roles(I.K).JumpImm)
+      I.Imm = Shift(I.Imm);
+  for (auto &Table : Fn.TagTables)
+    for (TagTableEntry &TE : Table)
+      TE.Target = Shift(TE.Target);
+
+  // Build the inline sequence.
+  std::vector<Instr> Seq;
+  Seq.reserve(InlineLen);
+  Seq.push_back(Instr{Op::EnterInline, 0, CalleeIx, 0, 0});
+  for (uint32_t P = 0; P < C.NumParams; ++P)
+    Seq.push_back(Instr{Op::Move, static_cast<uint16_t>(NewBase + P),
+                        Call.B + P, 0, 0});
+  int32_t BodyStart = At + 1 + static_cast<int32_t>(C.NumParams);
+  int32_t EndPc = BodyStart + static_cast<int32_t>(BodyLen); // LeaveInline
+  for (size_t Ip = 0; Ip < C.Code.size(); ++Ip) {
+    Instr I = C.Code[Ip];
+    Roles R = roles(I.K);
+    if (I.K == Op::Ret) {
+      Seq.push_back(Instr{Op::Move, Call.A,
+                          static_cast<uint32_t>(NewBase + I.A), 0, 0});
+      Seq.push_back(Instr{Op::Jump, 0, 0, 0, EndPc});
+      continue;
+    }
+    // Uniform register offset: params were moved into NewBase+0.., so
+    // every register operand (including range bases) just shifts.
+    if (R.DstA || R.SrcA)
+      I.A = static_cast<uint16_t>(I.A + NewBase);
+    if (R.SrcB || R.RangeBC)
+      I.B += NewBase;
+    if (R.SrcC)
+      I.C = static_cast<uint16_t>(I.C + NewBase);
+    if (R.JumpImm)
+      I.Imm = BodyStart + Off[I.Imm];
+    switch (I.K) {
+    case Op::LoadConst:
+      I.Imm = ConstMap[I.Imm];
+      break;
+    case Op::JumpIfNeConst:
+      I.B = static_cast<uint32_t>(ConstMap[I.B]);
+      break;
+    case Op::JumpIfNotTuple:
+      M.Caches.emplace_back(VmModule::EmptyCache);
+      I.C = static_cast<uint16_t>(M.Caches.size() - 1);
+      break;
+    case Op::TagDispatch: {
+      M.Caches.emplace_back(VmModule::EmptyCache);
+      I.C = static_cast<uint16_t>(M.Caches.size() - 1);
+      std::vector<TagTableEntry> Table = C.TagTables[I.B];
+      for (TagTableEntry &TE : Table)
+        TE.Target = BodyStart + Off[TE.Target];
+      Fn.TagTables.push_back(std::move(Table));
+      I.B = static_cast<uint32_t>(Fn.TagTables.size() - 1);
+      break;
+    }
+    case Op::CallFn:
+      if (std::find(Fn.Callees.begin(), Fn.Callees.end(),
+                    static_cast<uint32_t>(I.Imm)) == Fn.Callees.end())
+        Fn.Callees.push_back(static_cast<uint32_t>(I.Imm));
+      break;
+    default:
+      break;
+    }
+    Seq.push_back(I);
+  }
+  Seq.push_back(Instr{Op::LeaveInline, 0, 0, 0, 0});
+  assert(Seq.size() == InlineLen && "inline length bookkeeping drifted");
+
+  Fn.Code.erase(Fn.Code.begin() + At);
+  Fn.Code.insert(Fn.Code.begin() + At, Seq.begin(), Seq.end());
+  Fn.NumRegs = NewBase + C.NumRegs;
+  ++Inlined;
+  return true;
+}
+
+bool FunctionOptimizer::inlineCalls(const std::vector<uint8_t> &Recursive) {
+  bool Any = false;
+  // Newly spliced bodies may expose further CallFn sites; the caller
+  // code cap and callee budget bound the growth, the rounds cap bounds
+  // the work.
+  for (int Round = 0; Round < InlineNestBudget; ++Round) {
+    bool Changed = false;
+    for (size_t Pc = 0; Pc < Fn.Code.size(); ++Pc)
+      if (Fn.Code[Pc].K == Op::CallFn && inlineSite(Pc, Recursive)) {
+        Changed = Any = true;
+        // Re-scan from the splice point: the spliced body's own calls
+        // sit right here, but they are guarded by the budgets.
+      }
+    if (!Changed)
+      break;
+  }
+  return Any;
+}
+
+//===----------------------------------------------------------------------===//
+// Module driver
+//===----------------------------------------------------------------------===//
+
+/// Flags every function that sits on a call-graph cycle (including
+/// self-recursion), from the current CallFn edges.
+std::vector<uint8_t> findRecursive(const VmModule &M) {
+  size_t N = M.Functions.size();
+  std::vector<std::vector<uint32_t>> Adj(N);
+  for (size_t Ix = 0; Ix < N; ++Ix)
+    for (const Instr &I : M.Functions[Ix].Code)
+      if (I.K == Op::CallFn)
+        Adj[Ix].push_back(static_cast<uint32_t>(I.Imm));
+  std::vector<uint8_t> Recursive(N, 0);
+  std::vector<uint8_t> Seen(N);
+  for (size_t S = 0; S < N; ++S) {
+    // BFS: S is recursive iff S is reachable from its successors.
+    std::fill(Seen.begin(), Seen.end(), 0);
+    std::vector<uint32_t> Work(Adj[S].begin(), Adj[S].end());
+    while (!Work.empty()) {
+      uint32_t V = Work.back();
+      Work.pop_back();
+      if (V >= N || Seen[V])
+        continue;
+      Seen[V] = 1;
+      if (V == S) {
+        Recursive[S] = 1;
+        break;
+      }
+      Work.insert(Work.end(), Adj[V].begin(), Adj[V].end());
+    }
+  }
+  return Recursive;
+}
+
+void optimizeOne(VmModule &M, uint32_t FnIx, ValueFactory &F, int OptLevel,
+                 const std::vector<uint8_t> *Recursive) {
+  VmFunction &Fn = M.Functions[FnIx];
+  if (!Fn.Ok || OptLevel <= 0)
+    return;
+  FunctionOptimizer FO(M, Fn, F);
+  FO.localPasses();
+  if (OptLevel >= 2 && Recursive && FO.inlineCalls(*Recursive))
+    FO.localPasses(); // simplify the spliced bodies
+  M.Pipeline.InlinedCalls += FO.Inlined;
+  M.Pipeline.SuperwordHits += FO.Fused;
+  M.Pipeline.RemovedInsns += FO.Removed;
+}
+
+} // namespace
+
+void flix::vm::optimizeModule(VmModule &M, ValueFactory &F, int OptLevel) {
+  if (OptLevel <= 0)
+    return;
+  // Stage A: local passes everywhere, so inlining splices already-clean
+  // bodies. Stage B: inlining + cleanup.
+  for (uint32_t Ix = 0; Ix < M.Functions.size(); ++Ix) {
+    VmFunction &Fn = M.Functions[Ix];
+    if (!Fn.Ok)
+      continue;
+    FunctionOptimizer FO(M, Fn, F);
+    FO.localPasses();
+    M.Pipeline.SuperwordHits += FO.Fused;
+    M.Pipeline.RemovedInsns += FO.Removed;
+  }
+  if (OptLevel < 2)
+    return;
+  std::vector<uint8_t> Recursive = findRecursive(M);
+  for (uint32_t Ix = 0; Ix < M.Functions.size(); ++Ix) {
+    VmFunction &Fn = M.Functions[Ix];
+    if (!Fn.Ok)
+      continue;
+    FunctionOptimizer FO(M, Fn, F);
+    if (FO.inlineCalls(Recursive))
+      FO.localPasses();
+    M.Pipeline.InlinedCalls += FO.Inlined;
+    M.Pipeline.SuperwordHits += FO.Fused;
+    M.Pipeline.RemovedInsns += FO.Removed;
+  }
+}
+
+void flix::vm::optimizeFunction(VmModule &M, uint32_t FnIx, ValueFactory &F,
+                                int OptLevel) {
+  if (OptLevel <= 0)
+    return;
+  std::vector<uint8_t> Recursive;
+  if (OptLevel >= 2)
+    Recursive = findRecursive(M);
+  optimizeOne(M, FnIx, F, OptLevel,
+              OptLevel >= 2 ? &Recursive : nullptr);
+}

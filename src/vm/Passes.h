@@ -1,0 +1,67 @@
+//===- vm/Passes.h - Bytecode optimization pipeline -----------*- C++ -*-===//
+//
+// Part of flix-cpp, a C++ reproduction of "From Datalog to FLIX" (PLDI'16).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-code optimization pipeline that runs between VmCompiler
+/// and Vm (DESIGN.md S15). FLIX bytecode has no back edges — every jump
+/// is forward, loops exist only through calls — so pc order is a
+/// topological order of the control-flow graph and each pass is a
+/// single exact linear sweep, no iteration to a fixed point:
+///
+///   * Inlining (opt level 2): small non-recursive callees are spliced
+///     into their call sites under a size/nesting budget.
+///     EnterInline/LeaveInline markers keep the call-depth accounting —
+///     and therefore the depth-overflow diagnostic — byte-identical to
+///     the un-inlined program, and every inlined tag-dispatch or
+///     tuple-check site gets a fresh inline-cache word (cached target
+///     pcs are site-specific).
+///
+///   * SCCP: forward constant propagation with branch folding and
+///     unreachable-code elimination. Only never-faulting computations
+///     fold; a division that could trap at runtime stays put so fault
+///     order is preserved.
+///
+///   * Local CSE: per-block reuse of pure register computations, keyed
+///     by operand versions.
+///
+///   * Dead-register elimination: backward liveness; removes only
+///     never-faulting pure writes whose destination is dead.
+///
+///   * Superword fusion: an Int compare whose result feeds only the
+///     immediately-following branch fuses into one FusedCmp*Jump
+///     instruction (one dispatch instead of two on the hottest shape
+///     the compiler emits).
+///
+///   * Jump threading + compaction: jump-to-jump chains collapse,
+///     jumps to the next instruction drop, and Nop slots left by the
+///     passes are squeezed out with all targets remapped.
+///
+/// Opt levels: 0 = pipeline off (PR 7 bytecode, bit for bit), 1 = local
+/// passes only, 2 = inlining + local passes (the default engine).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FLIX_VM_PASSES_H
+#define FLIX_VM_PASSES_H
+
+#include "vm/Bytecode.h"
+
+namespace flix::vm {
+
+/// Runs the pipeline over every usable function of \p M at \p OptLevel,
+/// accumulating into M.Pipeline. Call once, after compileDefs()'s
+/// usability closure and before any execution.
+void optimizeModule(VmModule &M, ValueFactory &F, int OptLevel);
+
+/// Runs the pipeline over the single function \p FnIx (used for rule
+/// wrappers, which compile after the defs are already optimized — their
+/// callees are final, so inlining into them is sound).
+void optimizeFunction(VmModule &M, uint32_t FnIx, ValueFactory &F,
+                      int OptLevel);
+
+} // namespace flix::vm
+
+#endif // FLIX_VM_PASSES_H

@@ -62,6 +62,11 @@ public:
   /// sites.
   uint64_t icHits() const { return IcHits.load(std::memory_order_relaxed); }
 
+  /// True when this binary dispatches through the computed-goto threaded
+  /// core (FLIX_VM_THREADED and a GNU-compatible compiler), false when
+  /// it runs the portable switch loop. Benches record it per row.
+  static bool threadedDispatch();
+
   /// Same recursion budget as the interpreter, so the two engines
   /// overflow on identical inputs with identical diagnostics.
   static constexpr unsigned MaxCallDepth = 512;
@@ -69,7 +74,11 @@ public:
 private:
   struct ExecState;
 
-  Value run(const VmFunction &Fn, Value *Regs, ExecState &St);
+  /// Executes \p Fn over the frame at offset \p FrameBase of the calling
+  /// thread's register stack. Frames are addressed by offset, not
+  /// pointer, because nested calls may grow (and so reallocate) the
+  /// stack slab.
+  Value run(const VmFunction &Fn, size_t FrameBase, ExecState &St);
   Value fault(ExecState &St, std::string Msg);
 
   /// The module is structurally immutable during execution; only the

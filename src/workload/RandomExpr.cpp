@@ -40,6 +40,9 @@ public:
     RandomExprModule M;
     M.Source = "enum Shape { case Dot, case Box(Int), "
                "case Pair((Int, Bool)) }\n\n";
+    emitHelpers(M);
+    emitRecursive(M);
+    emitChain(M);
     for (int I = 0; I < NumFns; ++I) {
       RandomExprFn Fn;
       Fn.Name = "f" + std::to_string(I);
@@ -66,6 +69,58 @@ public:
   }
 
 private:
+  /// Appends a finished Int→Int def to the module and makes it callable
+  /// from every later body (pickFn draws from Done).
+  void addIntDef(RandomExprModule &M, const std::string &Name,
+                 const std::string &Body) {
+    RandomExprFn Fn;
+    Fn.Name = Name;
+    Fn.Params.push_back(Type::Int);
+    Fn.Ret = Type::Int;
+    M.Source += "def " + Name + "(p0: Int): Int =\n  " + Body + "\n\n";
+    M.Fns.push_back(Fn);
+    Done.push_back(std::move(Fn));
+  }
+
+  /// Small single-parameter helpers (h0..h3). Each body is one
+  /// compare-against-literal branch — the canonical CmpXxImm +
+  /// JumpIfFalse pair the superword pass fuses — and stays far under
+  /// the inliner's callee budget, so every call site of these is an
+  /// inlining candidate.
+  void emitHelpers(RandomExprModule &M) {
+    static const char *const Cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+    for (int H = 0; H < 4; ++H) {
+      std::string Body = "(if (p0 " + std::string(Cmps[R.below(6)]) + " " +
+                         std::to_string(static_cast<int>(R.below(5))) +
+                         ") (p0 + " +
+                         std::to_string(1 + static_cast<int>(R.below(3))) +
+                         ") else (p0 - " +
+                         std::to_string(1 + static_cast<int>(R.below(3))) +
+                         "))";
+      addIntDef(M, "r" + std::to_string(H), Body);
+    }
+  }
+
+  /// One controlled self-recursive def, terminating on the small
+  /// argument magnitudes the grammar produces. The inliner must refuse
+  /// it (recursion exclusion), and calls that do run deep exercise the
+  /// call-depth diagnostic on both engines identically.
+  void emitRecursive(RandomExprModule &M) {
+    addIntDef(M, "rec0", "(if (p0 <= 0) 0 else (rec0(p0 - 1) + 1))");
+  }
+
+  /// A deep non-recursive call chain c0 → c1 → ... → c7: calling the
+  /// last link traverses eight frames, and under optimization the
+  /// inliner splices links until its nesting budget stops it — the
+  /// differential harness then checks identity across that boundary.
+  void emitChain(RandomExprModule &M) {
+    addIntDef(M, "c0", "(if (p0 <= 0) 0 else (p0 + 1))");
+    for (int K = 1; K < 8; ++K)
+      addIntDef(M, "c" + std::to_string(K),
+                "(c" + std::to_string(K - 1) + "((p0 % 5) - 1) + r" +
+                    std::to_string(K % 4) + "(p0))");
+  }
+
   static const char *typeName(Type T) {
     switch (T) {
     case Type::Int:

@@ -12,10 +12,16 @@
 /// faults are reachable), comparisons, boolean connectives with
 /// short-circuit, unary operators, if/let, matches over enum tags, tuples
 /// and integer literals (sometimes deliberately non-exhaustive), and
-/// calls to earlier defs. Calls only ever point backwards, so generated
-/// programs never recurse: the only reachable faults are division or
-/// remainder by zero and a missed match case, which the VM-vs-interpreter
-/// differential harness checks for message identity.
+/// calls to earlier defs. Every module also leads with a fixed cast of
+/// optimizer-relevant shapes whose constants the seed varies: four tiny
+/// compare-and-branch helpers (superword-fusion and inlining targets),
+/// one controlled self-recursive def (the inliner must refuse it; deep
+/// calls reach the call-depth diagnostic), and an eight-link call chain
+/// (inline-nesting budget boundary). Random calls only ever point
+/// backwards, so the reachable faults are division or remainder by
+/// zero, a missed match case, and call-depth overflow through the
+/// recursive def — each checked for message identity by the
+/// VM-vs-interpreter differential harness.
 ///
 /// Determinism: the generator uses its own xorshift RNG, so a seed means
 /// the same module on every platform and standard library.

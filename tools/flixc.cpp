@@ -84,6 +84,8 @@ static void printUsage() {
       "  --no-memo          disable the pure-function memo cache\n"
       "  --no-vm            interpret FLIX functions (disable the bytecode "
       "VM)\n"
+      "  --vm-opt-level <n> bytecode optimization pipeline: 0 = off, "
+      "1 = local passes, 2 = inlining + local passes (default 2)\n"
       "  --reorder          greedily reorder rule bodies\n"
       "  --no-cost-plans    freeze driver-first join orders (disable the "
       "cost-based planner)\n"
@@ -118,6 +120,21 @@ static double parseFloatFlag(const char *Flag, const char *Text,
   if (End == Text || *End != '\0' || errno == ERANGE || !(V >= Min)) {
     std::fprintf(stderr, "flixc: %s wants a number >= %g, got '%s'\n",
                  Flag, Min, Text);
+    std::exit(2);
+  }
+  return V;
+}
+
+/// Checked integer-flag parse (same exit-2 discipline): rejects
+/// trailing junk and values outside [Min, Max].
+static long parseIntFlag(const char *Flag, const char *Text, long Min,
+                         long Max) {
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || V < Min || V > Max) {
+    std::fprintf(stderr, "flixc: %s wants an integer in [%ld, %ld], got '%s'\n",
+                 Flag, Min, Max, Text);
     std::exit(2);
   }
   return V;
@@ -293,7 +310,9 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       "\"estimated_vs_actual_rows\": %llu, "
       "\"memo_hits\": %llu, \"memo_misses\": %llu, "
       "\"vm_calls\": %llu, \"vm_inline_cache_hits\": %llu, "
-      "\"interp_fallbacks\": %llu, "
+      "\"interp_fallbacks\": %llu, \"vm_opt_level\": %d, "
+      "\"vm_inlined_calls\": %llu, \"vm_superword_hits\": %llu, "
+      "\"vm_passes_removed_insns\": %llu, "
       "\"index_fallbacks\": %llu, \"fallback_solves\": %llu, "
       "\"negation_fallbacks\": %llu, \"degraded_recoveries\": %llu, "
       "\"seconds\": %.6f, \"memory_bytes\": %llu}\n",
@@ -312,7 +331,10 @@ static void printJsonStats(const SolveStats &St, const SolverOptions &Opts) {
       static_cast<unsigned long long>(St.MemoMisses),
       static_cast<unsigned long long>(St.VmCalls),
       static_cast<unsigned long long>(St.VmInlineCacheHits),
-      static_cast<unsigned long long>(St.InterpFallbacks),
+      static_cast<unsigned long long>(St.InterpFallbacks), Opts.VmOptLevel,
+      static_cast<unsigned long long>(St.VmInlinedCalls),
+      static_cast<unsigned long long>(St.VmSuperwordHits),
+      static_cast<unsigned long long>(St.VmPassesRemovedInsns),
       static_cast<unsigned long long>(St.IndexFallbacks),
       static_cast<unsigned long long>(St.FallbackSolves),
       static_cast<unsigned long long>(St.NegationFallbacks),
@@ -359,7 +381,8 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       "\"full_resolve\": %s, \"fallback_solves\": %llu, "
       "\"negation_fallbacks\": %llu, \"degraded_recoveries\": %llu, "
       "\"vm_calls\": %llu, \"vm_inline_cache_hits\": %llu, "
-      "\"interp_fallbacks\": %llu, "
+      "\"interp_fallbacks\": %llu, \"vm_inlined_calls\": %llu, "
+      "\"vm_superword_hits\": %llu, \"vm_passes_removed_insns\": %llu, "
       "\"cost_based_plans\": %llu, \"replan_events\": %llu, "
       "\"memory_bytes\": %llu, \"cumulative\": {\"updates\": %llu, "
       "\"seconds\": %.6f, \"facts_added\": %llu, "
@@ -381,6 +404,9 @@ static void printJsonUpdateStats(unsigned UpdateNo, const UpdateStats &U,
       static_cast<unsigned long long>(U.VmCalls),
       static_cast<unsigned long long>(U.VmInlineCacheHits),
       static_cast<unsigned long long>(U.InterpFallbacks),
+      static_cast<unsigned long long>(U.VmInlinedCalls),
+      static_cast<unsigned long long>(U.VmSuperwordHits),
+      static_cast<unsigned long long>(U.VmPassesRemovedInsns),
       static_cast<unsigned long long>(U.CostBasedPlans),
       static_cast<unsigned long long>(U.ReplanEvents),
       static_cast<unsigned long long>(U.MemoryBytes),
@@ -577,6 +603,13 @@ int main(int Argc, char **Argv) {
       Opts.EnableMemo = false;
     } else if (Arg == "--no-vm") {
       Opts.UseVm = false;
+    } else if (Arg == "--vm-opt-level") {
+      if (++I >= Argc) {
+        std::fprintf(stderr, "error: --vm-opt-level needs a value\n");
+        return 1;
+      }
+      Opts.VmOptLevel =
+          static_cast<int>(parseIntFlag("--vm-opt-level", Argv[I], 0, 2));
     } else if (Arg == "--reorder") {
       Opts.ReorderBody = true;
     } else if (Arg == "--no-cost-plans") {
@@ -688,6 +721,7 @@ int main(int Argc, char **Argv) {
   ValueFactory F;
   FlixCompiler C(F);
   C.setUseVm(Opts.UseVm);
+  C.setVmOptLevel(Opts.VmOptLevel);
   if (!C.compile(Buf.str(), InputPath)) {
     std::fprintf(stderr, "%s", C.diagnostics().c_str());
     return 1;
@@ -804,6 +838,13 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(St.VmCalls),
                   static_cast<unsigned long long>(St.VmInlineCacheHits),
                   static_cast<unsigned long long>(St.InterpFallbacks));
+      if (Opts.UseVm)
+        std::printf("vm pipeline: level %d, %llu calls inlined, %llu "
+                    "superwords fused, %llu instructions removed\n",
+                    Opts.VmOptLevel,
+                    static_cast<unsigned long long>(St.VmInlinedCalls),
+                    static_cast<unsigned long long>(St.VmSuperwordHits),
+                    static_cast<unsigned long long>(St.VmPassesRemovedInsns));
       if (Opts.NumThreads > 0)
         std::printf("parallel: %u threads, %llu tasks, %llu steals, %llu "
                     "merge collisions, %llu spawned subtasks (max fanout "

@@ -43,6 +43,11 @@ static void printUsage() {
       "  --port-file PATH      write the bound TCP port to PATH\n"
       "  --preload DB=FILE     load FILE as database DB before serving\n"
       "  --threads N           solver threads per update batch\n"
+      "  --no-vm               interpret FLIX functions (disable the\n"
+      "                        bytecode VM)\n"
+      "  --vm-opt-level N      bytecode optimization pipeline: 0 = off,\n"
+      "                        1 = local passes, 2 = inlining + local\n"
+      "                        passes (default 2)\n"
       "  --no-cost-plans       freeze driver-first join orders\n"
       "  --replan-threshold X  adaptive re-plan hysteresis factor\n"
       "                        (0 disables between-round re-planning)\n"
@@ -123,6 +128,11 @@ int main(int argc, char **argv) {
     } else if (A == "--threads") {
       Opt.Solve.NumThreads =
           unsigned(parseIntFlag("--threads", needValue(I), 0, 1024));
+    } else if (A == "--no-vm") {
+      Opt.Solve.UseVm = false;
+    } else if (A == "--vm-opt-level") {
+      Opt.Solve.VmOptLevel =
+          int(parseIntFlag("--vm-opt-level", needValue(I), 0, 2));
     } else if (A == "--no-cost-plans") {
       Opt.Solve.CostBasedPlans = false;
     } else if (A == "--replan-threshold") {
